@@ -1,0 +1,150 @@
+//! One criterion bench target per paper figure.
+//!
+//! Each target runs a scaled-down instance (`Scale::Bench`) of the exact
+//! code path the corresponding `fig*` binary uses at full scale, so
+//! `cargo bench` exercises every figure's pipeline end to end and tracks
+//! its performance over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use plp_bench::figures;
+use plp_bench::runner::{run_nonprivate, run_point, Scale};
+use plp_core::experiment::PreparedData;
+
+fn prep() -> PreparedData {
+    PreparedData::generate(&Scale::Bench.experiment_config(42)).expect("data")
+}
+
+fn bench_sweep(c: &mut Criterion, name: &str, points: Vec<plp_bench::SweepPoint>) {
+    let prep = prep();
+    // One representative point per figure keeps `cargo bench` tractable;
+    // the full sweep lives in the fig* binaries.
+    let point = points.into_iter().next().expect("non-empty sweep");
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter(|| black_box(run_point(&prep, &point, 7).expect("point")));
+    });
+    group.finish();
+}
+
+fn fig05(c: &mut Criterion) {
+    let prep = prep();
+    let hp = Scale::Bench.hyperparameters();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig05_hparam_grid_point", |b| {
+        b.iter(|| black_box(run_nonprivate(&prep, &hp, 1, 3).expect("nonprivate")));
+    });
+    group.finish();
+}
+
+fn fig06(c: &mut Criterion) {
+    let prep = prep();
+    let hp = Scale::Bench.hyperparameters();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig06_nonprivate_epoch", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let out = plp_core::nonprivate::train_nonprivate(
+                &mut rng,
+                &prep.train,
+                None,
+                &hp,
+                &plp_core::nonprivate::NonPrivateConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+            )
+            .expect("epoch");
+            black_box(out.telemetry.len())
+        });
+    });
+    group.finish();
+}
+
+fn fig07(c: &mut Criterion) {
+    bench_sweep(c, "fig07_eps_point", figures::fig07(Scale::Bench, 0.06));
+}
+
+fn fig08(c: &mut Criterion) {
+    bench_sweep(c, "fig08_q_point", figures::fig08(Scale::Bench));
+}
+
+fn fig09(c: &mut Criterion) {
+    // The runtime figure compares DP-SGD vs PLP per-step cost directly.
+    let prep = prep();
+    let mut hp = Scale::Bench.hyperparameters();
+    hp.max_steps = 2;
+    hp.budget = plp_privacy::PrivacyBudget { epsilon: 1e9, delta: 2e-4 };
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig09_dpsgd_steps", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(
+                plp_core::dpsgd::train_dpsgd(&mut rng, &prep.train, None, &hp).expect("dpsgd"),
+            )
+        });
+    });
+    let mut plp_hp = hp.clone();
+    plp_hp.grouping_factor = 4;
+    group.bench_function("fig09_plp_lambda4_steps", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(
+                plp_core::plp::train_plp(&mut rng, &prep.train, None, &plp_hp).expect("plp"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn fig10(c: &mut Criterion) {
+    bench_sweep(c, "fig10_lambda_point", figures::fig10(Scale::Bench));
+}
+
+fn fig11(c: &mut Criterion) {
+    bench_sweep(c, "fig11_sigma_point", figures::fig11(Scale::Bench));
+}
+
+fn fig12(c: &mut Criterion) {
+    bench_sweep(c, "fig12_clip_point", figures::fig12(Scale::Bench));
+}
+
+fn fig13(c: &mut Criterion) {
+    bench_sweep(c, "fig13_neg_point", figures::fig13(Scale::Bench));
+}
+
+fn ablation_omega(c: &mut Criterion) {
+    bench_sweep(c, "ablation_omega_point", figures::ablation_omega(Scale::Bench));
+}
+
+fn ablation_grouping(c: &mut Criterion) {
+    bench_sweep(
+        c,
+        "ablation_grouping_point",
+        figures::ablation_grouping(Scale::Bench),
+    );
+}
+
+criterion_group!(
+    benches,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    ablation_omega,
+    ablation_grouping
+);
+criterion_main!(benches);

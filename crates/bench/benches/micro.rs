@@ -1,0 +1,162 @@
+//! Micro-benchmarks of the system's hot kernels: skip-gram training steps,
+//! clipping, Gaussian noise, the moments accountant, grouping, window
+//! extraction and top-k ranking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use plp_data::grouping::{group_data, GroupingStrategy};
+use plp_linalg::sample::NormalSampler;
+use plp_linalg::topk::top_k_indices;
+use plp_model::clip::clip_per_layer;
+use plp_model::grad::SparseGrad;
+use plp_model::negative::NegativeSampler;
+use plp_model::params::ModelParams;
+use plp_model::train::{train_on_tokens, LocalSgdConfig};
+use plp_privacy::accountant::MomentsAccountant;
+use plp_privacy::rdp::RdpCurve;
+
+const VOCAB: usize = 2000;
+const DIM: usize = 50;
+
+fn corpus(len: usize) -> Vec<usize> {
+    (0..len).map(|i| (i * 37) % VOCAB).collect()
+}
+
+fn sgns_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgns");
+    group.sample_size(20);
+    for &neg in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("local_pass_neg", neg), &neg, |b, &neg| {
+            let tokens = corpus(512);
+            let cfg = LocalSgdConfig {
+                learning_rate: 0.06,
+                batch_size: 32,
+                window: 2,
+                negatives: neg,
+                loss: plp_model::Loss::SampledSoftmax,
+            };
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut params = ModelParams::init(&mut rng, VOCAB, DIM).unwrap();
+                black_box(
+                    train_on_tokens(
+                        &mut rng,
+                        &mut params,
+                        &tokens,
+                        &cfg,
+                        &NegativeSampler::Uniform,
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn clipping(c: &mut Criterion) {
+    let mut g = SparseGrad::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut normal = NormalSampler::new();
+    for r in 0..500 {
+        let mut v = vec![0.0; DIM];
+        normal.fill(&mut rng, 1.0, &mut v);
+        g.add_embedding_row(r, 1.0, &v);
+        g.add_context_row(r, 1.0, &v);
+        g.add_bias(r, 0.3);
+    }
+    c.bench_function("clip_per_layer_500rows", |b| {
+        b.iter(|| {
+            let mut gg = g.clone();
+            black_box(clip_per_layer(&mut gg, 0.5).unwrap())
+        });
+    });
+}
+
+fn gaussian_noise(c: &mut Criterion) {
+    c.bench_function("gaussian_perturb_512k", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = NormalSampler::new();
+        let mut v = vec![0.0; 512 * 1024];
+        b.iter(|| {
+            sampler.perturb(&mut rng, 1.25, &mut v);
+            black_box(v[0])
+        });
+    });
+}
+
+fn accountant(c: &mut Criterion) {
+    c.bench_function("accountant_step", |b| {
+        let mut acc = MomentsAccountant::new(2e-4).unwrap();
+        b.iter(|| {
+            acc.step(0.06, 2.5).unwrap();
+            black_box(())
+        });
+    });
+    c.bench_function("accountant_epsilon_query", |b| {
+        let mut acc = MomentsAccountant::new(2e-4).unwrap();
+        for _ in 0..300 {
+            acc.step(0.06, 2.5).unwrap();
+        }
+        b.iter(|| black_box(acc.epsilon().unwrap()));
+    });
+    c.bench_function("rdp_curve_construction", |b| {
+        b.iter(|| black_box(RdpCurve::subsampled_gaussian_step(0.06, 2.5, 255).unwrap()));
+    });
+}
+
+fn grouping(c: &mut Criterion) {
+    use plp_data::checkin::UserId;
+    use plp_data::dataset::{TokenizedDataset, UserSequences};
+    let users = (0..500)
+        .map(|i| UserSequences {
+            user: UserId(i as u32),
+            sessions: vec![(0..100).map(|t| (t * 13 + i) % VOCAB).collect()],
+        })
+        .collect();
+    let ds = TokenizedDataset { users, vocab_size: VOCAB };
+    let sampled: Vec<usize> = (0..500).collect();
+    let mut group = c.benchmark_group("grouping");
+    for strategy in [GroupingStrategy::Random, GroupingStrategy::EqualFrequency] {
+        group.bench_function(format!("{strategy:?}_500users_lambda4"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(4);
+                black_box(group_data(&mut rng, &sampled, &ds, 4, strategy).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ranking(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut normal = NormalSampler::new();
+    let mut scores = vec![0.0; 5069];
+    normal.fill(&mut rng, 1.0, &mut scores);
+    c.bench_function("top10_of_5069", |b| {
+        b.iter(|| black_box(top_k_indices(&scores, 10)));
+    });
+}
+
+fn windowing(c: &mut Criterion) {
+    let tokens = corpus(10_000);
+    c.bench_function("skipgram_pairs_10k_tokens_win2", |b| {
+        b.iter(|| black_box(plp_data::window::pairs_from_sequence(&tokens, 2).len()));
+    });
+}
+
+criterion_group!(
+    micro,
+    sgns_step,
+    clipping,
+    gaussian_noise,
+    accountant,
+    grouping,
+    ranking,
+    windowing
+);
+criterion_main!(micro);

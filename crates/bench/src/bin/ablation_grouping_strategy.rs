@@ -1,0 +1,27 @@
+//! §4.1 ablation: random vs equal-frequency grouping.
+//!
+//! The paper: "we noticed no statistically significant benefit in model
+//! accuracy from equal frequency grouping than with a random grouping."
+//!
+//! Usage: `cargo run --release -p plp-bench --bin ablation_grouping_strategy
+//! [--scale bench|figure] [--seed N] [--seeds N]`
+
+use plp_bench::cli::parse_args;
+use plp_bench::figures::ablation_grouping;
+use plp_bench::runner::drive_sweep;
+use plp_core::experiment::PreparedData;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    let points = ablation_grouping(opts.scale);
+    drive_sweep(
+        "ablation_grouping_strategy",
+        "HR@10: random vs equal-frequency bucketing (eps=2)",
+        &prep,
+        &points,
+        opts.seed,
+        opts.seeds,
+    );
+}

@@ -1,0 +1,29 @@
+//! §4.2 Case-2 ablation: splitting each user's data across ω = 2 buckets
+//! (with the mandatory ω² noise-variance scaling) vs ω = 1.
+//!
+//! The paper: "values of ω > 1 produced no positive effect … the marginally
+//! improved signal from the split data is offset by the now quadrupled
+//! noise variance."
+//!
+//! Usage: `cargo run --release -p plp-bench --bin ablation_omega
+//! [--scale bench|figure] [--seed N] [--seeds N]`
+
+use plp_bench::cli::parse_args;
+use plp_bench::figures::ablation_omega;
+use plp_bench::runner::drive_sweep;
+use plp_core::experiment::PreparedData;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    let points = ablation_omega(opts.scale);
+    drive_sweep(
+        "ablation_omega",
+        "HR@10 with split factor omega in {1, 2} (noise scaled by omega)",
+        &prep,
+        &points,
+        opts.seed,
+        opts.seeds,
+    );
+}

@@ -1,0 +1,94 @@
+//! Related-work baseline sweep (§6): order-1 Markov chain, user-level
+//! DP-Markov (perturbed counts, as in Zhang et al. [63]), popularity, and
+//! the skip-gram models, all under the same leave-one-out HR@k harness.
+//!
+//! Usage: `cargo run --release -p plp-bench --bin baseline_markov
+//! [--scale bench|figure] [--seed N]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use plp_bench::cli::parse_args;
+use plp_bench::runner::Scale;
+use plp_core::experiment::PreparedData;
+use plp_core::nonprivate::{train_nonprivate, NonPrivateConfig};
+use plp_core::plp::train_plp;
+use plp_model::markov::{DpMarkovRecommender, MarkovRecommender};
+use plp_model::metrics::{evaluate_hit_rate, popularity_hit_rate, token_counts};
+use plp_model::Recommender;
+use plp_privacy::PrivacyBudget;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    println!("== baseline comparison (HR@{{5,10,20}} on held-out users) ==");
+    println!(
+        "dataset: {} users, {} locations, {} check-ins",
+        prep.stats.num_users, prep.stats.num_locations, prep.stats.num_checkins
+    );
+    println!("{:<34} {:>8} {:>8} {:>8}", "method", "HR@5", "HR@10", "HR@20");
+
+    let ks = [5usize, 10, 20];
+    let mut rows = Vec::new();
+    let mut print_row = |name: &str, hr: &[plp_model::metrics::HitRate]| {
+        println!(
+            "{:<34} {:>8.4} {:>8.4} {:>8.4}",
+            name,
+            hr[0].rate(),
+            hr[1].rate(),
+            hr[2].rate()
+        );
+        rows.push(serde_json::json!({
+            "method": name, "hr5": hr[0].rate(), "hr10": hr[1].rate(), "hr20": hr[2].rate(),
+        }));
+    };
+
+    // Popularity.
+    let counts = token_counts(&prep.train);
+    let pop = popularity_hit_rate(&counts, &prep.test, &ks);
+    print_row("popularity", &pop);
+
+    // Markov (non-private).
+    let markov = MarkovRecommender::fit(&prep.train).expect("markov fit");
+    let hr = evaluate_hit_rate(&markov, &prep.test, &ks).expect("markov eval");
+    print_row("markov (non-private)", &hr);
+
+    // DP-Markov at eps in {1, 2, 4}, per-user cap 20.
+    for eps in [1.0, 2.0, 4.0] {
+        let mut rng = StdRng::seed_from_u64(opts.seed + 13);
+        let dp = DpMarkovRecommender::fit(&mut rng, &prep.train, eps, 20)
+            .expect("dp-markov fit");
+        let hr = evaluate_hit_rate(&dp, &prep.test, &ks).expect("dp-markov eval");
+        print_row(&format!("dp-markov (eps={eps}, cap=20)"), &hr);
+    }
+
+    // Skip-gram: non-private + PLP at eps=2.
+    let epochs = match opts.scale {
+        Scale::Bench => 4,
+        Scale::Figure => 20,
+    };
+    let hp = opts.scale.hyperparameters();
+    let mut rng = StdRng::seed_from_u64(opts.seed + 29);
+    let np = train_nonprivate(
+        &mut rng,
+        &prep.train,
+        None,
+        &hp,
+        &NonPrivateConfig { epochs, ..NonPrivateConfig::default() },
+    )
+    .expect("nonprivate train");
+    let hr = evaluate_hit_rate(&Recommender::new(&np.params), &prep.test, &ks)
+        .expect("nonprivate eval");
+    print_row(&format!("skip-gram (non-private, {epochs} ep)"), &hr);
+
+    let mut plp_hp = hp;
+    plp_hp.budget = PrivacyBudget { epsilon: 2.0, delta: 2e-4 };
+    let mut rng = StdRng::seed_from_u64(opts.seed + 31);
+    let plp = train_plp(&mut rng, &prep.train, None, &plp_hp).expect("plp train");
+    let hr = evaluate_hit_rate(&Recommender::new(&plp.params), &prep.test, &ks)
+        .expect("plp eval");
+    print_row(&format!("PLP skip-gram (eps=2, λ={})", plp_hp.grouping_factor), &hr);
+
+    println!("JSON {}", serde_json::json!({"figure": "baseline_markov", "rows": rows}));
+}

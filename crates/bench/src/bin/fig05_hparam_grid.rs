@@ -1,0 +1,92 @@
+//! Figure 5: non-private hyper-parameter tuning — validation HR@{5,10,20}
+//! while varying one of {dim, win, b, neg} around the defaults.
+//!
+//! Usage: `cargo run --release -p plp-bench --bin fig05_hparam_grid
+//! [--scale bench|figure] [--seed N]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use plp_bench::cli::parse_args;
+use plp_bench::runner::Scale;
+use plp_core::experiment::{ExperimentConfig, PreparedData};
+use plp_core::nonprivate::{train_nonprivate, NonPrivateConfig};
+use plp_core::Hyperparameters;
+use plp_model::metrics::evaluate_hit_rate;
+use plp_model::Recommender;
+
+fn epochs_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Bench => 2,
+        Scale::Figure => 10,
+    }
+}
+
+fn run_one(
+    prep: &PreparedData,
+    hp: &Hyperparameters,
+    epochs: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = train_nonprivate(
+        &mut rng,
+        &prep.train,
+        None,
+        hp,
+        &NonPrivateConfig { epochs, ..NonPrivateConfig::default() },
+    )
+    .expect("training");
+    let rec = Recommender::new(&out.params);
+    let hr = evaluate_hit_rate(&rec, &prep.validation, &[5, 10, 20]).expect("evaluation");
+    (hr[0].rate(), hr[1].rate(), hr[2].rate())
+}
+
+fn main() {
+    let opts = parse_args();
+    let cfg: ExperimentConfig = opts.scale.experiment_config(opts.seed);
+    let prep = PreparedData::generate(&cfg).expect("data preparation");
+    let epochs = epochs_for(opts.scale);
+    let base = opts.scale.hyperparameters();
+    println!("== fig05: non-private hyperparameter grid (validation HR) ==");
+    println!(
+        "dataset: {} users, {} locations, {} check-ins; {} epochs per point",
+        prep.stats.num_users, prep.stats.num_locations, prep.stats.num_checkins, epochs
+    );
+    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "panel", "value", "HR@5", "HR@10", "HR@20");
+
+    let mut json_rows = Vec::new();
+    // Panel 1: embedding dimension.
+    for &dim in &[25usize, 50, 75, 100, 125] {
+        let mut hp = base.clone();
+        hp.embedding_dim = dim;
+        let (h5, h10, h20) = run_one(&prep, &hp, epochs, opts.seed + 1);
+        println!("{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}", "dim", dim, h5, h10, h20);
+        json_rows.push(serde_json::json!({"panel": "dim", "value": dim, "hr5": h5, "hr10": h10, "hr20": h20}));
+    }
+    // Panel 2: skip window.
+    for &win in &[1usize, 2, 3, 4, 5] {
+        let mut hp = base.clone();
+        hp.context_window = win;
+        let (h5, h10, h20) = run_one(&prep, &hp, epochs, opts.seed + 2);
+        println!("{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}", "win", win, h5, h10, h20);
+        json_rows.push(serde_json::json!({"panel": "win", "value": win, "hr5": h5, "hr10": h10, "hr20": h20}));
+    }
+    // Panel 3: batch size.
+    for &b in &[16usize, 32, 64, 128, 256] {
+        let mut hp = base.clone();
+        hp.batch_size = b;
+        let (h5, h10, h20) = run_one(&prep, &hp, epochs, opts.seed + 3);
+        println!("{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}", "batch", b, h5, h10, h20);
+        json_rows.push(serde_json::json!({"panel": "batch", "value": b, "hr5": h5, "hr10": h10, "hr20": h20}));
+    }
+    // Panel 4: negative samples.
+    for &neg in &[4usize, 8, 16, 32, 64] {
+        let mut hp = base.clone();
+        hp.negative_samples = neg;
+        let (h5, h10, h20) = run_one(&prep, &hp, epochs, opts.seed + 4);
+        println!("{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}", "neg", neg, h5, h10, h20);
+        json_rows.push(serde_json::json!({"panel": "neg", "value": neg, "hr5": h5, "hr10": h10, "hr20": h20}));
+    }
+    println!("JSON {}", serde_json::json!({"figure": "fig05", "rows": json_rows}));
+}

@@ -1,0 +1,29 @@
+//! Figure 7: PLP vs DP-SGD — prediction accuracy vs privacy budget ε.
+//!
+//! Paper series: PLP (λ = 6), PLP (λ = 4) and DP-SGD over
+//! ε ∈ {0.5, 1, 2, 3, 4}, for q = 0.06 and q = 0.10, σ = 1.5.
+//!
+//! Usage: `cargo run --release -p plp-bench --bin fig07_plp_vs_dpsgd_eps
+//! [--scale bench|figure] [--seed N] [--seeds N]`
+
+use plp_bench::cli::parse_args;
+use plp_bench::figures::fig07;
+use plp_bench::runner::drive_sweep;
+use plp_core::experiment::PreparedData;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    for q in [0.06, 0.10] {
+        let points = fig07(opts.scale, q);
+        drive_sweep(
+            &format!("fig07(q={q})"),
+            "HR@10 vs privacy budget eps (sigma=1.5)",
+            &prep,
+            &points,
+            opts.seed.wrapping_add((q * 1000.0) as u64),
+            opts.seeds,
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 8: PLP vs DP-SGD — prediction accuracy vs sampling ratio q at a
+//! fixed budget ε = 2.
+//!
+//! Usage: `cargo run --release -p plp-bench --bin fig08_vary_q
+//! [--scale bench|figure] [--seed N] [--seeds N]`
+
+use plp_bench::cli::parse_args;
+use plp_bench::figures::fig08;
+use plp_bench::runner::drive_sweep;
+use plp_core::experiment::PreparedData;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    let points = fig08(opts.scale);
+    drive_sweep(
+        "fig08",
+        "HR@10 vs sampling probability q (eps=2)",
+        &prep,
+        &points,
+        opts.seed,
+        opts.seeds,
+    );
+}

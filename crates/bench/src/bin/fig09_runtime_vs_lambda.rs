@@ -1,0 +1,72 @@
+//! Figure 9: running-time improvement factor of PLP over DP-SGD as the
+//! grouping factor λ grows, for (q, σ) ∈ {0.06, 0.10} × {1.5, 2.5}.
+//!
+//! Both methods run the same *fixed* number of steps (the paper runs to
+//! the budget; the per-step ratio is what the figure measures — "these
+//! results are consistently observed even with a different number of
+//! total iterations").
+//!
+//! Usage: `cargo run --release -p plp-bench --bin fig09_runtime_vs_lambda
+//! [--scale bench|figure] [--seed N]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use plp_bench::cli::parse_args;
+use plp_bench::figures::fig09_settings;
+use plp_bench::runner::Scale;
+use plp_core::dpsgd::train_dpsgd;
+use plp_core::experiment::PreparedData;
+use plp_core::plp::train_plp;
+use plp_privacy::PrivacyBudget;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    let steps = match opts.scale {
+        Scale::Bench => 3,
+        Scale::Figure => 25,
+    };
+    println!("== fig09: runtime improvement factor of PLP over DP-SGD ==");
+    println!(
+        "dataset: {} users, {} check-ins; {} steps per measurement",
+        prep.stats.num_users, prep.stats.num_checkins, steps
+    );
+    println!("{:<18} {:>4} {:>12} {:>12} {:>8}", "setting", "λ", "dpsgd_ms", "plp_ms", "factor");
+
+    let mut hp = opts.scale.hyperparameters();
+    hp.max_steps = steps;
+    hp.budget = PrivacyBudget { epsilon: 1e9, delta: 2e-4 }; // step-capped runs
+
+    // Measure the DP-SGD reference once per (q, sigma) setting.
+    let mut rows = Vec::new();
+    let mut dpsgd_ms = std::collections::HashMap::new();
+    for (label, q, sigma, lambda) in fig09_settings() {
+        let key = format!("{q}-{sigma}");
+        let base_ms = *dpsgd_ms.entry(key).or_insert_with(|| {
+            let mut h = hp.clone();
+            h.sampling_prob = q;
+            h.noise_multiplier = sigma;
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let out = train_dpsgd(&mut rng, &prep.train, None, &h).expect("dpsgd");
+            out.summary.total_wall_ms
+        });
+        let mut h = hp.clone();
+        h.sampling_prob = q;
+        h.noise_multiplier = sigma;
+        h.grouping_factor = lambda;
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let out = train_plp(&mut rng, &prep.train, None, &h).expect("plp");
+        let factor = base_ms / out.summary.total_wall_ms;
+        println!(
+            "{:<18} {:>4} {:>12.0} {:>12.0} {:>8.2}",
+            label, lambda, base_ms, out.summary.total_wall_ms, factor
+        );
+        rows.push(serde_json::json!({
+            "setting": label, "lambda": lambda,
+            "dpsgd_ms": base_ms, "plp_ms": out.summary.total_wall_ms, "factor": factor,
+        }));
+    }
+    println!("JSON {}", serde_json::json!({"figure": "fig09", "rows": rows}));
+}

@@ -1,0 +1,25 @@
+//! Figure 10: effect of the grouping factor λ on accuracy
+//! (four (q, σ) settings, ε = 2, C = 0.5).
+//!
+//! Usage: `cargo run --release -p plp-bench --bin fig10_vary_lambda
+//! [--scale bench|figure] [--seed N] [--seeds N]`
+
+use plp_bench::cli::parse_args;
+use plp_bench::figures::fig10;
+use plp_bench::runner::drive_sweep;
+use plp_core::experiment::PreparedData;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    let points = fig10(opts.scale);
+    drive_sweep(
+        "fig10",
+        "HR@10 vs grouping factor lambda (eps=2, C=0.5)",
+        &prep,
+        &points,
+        opts.seed,
+        opts.seeds,
+    );
+}

@@ -1,0 +1,25 @@
+//! Figure 11: effect of the noise scale σ on accuracy
+//! (four (q, ε) settings, λ = 4).
+//!
+//! Usage: `cargo run --release -p plp-bench --bin fig11_vary_sigma
+//! [--scale bench|figure] [--seed N] [--seeds N]`
+
+use plp_bench::cli::parse_args;
+use plp_bench::figures::fig11;
+use plp_bench::runner::drive_sweep;
+use plp_core::experiment::PreparedData;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    let points = fig11(opts.scale);
+    drive_sweep(
+        "fig11",
+        "HR@10 vs noise scale sigma (lambda=4)",
+        &prep,
+        &points,
+        opts.seed,
+        opts.seeds,
+    );
+}

@@ -1,0 +1,25 @@
+//! Figure 12: effect of the ℓ2 clipping norm C on accuracy
+//! (four (q, λ) settings, ε = 2, σ = 2.5).
+//!
+//! Usage: `cargo run --release -p plp-bench --bin fig12_vary_clip
+//! [--scale bench|figure] [--seed N] [--seeds N]`
+
+use plp_bench::cli::parse_args;
+use plp_bench::figures::fig12;
+use plp_bench::runner::drive_sweep;
+use plp_core::experiment::PreparedData;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    let points = fig12(opts.scale);
+    drive_sweep(
+        "fig12",
+        "HR@10 vs clipping norm C (eps=2, sigma=2.5)",
+        &prep,
+        &points,
+        opts.seed,
+        opts.seeds,
+    );
+}

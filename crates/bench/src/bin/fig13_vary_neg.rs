@@ -1,0 +1,25 @@
+//! Figure 13: effect of the negative-sample count on accuracy
+//! (four (q, C) settings, λ = 4, ε = 2, σ = 2.5).
+//!
+//! Usage: `cargo run --release -p plp-bench --bin fig13_vary_neg
+//! [--scale bench|figure] [--seed N] [--seeds N]`
+
+use plp_bench::cli::parse_args;
+use plp_bench::figures::fig13;
+use plp_bench::runner::drive_sweep;
+use plp_core::experiment::PreparedData;
+
+fn main() {
+    let opts = parse_args();
+    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
+        .expect("data preparation");
+    let points = fig13(opts.scale);
+    drive_sweep(
+        "fig13",
+        "HR@10 vs negative samples neg (eps=2, sigma=2.5)",
+        &prep,
+        &points,
+        opts.seed,
+        opts.seeds,
+    );
+}

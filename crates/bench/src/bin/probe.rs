@@ -1,0 +1,86 @@
+//! Calibration probe: PLP vs DP-SGD with clip-fraction telemetry, used to
+//! find the regime where the paper's grouping mechanism reproduces.
+//!
+//! Usage:
+//! `cargo run --release -p plp-bench --bin probe [eps] [sigma] [locations] [server_lr] [dim]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use plp_bench::runner::Scale;
+use plp_core::config::ServerOptimizer;
+use plp_core::dpsgd::train_dpsgd;
+use plp_core::experiment::{evaluate, PreparedData};
+use plp_core::plp::train_plp;
+use plp_model::params::ModelParams;
+use plp_privacy::PrivacyBudget;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let eps: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let sigma: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.5);
+    let locations: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let server_lr: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0.06);
+    let dim: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(50);
+
+    let scale = Scale::Figure;
+    let mut cfg = scale.experiment_config(42);
+    cfg.generator.num_locations = locations;
+    cfg.generator.num_clusters = (locations / 60).max(4);
+    let prep = PreparedData::generate(&cfg).unwrap();
+    println!(
+        "dataset: {} users, {} locations, {} check-ins, density {:.4}%",
+        prep.stats.num_users,
+        prep.stats.num_locations,
+        prep.stats.num_checkins,
+        prep.stats.density * 100.0
+    );
+    let counts = plp_model::metrics::token_counts(&prep.train);
+    let pop = plp_model::metrics::popularity_hit_rate(&counts, &prep.test, &[10]);
+    // Init-model floor.
+    let mut rng0 = StdRng::seed_from_u64(7);
+    let init = ModelParams::init(&mut rng0, prep.vocab_size(), dim).unwrap();
+    let init_hr = evaluate(&init, &prep.test, &[10]).unwrap()[0].rate();
+    println!(
+        "popularity HR@10 {:.4} | init HR@10 {:.4} | eps={eps} sigma={sigma} lr={server_lr} dim={dim}",
+        pop[0].rate(),
+        init_hr
+    );
+
+    let mut hp = scale.hyperparameters();
+    hp.embedding_dim = dim;
+    hp.budget = PrivacyBudget::new(eps, 2e-4).unwrap();
+    hp.noise_multiplier = sigma;
+    hp.server_optimizer = ServerOptimizer::Adam { learning_rate: server_lr };
+    hp.max_steps = std::env::var("MAX_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+
+    for lambda in [1usize, 2, 4, 5, 6] {
+        let mut h = hp.clone();
+        h.grouping_factor = lambda;
+        let mut rng = StdRng::seed_from_u64(100 + lambda as u64);
+        let start = std::time::Instant::now();
+        let out = if lambda == 1 {
+            train_dpsgd(&mut rng, &prep.train, None, &h).unwrap()
+        } else {
+            train_plp(&mut rng, &prep.train, None, &h).unwrap()
+        };
+        let hr = evaluate(&out.params, &prep.test, &[10]).unwrap();
+        let mean_clip: f64 = out.telemetry.iter().map(|t| t.clip_fraction).sum::<f64>()
+            / out.telemetry.len().max(1) as f64;
+        let mean_loss_first = out.telemetry.first().map(|t| t.mean_local_loss).unwrap_or(0.0);
+        let mean_loss_last = out.telemetry.last().map(|t| t.mean_local_loss).unwrap_or(0.0);
+        println!(
+            "lambda={lambda}: HR@10 {:.4} steps {} eps {:.3} clip-frac {:.3} loss {:.3}->{:.3} wall {:.1}s",
+            hr[0].rate(),
+            out.summary.steps,
+            out.summary.epsilon_spent,
+            mean_clip,
+            mean_loss_first,
+            mean_loss_last,
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

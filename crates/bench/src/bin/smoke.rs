@@ -1,0 +1,64 @@
+//! End-to-end smoke run: dataset stats, step-budget calibration, a short
+//! non-private run and a PLP vs DP-SGD comparison at small scale.
+//!
+//! Usage: `cargo run --release -p plp-bench --bin smoke`
+
+use plp_bench::runner::{print_header, print_record, run_nonprivate, run_point, Scale, SweepPoint};
+use plp_core::experiment::PreparedData;
+use plp_privacy::planner::max_steps;
+use plp_privacy::PrivacyBudget;
+
+fn main() {
+    // How many steps do the paper's budgets afford?
+    println!("== step budgets (moments accountant) ==");
+    for (q, sigma) in [(0.06, 1.5), (0.06, 2.5), (0.10, 1.5), (0.10, 2.5)] {
+        for eps in [0.5, 1.0, 2.0, 3.0, 4.0] {
+            let b = PrivacyBudget::new(eps, 2e-4).unwrap();
+            let steps = max_steps(q, sigma, b).unwrap();
+            println!("q={q:<5} sigma={sigma:<4} eps={eps:<4} -> max steps {steps}");
+        }
+    }
+
+    let scale = Scale::Bench;
+    let prep = PreparedData::generate(&scale.experiment_config(42)).unwrap();
+    print_header("smoke", "sanity comparison at bench scale", &prep);
+
+    let hp = scale.hyperparameters();
+    let np = run_nonprivate(&prep, &hp, 8, 1).unwrap();
+    print_record(&np);
+
+    let mut plp_hp = hp.clone();
+    plp_hp.grouping_factor = 4;
+    plp_hp.max_steps = 60;
+    plp_hp.noise_multiplier = 2.5;
+    plp_hp.budget = PrivacyBudget::new(4.0, 2e-4).unwrap();
+    let plp = run_point(
+        &prep,
+        &SweepPoint { method: "PLP λ=4".into(), x: 0.0, hp: plp_hp.clone(), dpsgd: false },
+        2,
+    )
+    .unwrap();
+    print_record(&plp);
+
+    let dpsgd = run_point(
+        &prep,
+        &SweepPoint { method: "DP-SGD".into(), x: 0.0, hp: plp_hp, dpsgd: true },
+        2,
+    )
+    .unwrap();
+    print_record(&dpsgd);
+
+    // Popularity baseline for calibration.
+    let counts = plp_model::metrics::token_counts(&prep.train);
+    let pop = plp_model::metrics::popularity_hit_rate(&counts, &prep.test, &[5, 10, 20]);
+    println!(
+        "popularity baseline: HR@5 {:.4} HR@10 {:.4} HR@20 {:.4}",
+        pop[0].rate(),
+        pop[1].rate(),
+        pop[2].rate()
+    );
+    println!(
+        "random baseline:     HR@10 {:.4}",
+        plp_model::metrics::random_baseline(10, prep.vocab_size())
+    );
+}

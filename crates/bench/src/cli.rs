@@ -1,0 +1,91 @@
+//! Tiny argument parsing shared by the `fig*` binaries.
+
+use crate::runner::Scale;
+
+/// Options common to every figure binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Experiment scale (`--scale bench|figure`, default `figure`).
+    pub scale: Scale,
+    /// Master seed (`--seed N`, default 42).
+    pub seed: u64,
+    /// Repetitions for seed-averaged binaries (`--seeds N`, default 1).
+    pub seeds: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scale: Scale::Figure, seed: 42, seeds: 1 }
+    }
+}
+
+/// Parses `std::env::args()`; unknown flags abort with a usage message.
+pub fn parse_args() -> Options {
+    parse(std::env::args().skip(1))
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Options {
+    let mut opts = Options::default();
+    let argv: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match argv.get(i).map(String::as_str) {
+                    Some("bench") => opts.scale = Scale::Bench,
+                    Some("figure") => opts.scale = Scale::Figure,
+                    other => usage(&format!("bad --scale value {other:?}")),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match argv.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => opts.seed = s,
+                    None => usage("bad --seed value"),
+                }
+            }
+            "--seeds" => {
+                i += 1;
+                match argv.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) if s >= 1 => opts.seeds = s,
+                    _ => usage("bad --seeds value"),
+                }
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("{problem}");
+    eprintln!("usage: <bin> [--scale bench|figure] [--seed N] [--seeds N]");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Options {
+        parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = args(&[]);
+        assert_eq!(o.scale, Scale::Figure);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.seeds, 1);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = args(&["--scale", "bench", "--seed", "7", "--seeds", "3"]);
+        assert_eq!(o.scale, Scale::Bench);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.seeds, 3);
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared harness for regenerating the paper's figures.
+//!
+//! Every figure of the evaluation (§5) is driven by the same pipeline:
+//! prepare a seeded synthetic-Tokyo dataset, train one or more of
+//! {non-private, DP-SGD, PLP} under a parameter sweep, and print the
+//! figure's series as aligned text plus machine-readable JSON.
+//!
+//! Two scales are supported everywhere:
+//! * `Scale::Bench` — small data, used by `cargo bench` so each figure's
+//!   criterion target terminates in seconds,
+//! * `Scale::Figure` — the medium profile used by the `fig*` binaries to
+//!   produce the numbers recorded in EXPERIMENTS.md.
+
+pub mod cli;
+pub mod figures;
+pub mod runner;
+
+pub use runner::{Scale, SweepPoint};

@@ -1,0 +1,268 @@
+//! Hyper-parameters (Table 1 of the paper) with the §5.1 defaults.
+
+use serde::{Deserialize, Serialize};
+
+use plp_data::grouping::GroupingStrategy;
+use plp_model::loss::Loss;
+use plp_model::train::LocalSgdConfig;
+use plp_privacy::PrivacyBudget;
+
+use crate::error::CoreError;
+
+/// Which optimiser the server applies to the noisy aggregated delta.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServerOptimizer {
+    /// `θ ← θ + lr · ĝ` (lr = 1 reproduces Algorithm 1, line 10 literally).
+    Sgd {
+        /// Server learning rate.
+        learning_rate: f64,
+    },
+    /// DP-Adam over the noisy delta (the paper's choice, §5.1).
+    Adam {
+        /// Adam step size.
+        learning_rate: f64,
+    },
+}
+
+impl Default for ServerOptimizer {
+    fn default() -> Self {
+        // The paper's η = 0.06 maps to the *local* SGD rate here; the
+        // server-side Adam step over the noisy aggregate uses a smaller
+        // rate (calibrated empirically — larger values let the DP noise
+        // random-walk the parameters out of the useful region, smaller
+        // values freeze learning; see EXPERIMENTS.md).
+        ServerOptimizer::Adam { learning_rate: 0.01 }
+    }
+}
+
+/// All tunables of the system, named after Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hyperparameters {
+    /// Embedding dimension `dim` (paper: 50).
+    pub embedding_dim: usize,
+    /// Symmetric context window `win` (paper: 2).
+    pub context_window: usize,
+    /// Batch size `b`/β (paper: 32).
+    pub batch_size: usize,
+    /// Negative samples `neg` (paper: 16).
+    pub negative_samples: usize,
+    /// Local SGD learning rate η (paper: 0.06).
+    pub learning_rate: f64,
+    /// User sampling probability `q` per step (paper default: 0.06).
+    pub sampling_prob: f64,
+    /// Noise scale σ (paper default: 2.5).
+    pub noise_multiplier: f64,
+    /// Overall clipping magnitude `C`; each tensor is clipped to `C/√3`
+    /// (paper default: 0.5).
+    pub clip_norm: f64,
+    /// Grouping factor λ (paper default: 4).
+    pub grouping_factor: usize,
+    /// Data split factor ω (§4.2; the paper sets ω = 1).
+    pub split_factor: usize,
+    /// How users are packed into buckets.
+    pub grouping_strategy: GroupingStrategyConfig,
+    /// Privacy budget (ε, δ); δ defaults to the paper's 2·10⁻⁴.
+    pub budget: PrivacyBudget,
+    /// The training objective.
+    pub loss: Loss,
+    /// Server-side optimiser.
+    pub server_optimizer: ServerOptimizer,
+    /// Hard cap on private steps (safety net on top of the budget stop).
+    pub max_steps: usize,
+    /// Evaluate validation HR@10 every this many steps (0 = never).
+    pub eval_every: usize,
+    /// Worker threads for bucket updates (1 = sequential; results are
+    /// identical either way because bucket RNGs are derived per bucket).
+    pub threads: usize,
+}
+
+/// Serde-friendly mirror of [`GroupingStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GroupingStrategyConfig {
+    /// Random packing (the paper's default).
+    #[default]
+    Random,
+    /// Balanced packing by record count.
+    EqualFrequency,
+}
+
+impl From<GroupingStrategyConfig> for GroupingStrategy {
+    fn from(c: GroupingStrategyConfig) -> Self {
+        match c {
+            GroupingStrategyConfig::Random => GroupingStrategy::Random,
+            GroupingStrategyConfig::EqualFrequency => GroupingStrategy::EqualFrequency,
+        }
+    }
+}
+
+impl Default for Hyperparameters {
+    fn default() -> Self {
+        Hyperparameters {
+            embedding_dim: 50,
+            context_window: 2,
+            batch_size: 32,
+            negative_samples: 16,
+            learning_rate: 0.06,
+            sampling_prob: 0.06,
+            noise_multiplier: 2.5,
+            clip_norm: 0.5,
+            grouping_factor: 4,
+            split_factor: 1,
+            grouping_strategy: GroupingStrategyConfig::Random,
+            budget: PrivacyBudget { epsilon: 2.0, delta: 2e-4 },
+            loss: Loss::SampledSoftmax,
+            server_optimizer: ServerOptimizer::default(),
+            max_steps: 10_000,
+            eval_every: 0,
+            threads: 1,
+        }
+    }
+}
+
+impl Hyperparameters {
+    /// Validates every field's domain.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::BadConfig`] naming the first bad field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.embedding_dim == 0 {
+            return Err(CoreError::BadConfig { name: "embedding_dim", expected: ">= 1" });
+        }
+        if self.context_window == 0 {
+            return Err(CoreError::BadConfig { name: "context_window", expected: ">= 1" });
+        }
+        if self.batch_size == 0 {
+            return Err(CoreError::BadConfig { name: "batch_size", expected: ">= 1" });
+        }
+        if self.negative_samples == 0 {
+            return Err(CoreError::BadConfig { name: "negative_samples", expected: ">= 1" });
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(CoreError::BadConfig {
+                name: "learning_rate",
+                expected: "finite and > 0",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.sampling_prob) || !self.sampling_prob.is_finite() {
+            return Err(CoreError::BadConfig { name: "sampling_prob", expected: "in [0, 1]" });
+        }
+        if !(self.noise_multiplier.is_finite() && self.noise_multiplier > 0.0) {
+            return Err(CoreError::BadConfig {
+                name: "noise_multiplier",
+                expected: "finite and > 0",
+            });
+        }
+        if !(self.clip_norm.is_finite() && self.clip_norm > 0.0) {
+            return Err(CoreError::BadConfig { name: "clip_norm", expected: "finite and > 0" });
+        }
+        if self.grouping_factor == 0 {
+            return Err(CoreError::BadConfig { name: "grouping_factor", expected: ">= 1" });
+        }
+        if self.split_factor == 0 {
+            return Err(CoreError::BadConfig { name: "split_factor", expected: ">= 1" });
+        }
+        if self.max_steps == 0 {
+            return Err(CoreError::BadConfig { name: "max_steps", expected: ">= 1" });
+        }
+        if self.threads == 0 {
+            return Err(CoreError::BadConfig { name: "threads", expected: ">= 1" });
+        }
+        let lr = match self.server_optimizer {
+            ServerOptimizer::Sgd { learning_rate } | ServerOptimizer::Adam { learning_rate } => {
+                learning_rate
+            }
+        };
+        if !(lr.is_finite() && lr > 0.0) {
+            return Err(CoreError::BadConfig {
+                name: "server_optimizer.learning_rate",
+                expected: "finite and > 0",
+            });
+        }
+        Ok(())
+    }
+
+    /// The local-SGD slice of the configuration.
+    pub fn local_sgd(&self) -> LocalSgdConfig {
+        LocalSgdConfig {
+            learning_rate: self.learning_rate,
+            batch_size: self.batch_size,
+            window: self.context_window,
+            negatives: self.negative_samples,
+            loss: self.loss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let h = Hyperparameters::default();
+        assert_eq!(h.embedding_dim, 50);
+        assert_eq!(h.context_window, 2);
+        assert_eq!(h.batch_size, 32);
+        assert_eq!(h.negative_samples, 16);
+        assert_eq!(h.learning_rate, 0.06);
+        assert_eq!(h.sampling_prob, 0.06);
+        assert_eq!(h.noise_multiplier, 2.5);
+        assert_eq!(h.clip_norm, 0.5);
+        assert_eq!(h.grouping_factor, 4);
+        assert_eq!(h.split_factor, 1);
+        assert_eq!(h.budget.delta, 2e-4);
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_each_bad_field() {
+        let base = Hyperparameters::default();
+        let cases: Vec<Box<dyn Fn(&mut Hyperparameters)>> = vec![
+            Box::new(|h| h.embedding_dim = 0),
+            Box::new(|h| h.context_window = 0),
+            Box::new(|h| h.batch_size = 0),
+            Box::new(|h| h.negative_samples = 0),
+            Box::new(|h| h.learning_rate = 0.0),
+            Box::new(|h| h.sampling_prob = 1.5),
+            Box::new(|h| h.sampling_prob = f64::NAN),
+            Box::new(|h| h.noise_multiplier = 0.0),
+            Box::new(|h| h.clip_norm = -1.0),
+            Box::new(|h| h.grouping_factor = 0),
+            Box::new(|h| h.split_factor = 0),
+            Box::new(|h| h.max_steps = 0),
+            Box::new(|h| h.threads = 0),
+            Box::new(|h| h.server_optimizer = ServerOptimizer::Adam { learning_rate: 0.0 }),
+        ];
+        for (i, mutate) in cases.iter().enumerate() {
+            let mut h = base.clone();
+            mutate(&mut h);
+            assert!(h.validate().is_err(), "case {i} should fail");
+        }
+    }
+
+    #[test]
+    fn local_sgd_slice_mirrors_fields() {
+        let h = Hyperparameters::default();
+        let l = h.local_sgd();
+        assert_eq!(l.learning_rate, h.learning_rate);
+        assert_eq!(l.batch_size, h.batch_size);
+        assert_eq!(l.window, h.context_window);
+        assert_eq!(l.negatives, h.negative_samples);
+    }
+
+    #[test]
+    fn grouping_strategy_converts() {
+        let r: GroupingStrategy = GroupingStrategyConfig::Random.into();
+        assert_eq!(r, GroupingStrategy::Random);
+        let e: GroupingStrategy = GroupingStrategyConfig::EqualFrequency.into();
+        assert_eq!(e, GroupingStrategy::EqualFrequency);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = Hyperparameters::default();
+        let s = serde_json::to_string(&h).unwrap();
+        let back: Hyperparameters = serde_json::from_str(&s).unwrap();
+        assert_eq!(h, back);
+    }
+}

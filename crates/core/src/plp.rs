@@ -1,0 +1,448 @@
+//! Algorithm 1: `TrainPrivateLocationEmbedding` — Private Location
+//! Prediction with user-level differential privacy.
+//!
+//! Each step: Poisson-sample users (line 5), group into buckets of λ
+//! (line 6), compute a clipped local-SGD delta per bucket (lines 7–8 /
+//! 15–22), sum and perturb with `N(0, σ²ω²C²I)` (line 9), average by the
+//! fixed denominator `|H|` and update the model (line 10), then track the
+//! step in the privacy ledger (line 11) and stop once the moments
+//! accountant reaches ε (lines 12–13).
+//!
+//! Differences from the paper's pseudo-code, all behaviour-preserving:
+//! * The budget check *peeks* at the ε a step would cost before running it,
+//!   so the released model never exceeds the budget (the pseudo-code runs
+//!   the step and returns θ_{t−1}; peeking returns the same parameters
+//!   without paying for a discarded step).
+//! * Bucket updates may run on several worker threads; every bucket derives
+//!   its own RNG from the step seed, so the result is bit-identical to the
+//!   sequential execution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use plp_data::dataset::TokenizedDataset;
+use plp_data::grouping::{group_data, group_data_split, realized_split_factor, Bucket};
+use plp_data::sampling::sample_users;
+use plp_data::DataError;
+use plp_linalg::ops;
+use plp_linalg::sample::NormalSampler;
+use plp_model::clip::clip_per_layer;
+use plp_model::grad::SparseGrad;
+use plp_model::metrics::evaluate_hit_rate;
+use plp_model::negative::NegativeSampler;
+use plp_model::optimizer::{ServerAdam, ServerSgd};
+use plp_model::params::ModelParams;
+use plp_model::train::train_on_tokens;
+use plp_model::Recommender;
+use plp_privacy::accountant::MomentsAccountant;
+use plp_privacy::PrivacyLedger;
+
+use crate::config::{Hyperparameters, ServerOptimizer};
+use crate::error::CoreError;
+use crate::telemetry::{RunSummary, StepTelemetry, StopReason};
+
+/// Result of a private training run.
+#[derive(Debug, Clone)]
+pub struct PlpOutcome {
+    /// The trained (and DP-protected) model parameters.
+    pub params: ModelParams,
+    /// Per-step observations.
+    pub telemetry: Vec<StepTelemetry>,
+    /// Run summary (steps, ε spent, stop reason).
+    pub summary: RunSummary,
+    /// The auditable privacy ledger.
+    pub ledger: PrivacyLedger,
+}
+
+/// One bucket's contribution to the Gaussian sum query.
+struct BucketUpdate {
+    index: usize,
+    grad: SparseGrad,
+    mean_loss: f64,
+    clipped: bool,
+}
+
+/// `ModelUpdateFromBucket` (Algorithm 1, lines 15–22): local SGD from θ_t,
+/// delta extraction and per-layer clipping.
+fn model_update_from_bucket(
+    theta: &ModelParams,
+    bucket: &Bucket,
+    hp: &Hyperparameters,
+    seed: u64,
+    index: usize,
+) -> Result<BucketUpdate, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut phi = theta.clone();
+    let stats = train_on_tokens(
+        &mut rng,
+        &mut phi,
+        &bucket.tokens,
+        &hp.local_sgd(),
+        &NegativeSampler::Uniform,
+    )?;
+    let mut grad = SparseGrad::from_delta(
+        theta,
+        &phi,
+        stats.touched.embedding.iter().copied(),
+        stats.touched.context.iter().copied(),
+        stats.touched.bias.iter().copied(),
+    );
+    let report = clip_per_layer(&mut grad, hp.clip_norm)?;
+    Ok(BucketUpdate { index, grad, mean_loss: stats.mean_loss, clipped: report.any_clipped() })
+}
+
+/// Computes all bucket updates, optionally on worker threads. Results are
+/// sorted by bucket index so the floating-point accumulation order (and
+/// hence the output) is identical for any thread count.
+fn compute_bucket_updates(
+    theta: &ModelParams,
+    buckets: &[Bucket],
+    hp: &Hyperparameters,
+    step_seed: u64,
+) -> Result<Vec<BucketUpdate>, CoreError> {
+    let threads = hp.threads.min(buckets.len().max(1));
+    let mut updates: Vec<BucketUpdate> = if threads <= 1 {
+        buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| model_update_from_bucket(theta, b, hp, step_seed, i))
+            .collect::<Result<_, _>>()?
+    } else {
+        let results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let theta_ref = &*theta;
+                let hp_ref = &*hp;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for (i, b) in buckets.iter().enumerate() {
+                        if i % threads == w {
+                            local.push(model_update_from_bucket(
+                                theta_ref, b, hp_ref, step_seed, i,
+                            ));
+                        }
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("bucket worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope");
+        results.into_iter().collect::<Result<Vec<_>, _>>()?
+    };
+    updates.sort_by_key(|u| u.index);
+    Ok(updates)
+}
+
+fn scale_params(p: &mut ModelParams, alpha: f64) {
+    ops::scale(alpha, p.embedding.as_mut_slice());
+    ops::scale(alpha, p.context.as_mut_slice());
+    ops::scale(alpha, &mut p.bias);
+}
+
+enum Server {
+    Sgd(ServerSgd),
+    Adam(Box<ServerAdam>),
+}
+
+impl Server {
+    fn new(opt: ServerOptimizer, template: &ModelParams) -> Result<Self, CoreError> {
+        Ok(match opt {
+            ServerOptimizer::Sgd { learning_rate } => Server::Sgd(ServerSgd::new(learning_rate)?),
+            ServerOptimizer::Adam { learning_rate } => {
+                Server::Adam(Box::new(ServerAdam::new(template, learning_rate)?))
+            }
+        })
+    }
+
+    fn step(&mut self, params: &mut ModelParams, update: &ModelParams) -> Result<(), CoreError> {
+        match self {
+            Server::Sgd(s) => s.step(params, update)?,
+            Server::Adam(a) => a.step(params, update)?,
+        }
+        Ok(())
+    }
+}
+
+/// Trains a skip-gram model on `train` under user-level (ε, δ)-DP.
+///
+/// `validation` (held-out users) is only consulted when
+/// `hp.eval_every > 0`, to record HR@10 telemetry; it never influences
+/// training.
+///
+/// # Errors
+/// Propagates configuration, data, model and privacy errors. A model is
+/// always returned on `Ok`, even if zero steps fit in the budget.
+pub fn train_plp<R: Rng + ?Sized>(
+    rng: &mut R,
+    train: &TokenizedDataset,
+    validation: Option<&TokenizedDataset>,
+    hp: &Hyperparameters,
+) -> Result<PlpOutcome, CoreError> {
+    hp.validate()?;
+    if train.vocab_size < 2 {
+        return Err(CoreError::BadConfig { name: "train.vocab_size", expected: ">= 2" });
+    }
+    let num_users = train.num_users();
+    let mut params = ModelParams::init(rng, train.vocab_size, hp.embedding_dim)?;
+    let mut server = Server::new(hp.server_optimizer, &params)?;
+    let mut accountant = MomentsAccountant::new(hp.budget.delta)?;
+    let mut noise = NormalSampler::new();
+    let omega = hp.split_factor;
+    let noise_std = hp.noise_multiplier * hp.clip_norm * omega as f64;
+
+    let mut telemetry = Vec::new();
+    let run_start = std::time::Instant::now();
+    let mut stop_reason = StopReason::MaxSteps;
+
+    for step in 1..=hp.max_steps as u64 {
+        // Peek: would this step overshoot the budget?
+        let eps_next =
+            accountant.epsilon_after_hypothetical_step(hp.sampling_prob, hp.noise_multiplier)?;
+        if eps_next >= hp.budget.epsilon {
+            stop_reason = StopReason::BudgetExhausted;
+            break;
+        }
+        let step_start = std::time::Instant::now();
+
+        // Line 5: Poisson user sampling.
+        let sampled = sample_users(rng, num_users, hp.sampling_prob)?;
+        // Line 6: data grouping.
+        let buckets = if omega == 1 {
+            group_data(rng, &sampled, train, hp.grouping_factor, hp.grouping_strategy.into())?
+        } else {
+            match group_data_split(rng, &sampled, train, hp.grouping_factor, omega) {
+                Ok(b) => b,
+                // Too few sampled users to split across omega buckets this
+                // step (depends only on the public sample size): fall back
+                // to unsplit grouping. Noise stays scaled to omega, which
+                // over-protects and is therefore safe.
+                Err(DataError::BadConfig { name: "omega", .. }) => group_data(
+                    rng,
+                    &sampled,
+                    train,
+                    hp.grouping_factor,
+                    hp.grouping_strategy.into(),
+                )?,
+                Err(e) => return Err(e.into()),
+            }
+        };
+        debug_assert!(realized_split_factor(&buckets) <= omega);
+
+        // Lines 7-8, 15-22: per-bucket clipped deltas.
+        let step_seed: u64 = rng.random();
+        let updates = compute_bucket_updates(&params, &buckets, hp, step_seed)?;
+
+        // Line 9: Gaussian sum query over the *whole* parameter vector.
+        let mut aggregate = ModelParams::zeros(params.vocab_size(), params.dim());
+        for u in &updates {
+            u.grad.accumulate_into(&mut aggregate)?;
+        }
+        noise.perturb(rng, noise_std, aggregate.embedding.as_mut_slice());
+        noise.perturb(rng, noise_std, aggregate.context.as_mut_slice());
+        noise.perturb(rng, noise_std, &mut aggregate.bias);
+        // Fixed-denominator average.
+        let denom = buckets.len().max(1) as f64;
+        scale_params(&mut aggregate, 1.0 / denom);
+
+        // Line 10: model update.
+        server.step(&mut params, &aggregate)?;
+
+        // Line 11: ledger tracking. The effective noise multiplier stays σ
+        // for any ω: noise std σCω over sensitivity ωC.
+        accountant.step(hp.sampling_prob, hp.noise_multiplier)?;
+
+        let validation_hr10 = match validation {
+            Some(v) if hp.eval_every > 0 && step % hp.eval_every as u64 == 0 => {
+                let rec = Recommender::new(&params);
+                let hr = evaluate_hit_rate(&rec, v, &[10])?;
+                Some(hr[0].rate())
+            }
+            _ => None,
+        };
+
+        let clipped = updates.iter().filter(|u| u.clipped).count();
+        telemetry.push(StepTelemetry {
+            step,
+            sampled_users: sampled.len(),
+            buckets: buckets.len(),
+            mean_local_loss: if updates.is_empty() {
+                0.0
+            } else {
+                updates.iter().map(|u| u.mean_loss).sum::<f64>() / updates.len() as f64
+            },
+            clip_fraction: if updates.is_empty() {
+                0.0
+            } else {
+                clipped as f64 / updates.len() as f64
+            },
+            epsilon_spent: accountant.epsilon()?,
+            wall_ms: step_start.elapsed().as_secs_f64() * 1e3,
+            validation_hr10,
+        });
+    }
+
+    let summary = RunSummary {
+        steps: accountant.steps(),
+        epsilon_spent: accountant.epsilon()?,
+        delta: hp.budget.delta,
+        total_wall_ms: run_start.elapsed().as_secs_f64() * 1e3,
+        stop_reason,
+    };
+    Ok(PlpOutcome {
+        params,
+        telemetry,
+        summary,
+        ledger: accountant.ledger().clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plp_data::checkin::UserId;
+    use plp_data::dataset::UserSequences;
+    use plp_privacy::PrivacyBudget;
+
+    /// A tiny corpus with two token communities, enough users for sampling.
+    fn tiny_dataset(num_users: usize) -> TokenizedDataset {
+        let users = (0..num_users)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0 } else { 8 };
+                UserSequences {
+                    user: UserId(i as u32),
+                    sessions: vec![(0..12).map(|t| base + (t + i) % 6).collect()],
+                }
+            })
+            .collect();
+        TokenizedDataset { users, vocab_size: 16 }
+    }
+
+    fn fast_hp() -> Hyperparameters {
+        Hyperparameters {
+            embedding_dim: 8,
+            negative_samples: 4,
+            sampling_prob: 0.3,
+            grouping_factor: 2,
+            max_steps: 5,
+            budget: PrivacyBudget { epsilon: 50.0, delta: 1e-3 },
+            ..Hyperparameters::default()
+        }
+    }
+
+    #[test]
+    fn runs_and_respects_max_steps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = tiny_dataset(30);
+        let out = train_plp(&mut rng, &ds, None, &fast_hp()).unwrap();
+        assert_eq!(out.summary.steps, 5);
+        assert_eq!(out.summary.stop_reason, StopReason::MaxSteps);
+        assert_eq!(out.telemetry.len(), 5);
+        assert!(out.params.all_finite());
+        assert_eq!(out.ledger.total_steps(), 5);
+        assert!(out.summary.epsilon_spent > 0.0);
+    }
+
+    #[test]
+    fn budget_stop_never_exceeds_epsilon() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = tiny_dataset(30);
+        let mut hp = fast_hp();
+        hp.budget = PrivacyBudget { epsilon: 2.0, delta: 1e-3 };
+        hp.sampling_prob = 0.2;
+        hp.noise_multiplier = 1.5;
+        hp.max_steps = 10_000;
+        let out = train_plp(&mut rng, &ds, None, &hp).unwrap();
+        assert_eq!(out.summary.stop_reason, StopReason::BudgetExhausted);
+        assert!(out.summary.epsilon_spent < 2.0, "eps {}", out.summary.epsilon_spent);
+        assert!(out.summary.steps > 0);
+        // The ledger independently verifies the spend.
+        let replay = out.ledger.epsilon(1e-3).unwrap();
+        assert!((replay - out.summary.epsilon_spent).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let ds = tiny_dataset(20);
+        let hp = fast_hp();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            train_plp(&mut rng, &ds, None, &hp).unwrap().params
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ds = tiny_dataset(24);
+        let mut hp = fast_hp();
+        hp.threads = 1;
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq = train_plp(&mut rng, &ds, None, &hp).unwrap();
+        hp.threads = 4;
+        let mut rng = StdRng::seed_from_u64(5);
+        let par = train_plp(&mut rng, &ds, None, &hp).unwrap();
+        assert_eq!(seq.params, par.params, "threading must not change results");
+    }
+
+    #[test]
+    fn telemetry_epsilon_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ds = tiny_dataset(20);
+        let out = train_plp(&mut rng, &ds, None, &fast_hp()).unwrap();
+        for w in out.telemetry.windows(2) {
+            assert!(w[1].epsilon_spent > w[0].epsilon_spent);
+        }
+    }
+
+    #[test]
+    fn omega_two_runs_with_scaled_noise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds = tiny_dataset(30);
+        let mut hp = fast_hp();
+        hp.split_factor = 2;
+        hp.grouping_factor = 1;
+        let out = train_plp(&mut rng, &ds, None, &hp).unwrap();
+        assert!(out.params.all_finite());
+        assert_eq!(out.summary.steps, 5);
+    }
+
+    #[test]
+    fn eval_telemetry_present_when_requested() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let ds = tiny_dataset(30);
+        let val = tiny_dataset(4);
+        let mut hp = fast_hp();
+        hp.eval_every = 2;
+        let out = train_plp(&mut rng, &ds, Some(&val), &hp).unwrap();
+        let evals: Vec<_> =
+            out.telemetry.iter().filter(|t| t.validation_hr10.is_some()).collect();
+        assert_eq!(evals.len(), 2, "steps 2 and 4");
+    }
+
+    #[test]
+    fn rejects_degenerate_vocab_and_config() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bad = TokenizedDataset { users: vec![], vocab_size: 1 };
+        assert!(train_plp(&mut rng, &bad, None, &fast_hp()).is_err());
+        let ds = tiny_dataset(10);
+        let mut hp = fast_hp();
+        hp.grouping_factor = 0;
+        assert!(train_plp(&mut rng, &ds, None, &hp).is_err());
+    }
+
+    #[test]
+    fn empty_population_still_consumes_budget() {
+        // Zero users: every step is an empty Gaussian sum query (pure
+        // noise) but the mechanism still runs and must be accounted.
+        let mut rng = StdRng::seed_from_u64(10);
+        let ds = TokenizedDataset { users: vec![], vocab_size: 4 };
+        let out = train_plp(&mut rng, &ds, None, &fast_hp()).unwrap();
+        assert_eq!(out.summary.steps, 5);
+        assert!(out.summary.epsilon_spent > 0.0);
+        assert!(out.telemetry.iter().all(|t| t.buckets == 0));
+    }
+}

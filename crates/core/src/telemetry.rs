@@ -1,0 +1,81 @@
+//! Training telemetry: per-step observations and run summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// What one private step observed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepTelemetry {
+    /// 1-based step index.
+    pub step: u64,
+    /// Users drawn by the Poisson sampler.
+    pub sampled_users: usize,
+    /// Buckets formed (`|H|`).
+    pub buckets: usize,
+    /// Mean local training loss across buckets.
+    pub mean_local_loss: f64,
+    /// Fraction of buckets whose delta hit the clip bound.
+    pub clip_fraction: f64,
+    /// Cumulative ε after this step.
+    pub epsilon_spent: f64,
+    /// Wall-clock time of the step in milliseconds.
+    pub wall_ms: f64,
+    /// Validation HR@10 measured at this step, if evaluation ran.
+    pub validation_hr10: Option<f64>,
+}
+
+/// Summary of a finished private training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Private steps actually executed.
+    pub steps: u64,
+    /// ε spent at the stopping point.
+    pub epsilon_spent: f64,
+    /// δ of the guarantee.
+    pub delta: f64,
+    /// Total wall-clock milliseconds spent in the training loop.
+    pub total_wall_ms: f64,
+    /// Why training stopped.
+    pub stop_reason: StopReason,
+}
+
+/// Why a private training loop terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The moments accountant hit the ε budget (Algorithm 1, line 12).
+    BudgetExhausted,
+    /// The configured `max_steps` cap was reached first.
+    MaxSteps,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trip() {
+        let t = StepTelemetry {
+            step: 3,
+            sampled_users: 12,
+            buckets: 3,
+            mean_local_loss: 2.5,
+            clip_fraction: 1.0,
+            epsilon_spent: 0.4,
+            wall_ms: 12.5,
+            validation_hr10: Some(0.18),
+        };
+        let s = serde_json::to_string(&t).unwrap();
+        let back: StepTelemetry = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+
+        let r = RunSummary {
+            steps: 100,
+            epsilon_spent: 1.99,
+            delta: 2e-4,
+            total_wall_ms: 1234.0,
+            stop_reason: StopReason::BudgetExhausted,
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: RunSummary = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,242 @@
+//! Persistence: JSON, CSV and a compact binary codec for check-in datasets.
+//!
+//! Real deployments would load Foursquare-style CSV exports; experiments
+//! snapshot generated datasets in the binary format so every figure harness
+//! sees byte-identical input.
+
+use std::fs;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::checkin::{CheckIn, GeoPoint, LocationId, Poi};
+use crate::dataset::CheckInDataset;
+use crate::error::DataError;
+
+/// Magic bytes + version prefix of the binary snapshot format.
+const MAGIC: &[u8; 4] = b"PLPD";
+const VERSION: u8 = 1;
+
+/// Serialises the dataset to pretty JSON at `path`.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save_json(dataset: &CheckInDataset, path: &Path) -> Result<(), DataError> {
+    let json = serde_json::to_string_pretty(dataset)
+        .map_err(|e| DataError::Invalid { what: format!("json encode: {e}") })?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a dataset from JSON at `path`.
+///
+/// # Errors
+/// Propagates I/O and decode failures.
+pub fn load_json(path: &Path) -> Result<CheckInDataset, DataError> {
+    let text = fs::read_to_string(path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| DataError::Invalid { what: format!("json decode: {e}") })
+}
+
+/// Writes check-ins as CSV lines `user,location,timestamp` (with header).
+pub fn checkins_to_csv(dataset: &CheckInDataset) -> String {
+    let mut out = String::from("user,location,timestamp\n");
+    for u in &dataset.users {
+        for c in &u.checkins {
+            out.push_str(&format!("{},{},{}\n", c.user.0, c.location.0, c.timestamp));
+        }
+    }
+    out
+}
+
+/// Parses CSV produced by [`checkins_to_csv`] (header optional).
+///
+/// # Errors
+/// Returns [`DataError::Parse`] with a 1-based line number on malformed
+/// input.
+pub fn checkins_from_csv(text: &str) -> Result<Vec<CheckIn>, DataError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (i == 0 && line.starts_with("user")) {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let parse_u32 = |s: Option<&str>, what: &str| -> Result<u32, DataError> {
+            s.ok_or_else(|| DataError::Parse { line: i + 1, what: format!("missing {what}") })?
+                .trim()
+                .parse()
+                .map_err(|_| DataError::Parse { line: i + 1, what: format!("bad {what}") })
+        };
+        let user = parse_u32(parts.next(), "user")?;
+        let location = parse_u32(parts.next(), "location")?;
+        let ts: i64 = parts
+            .next()
+            .ok_or_else(|| DataError::Parse { line: i + 1, what: "missing timestamp".into() })?
+            .trim()
+            .parse()
+            .map_err(|_| DataError::Parse { line: i + 1, what: "bad timestamp".into() })?;
+        out.push(CheckIn::new(user, location, ts));
+    }
+    Ok(out)
+}
+
+/// Encodes the dataset into the compact binary snapshot format.
+pub fn encode_binary(dataset: &CheckInDataset) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        16 + dataset.pois.len() * 20 + dataset.num_checkins() * 16,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(dataset.pois.len() as u32);
+    buf.put_u64_le(dataset.num_checkins() as u64);
+    for p in &dataset.pois {
+        buf.put_u32_le(p.id.0);
+        buf.put_f64_le(p.point.lat);
+        buf.put_f64_le(p.point.lon);
+    }
+    for u in &dataset.users {
+        for c in &u.checkins {
+            buf.put_u32_le(c.user.0);
+            buf.put_u32_le(c.location.0);
+            buf.put_i64_le(c.timestamp);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary snapshot produced by [`encode_binary`].
+///
+/// # Errors
+/// Returns [`DataError::Invalid`] on a bad magic/version or truncation.
+pub fn decode_binary(mut data: Bytes) -> Result<CheckInDataset, DataError> {
+    if data.remaining() < 17 {
+        return Err(DataError::Invalid { what: "binary snapshot truncated header".into() });
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DataError::Invalid { what: "bad magic bytes".into() });
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(DataError::Invalid { what: format!("unsupported version {version}") });
+    }
+    let num_pois = data.get_u32_le() as usize;
+    let num_checkins = data.get_u64_le() as usize;
+    if data.remaining() < num_pois * 20 + num_checkins * 16 {
+        return Err(DataError::Invalid { what: "binary snapshot truncated body".into() });
+    }
+    let mut pois = Vec::with_capacity(num_pois);
+    for _ in 0..num_pois {
+        let id = LocationId(data.get_u32_le());
+        let lat = data.get_f64_le();
+        let lon = data.get_f64_le();
+        pois.push(Poi { id, point: GeoPoint { lat, lon } });
+    }
+    let mut checkins = Vec::with_capacity(num_checkins);
+    for _ in 0..num_checkins {
+        let user = data.get_u32_le();
+        let location = data.get_u32_le();
+        let ts = data.get_i64_le();
+        checkins.push(CheckIn::new(user, location, ts));
+    }
+    Ok(CheckInDataset::from_checkins(pois, checkins))
+}
+
+/// Writes a binary snapshot to `path`.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save_binary(dataset: &CheckInDataset, path: &Path) -> Result<(), DataError> {
+    fs::write(path, encode_binary(dataset))?;
+    Ok(())
+}
+
+/// Loads a binary snapshot from `path`.
+///
+/// # Errors
+/// Propagates I/O and decode failures.
+pub fn load_binary(path: &Path) -> Result<CheckInDataset, DataError> {
+    let data = fs::read(path)?;
+    decode_binary(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckInDataset {
+        let pois = vec![Poi {
+            id: LocationId(10),
+            point: GeoPoint { lat: 35.6, lon: 139.7 },
+        }];
+        let cs = vec![
+            CheckIn::new(1, 10, 100),
+            CheckIn::new(1, 11, 200),
+            CheckIn::new(2, 10, 50),
+        ];
+        CheckInDataset::from_checkins(pois, cs)
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let ds = sample();
+        let csv = checkins_to_csv(&ds);
+        assert!(csv.starts_with("user,location,timestamp\n"));
+        let back = checkins_from_csv(&csv).unwrap();
+        let rebuilt = CheckInDataset::from_checkins(vec![], back);
+        assert_eq!(rebuilt.num_checkins(), 3);
+        assert_eq!(rebuilt.num_users(), 2);
+    }
+
+    #[test]
+    fn csv_reports_line_numbers() {
+        let bad = "user,location,timestamp\n1,2,3\nx,2,3\n";
+        let err = checkins_from_csv(bad).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 3, .. }), "{err}");
+        let missing = "1,2\n";
+        assert!(checkins_from_csv(missing).is_err());
+        assert!(checkins_from_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn binary_round_trip_is_lossless() {
+        let ds = sample();
+        let bytes = encode_binary(&ds);
+        let back = decode_binary(bytes).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let ds = sample();
+        let bytes = encode_binary(&ds);
+        // Truncated.
+        assert!(decode_binary(bytes.slice(..10)).is_err());
+        assert!(decode_binary(bytes.slice(..bytes.len() - 4)).is_err());
+        // Bad magic.
+        let mut raw = bytes.to_vec();
+        raw[0] = b'X';
+        assert!(decode_binary(Bytes::from(raw)).is_err());
+        // Bad version.
+        let mut raw = bytes.to_vec();
+        raw[4] = 99;
+        assert!(decode_binary(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn json_and_binary_files_round_trip() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join("plp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let j = dir.join("ds.json");
+        let b = dir.join("ds.bin");
+        save_json(&ds, &j).unwrap();
+        save_binary(&ds, &b).unwrap();
+        assert_eq!(load_json(&j).unwrap(), ds);
+        assert_eq!(load_binary(&b).unwrap(), ds);
+        let missing = dir.join("nope.bin");
+        assert!(load_binary(&missing).is_err());
+    }
+}

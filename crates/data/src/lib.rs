@@ -1,0 +1,47 @@
+//! Check-in data substrate for Private Location Prediction.
+//!
+//! The paper trains on Foursquare check-ins from Tokyo (739,828 check-ins,
+//! 4,602 users, 5,069 POIs after filtering — §5.1). That dataset is not
+//! redistributable, so this crate provides both the *data model* a real
+//! dataset would load into and a calibrated *synthetic generator*
+//! ([`generator`]) reproducing the statistical properties the paper's
+//! phenomena depend on (Zipf popularity, heavy-tailed user activity,
+//! geographic clustering, 6-hour session structure).
+//!
+//! Pipeline, mirroring §5.1 "Experimental Settings":
+//!
+//! 1. [`checkin`] / [`dataset`] — raw `⟨user, location, time⟩` triples
+//!    grouped per user,
+//! 2. [`preprocess`] — iterated filtering (≥ 10 check-ins per user, ≥ 2
+//!    distinct visitors per location) and bounding-box restriction,
+//! 3. [`vocab`] — tokenisation of locations into `0..L` indices,
+//! 4. [`session`] — segmentation into trajectories of at most six hours,
+//! 5. [`split`] — held-out user selection (100 validation + 100 test users),
+//! 6. [`window`] — symmetric skip-gram (target, context) pair extraction and
+//!    batch generation,
+//! 7. [`sampling`] — Poisson user sampling per training step (Algorithm 1,
+//!    line 5),
+//! 8. [`grouping`] — the paper's data-grouping contribution: packing λ users
+//!    into buckets, with the split factor ω of §4.2,
+//! 9. [`stats`] / [`io`] — dataset statistics and (de)serialisation.
+
+pub mod checkin;
+pub mod dataset;
+pub mod error;
+pub mod generator;
+pub mod grouping;
+pub mod io;
+pub mod preprocess;
+pub mod sampling;
+pub mod session;
+pub mod split;
+pub mod stats;
+pub mod vocab;
+pub mod window;
+
+pub use checkin::{CheckIn, GeoPoint, LocationId, Poi, Timestamp, UserId};
+pub use dataset::{CheckInDataset, TokenizedDataset, UserHistory};
+pub use error::DataError;
+pub use generator::{GeneratorConfig, SyntheticGenerator};
+pub use grouping::{Bucket, GroupingStrategy};
+pub use vocab::Vocabulary;

@@ -1,0 +1,217 @@
+//! Preprocessing filters of §5.1.
+//!
+//! "We filter out the users with fewer than ten check-ins, as well as the
+//! locations visited by fewer than two users (such filtering is commonly
+//! performed in the location recommendation literature)." Removing sparse
+//! locations can push users below the check-in threshold and vice versa, so
+//! the two filters are applied alternately until a fixpoint.
+
+use std::collections::HashMap;
+
+use crate::checkin::{BoundingBox, LocationId};
+use crate::dataset::CheckInDataset;
+
+/// Filter thresholds; the defaults are the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// Minimum check-ins a user must retain (paper: 10).
+    pub min_checkins_per_user: usize,
+    /// Minimum *distinct* visitors a location must retain (paper: 2).
+    pub min_users_per_location: usize,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig { min_checkins_per_user: 10, min_users_per_location: 2 }
+    }
+}
+
+/// Restricts the dataset to check-ins at POIs inside `bbox`; POIs outside
+/// the box are dropped along with their check-ins. Check-ins at locations
+/// with no known POI coordinate are kept (coordinates are optional
+/// metadata).
+pub fn filter_bounding_box(dataset: &CheckInDataset, bbox: &BoundingBox) -> CheckInDataset {
+    let outside: HashMap<LocationId, bool> = dataset
+        .pois
+        .iter()
+        .map(|p| (p.id, !bbox.contains(&p.point)))
+        .collect();
+    let pois = dataset.pois.iter().filter(|p| bbox.contains(&p.point)).copied().collect();
+    let checkins = dataset
+        .users
+        .iter()
+        .flat_map(|u| u.checkins.iter())
+        .filter(|c| !outside.get(&c.location).copied().unwrap_or(false))
+        .copied()
+        .collect();
+    CheckInDataset::from_checkins(pois, checkins)
+}
+
+/// Applies the user/location sparsity filters until a fixpoint.
+///
+/// Returns the filtered dataset (possibly empty). POI metadata is retained
+/// only for surviving locations.
+pub fn filter_sparse(dataset: &CheckInDataset, config: FilterConfig) -> CheckInDataset {
+    let mut current = dataset.clone();
+    loop {
+        // Count distinct visitors per location.
+        let mut visitors: HashMap<LocationId, Vec<u32>> = HashMap::new();
+        for u in &current.users {
+            for c in &u.checkins {
+                let v = visitors.entry(c.location).or_default();
+                if !v.contains(&c.user.0) {
+                    v.push(c.user.0);
+                }
+            }
+        }
+        let keep_location: HashMap<LocationId, bool> = visitors
+            .iter()
+            .map(|(&l, v)| (l, v.len() >= config.min_users_per_location))
+            .collect();
+
+        let mut changed = false;
+        let mut checkins = Vec::new();
+        for u in &current.users {
+            let kept: Vec<_> = u
+                .checkins
+                .iter()
+                .filter(|c| keep_location.get(&c.location).copied().unwrap_or(false))
+                .copied()
+                .collect();
+            if kept.len() < u.checkins.len() {
+                changed = true;
+            }
+            if kept.len() >= config.min_checkins_per_user {
+                checkins.extend(kept);
+            } else if !kept.is_empty() || !u.checkins.is_empty() {
+                changed = true;
+            }
+        }
+
+        let surviving: HashMap<LocationId, bool> =
+            checkins.iter().map(|c: &crate::checkin::CheckIn| (c.location, true)).collect();
+        let pois = current
+            .pois
+            .iter()
+            .filter(|p| surviving.get(&p.id).copied().unwrap_or(false))
+            .copied()
+            .collect();
+        let next = CheckInDataset::from_checkins(pois, checkins);
+        if !changed {
+            return next;
+        }
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkin::{CheckIn, GeoPoint, Poi};
+
+    fn poi(id: u32, lat: f64, lon: f64) -> Poi {
+        Poi { id: LocationId(id), point: GeoPoint { lat, lon } }
+    }
+
+    #[test]
+    fn drops_users_below_threshold() {
+        // User 1 has 3 check-ins, user 2 has 1. Threshold 2.
+        let cs = vec![
+            CheckIn::new(1, 10, 0),
+            CheckIn::new(1, 10, 1),
+            CheckIn::new(1, 11, 2),
+            CheckIn::new(2, 10, 0),
+            CheckIn::new(3, 10, 0),
+            CheckIn::new(3, 11, 1),
+        ];
+        let ds = CheckInDataset::from_checkins(vec![], cs);
+        let f = filter_sparse(
+            &ds,
+            FilterConfig { min_checkins_per_user: 2, min_users_per_location: 2 },
+        );
+        assert_eq!(f.num_users(), 2, "users 1 and 3 survive");
+        assert!(f.users.iter().all(|u| u.len() >= 2));
+    }
+
+    #[test]
+    fn drops_single_visitor_locations() {
+        // Location 99 visited only by user 1.
+        let cs = vec![
+            CheckIn::new(1, 10, 0),
+            CheckIn::new(1, 99, 1),
+            CheckIn::new(2, 10, 0),
+            CheckIn::new(2, 10, 5),
+        ];
+        let ds = CheckInDataset::from_checkins(vec![], cs);
+        let f = filter_sparse(
+            &ds,
+            FilterConfig { min_checkins_per_user: 1, min_users_per_location: 2 },
+        );
+        let locs: Vec<u32> = f
+            .users
+            .iter()
+            .flat_map(|u| u.checkins.iter().map(|c| c.location.0))
+            .collect();
+        assert!(!locs.contains(&99));
+        assert!(locs.contains(&10));
+    }
+
+    #[test]
+    fn cascading_removal_reaches_fixpoint() {
+        // Removing location 99 (1 visitor) drops user 1 below threshold;
+        // dropping user 1 leaves location 10 with one visitor, which then
+        // must go, taking user 2 with it: the fixpoint is empty.
+        let cs = vec![
+            CheckIn::new(1, 99, 0),
+            CheckIn::new(1, 10, 1),
+            CheckIn::new(2, 10, 0),
+            CheckIn::new(2, 20, 1),
+            CheckIn::new(3, 20, 0),
+        ];
+        let ds = CheckInDataset::from_checkins(vec![], cs);
+        let f = filter_sparse(
+            &ds,
+            FilterConfig { min_checkins_per_user: 2, min_users_per_location: 2 },
+        );
+        assert_eq!(f.num_users(), 0);
+        assert_eq!(f.num_checkins(), 0);
+    }
+
+    #[test]
+    fn surviving_pois_keep_metadata() {
+        let cs = vec![
+            CheckIn::new(1, 10, 0),
+            CheckIn::new(1, 10, 1),
+            CheckIn::new(2, 10, 0),
+            CheckIn::new(2, 10, 1),
+        ];
+        let pois = vec![poi(10, 35.6, 139.7), poi(11, 35.6, 139.7)];
+        let ds = CheckInDataset::from_checkins(pois, cs);
+        let f = filter_sparse(&ds, FilterConfig::default());
+        // Threshold 10 per user kills everything here.
+        assert_eq!(f.num_users(), 0);
+        let f2 = filter_sparse(
+            &ds,
+            FilterConfig { min_checkins_per_user: 2, min_users_per_location: 2 },
+        );
+        assert_eq!(f2.pois.len(), 1);
+        assert_eq!(f2.pois[0].id, LocationId(10));
+    }
+
+    #[test]
+    fn bounding_box_filter_respects_coordinates() {
+        let inside = poi(1, 35.6, 139.7);
+        let outside = poi(2, 40.0, 139.7);
+        let cs = vec![
+            CheckIn::new(1, 1, 0),
+            CheckIn::new(1, 2, 1),
+            CheckIn::new(1, 3, 2), // no POI metadata: kept
+        ];
+        let ds = CheckInDataset::from_checkins(vec![inside, outside], cs);
+        let f = filter_bounding_box(&ds, &BoundingBox::tokyo());
+        assert_eq!(f.pois.len(), 1);
+        let locs: Vec<u32> =
+            f.users[0].checkins.iter().map(|c| c.location.0).collect();
+        assert_eq!(locs, vec![1, 3]);
+    }
+}

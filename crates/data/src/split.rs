@@ -1,0 +1,127 @@
+//! Train/validation/test splitting by user.
+//!
+//! §5.1 (Model Training): "our testing and validation sets consist of
+//! location visits of users who are *not* part of the training set … a
+//! randomly selected set of 100 users and their corresponding check-ins are
+//! removed from the dataset", once for validation and once for testing; the
+//! remaining users form the training set. Held-out users are a faithful
+//! proxy for deployment because the model learns no user-specific
+//! representations.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::CheckInDataset;
+use crate::error::DataError;
+
+/// A user-level holdout split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Users whose data trains the model.
+    pub train: CheckInDataset,
+    /// Held-out users for hyper-parameter selection.
+    pub validation: CheckInDataset,
+    /// Held-out users for final evaluation.
+    pub test: CheckInDataset,
+}
+
+/// Removes `num_validation` + `num_test` randomly chosen users from
+/// `dataset` into held-out sets; everyone else trains.
+///
+/// # Errors
+/// The dataset must contain more users than the two holdout sizes combined.
+pub fn holdout_split<R: Rng + ?Sized>(
+    rng: &mut R,
+    dataset: &CheckInDataset,
+    num_validation: usize,
+    num_test: usize,
+) -> Result<Split, DataError> {
+    let n = dataset.num_users();
+    if num_validation + num_test >= n {
+        return Err(DataError::BadConfig {
+            name: "num_validation + num_test",
+            expected: "strictly less than the number of users",
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let val_set: &[usize] = &order[..num_validation];
+    let test_set: &[usize] = &order[num_validation..num_validation + num_test];
+
+    let pick = |indices: &[usize]| -> CheckInDataset {
+        let mut sorted = indices.to_vec();
+        sorted.sort_unstable();
+        CheckInDataset {
+            pois: dataset.pois.clone(),
+            users: sorted.iter().map(|&i| dataset.users[i].clone()).collect(),
+        }
+    };
+    let rest: Vec<usize> = order[num_validation + num_test..].to_vec();
+    Ok(Split { train: pick(&rest), validation: pick(val_set), test: pick(test_set) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkin::CheckIn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(num_users: u32) -> CheckInDataset {
+        let mut cs = Vec::new();
+        for u in 0..num_users {
+            for t in 0..3 {
+                cs.push(CheckIn::new(u, u % 7, t));
+            }
+        }
+        CheckInDataset::from_checkins(vec![], cs)
+    }
+
+    #[test]
+    fn split_sizes_add_up() {
+        let ds = dataset(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = holdout_split(&mut rng, &ds, 5, 7).unwrap();
+        assert_eq!(s.validation.num_users(), 5);
+        assert_eq!(s.test.num_users(), 7);
+        assert_eq!(s.train.num_users(), 38);
+        s.train.validate().unwrap();
+        s.validation.validate().unwrap();
+        s.test.validate().unwrap();
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover() {
+        let ds = dataset(30);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = holdout_split(&mut rng, &ds, 4, 4).unwrap();
+        let mut all: Vec<u32> = s
+            .train
+            .users
+            .iter()
+            .chain(&s.validation.users)
+            .chain(&s.test.users)
+            .map(|u| u.user.0)
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..30).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let ds = dataset(40);
+        let a = holdout_split(&mut StdRng::seed_from_u64(9), &ds, 5, 5).unwrap();
+        let b = holdout_split(&mut StdRng::seed_from_u64(9), &ds, 5, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_oversized_holdout() {
+        let ds = dataset(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(holdout_split(&mut rng, &ds, 5, 5).is_err());
+        assert!(holdout_split(&mut rng, &ds, 11, 0).is_err());
+        assert!(holdout_split(&mut rng, &ds, 4, 5).is_ok());
+    }
+}

@@ -1,0 +1,282 @@
+//! Row-major dense matrix used for the model tensors.
+//!
+//! The skip-gram model stores `W` (embedding) and `W'` (context) as
+//! `L × dim` matrices whose *rows* are the per-location vectors; almost all
+//! access is row-wise, which is why the layout is row-major and the API is
+//! row-centric.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LinalgError;
+use crate::ops;
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::BadBuffer`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::BadBuffer { rows, cols, len: data.len() });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements (`rows * cols`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows` (row indices are internal, validated at the
+    /// vocabulary layer; an out-of-range row here is a programming error).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Checked row access.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::IndexOutOfRange`] if `r >= rows`.
+    pub fn try_row(&self, r: usize) -> Result<&[f64], LinalgError> {
+        if r >= self.rows {
+            return Err(LinalgError::IndexOutOfRange { index: r, len: self.rows });
+        }
+        Ok(self.row(r))
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element access `(r, c)`; panics when out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment `(r, c)`; panics when out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Frobenius norm (the ℓ2 norm of the flattened matrix).
+    pub fn frobenius_norm(&self) -> f64 {
+        ops::l2_norm(&self.data)
+    }
+
+    /// `self += alpha * other`, element-wise.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<(), LinalgError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matrix axpy",
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        ops::axpy(alpha, &other.data, &mut self.data)
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: self.cols,
+                right: x.len(),
+            });
+        }
+        Ok((0..self.rows).map(|r| ops::dot_unchecked(self.row(r), x)).collect())
+    }
+
+    /// Normalises every row to unit ℓ2 length (zero rows are left as-is).
+    ///
+    /// The paper normalises the embedding matrix before deployment so that
+    /// cosine similarity equals the dot product (§3.2).
+    pub fn normalize_rows(&mut self) {
+        for r in 0..self.rows {
+            ops::normalize(self.row_mut(r));
+        }
+    }
+
+    /// Returns a copy with all rows normalised to unit length.
+    pub fn normalized_rows(&self) -> Matrix {
+        let mut m = self.clone();
+        m.normalize_rows();
+        m
+    }
+
+    /// `true` iff every element is finite.
+    pub fn all_finite(&self) -> bool {
+        ops::all_finite(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+        assert!(Matrix::zeros(0, 0).is_empty());
+    }
+
+    #[test]
+    fn from_vec_validates_buffer() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(LinalgError::BadBuffer { .. })
+        ));
+    }
+
+    #[test]
+    fn row_access_is_row_major() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert!(m.try_row(2).is_err());
+    }
+
+    #[test]
+    fn from_fn_evaluates_positions() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, -1.0]).unwrap();
+        let y = m.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, -1.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn axpy_and_frobenius() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]).unwrap();
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.get(0, 0), 6.0);
+        assert_eq!(a.frobenius_norm(), 10.0);
+        let wrong = Matrix::zeros(1, 2);
+        assert!(a.axpy(1.0, &wrong).is_err());
+    }
+
+    #[test]
+    fn normalize_rows_gives_unit_rows_and_keeps_zero_rows() {
+        let mut m = Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]).unwrap();
+        m.normalize_rows();
+        assert!((crate::ops::l2_norm(m.row(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Matrix::from_fn(3, 2, |r, c| r as f64 - c as f64);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn map_inplace_and_fill() {
+        let mut m = Matrix::zeros(2, 2);
+        m.fill(2.0);
+        m.map_inplace(|x| x * x);
+        assert!(m.as_slice().iter().all(|&x| x == 4.0));
+        assert!(m.all_finite());
+        m.set(0, 0, f64::NAN);
+        assert!(!m.all_finite());
+    }
+}

@@ -1,0 +1,315 @@
+//! Vector kernels over `f64` slices.
+//!
+//! These are the hot-path primitives of skip-gram training: dot products
+//! between embedding rows, `axpy` accumulation of gradients, ℓ2 norms and the
+//! norm clipping at the heart of DP-SGD (Abadi et al. 2016, eq. in §3.1 of
+//! the paper's Algorithm 1, line 21).
+
+use crate::error::LinalgError;
+
+/// Dot product of two equal-length slices.
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
+    if a.len() != b.len() {
+        return Err(LinalgError::ShapeMismatch { op: "dot", left: a.len(), right: b.len() });
+    }
+    Ok(dot_unchecked(a, b))
+}
+
+/// Dot product without a shape check; panics in debug builds on mismatch.
+#[inline]
+pub fn dot_unchecked(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (the BLAS `axpy` kernel).
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+    if x.len() != y.len() {
+        return Err(LinalgError::ShapeMismatch { op: "axpy", left: x.len(), right: y.len() });
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// `y *= alpha` in place.
+pub fn scale(alpha: f64, y: &mut [f64]) {
+    for yi in y {
+        *yi *= alpha;
+    }
+}
+
+/// Element-wise `a - b` into a fresh vector.
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.len() != b.len() {
+        return Err(LinalgError::ShapeMismatch { op: "sub", left: a.len(), right: b.len() });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| x - y).collect())
+}
+
+/// Squared ℓ2 norm.
+#[inline]
+pub fn l2_norm_sq(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// ℓ2 (Euclidean) norm.
+#[inline]
+pub fn l2_norm(v: &[f64]) -> f64 {
+    l2_norm_sq(v).sqrt()
+}
+
+/// ℓ1 norm (sum of absolute values).
+#[inline]
+pub fn l1_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// ℓ∞ norm (maximum absolute value); `0.0` for the empty slice.
+#[inline]
+pub fn linf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// Scales `v` in place to unit ℓ2 length.
+///
+/// Vectors with norm below `f64::EPSILON` are left untouched (normalising a
+/// zero embedding row is a no-op rather than a NaN factory).
+pub fn normalize(v: &mut [f64]) {
+    let n = l2_norm(v);
+    if n > f64::EPSILON {
+        scale(1.0 / n, v);
+    }
+}
+
+/// Clips `v` in place so that its ℓ2 norm is at most `max_norm`, i.e. the
+/// DP-SGD projection `v ← v / max(1, ‖v‖₂ / C)`.
+///
+/// Returns the norm *before* clipping so callers can log clipping rates.
+///
+/// # Errors
+/// Returns [`LinalgError::InvalidArgument`] if `max_norm` is not a positive
+/// finite number, and [`LinalgError::NonFinite`] if `v` contains a
+/// non-finite entry (a poisoned gradient must not silently enter the
+/// Gaussian sum query).
+pub fn clip_to_norm(v: &mut [f64], max_norm: f64) -> Result<f64, LinalgError> {
+    if !(max_norm.is_finite() && max_norm > 0.0) {
+        return Err(LinalgError::InvalidArgument { what: "max_norm must be finite and > 0" });
+    }
+    let n = l2_norm(v);
+    if !n.is_finite() {
+        return Err(LinalgError::NonFinite { op: "clip_to_norm" });
+    }
+    if n > max_norm {
+        scale(max_norm / n, v);
+    }
+    Ok(n)
+}
+
+/// Cosine similarity between two vectors; `0.0` if either has zero norm.
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if the lengths differ.
+pub fn cosine(a: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
+    let d = dot(a, b)?;
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return Ok(0.0);
+    }
+    Ok(d / (na * nb))
+}
+
+/// Arithmetic mean of the slice; `0.0` for the empty slice.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Numerically-stable softmax over `logits`, written into `out`.
+///
+/// Uses the max-shift trick so that large logits do not overflow `exp`.
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if lengths differ and
+/// [`LinalgError::InvalidArgument`] for empty input.
+pub fn softmax_into(logits: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+    if logits.is_empty() {
+        return Err(LinalgError::InvalidArgument { what: "softmax of empty slice" });
+    }
+    if logits.len() != out.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "softmax_into",
+            left: logits.len(),
+            right: out.len(),
+        });
+    }
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for (o, &l) in out.iter_mut().zip(logits) {
+        let e = (l - max).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+    Ok(())
+}
+
+/// Numerically-stable `log(sum(exp(xs)))`.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice (the log of an empty sum).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let s: f64 = xs.iter().map(|x| (x - max).exp()).sum();
+    max + s.ln()
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, saturating cleanly at the tails.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Returns `true` iff every element of `v` is finite.
+pub fn all_finite(v: &[f64]) -> bool {
+    v.iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn dot_rejects_mismatched_lengths() {
+        assert!(matches!(
+            dot(&[1.0], &[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { op: "dot", .. })
+        ));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y).unwrap();
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms_match_known_values() {
+        let v = [3.0, 4.0];
+        assert_eq!(l2_norm(&v), 5.0);
+        assert_eq!(l2_norm_sq(&v), 25.0);
+        assert_eq!(l1_norm(&[-1.0, 2.0]), 3.0);
+        assert_eq!(linf_norm(&[-7.0, 2.0]), 7.0);
+        assert_eq!(linf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_makes_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_shrinks_large_vectors_only() {
+        let mut v = vec![3.0, 4.0];
+        let before = clip_to_norm(&mut v, 1.0).unwrap();
+        assert_eq!(before, 5.0);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-12);
+
+        let mut small = vec![0.1, 0.1];
+        let n = l2_norm(&small);
+        clip_to_norm(&mut small, 1.0).unwrap();
+        assert!((l2_norm(&small) - n).abs() < 1e-12, "small vectors untouched");
+    }
+
+    #[test]
+    fn clip_rejects_bad_bound_and_nan() {
+        let mut v = vec![1.0];
+        assert!(clip_to_norm(&mut v, 0.0).is_err());
+        assert!(clip_to_norm(&mut v, f64::NAN).is_err());
+        let mut bad = vec![f64::NAN];
+        assert!(matches!(clip_to_norm(&mut bad, 1.0), Err(LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 3.0]).unwrap().abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution_and_order_preserving() {
+        let logits = [1.0, 2.0, 3.0];
+        let mut p = [0.0; 3];
+        softmax_into(&logits, &mut p).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn softmax_survives_huge_logits() {
+        let logits = [1000.0, 1000.0];
+        let mut p = [0.0; 2];
+        softmax_into(&logits, &mut p).unwrap();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_small_inputs() {
+        let xs = [0.1, 0.2, 0.3];
+        let naive: f64 = xs.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_saturation() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(800.0) <= 1.0 && sigmoid(800.0) > 0.999);
+        assert!(sigmoid(-800.0) >= 0.0 && sigmoid(-800.0) < 1e-3);
+    }
+
+    #[test]
+    fn mean_and_finiteness() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!(all_finite(&[1.0, 2.0]));
+        assert!(!all_finite(&[1.0, f64::INFINITY]));
+    }
+}

@@ -1,0 +1,289 @@
+//! Random samplers implemented from first principles.
+//!
+//! The workspace is restricted to the `rand` crate (no `rand_distr`), so the
+//! distributions the paper needs are implemented here:
+//!
+//! * [`NormalSampler`] — standard Gaussian via the Box–Muller transform,
+//!   used by the Gaussian mechanism of differential privacy,
+//! * [`Zipf`] — bounded Zipf via an inverse-CDF table, used by the synthetic
+//!   check-in generator (location popularity follows Zipf's law, paper §4.1),
+//! * [`poisson_subsample`] — independent Bernoulli(q) selection over an index
+//!   range, the user-sampling step of Algorithm 1 (line 5).
+
+use rand::{Rng, RngExt};
+
+/// Standard-normal sampler using the Box–Muller transform with a cached
+/// spare variate.
+///
+/// Box–Muller produces two independent N(0, 1) values per two uniforms; the
+/// second is cached so consecutive calls cost one transform each on average.
+#[derive(Debug, Default, Clone)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        NormalSampler { spare: None }
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // u1 in (0, 1]: guard against ln(0).
+        let mut u1: f64 = rng.random();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.random();
+        }
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws one N(0, sigma²) variate.
+    pub fn sample_scaled<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: f64) -> f64 {
+        sigma * self.sample(rng)
+    }
+
+    /// Fills `out` with independent N(0, sigma²) variates.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: f64, out: &mut [f64]) {
+        for o in out {
+            *o = sigma * self.sample(rng);
+        }
+    }
+
+    /// Adds independent N(0, sigma²) noise to every element of `v`
+    /// (the vector Gaussian mechanism applied in place).
+    pub fn perturb<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: f64, v: &mut [f64]) {
+        for x in v {
+            *x += sigma * self.sample(rng);
+        }
+    }
+}
+
+/// Bounded Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k + 1)^s`.
+///
+/// Sampling is O(log n) via binary search over a precomputed CDF table,
+/// which is exact (up to floating-point rounding) and fast enough for the
+/// generator's ~10⁶ draws.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `s`.
+    ///
+    /// Returns `None` if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Option<Self> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n > 0");
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Some(Zipf { cdf })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` iff the support is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `k`, or `0.0` out of range.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first index whose CDF value >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Poisson (independent Bernoulli) subsampling: returns the indices in
+/// `0..n` that pass an independent Bernoulli(`q`) trial each.
+///
+/// This is exactly the user-sampling step of the paper's Algorithm 1: the
+/// returned sample has size `q * n` only in expectation, which the moments
+/// accountant's privacy-amplification analysis requires.
+pub fn poisson_subsample<R: Rng + ?Sized>(rng: &mut R, n: usize, q: f64) -> Vec<usize> {
+    let q = q.clamp(0.0, 1.0);
+    (0..n).filter(|_| rng.random::<f64>() < q).collect()
+}
+
+/// Draws `k` distinct values from `0..n` excluding `forbidden`, by rejection.
+///
+/// Used for uniform negative sampling: the paper draws `neg` negatives
+/// uniformly (a frequency-weighted proposal would leak the private location
+/// popularity distribution, §3.2). Rejection is cheap because
+/// `k + 1 ≪ n` in all realistic configurations; when `k >= n - 1` the
+/// function returns every value except `forbidden`.
+pub fn sample_distinct_excluding<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    forbidden: usize,
+) -> Vec<usize> {
+    let avail = if forbidden < n { n - 1 } else { n };
+    if k >= avail {
+        return (0..n).filter(|&i| i != forbidden).collect();
+    }
+    let mut picked = Vec::with_capacity(k);
+    while picked.len() < k {
+        let c = rng.random_range(0..n);
+        if c != forbidden && !picked.contains(&c) {
+            picked.push(c);
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = NormalSampler::new();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_sampler_scaled_variance() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut s = NormalSampler::new();
+        let n = 100_000;
+        let sigma = 2.5;
+        let var = (0..n)
+            .map(|_| s.sample_scaled(&mut rng, sigma))
+            .map(|x| x * x)
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - sigma * sigma).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn perturb_adds_noise_in_place() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = NormalSampler::new();
+        let mut v = vec![1.0; 10_000];
+        s.perturb(&mut rng, 0.1, &mut v);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01);
+        assert!(v.iter().any(|&x| (x - 1.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_decreasing() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15);
+        }
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn zipf_empirical_head_mass_matches_pmf() {
+        let z = Zipf::new(50, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut count0 = 0usize;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        let emp = count0 as f64 / n as f64;
+        assert!((emp - z.pmf(0)).abs() < 0.01, "emp {emp} pmf {}", z.pmf(0));
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_none());
+        assert!(Zipf::new(10, -1.0).is_none());
+        assert!(Zipf::new(10, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisson_subsample_expectation_and_edges() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 10_000;
+        let q = 0.06;
+        let sizes: Vec<usize> =
+            (0..50).map(|_| poisson_subsample(&mut rng, n, q).len()).collect();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!((mean - q * n as f64).abs() < 40.0, "mean sample size {mean}");
+        assert!(poisson_subsample(&mut rng, n, 0.0).is_empty());
+        assert_eq!(poisson_subsample(&mut rng, n, 1.0).len(), n);
+        assert_eq!(poisson_subsample(&mut rng, n, 2.0).len(), n, "q is clamped");
+    }
+
+    #[test]
+    fn distinct_excluding_respects_contract() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let s = sample_distinct_excluding(&mut rng, 20, 5, 3);
+            assert_eq!(s.len(), 5);
+            assert!(!s.contains(&3));
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "values are distinct");
+        }
+    }
+
+    #[test]
+    fn distinct_excluding_saturates_to_full_complement() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let s = sample_distinct_excluding(&mut rng, 5, 10, 2);
+        assert_eq!(s, vec![0, 1, 3, 4]);
+        let t = sample_distinct_excluding(&mut rng, 5, 4, 2);
+        assert_eq!(t.len(), 4);
+    }
+}

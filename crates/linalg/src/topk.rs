@@ -1,0 +1,136 @@
+//! Partial top-k selection.
+//!
+//! The recommender ranks all `L` locations by cosine score and returns the
+//! `k` best (paper §3.3); a bounded min-heap gives O(L log k) instead of a
+//! full O(L log L) sort.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(score, index)` pair ordered by score descending, with index ascending
+/// as the tie-break so results are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    score: f64,
+    index: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the *worst*
+        // retained entry on top so it can be evicted.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Returns the indices of the `k` largest scores, best first.
+///
+/// Non-finite scores are skipped (they never enter the result). Ties are
+/// broken by smaller index first, making the output deterministic.
+pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    if k == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (index, &score) in scores.iter().enumerate() {
+        if !score.is_finite() {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push(Entry { score, index });
+        } else if let Some(worst) = heap.peek() {
+            let better = score > worst.score
+                || (score == worst.score && index < worst.index);
+            if better {
+                heap.pop();
+                heap.push(Entry { score, index });
+            }
+        }
+    }
+    let mut out: Vec<Entry> = heap.into_vec();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    out.into_iter().map(|e| e.index).collect()
+}
+
+/// Returns `(index, score)` pairs of the `k` largest scores, best first.
+pub fn top_k_with_scores(scores: &[f64], k: usize) -> Vec<(usize, f64)> {
+    top_k_indices(scores, k).into_iter().map(|i| (i, scores[i])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest_in_order() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&scores, 4), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all_sorted() {
+        let scores = [2.0, 1.0];
+        assert_eq!(top_k_indices(&scores, 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_zero_and_empty_input() {
+        assert!(top_k_indices(&[1.0], 0).is_empty());
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_smaller_index() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_indices(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_scores_are_skipped() {
+        let scores = [f64::NAN, 1.0, f64::INFINITY, 0.5];
+        // +inf is not finite either: skipped by design.
+        assert_eq!(top_k_indices(&scores, 3), vec![1, 3]);
+    }
+
+    #[test]
+    fn with_scores_pairs_match() {
+        let scores = [0.2, 0.8, 0.4];
+        assert_eq!(top_k_with_scores(&scores, 2), vec![(1, 0.8), (2, 0.4)]);
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let n = rng.random_range(1..200);
+            let scores: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+            let k = rng.random_range(0..n + 5);
+            let got = top_k_indices(&scores, k);
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| {
+                scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+            });
+            idx.truncate(k);
+            assert_eq!(got, idx);
+        }
+    }
+}

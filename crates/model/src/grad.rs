@@ -1,0 +1,314 @@
+//! Sparse gradient / model-delta accumulators.
+//!
+//! Negative sampling guarantees that each training example touches only
+//! `neg + 1` rows of `W′`/`B′` and one row of `W` (§3.2: "during
+//! back-propagation, only neg + 1 vectors in W or W′ are updated instead of
+//! entire matrices"). Bucket deltas `g_h = Φ − θ_t` are therefore sparse in
+//! rows; storing them that way makes per-layer norm computation and the
+//! Gaussian sum accumulation cheap.
+
+use std::collections::BTreeMap;
+
+use plp_linalg::ops;
+
+use crate::error::ModelError;
+use crate::params::ModelParams;
+
+/// A row-sparse gradient (or model delta) with the same logical shape as
+/// [`ModelParams`].
+///
+/// Rows live in `BTreeMap`s so iteration (and therefore floating-point
+/// accumulation order in norms and dense sums) is deterministic — a
+/// `HashMap`'s per-instance hash seed would make bit-identical reruns
+/// impossible.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseGrad {
+    /// Touched rows of the embedding matrix `W`.
+    pub embedding: BTreeMap<usize, Vec<f64>>,
+    /// Touched rows of the context matrix `W′`.
+    pub context: BTreeMap<usize, Vec<f64>>,
+    /// Touched entries of the bias vector `B′`.
+    pub bias: BTreeMap<usize, f64>,
+}
+
+impl SparseGrad {
+    /// An empty gradient.
+    pub fn new() -> Self {
+        SparseGrad::default()
+    }
+
+    /// `true` iff nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.embedding.is_empty() && self.context.is_empty() && self.bias.is_empty()
+    }
+
+    /// Number of touched rows across all tensors.
+    pub fn touched_rows(&self) -> usize {
+        self.embedding.len() + self.context.len() + self.bias.len()
+    }
+
+    /// Adds `alpha * v` into embedding row `row`.
+    pub fn add_embedding_row(&mut self, row: usize, alpha: f64, v: &[f64]) {
+        let e = self.embedding.entry(row).or_insert_with(|| vec![0.0; v.len()]);
+        for (ei, vi) in e.iter_mut().zip(v) {
+            *ei += alpha * vi;
+        }
+    }
+
+    /// Adds `alpha * v` into context row `row`.
+    pub fn add_context_row(&mut self, row: usize, alpha: f64, v: &[f64]) {
+        let e = self.context.entry(row).or_insert_with(|| vec![0.0; v.len()]);
+        for (ei, vi) in e.iter_mut().zip(v) {
+            *ei += alpha * vi;
+        }
+    }
+
+    /// Adds `alpha` into bias entry `row`.
+    pub fn add_bias(&mut self, row: usize, alpha: f64) {
+        *self.bias.entry(row).or_insert(0.0) += alpha;
+    }
+
+    /// Merges another sparse gradient: `self += other`.
+    pub fn merge(&mut self, other: &SparseGrad) {
+        for (&r, v) in &other.embedding {
+            self.add_embedding_row(r, 1.0, v);
+        }
+        for (&r, v) in &other.context {
+            self.add_context_row(r, 1.0, v);
+        }
+        for (&r, &b) in &other.bias {
+            self.add_bias(r, b);
+        }
+    }
+
+    /// Scales every stored value by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in self.embedding.values_mut() {
+            ops::scale(alpha, v);
+        }
+        for v in self.context.values_mut() {
+            ops::scale(alpha, v);
+        }
+        for b in self.bias.values_mut() {
+            *b *= alpha;
+        }
+    }
+
+    /// Per-tensor ℓ2 norms `(‖gW‖, ‖gW′‖, ‖gB′‖)`.
+    pub fn tensor_norms(&self) -> (f64, f64, f64) {
+        let e = self.embedding.values().map(|v| ops::l2_norm_sq(v)).sum::<f64>().sqrt();
+        let c = self.context.values().map(|v| ops::l2_norm_sq(v)).sum::<f64>().sqrt();
+        let b = self.bias.values().map(|x| x * x).sum::<f64>().sqrt();
+        (e, c, b)
+    }
+
+    /// ℓ2 norm of the whole flattened gradient.
+    pub fn global_norm(&self) -> f64 {
+        let (e, c, b) = self.tensor_norms();
+        (e * e + c * c + b * b).sqrt()
+    }
+
+    /// Scales the three tensors independently by the given factors
+    /// (per-layer clipping applies different factors per tensor).
+    pub fn scale_per_tensor(&mut self, fe: f64, fc: f64, fb: f64) {
+        for v in self.embedding.values_mut() {
+            ops::scale(fe, v);
+        }
+        for v in self.context.values_mut() {
+            ops::scale(fc, v);
+        }
+        for b in self.bias.values_mut() {
+            *b *= fb;
+        }
+    }
+
+    /// `true` iff all stored values are finite.
+    pub fn all_finite(&self) -> bool {
+        self.embedding.values().all(|v| ops::all_finite(v))
+            && self.context.values().all(|v| ops::all_finite(v))
+            && self.bias.values().all(|b| b.is_finite())
+    }
+
+    /// Applies `params += alpha * self`.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::TokenOutOfRange`] if a stored row exceeds the
+    /// parameter shape, or [`ModelError::ShapeMismatch`] on a row-width
+    /// mismatch.
+    pub fn apply_to(&self, params: &mut ModelParams, alpha: f64) -> Result<(), ModelError> {
+        let vocab = params.vocab_size();
+        let dim = params.dim();
+        for (&r, v) in &self.embedding {
+            if r >= vocab {
+                return Err(ModelError::TokenOutOfRange { token: r, vocab });
+            }
+            if v.len() != dim {
+                return Err(ModelError::ShapeMismatch { what: "embedding row width" });
+            }
+            ops::axpy(alpha, v, params.embedding.row_mut(r))?;
+        }
+        for (&r, v) in &self.context {
+            if r >= vocab {
+                return Err(ModelError::TokenOutOfRange { token: r, vocab });
+            }
+            if v.len() != dim {
+                return Err(ModelError::ShapeMismatch { what: "context row width" });
+            }
+            ops::axpy(alpha, v, params.context.row_mut(r))?;
+        }
+        for (&r, &b) in &self.bias {
+            if r >= vocab {
+                return Err(ModelError::TokenOutOfRange { token: r, vocab });
+            }
+            params.bias[r] += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Accumulates into a dense parameter-shaped buffer: `dense += self`.
+    ///
+    /// # Errors
+    /// Same shape requirements as [`SparseGrad::apply_to`].
+    pub fn accumulate_into(&self, dense: &mut ModelParams) -> Result<(), ModelError> {
+        self.apply_to(dense, 1.0)
+    }
+
+    /// Builds the sparse delta `after − before` restricted to `touched`
+    /// embedding/context rows and bias entries.
+    ///
+    /// The caller supplies the touched row sets it tracked during local
+    /// training; rows outside the sets are equal by construction.
+    pub fn from_delta(
+        before: &ModelParams,
+        after: &ModelParams,
+        touched_embedding: impl IntoIterator<Item = usize>,
+        touched_context: impl IntoIterator<Item = usize>,
+        touched_bias: impl IntoIterator<Item = usize>,
+    ) -> SparseGrad {
+        let mut g = SparseGrad::new();
+        for r in touched_embedding {
+            let d: Vec<f64> = after
+                .embedding
+                .row(r)
+                .iter()
+                .zip(before.embedding.row(r))
+                .map(|(a, b)| a - b)
+                .collect();
+            if d.iter().any(|&x| x != 0.0) {
+                g.embedding.insert(r, d);
+            }
+        }
+        for r in touched_context {
+            let d: Vec<f64> = after
+                .context
+                .row(r)
+                .iter()
+                .zip(before.context.row(r))
+                .map(|(a, b)| a - b)
+                .collect();
+            if d.iter().any(|&x| x != 0.0) {
+                g.context.insert(r, d);
+            }
+        }
+        for r in touched_bias {
+            let d = after.bias[r] - before.bias[r];
+            if d != 0.0 {
+                g.bias.insert(r, d);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_norms() {
+        let mut g = SparseGrad::new();
+        g.add_embedding_row(0, 1.0, &[3.0, 0.0]);
+        g.add_embedding_row(0, 1.0, &[0.0, 4.0]);
+        g.add_context_row(2, 2.0, &[1.0, 1.0]);
+        g.add_bias(1, -2.0);
+        let (e, c, b) = g.tensor_norms();
+        assert!((e - 5.0).abs() < 1e-12);
+        assert!((c - (8.0f64).sqrt()).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((g.global_norm() - (25.0 + 8.0 + 4.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(g.touched_rows(), 3);
+        assert!(!g.is_empty());
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = SparseGrad::new();
+        a.add_embedding_row(0, 1.0, &[1.0]);
+        let mut b = SparseGrad::new();
+        b.add_embedding_row(0, 1.0, &[2.0]);
+        b.add_bias(3, 1.0);
+        a.merge(&b);
+        assert_eq!(a.embedding[&0], vec![3.0]);
+        assert_eq!(a.bias[&3], 1.0);
+        a.scale(0.5);
+        assert_eq!(a.embedding[&0], vec![1.5]);
+        assert_eq!(a.bias[&3], 0.5);
+        a.scale_per_tensor(2.0, 1.0, 4.0);
+        assert_eq!(a.embedding[&0], vec![3.0]);
+        assert_eq!(a.bias[&3], 2.0);
+    }
+
+    #[test]
+    fn apply_to_params() {
+        let mut p = ModelParams::zeros(4, 2);
+        let mut g = SparseGrad::new();
+        g.add_embedding_row(1, 1.0, &[1.0, 2.0]);
+        g.add_context_row(3, 1.0, &[-1.0, 0.5]);
+        g.add_bias(0, 7.0);
+        g.apply_to(&mut p, 2.0).unwrap();
+        assert_eq!(p.embedding.row(1), &[2.0, 4.0]);
+        assert_eq!(p.context.row(3), &[-2.0, 1.0]);
+        assert_eq!(p.bias[0], 14.0);
+    }
+
+    #[test]
+    fn apply_rejects_bad_shapes() {
+        let mut p = ModelParams::zeros(2, 2);
+        let mut g = SparseGrad::new();
+        g.add_embedding_row(5, 1.0, &[1.0, 1.0]);
+        assert!(matches!(g.apply_to(&mut p, 1.0), Err(ModelError::TokenOutOfRange { .. })));
+        let mut g = SparseGrad::new();
+        g.add_embedding_row(0, 1.0, &[1.0, 1.0, 1.0]);
+        assert!(matches!(g.apply_to(&mut p, 1.0), Err(ModelError::ShapeMismatch { .. })));
+        let mut g = SparseGrad::new();
+        g.add_bias(9, 1.0);
+        assert!(g.apply_to(&mut p, 1.0).is_err());
+    }
+
+    #[test]
+    fn from_delta_captures_only_changes() {
+        let before = ModelParams::zeros(3, 2);
+        let mut after = before.clone();
+        after.embedding.set(1, 0, 0.5);
+        after.bias[2] = -1.0;
+        let g = SparseGrad::from_delta(&before, &after, [0, 1], [0], [2]);
+        assert_eq!(g.embedding.len(), 1, "unchanged touched rows are dropped");
+        assert_eq!(g.embedding[&1], vec![0.5, 0.0]);
+        assert!(g.context.is_empty());
+        assert_eq!(g.bias[&2], -1.0);
+        // Applying the delta to `before` reproduces `after`.
+        let mut rebuilt = before.clone();
+        g.apply_to(&mut rebuilt, 1.0).unwrap();
+        assert_eq!(rebuilt, after);
+    }
+
+    #[test]
+    fn finiteness_detection() {
+        let mut g = SparseGrad::new();
+        g.add_embedding_row(0, 1.0, &[1.0]);
+        assert!(g.all_finite());
+        g.add_bias(0, f64::INFINITY);
+        assert!(!g.all_finite());
+    }
+}

@@ -1,0 +1,341 @@
+//! Sampled-softmax and sigmoid-SGNS losses with hand-derived gradients.
+//!
+//! For a (target `x`, context `y`) pair with negatives `n₁..n_neg`, let
+//! `u = W[x]` and candidates `c₀ = y, c₁..c_neg = negatives`, with logits
+//! `sⱼ = u · W′[cⱼ] + B′[cⱼ]`.
+//!
+//! **Sampled softmax** (the paper's loss; with a *uniform* proposal the
+//! log-correction term is a constant across candidates and cancels inside
+//! the softmax): `p = softmax(s)`, `J = −log p₀`, and
+//!
+//! ```text
+//! ∂J/∂W′[cⱼ] = (pⱼ − [j = 0]) · u
+//! ∂J/∂B′[cⱼ] =  pⱼ − [j = 0]
+//! ∂J/∂W[x]   =  Σⱼ (pⱼ − [j = 0]) · W′[cⱼ]
+//! ```
+//!
+//! **Sigmoid SGNS** (the original word2vec objective; ablation variant):
+//! `J = −log σ(s₀) − Σⱼ≥1 log σ(−sⱼ)` with coefficients `σ(s₀) − 1` for the
+//! positive and `σ(sⱼ)` for negatives.
+//!
+//! Both sets of gradients are verified against central finite differences
+//! in the test module.
+
+use serde::{Deserialize, Serialize};
+
+use plp_linalg::ops;
+
+use crate::error::ModelError;
+use crate::grad::SparseGrad;
+use crate::params::ModelParams;
+
+/// Which training objective to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Loss {
+    /// Softmax cross-entropy over `{context} ∪ negatives` (the paper's
+    /// sampled softmax with uniform proposal).
+    #[default]
+    SampledSoftmax,
+    /// word2vec-style independent sigmoid objective.
+    Sgns,
+}
+
+/// Reusable scratch buffers for a forward/backward pass, sized for
+/// `neg + 1` candidates.
+#[derive(Debug, Default, Clone)]
+pub struct Scratch {
+    logits: Vec<f64>,
+    probs: Vec<f64>,
+    grad_u: Vec<f64>,
+}
+
+impl Scratch {
+    /// Creates empty scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+fn check_token(t: usize, vocab: usize) -> Result<(), ModelError> {
+    if t >= vocab {
+        return Err(ModelError::TokenOutOfRange { token: t, vocab });
+    }
+    Ok(())
+}
+
+/// Computes the loss of one example and accumulates `scale · ∇J` into
+/// `grad`. Returns the example loss.
+///
+/// `negatives` must not contain `context` (the samplers guarantee this);
+/// duplicates among negatives are tolerated mathematically but reduce the
+/// effective sample size.
+///
+/// # Errors
+/// Tokens must be within the vocabulary.
+pub fn forward_backward(
+    params: &ModelParams,
+    loss: Loss,
+    target: usize,
+    context: usize,
+    negatives: &[usize],
+    scale: f64,
+    grad: &mut SparseGrad,
+    scratch: &mut Scratch,
+) -> Result<f64, ModelError> {
+    let vocab = params.vocab_size();
+    check_token(target, vocab)?;
+    check_token(context, vocab)?;
+    for &n in negatives {
+        check_token(n, vocab)?;
+    }
+
+    let u = params.embedding.row(target);
+    let k = negatives.len() + 1;
+    scratch.logits.clear();
+    scratch.logits.reserve(k);
+    scratch.logits.push(ops::dot_unchecked(u, params.context.row(context)) + params.bias[context]);
+    for &n in negatives {
+        scratch
+            .logits
+            .push(ops::dot_unchecked(u, params.context.row(n)) + params.bias[n]);
+    }
+
+    scratch.grad_u.clear();
+    scratch.grad_u.resize(params.dim(), 0.0);
+
+    let loss_value = match loss {
+        Loss::SampledSoftmax => {
+            scratch.probs.resize(k, 0.0);
+            ops::softmax_into(&scratch.logits, &mut scratch.probs)?;
+            // -log p0, guarded against p0 underflow.
+            let l = -(scratch.probs[0].max(f64::MIN_POSITIVE)).ln();
+            for (j, &p) in scratch.probs.iter().enumerate() {
+                let coef = if j == 0 { p - 1.0 } else { p };
+                let c = if j == 0 { context } else { negatives[j - 1] };
+                // ∂J/∂W′[c] += coef · u ; ∂J/∂B′[c] += coef.
+                grad.add_context_row(c, scale * coef, u);
+                grad.add_bias(c, scale * coef);
+                // grad_u += coef · W′[c].
+                ops::axpy(coef, params.context.row(c), &mut scratch.grad_u)?;
+            }
+            l
+        }
+        Loss::Sgns => {
+            let s0 = scratch.logits[0];
+            let mut l = -ln_sigmoid(s0);
+            let coef0 = ops::sigmoid(s0) - 1.0;
+            grad.add_context_row(context, scale * coef0, u);
+            grad.add_bias(context, scale * coef0);
+            ops::axpy(coef0, params.context.row(context), &mut scratch.grad_u)?;
+            for (j, &n) in negatives.iter().enumerate() {
+                let s = scratch.logits[j + 1];
+                l -= ln_sigmoid(-s);
+                let coef = ops::sigmoid(s);
+                grad.add_context_row(n, scale * coef, u);
+                grad.add_bias(n, scale * coef);
+                ops::axpy(coef, params.context.row(n), &mut scratch.grad_u)?;
+            }
+            l
+        }
+    };
+
+    grad.add_embedding_row(target, scale, &scratch.grad_u);
+    if !loss_value.is_finite() {
+        return Err(ModelError::NonFinite { at: "example loss" });
+    }
+    Ok(loss_value)
+}
+
+/// Loss of one example without touching any gradient (validation).
+///
+/// # Errors
+/// Tokens must be within the vocabulary.
+pub fn example_loss(
+    params: &ModelParams,
+    loss: Loss,
+    target: usize,
+    context: usize,
+    negatives: &[usize],
+    scratch: &mut Scratch,
+) -> Result<f64, ModelError> {
+    let mut sink = SparseGrad::new();
+    forward_backward(params, loss, target, context, negatives, 0.0, &mut sink, scratch)
+}
+
+/// Numerically-stable `log σ(x) = −log(1 + e^{−x})`.
+fn ln_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        -(-x).exp().ln_1p()
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ModelParams, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut p = ModelParams::init(&mut rng, 12, 5).unwrap();
+        // Give context/bias non-zero values so gradients flow everywhere.
+        p.context.map_inplace(|_| 0.1);
+        for (i, b) in p.bias.iter_mut().enumerate() {
+            *b = 0.01 * i as f64;
+        }
+        let mut rng2 = StdRng::seed_from_u64(13);
+        p.context
+            .map_inplace(|x| x + 0.05 * (rand::RngExt::random::<f64>(&mut rng2) - 0.5));
+        (p, vec![3, 7, 9])
+    }
+
+    /// Central finite-difference check of every touched coordinate.
+    fn finite_difference_check(loss: Loss) {
+        let (params, negs) = setup();
+        let target = 1usize;
+        let context = 5usize;
+        let mut scratch = Scratch::new();
+        let mut grad = SparseGrad::new();
+        forward_backward(&params, loss, target, context, &negs, 1.0, &mut grad, &mut scratch)
+            .unwrap();
+
+        let eps = 1e-6;
+        let f = |p: &ModelParams| {
+            let mut s = Scratch::new();
+            example_loss(p, loss, target, context, &negs, &mut s).unwrap()
+        };
+        // Embedding row of the target.
+        for d in 0..params.dim() {
+            let mut plus = params.clone();
+            plus.embedding.row_mut(target)[d] += eps;
+            let mut minus = params.clone();
+            minus.embedding.row_mut(target)[d] -= eps;
+            let num = (f(&plus) - f(&minus)) / (2.0 * eps);
+            let ana = grad.embedding[&target][d];
+            assert!((num - ana).abs() < 1e-5, "dW[{target}][{d}]: {num} vs {ana}");
+        }
+        // Context rows and biases of all candidates.
+        for &c in [context].iter().chain(&negs) {
+            for d in 0..params.dim() {
+                let mut plus = params.clone();
+                plus.context.row_mut(c)[d] += eps;
+                let mut minus = params.clone();
+                minus.context.row_mut(c)[d] -= eps;
+                let num = (f(&plus) - f(&minus)) / (2.0 * eps);
+                let ana = grad.context[&c][d];
+                assert!((num - ana).abs() < 1e-5, "dW'[{c}][{d}]: {num} vs {ana}");
+            }
+            let mut plus = params.clone();
+            plus.bias[c] += eps;
+            let mut minus = params.clone();
+            minus.bias[c] -= eps;
+            let num = (f(&plus) - f(&minus)) / (2.0 * eps);
+            let ana = grad.bias[&c];
+            assert!((num - ana).abs() < 1e-5, "dB'[{c}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn sampled_softmax_gradients_match_finite_differences() {
+        finite_difference_check(Loss::SampledSoftmax);
+    }
+
+    #[test]
+    fn sgns_gradients_match_finite_differences() {
+        finite_difference_check(Loss::Sgns);
+    }
+
+    #[test]
+    fn loss_is_positive_and_decreases_after_a_step() {
+        let (mut params, negs) = setup();
+        let mut scratch = Scratch::new();
+        for loss in [Loss::SampledSoftmax, Loss::Sgns] {
+            let before = example_loss(&params, loss, 1, 5, &negs, &mut scratch).unwrap();
+            assert!(before > 0.0);
+            // One SGD step on this single example.
+            let mut grad = SparseGrad::new();
+            forward_backward(&params, loss, 1, 5, &negs, 1.0, &mut grad, &mut scratch).unwrap();
+            grad.apply_to(&mut params, -0.5).unwrap();
+            let after = example_loss(&params, loss, 1, 5, &negs, &mut scratch).unwrap();
+            assert!(after < before, "{loss:?}: {after} !< {before}");
+        }
+    }
+
+    #[test]
+    fn only_candidate_rows_are_touched() {
+        let (params, negs) = setup();
+        let mut scratch = Scratch::new();
+        let mut grad = SparseGrad::new();
+        forward_backward(
+            &params,
+            Loss::SampledSoftmax,
+            1,
+            5,
+            &negs,
+            1.0,
+            &mut grad,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(grad.embedding.len(), 1);
+        assert!(grad.embedding.contains_key(&1));
+        assert_eq!(grad.context.len(), negs.len() + 1);
+        assert_eq!(grad.bias.len(), negs.len() + 1);
+        for &n in &negs {
+            assert!(grad.context.contains_key(&n));
+        }
+        assert!(grad.context.contains_key(&5));
+    }
+
+    #[test]
+    fn softmax_bias_gradients_sum_to_zero() {
+        // Σⱼ (pⱼ − tⱼ) = 0: the bias gradients over candidates cancel.
+        let (params, negs) = setup();
+        let mut scratch = Scratch::new();
+        let mut grad = SparseGrad::new();
+        forward_backward(
+            &params,
+            Loss::SampledSoftmax,
+            2,
+            6,
+            &negs,
+            1.0,
+            &mut grad,
+            &mut scratch,
+        )
+        .unwrap();
+        let total: f64 = grad.bias.values().sum();
+        assert!(total.abs() < 1e-12, "bias grads sum to {total}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_tokens() {
+        let (params, _) = setup();
+        let mut scratch = Scratch::new();
+        let mut grad = SparseGrad::new();
+        let r = forward_backward(
+            &params,
+            Loss::SampledSoftmax,
+            99,
+            5,
+            &[1],
+            1.0,
+            &mut grad,
+            &mut scratch,
+        );
+        assert!(matches!(r, Err(ModelError::TokenOutOfRange { token: 99, .. })));
+        let r = example_loss(&params, Loss::Sgns, 1, 99, &[1], &mut scratch);
+        assert!(r.is_err());
+        let r = example_loss(&params, Loss::Sgns, 1, 5, &[99], &mut scratch);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn ln_sigmoid_is_stable() {
+        assert!((ln_sigmoid(0.0) - 0.5f64.ln()).abs() < 1e-12);
+        assert!(ln_sigmoid(1000.0).abs() < 1e-12);
+        assert!((ln_sigmoid(-1000.0) + 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! Negative samplers.
+//!
+//! The private path uses [`NegativeSampler::Uniform`]: "we use a sampled
+//! softmax function with a uniform sampling distribution. This is a
+//! necessity for preserving privacy, since estimating the frequency
+//! distribution of locations from user-submitted data will cause privacy
+//! leakage" (§3.2). The classic word2vec unigram^(3/4) sampler is provided
+//! for *non-private* ablations only.
+
+use rand::{Rng, RngExt};
+
+use plp_linalg::sample::sample_distinct_excluding;
+
+use crate::error::ModelError;
+
+/// Strategy for drawing negative examples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NegativeSampler {
+    /// Uniform over the vocabulary — the only DP-safe choice.
+    Uniform,
+    /// Frequency-weighted (unigram^power) sampling over precomputed counts.
+    /// Leaks the popularity distribution; non-private ablation only.
+    Unigram {
+        /// Cumulative distribution over tokens.
+        cdf: Vec<f64>,
+    },
+}
+
+impl NegativeSampler {
+    /// Builds a unigram sampler from per-token counts raised to `power`
+    /// (word2vec uses 0.75).
+    ///
+    /// # Errors
+    /// `counts` must be non-empty with a positive total, and `power` finite
+    /// and non-negative.
+    pub fn unigram(counts: &[usize], power: f64) -> Result<Self, ModelError> {
+        if counts.is_empty() {
+            return Err(ModelError::BadConfig { name: "counts", expected: "non-empty" });
+        }
+        if !(power.is_finite() && power >= 0.0) {
+            return Err(ModelError::BadConfig { name: "power", expected: "finite and >= 0" });
+        }
+        let mut cdf = Vec::with_capacity(counts.len());
+        let mut acc = 0.0;
+        for &c in counts {
+            acc += (c as f64).powf(power);
+            cdf.push(acc);
+        }
+        if acc <= 0.0 {
+            return Err(ModelError::BadConfig { name: "counts", expected: "positive total" });
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Ok(NegativeSampler::Unigram { cdf })
+    }
+
+    /// Draws `neg` distinct negative tokens from `0..vocab`, never equal to
+    /// `exclude` (the positive context).
+    ///
+    /// # Errors
+    /// `vocab` must be ≥ 2 so at least one negative exists.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        vocab: usize,
+        neg: usize,
+        exclude: usize,
+    ) -> Result<Vec<usize>, ModelError> {
+        if vocab < 2 {
+            return Err(ModelError::BadConfig { name: "vocab", expected: ">= 2" });
+        }
+        match self {
+            NegativeSampler::Uniform => {
+                Ok(sample_distinct_excluding(rng, vocab, neg, exclude))
+            }
+            NegativeSampler::Unigram { cdf } => {
+                if cdf.len() != vocab {
+                    return Err(ModelError::ShapeMismatch { what: "unigram cdf vs vocab" });
+                }
+                let want = neg.min(vocab - 1);
+                let mut out = Vec::with_capacity(want);
+                let mut guard = 0usize;
+                while out.len() < want {
+                    let u: f64 = rng.random();
+                    let t = cdf.partition_point(|&c| c < u).min(vocab - 1);
+                    if t != exclude && !out.contains(&t) {
+                        out.push(t);
+                    }
+                    guard += 1;
+                    if guard > 1000 * (want + 1) {
+                        // Extremely concentrated distribution: fill the rest
+                        // uniformly to guarantee termination.
+                        let rest = sample_distinct_excluding(rng, vocab, want, exclude);
+                        for t in rest {
+                            if !out.contains(&t) {
+                                out.push(t);
+                                if out.len() == want {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_contract() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = NegativeSampler::Uniform;
+        for _ in 0..100 {
+            let negs = s.sample(&mut rng, 50, 8, 7).unwrap();
+            assert_eq!(negs.len(), 8);
+            assert!(!negs.contains(&7));
+            let mut d = negs.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 8);
+        }
+    }
+
+    #[test]
+    fn uniform_is_actually_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = NegativeSampler::Uniform;
+        let vocab = 20;
+        let mut counts = vec![0usize; vocab];
+        for _ in 0..20_000 {
+            for t in s.sample(&mut rng, vocab, 1, 0).unwrap() {
+                counts[t] += 1;
+            }
+        }
+        // Tokens 1..20 each ~ 20000/19 ≈ 1052.
+        for (t, &c) in counts.iter().enumerate().skip(1) {
+            assert!((800..1300).contains(&c), "token {t}: {c}");
+        }
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn unigram_prefers_frequent_tokens() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = vec![1000, 10, 10, 10, 10];
+        let s = NegativeSampler::unigram(&counts, 1.0).unwrap();
+        let mut hits0 = 0;
+        let n = 5000;
+        for _ in 0..n {
+            let negs = s.sample(&mut rng, 5, 1, 4).unwrap();
+            if negs.contains(&0) {
+                hits0 += 1;
+            }
+        }
+        assert!(hits0 as f64 / n as f64 > 0.8, "{hits0}/{n}");
+    }
+
+    #[test]
+    fn unigram_power_flattens() {
+        // power = 0 makes every token equally likely regardless of counts.
+        let counts = vec![1000, 1, 1, 1];
+        let s = NegativeSampler::unigram(&counts, 0.0).unwrap();
+        if let NegativeSampler::Unigram { cdf } = &s {
+            assert!((cdf[0] - 0.25).abs() < 1e-12);
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(NegativeSampler::unigram(&[], 0.75).is_err());
+        assert!(NegativeSampler::unigram(&[0, 0], 0.75).is_err());
+        assert!(NegativeSampler::unigram(&[1], f64::NAN).is_err());
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(NegativeSampler::Uniform.sample(&mut rng, 1, 2, 0).is_err());
+        let s = NegativeSampler::unigram(&[1, 1], 1.0).unwrap();
+        assert!(s.sample(&mut rng, 5, 1, 0).is_err(), "cdf/vocab mismatch");
+    }
+
+    #[test]
+    fn requesting_more_negatives_than_available_saturates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = NegativeSampler::unigram(&[1, 1, 1], 1.0).unwrap();
+        let negs = s.sample(&mut rng, 3, 10, 1).unwrap();
+        let mut d = negs.clone();
+        d.sort_unstable();
+        assert_eq!(d, vec![0, 2]);
+        let u = NegativeSampler::Uniform.sample(&mut rng, 3, 10, 1).unwrap();
+        assert_eq!(u.len(), 2);
+    }
+}

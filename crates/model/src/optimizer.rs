@@ -1,0 +1,255 @@
+//! Server-side optimisers applied to the (noisy) aggregated model delta.
+//!
+//! Algorithm 1, line 10 updates the model with the noisy average of bucket
+//! deltas: `θ_{t+1} = θ_t + ĝ_t`. The paper trains with Adam "implemented
+//! in a differentially private manner by tracking an exponential moving
+//! average of the noisy gradient and the squared noisy gradient"
+//! (Gylberth et al. 2017, §5.1) — since ĝ_t is already differentially
+//! private, any post-processing (including Adam's moment tracking) is
+//! privacy-free.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::params::ModelParams;
+
+/// Plain averaging server update: `θ ← θ + lr · ĝ` (lr = 1 reproduces
+/// Algorithm 1 literally).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSgd {
+    /// Server learning rate applied to the aggregated delta.
+    pub learning_rate: f64,
+}
+
+impl ServerSgd {
+    /// Creates a validated server-SGD updater.
+    ///
+    /// # Errors
+    /// `learning_rate` must be finite and positive.
+    pub fn new(learning_rate: f64) -> Result<Self, ModelError> {
+        if !(learning_rate.is_finite() && learning_rate > 0.0) {
+            return Err(ModelError::BadConfig {
+                name: "learning_rate",
+                expected: "finite and > 0",
+            });
+        }
+        Ok(ServerSgd { learning_rate })
+    }
+
+    /// Applies `params += lr · update`.
+    ///
+    /// # Errors
+    /// Shapes must match and the result must stay finite.
+    pub fn step(&self, params: &mut ModelParams, update: &ModelParams) -> Result<(), ModelError> {
+        params.axpy(self.learning_rate, update)?;
+        if !params.all_finite() {
+            return Err(ModelError::NonFinite { at: "parameters after server sgd" });
+        }
+        Ok(())
+    }
+}
+
+/// DP-Adam: Adam moments tracked over the noisy aggregated update.
+///
+/// The update direction ĝ plays the role of the (negated) gradient, so the
+/// step is `θ += lr · m̂ / (√v̂ + ε)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerAdam {
+    /// Step size α.
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical-stability constant ε.
+    pub eps: f64,
+    t: u64,
+    m: ModelParams,
+    v: ModelParams,
+}
+
+impl ServerAdam {
+    /// Creates an Adam state matching the shape of `template`.
+    ///
+    /// # Errors
+    /// Standard Adam domain checks (`lr > 0`, betas in `[0, 1)`, `eps > 0`).
+    pub fn new(template: &ModelParams, learning_rate: f64) -> Result<Self, ModelError> {
+        Self::with_betas(template, learning_rate, 0.9, 0.999, 1e-8)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Errors
+    /// Standard Adam domain checks.
+    pub fn with_betas(
+        template: &ModelParams,
+        learning_rate: f64,
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+    ) -> Result<Self, ModelError> {
+        if !(learning_rate.is_finite() && learning_rate > 0.0) {
+            return Err(ModelError::BadConfig {
+                name: "learning_rate",
+                expected: "finite and > 0",
+            });
+        }
+        if !(0.0..1.0).contains(&beta1) || !(0.0..1.0).contains(&beta2) {
+            return Err(ModelError::BadConfig { name: "beta1/beta2", expected: "in [0, 1)" });
+        }
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(ModelError::BadConfig { name: "eps", expected: "finite and > 0" });
+        }
+        Ok(ServerAdam {
+            learning_rate,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: ModelParams::zeros(template.vocab_size(), template.dim()),
+            v: ModelParams::zeros(template.vocab_size(), template.dim()),
+        })
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam step with `update` as the (noisy) direction.
+    ///
+    /// # Errors
+    /// Shapes must match; the result must stay finite.
+    pub fn step(
+        &mut self,
+        params: &mut ModelParams,
+        update: &ModelParams,
+    ) -> Result<(), ModelError> {
+        if !params.same_shape(update) || !params.same_shape(&self.m) {
+            return Err(ModelError::ShapeMismatch { what: "ServerAdam step" });
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let lr = self.learning_rate;
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+
+        let apply = |p: &mut [f64], m: &mut [f64], v: &mut [f64], u: &[f64]| {
+            for i in 0..p.len() {
+                m[i] = b1 * m[i] + (1.0 - b1) * u[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * u[i] * u[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p[i] += lr * mhat / (vhat.sqrt() + eps);
+            }
+        };
+        apply(
+            params.embedding.as_mut_slice(),
+            self.m.embedding.as_mut_slice(),
+            self.v.embedding.as_mut_slice(),
+            update.embedding.as_slice(),
+        );
+        apply(
+            params.context.as_mut_slice(),
+            self.m.context.as_mut_slice(),
+            self.v.context.as_mut_slice(),
+            update.context.as_slice(),
+        );
+        apply(&mut params.bias, &mut self.m.bias, &mut self.v.bias, &update.bias);
+
+        if !params.all_finite() {
+            return Err(ModelError::NonFinite { at: "parameters after adam step" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(vocab: usize, dim: usize, value: f64) -> ModelParams {
+        let mut d = ModelParams::zeros(vocab, dim);
+        d.embedding.fill(value);
+        d.bias.fill(value);
+        d
+    }
+
+    #[test]
+    fn sgd_applies_scaled_delta() {
+        let mut p = ModelParams::zeros(2, 2);
+        let u = delta(2, 2, 1.0);
+        ServerSgd::new(0.5).unwrap().step(&mut p, &u).unwrap();
+        assert!(p.embedding.as_slice().iter().all(|&x| x == 0.5));
+        assert!(p.bias.iter().all(|&x| x == 0.5));
+    }
+
+    #[test]
+    fn sgd_rejects_bad_lr_and_shapes() {
+        assert!(ServerSgd::new(0.0).is_err());
+        assert!(ServerSgd::new(f64::NAN).is_err());
+        let mut p = ModelParams::zeros(2, 2);
+        let wrong = ModelParams::zeros(3, 2);
+        assert!(ServerSgd::new(1.0).unwrap().step(&mut p, &wrong).is_err());
+    }
+
+    #[test]
+    fn sgd_detects_nan_poisoning() {
+        let mut p = ModelParams::zeros(1, 1);
+        let mut u = ModelParams::zeros(1, 1);
+        u.bias[0] = f64::NAN;
+        assert!(matches!(
+            ServerSgd::new(1.0).unwrap().step(&mut p, &u),
+            Err(ModelError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn adam_first_step_moves_by_about_lr() {
+        // With bias correction, the first Adam step is ≈ lr · sign(u).
+        let mut p = ModelParams::zeros(2, 2);
+        let mut adam = ServerAdam::new(&p, 0.01).unwrap();
+        let u = delta(2, 2, 0.5);
+        adam.step(&mut p, &u).unwrap();
+        assert_eq!(adam.steps(), 1);
+        let x = p.embedding.get(0, 0);
+        assert!((x - 0.01).abs() < 1e-6, "first step {x}");
+    }
+
+    #[test]
+    fn adam_accelerates_in_consistent_direction() {
+        let mut p = ModelParams::zeros(1, 1);
+        let mut adam = ServerAdam::new(&p, 0.1).unwrap();
+        let u = delta(1, 1, 1.0);
+        for _ in 0..50 {
+            adam.step(&mut p, &u).unwrap();
+        }
+        // 50 steps of ~0.1 each in a constant direction.
+        let x = p.embedding.get(0, 0);
+        assert!(x > 3.0, "travelled {x}");
+        assert!(p.all_finite());
+    }
+
+    #[test]
+    fn adam_zero_update_keeps_params() {
+        let mut p = delta(2, 2, 1.0);
+        let mut adam = ServerAdam::new(&p, 0.1).unwrap();
+        let zero = ModelParams::zeros(2, 2);
+        adam.step(&mut p, &zero).unwrap();
+        // m and v stay zero, so the step is exactly zero.
+        assert!(p.embedding.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn adam_validates_parameters() {
+        let p = ModelParams::zeros(1, 1);
+        assert!(ServerAdam::with_betas(&p, 0.0, 0.9, 0.999, 1e-8).is_err());
+        assert!(ServerAdam::with_betas(&p, 0.1, 1.0, 0.999, 1e-8).is_err());
+        assert!(ServerAdam::with_betas(&p, 0.1, 0.9, -0.1, 1e-8).is_err());
+        assert!(ServerAdam::with_betas(&p, 0.1, 0.9, 0.999, 0.0).is_err());
+        let mut adam = ServerAdam::new(&p, 0.1).unwrap();
+        let mut p2 = ModelParams::zeros(2, 1);
+        let u2 = ModelParams::zeros(2, 1);
+        assert!(adam.step(&mut p2, &u2).is_err(), "shape mismatch with state");
+    }
+}

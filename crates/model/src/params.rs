@@ -1,0 +1,198 @@
+//! The model tensors θ = {W, W′, B′} of Figure 2.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use plp_linalg::{ops, Matrix};
+
+use crate::error::ModelError;
+
+/// Number of tensors in θ; per-layer clipping divides the clip budget by
+/// `√NUM_TENSORS` (paper §4.1: "θ₀ = {W, W′, B′}, hence |θ| = 3, so we clip
+/// the ℓ2-norm of each tensor to C/√3").
+pub const NUM_TENSORS: usize = 3;
+
+/// Skip-gram parameters: embedding matrix `W` (`L × dim`), context matrix
+/// `W′` (`L × dim`, stored row-major by location like `W`), and the output
+/// bias vector `B′` (`L`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// The input embedding matrix `W`.
+    pub embedding: Matrix,
+    /// The output/context matrix `W′`.
+    pub context: Matrix,
+    /// The output bias vector `B′`.
+    pub bias: Vec<f64>,
+}
+
+impl ModelParams {
+    /// word2vec-style initialisation: `W` uniform in
+    /// `[-0.5/dim, 0.5/dim]`, `W′` and `B′` zero.
+    ///
+    /// # Errors
+    /// `vocab_size` and `dim` must be ≥ 1.
+    pub fn init<R: Rng + ?Sized>(
+        rng: &mut R,
+        vocab_size: usize,
+        dim: usize,
+    ) -> Result<Self, ModelError> {
+        if vocab_size == 0 {
+            return Err(ModelError::BadConfig { name: "vocab_size", expected: ">= 1" });
+        }
+        if dim == 0 {
+            return Err(ModelError::BadConfig { name: "dim", expected: ">= 1" });
+        }
+        let half = 0.5 / dim as f64;
+        let embedding =
+            Matrix::from_fn(vocab_size, dim, |_, _| rng.random::<f64>() * 2.0 * half - half);
+        Ok(ModelParams {
+            embedding,
+            context: Matrix::zeros(vocab_size, dim),
+            bias: vec![0.0; vocab_size],
+        })
+    }
+
+    /// All-zero parameters of the given shape (useful for accumulators).
+    pub fn zeros(vocab_size: usize, dim: usize) -> Self {
+        ModelParams {
+            embedding: Matrix::zeros(vocab_size, dim),
+            context: Matrix::zeros(vocab_size, dim),
+            bias: vec![0.0; vocab_size],
+        }
+    }
+
+    /// Vocabulary size `L`.
+    pub fn vocab_size(&self) -> usize {
+        self.embedding.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.embedding.cols()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.embedding.len() + self.context.len() + self.bias.len()
+    }
+
+    /// `true` iff `other` has identical shape.
+    pub fn same_shape(&self, other: &ModelParams) -> bool {
+        self.vocab_size() == other.vocab_size() && self.dim() == other.dim()
+    }
+
+    /// ℓ2 norm of the *whole* flattened parameter vector.
+    pub fn global_norm(&self) -> f64 {
+        let e = self.embedding.frobenius_norm();
+        let c = self.context.frobenius_norm();
+        let b = ops::l2_norm(&self.bias);
+        (e * e + c * c + b * b).sqrt()
+    }
+
+    /// Per-tensor ℓ2 norms `(‖W‖, ‖W′‖, ‖B′‖)`.
+    pub fn tensor_norms(&self) -> (f64, f64, f64) {
+        (self.embedding.frobenius_norm(), self.context.frobenius_norm(), ops::l2_norm(&self.bias))
+    }
+
+    /// `self += alpha * other`, element-wise over all three tensors.
+    ///
+    /// # Errors
+    /// Shapes must match.
+    pub fn axpy(&mut self, alpha: f64, other: &ModelParams) -> Result<(), ModelError> {
+        if !self.same_shape(other) {
+            return Err(ModelError::ShapeMismatch { what: "ModelParams axpy" });
+        }
+        self.embedding.axpy(alpha, &other.embedding)?;
+        self.context.axpy(alpha, &other.context)?;
+        ops::axpy(alpha, &other.bias, &mut self.bias)?;
+        Ok(())
+    }
+
+    /// `true` iff every parameter is finite.
+    pub fn all_finite(&self) -> bool {
+        self.embedding.all_finite() && self.context.all_finite() && ops::all_finite(&self.bias)
+    }
+
+    /// A copy of the embedding matrix with rows normalised to unit length —
+    /// what gets deployed to devices (§3.2: "the embedded vectors are
+    /// normalized to unit length"; §3.3 footnote: "only the embedding matrix
+    /// is deployed").
+    pub fn deployable_embedding(&self) -> Matrix {
+        self.embedding.normalized_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn init_shapes_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ModelParams::init(&mut rng, 100, 16).unwrap();
+        assert_eq!(p.vocab_size(), 100);
+        assert_eq!(p.dim(), 16);
+        assert_eq!(p.num_params(), 100 * 16 * 2 + 100);
+        let half = 0.5 / 16.0;
+        assert!(p.embedding.as_slice().iter().all(|&x| x.abs() <= half));
+        assert!(p.context.as_slice().iter().all(|&x| x == 0.0));
+        assert!(p.bias.iter().all(|&x| x == 0.0));
+        assert!(p.all_finite());
+    }
+
+    #[test]
+    fn init_rejects_degenerate_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(ModelParams::init(&mut rng, 0, 8).is_err());
+        assert!(ModelParams::init(&mut rng, 8, 0).is_err());
+    }
+
+    #[test]
+    fn norms_and_axpy() {
+        let mut a = ModelParams::zeros(3, 2);
+        let mut b = ModelParams::zeros(3, 2);
+        b.embedding.set(0, 0, 3.0);
+        b.bias[1] = 4.0;
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.embedding.get(0, 0), 6.0);
+        assert_eq!(a.bias[1], 8.0);
+        assert!((a.global_norm() - 10.0).abs() < 1e-12);
+        let (we, wc, wb) = a.tensor_norms();
+        assert_eq!(we, 6.0);
+        assert_eq!(wc, 0.0);
+        assert_eq!(wb, 8.0);
+        let wrong = ModelParams::zeros(2, 2);
+        assert!(a.axpy(1.0, &wrong).is_err());
+    }
+
+    #[test]
+    fn deployable_embedding_has_unit_rows() {
+        let mut p = ModelParams::zeros(2, 2);
+        p.embedding.set(0, 0, 3.0);
+        p.embedding.set(0, 1, 4.0);
+        let d = p.deployable_embedding();
+        assert!((plp_linalg::ops::l2_norm(d.row(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(d.row(1), &[0.0, 0.0]);
+        // Original untouched.
+        assert_eq!(p.embedding.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn finiteness_detection() {
+        let mut p = ModelParams::zeros(2, 2);
+        assert!(p.all_finite());
+        p.context.set(1, 1, f64::NAN);
+        assert!(!p.all_finite());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = ModelParams::init(&mut rng, 5, 3).unwrap();
+        let s = serde_json::to_string(&p).unwrap();
+        let back: ModelParams = serde_json::from_str(&s).unwrap();
+        assert!(p.same_shape(&back));
+    }
+}

@@ -1,0 +1,179 @@
+//! Model utilisation (§3.3): turning the trained embedding matrix into
+//! next-location recommendations.
+//!
+//! "For each location check-in lᵢ ∈ ζ, the embedding vectors w(lᵢ) are
+//! extracted … the average of elements across dimensions of the stacked
+//! vectors is computed to produce a representation F(ζ) of the recent
+//! check-ins of the user. Finally, cosine similarity scores are computed as
+//! the dot-product of the vector F(ζ) to the embedding vector of each
+//! location … We rank all locations by their scores and select the top-K
+//! locations as the potential recommendations."
+
+use plp_linalg::{ops, topk, Matrix};
+
+use crate::error::ModelError;
+use crate::params::ModelParams;
+
+/// A deployed recommender: the unit-normalised embedding matrix (the only
+/// tensor shipped to devices — §3.3 footnote 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommender {
+    embedding: Matrix,
+}
+
+impl Recommender {
+    /// Builds a recommender from trained parameters (normalises rows; dot
+    /// product thereafter equals cosine similarity).
+    pub fn new(params: &ModelParams) -> Self {
+        Recommender { embedding: params.deployable_embedding() }
+    }
+
+    /// Builds a recommender from a raw embedding matrix (rows are
+    /// normalised).
+    pub fn from_embedding(embedding: Matrix) -> Self {
+        Recommender { embedding: embedding.normalized_rows() }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.embedding.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.embedding.cols()
+    }
+
+    /// The profile `F(ζ)`: the mean of the embedding rows of the recent
+    /// check-ins.
+    ///
+    /// # Errors
+    /// `recent` must be non-empty and all tokens in range.
+    pub fn profile(&self, recent: &[usize]) -> Result<Vec<f64>, ModelError> {
+        if recent.is_empty() {
+            return Err(ModelError::BadConfig { name: "recent", expected: "non-empty" });
+        }
+        let mut acc = vec![0.0; self.dim()];
+        for &t in recent {
+            if t >= self.vocab_size() {
+                return Err(ModelError::TokenOutOfRange { token: t, vocab: self.vocab_size() });
+            }
+            ops::axpy(1.0, self.embedding.row(t), &mut acc)?;
+        }
+        ops::scale(1.0 / recent.len() as f64, &mut acc);
+        Ok(acc)
+    }
+
+    /// Cosine-proportional scores of every location against `profile`
+    /// (rows are unit-length, so the dot product ranks identically to
+    /// cosine).
+    pub fn scores(&self, profile: &[f64]) -> Result<Vec<f64>, ModelError> {
+        if profile.len() != self.dim() {
+            return Err(ModelError::ShapeMismatch { what: "profile vs embedding dim" });
+        }
+        Ok(self.embedding.matvec(profile)?)
+    }
+
+    /// Top-`k` recommended locations for the recent check-ins `ζ`.
+    ///
+    /// # Errors
+    /// Propagates profile errors.
+    pub fn recommend(&self, recent: &[usize], k: usize) -> Result<Vec<usize>, ModelError> {
+        let p = self.profile(recent)?;
+        let s = self.scores(&p)?;
+        Ok(topk::top_k_indices(&s, k))
+    }
+
+    /// Top-`k` recommendations excluding the given locations (e.g. the ones
+    /// just visited).
+    ///
+    /// # Errors
+    /// Propagates profile errors.
+    pub fn recommend_excluding(
+        &self,
+        recent: &[usize],
+        k: usize,
+        exclude: &[usize],
+    ) -> Result<Vec<usize>, ModelError> {
+        let p = self.profile(recent)?;
+        let mut s = self.scores(&p)?;
+        for &e in exclude {
+            if e < s.len() {
+                s[e] = f64::NEG_INFINITY;
+            }
+        }
+        Ok(topk::top_k_indices(&s, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An embedding with two well-separated clusters: tokens 0–2 along +x,
+    /// tokens 3–5 along +y.
+    fn clustered() -> Recommender {
+        let mut m = Matrix::zeros(6, 2);
+        for t in 0..3 {
+            m.set(t, 0, 1.0);
+            m.set(t, 1, 0.05 * t as f64);
+        }
+        for t in 3..6 {
+            m.set(t, 1, 1.0);
+            m.set(t, 0, 0.05 * (t - 3) as f64);
+        }
+        Recommender::from_embedding(m)
+    }
+
+    #[test]
+    fn recommends_within_cluster() {
+        let r = clustered();
+        let top = r.recommend(&[0, 1], 3).unwrap();
+        assert!(top.contains(&0) && top.contains(&1) && top.contains(&2), "{top:?}");
+        let top_y = r.recommend(&[3, 4], 3).unwrap();
+        assert!(top_y.contains(&5), "{top_y:?}");
+    }
+
+    #[test]
+    fn profile_is_mean_of_rows() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 1.0);
+        let r = Recommender::from_embedding(m);
+        let p = r.profile(&[0, 1]).unwrap();
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn excluding_removes_visited() {
+        let r = clustered();
+        let top = r.recommend_excluding(&[0, 1], 2, &[0, 1]).unwrap();
+        assert!(!top.contains(&0) && !top.contains(&1));
+        assert!(top.contains(&2));
+        // Out-of-range exclusions are ignored.
+        let same = r.recommend_excluding(&[0, 1], 2, &[999]).unwrap();
+        assert_eq!(same, r.recommend(&[0, 1], 2).unwrap());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let r = clustered();
+        assert!(r.profile(&[]).is_err());
+        assert!(r.profile(&[99]).is_err());
+        assert!(r.scores(&[1.0]).is_err());
+        assert_eq!(r.vocab_size(), 6);
+        assert_eq!(r.dim(), 2);
+    }
+
+    #[test]
+    fn new_normalises_the_params_embedding() {
+        let mut params = ModelParams::zeros(2, 2);
+        params.embedding.set(0, 0, 10.0);
+        params.embedding.set(1, 0, 0.1);
+        let r = Recommender::new(&params);
+        // Both rows now unit length: scores against x-axis both 1.
+        let s = r.scores(&[1.0, 0.0]).unwrap();
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[1] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! Compact binary model snapshots.
+//!
+//! §3.3 (footnote 1): "to reduce communication costs, only the embedding
+//! matrix is deployed." This module provides both flavours: full-parameter
+//! snapshots (server-side checkpointing) and embedding-only deployment
+//! bundles (what ships to mobile devices), in a versioned little-endian
+//! binary format.
+
+use std::fs;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use plp_linalg::Matrix;
+
+use crate::error::ModelError;
+use crate::params::ModelParams;
+
+const MAGIC_FULL: &[u8; 4] = b"PLPM";
+const MAGIC_EMBED: &[u8; 4] = b"PLPE";
+const VERSION: u8 = 1;
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u32_le(m.rows() as u32);
+    buf.put_u32_le(m.cols() as u32);
+    for &x in m.as_slice() {
+        buf.put_f64_le(x);
+    }
+}
+
+fn get_matrix(data: &mut Bytes) -> Result<Matrix, ModelError> {
+    if data.remaining() < 8 {
+        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (matrix header)" });
+    }
+    let rows = data.get_u32_le() as usize;
+    let cols = data.get_u32_le() as usize;
+    let len = rows
+        .checked_mul(cols)
+        .ok_or(ModelError::ShapeMismatch { what: "snapshot matrix dims overflow" })?;
+    if data.remaining() < len * 8 {
+        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (matrix body)" });
+    }
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(data.get_f64_le());
+    }
+    Matrix::from_vec(rows, cols, v)
+        .map_err(|_| ModelError::ShapeMismatch { what: "snapshot matrix buffer" })
+}
+
+/// Encodes a full-parameter snapshot.
+pub fn encode_params(params: &ModelParams) -> Bytes {
+    let mut buf = BytesMut::with_capacity(21 + params.num_params() * 8 + 16);
+    buf.put_slice(MAGIC_FULL);
+    buf.put_u8(VERSION);
+    put_matrix(&mut buf, &params.embedding);
+    put_matrix(&mut buf, &params.context);
+    buf.put_u32_le(params.bias.len() as u32);
+    for &b in &params.bias {
+        buf.put_f64_le(b);
+    }
+    buf.freeze()
+}
+
+/// Decodes a full-parameter snapshot.
+///
+/// # Errors
+/// Returns [`ModelError::ShapeMismatch`] on truncation, magic/version
+/// mismatch or inconsistent tensor shapes.
+pub fn decode_params(mut data: Bytes) -> Result<ModelParams, ModelError> {
+    if data.remaining() < 5 {
+        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (header)" });
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC_FULL {
+        return Err(ModelError::ShapeMismatch { what: "bad snapshot magic" });
+    }
+    if data.get_u8() != VERSION {
+        return Err(ModelError::ShapeMismatch { what: "unsupported snapshot version" });
+    }
+    let embedding = get_matrix(&mut data)?;
+    let context = get_matrix(&mut data)?;
+    if data.remaining() < 4 {
+        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (bias header)" });
+    }
+    let blen = data.get_u32_le() as usize;
+    if data.remaining() < blen * 8 {
+        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (bias body)" });
+    }
+    let mut bias = Vec::with_capacity(blen);
+    for _ in 0..blen {
+        bias.push(data.get_f64_le());
+    }
+    if embedding.rows() != context.rows()
+        || embedding.cols() != context.cols()
+        || bias.len() != embedding.rows()
+    {
+        return Err(ModelError::ShapeMismatch { what: "inconsistent snapshot tensors" });
+    }
+    Ok(ModelParams { embedding, context, bias })
+}
+
+/// Encodes the deployment bundle: the unit-normalised embedding only.
+pub fn encode_deployable(params: &ModelParams) -> Bytes {
+    let embedding = params.deployable_embedding();
+    let mut buf = BytesMut::with_capacity(13 + embedding.len() * 8);
+    buf.put_slice(MAGIC_EMBED);
+    buf.put_u8(VERSION);
+    put_matrix(&mut buf, &embedding);
+    buf.freeze()
+}
+
+/// Decodes a deployment bundle into the embedding matrix.
+///
+/// # Errors
+/// Returns [`ModelError::ShapeMismatch`] on a malformed bundle.
+pub fn decode_deployable(mut data: Bytes) -> Result<Matrix, ModelError> {
+    if data.remaining() < 5 {
+        return Err(ModelError::ShapeMismatch { what: "bundle truncated (header)" });
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC_EMBED {
+        return Err(ModelError::ShapeMismatch { what: "bad bundle magic" });
+    }
+    if data.get_u8() != VERSION {
+        return Err(ModelError::ShapeMismatch { what: "unsupported bundle version" });
+    }
+    get_matrix(&mut data)
+}
+
+/// Writes a full snapshot to disk.
+///
+/// # Errors
+/// Returns [`ModelError::Io`] on filesystem failures.
+pub fn save_params(params: &ModelParams, path: &Path) -> Result<(), ModelError> {
+    fs::write(path, encode_params(params))
+        .map_err(|e| ModelError::Io { message: e.to_string() })
+}
+
+/// Reads a full snapshot from disk.
+///
+/// # Errors
+/// Returns [`ModelError::Io`] on filesystem failures and
+/// [`ModelError::ShapeMismatch`] on a malformed snapshot.
+pub fn load_params(path: &Path) -> Result<ModelParams, ModelError> {
+    let data = fs::read(path).map_err(|e| ModelError::Io { message: e.to_string() })?;
+    decode_params(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> ModelParams {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = ModelParams::init(&mut rng, 7, 4).unwrap();
+        p.context.map_inplace(|_| 0.25);
+        p.bias[2] = -1.5;
+        p
+    }
+
+    #[test]
+    fn full_snapshot_round_trip() {
+        let p = params();
+        let bytes = encode_params(&p);
+        let back = decode_params(bytes).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn deployable_bundle_round_trip_is_normalised() {
+        let p = params();
+        let bytes = encode_deployable(&p);
+        let emb = decode_deployable(bytes).unwrap();
+        assert_eq!(emb.rows(), 7);
+        assert_eq!(emb.cols(), 4);
+        for r in 0..emb.rows() {
+            let n = plp_linalg::ops::l2_norm(emb.row(r));
+            assert!(n == 0.0 || (n - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let p = params();
+        let bytes = encode_params(&p);
+        assert!(decode_params(bytes.slice(..3)).is_err());
+        assert!(decode_params(bytes.slice(..bytes.len() - 8)).is_err());
+        let mut raw = bytes.to_vec();
+        raw[0] = b'X';
+        assert!(decode_params(Bytes::from(raw)).is_err());
+        let mut raw = bytes.to_vec();
+        raw[4] = 77;
+        assert!(decode_params(Bytes::from(raw)).is_err());
+        // Full snapshot is not a deployment bundle and vice versa.
+        assert!(decode_deployable(encode_params(&p)).is_err());
+        assert!(decode_params(encode_deployable(&p)).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let p = params();
+        let dir = std::env::temp_dir().join("plp_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.plpm");
+        save_params(&p, &path).unwrap();
+        assert_eq!(load_params(&path).unwrap(), p);
+        assert!(load_params(&dir.join("missing.plpm")).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! The privacy ledger and moments accountant of Algorithm 1.
+//!
+//! Algorithm 1 keeps "a privacy ledger … to keep track of the privacy budget
+//! spent in each iteration by recording the values of σ and C" (lines 3, 11)
+//! and stops training once `cumulative_budget_spent() ≥ ε` (line 12). Here
+//! the ledger stores `(q, σ, steps)` sample entries (the clipping norm C does
+//! not enter the accountant — it scales the noise, not the privacy), and the
+//! [`MomentsAccountant`] folds them into an [`RdpCurve`] to answer ε(δ)
+//! queries at any point in training.
+
+use serde::{Deserialize, Serialize};
+
+use crate::budget::PrivacyBudget;
+use crate::error::PrivacyError;
+use crate::rdp::{RdpCurve, DEFAULT_MAX_MOMENT_ORDER};
+
+/// One ledger record: `steps` executions of a subsampled Gaussian mechanism
+/// with sampling rate `q` and (effective) noise multiplier
+/// `noise_multiplier`.
+///
+/// When a user's data may be split across ω buckets, the *effective* noise
+/// multiplier for accounting is `σ/ω` (equivalently: sensitivity grows to
+/// ωC while the noise std stays σC — see paper §4.2 Case 2); callers encode
+/// that in `noise_multiplier` before tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Poisson sampling rate of the step(s).
+    pub q: f64,
+    /// Effective noise multiplier of the step(s).
+    pub noise_multiplier: f64,
+    /// How many consecutive steps used these parameters.
+    pub steps: u64,
+}
+
+/// An append-only record of every private step taken.
+///
+/// The ledger is the auditable artifact: serialising it alongside a released
+/// model lets anyone recompute the (ε, δ) guarantee.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl PrivacyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        PrivacyLedger { entries: Vec::new() }
+    }
+
+    /// Records one step with sampling rate `q` and effective noise
+    /// multiplier `sigma`. Consecutive steps with identical parameters are
+    /// coalesced into a single entry.
+    ///
+    /// # Errors
+    /// `q` must lie in `[0, 1]`; `sigma` must be finite and positive.
+    pub fn track(&mut self, q: f64, sigma: f64) -> Result<(), PrivacyError> {
+        if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+            return Err(PrivacyError::InvalidParameter {
+                name: "q",
+                value: q,
+                expected: "in [0, 1]",
+            });
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(PrivacyError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                expected: "finite and > 0",
+            });
+        }
+        if let Some(last) = self.entries.last_mut() {
+            if last.q == q && last.noise_multiplier == sigma {
+                last.steps += 1;
+                return Ok(());
+            }
+        }
+        self.entries.push(LedgerEntry { q, noise_multiplier: sigma, steps: 1 });
+        Ok(())
+    }
+
+    /// All recorded entries, in order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total number of private steps recorded.
+    pub fn total_steps(&self) -> u64 {
+        self.entries.iter().map(|e| e.steps).sum()
+    }
+
+    /// `true` iff no steps have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rebuilds the composed RDP curve from the ledger.
+    ///
+    /// # Errors
+    /// Propagates parameter errors from curve construction.
+    pub fn rdp_curve(&self, max_order: usize) -> Result<RdpCurve, PrivacyError> {
+        let mut total = RdpCurve::zero(max_order)?;
+        for e in &self.entries {
+            let step = RdpCurve::subsampled_gaussian_step(e.q, e.noise_multiplier, max_order)?;
+            total.compose_steps(&step, e.steps)?;
+        }
+        Ok(total)
+    }
+
+    /// The cumulative ε(δ) implied by the ledger — the paper's
+    /// `cumulative_budget_spent()`. An empty ledger has spent ε = 0.
+    ///
+    /// # Errors
+    /// `delta` must lie in `(0, 1)`.
+    pub fn epsilon(&self, delta: f64) -> Result<f64, PrivacyError> {
+        if self.is_empty() {
+            if !(delta > 0.0 && delta < 1.0) {
+                return Err(PrivacyError::InvalidParameter {
+                    name: "delta",
+                    value: delta,
+                    expected: "in (0, 1)",
+                });
+            }
+            return Ok(0.0);
+        }
+        self.rdp_curve(DEFAULT_MAX_MOMENT_ORDER)?.epsilon(delta)
+    }
+}
+
+/// Incremental moments accountant: the fast path used inside the training
+/// loop, caching the per-step curve so identical consecutive steps cost one
+/// vector addition each.
+#[derive(Debug, Clone)]
+pub struct MomentsAccountant {
+    delta: f64,
+    max_order: usize,
+    total: RdpCurve,
+    steps: u64,
+    cached_step: Option<(f64, f64, RdpCurve)>,
+    ledger: PrivacyLedger,
+}
+
+impl MomentsAccountant {
+    /// Creates an accountant for a fixed `delta` over the default order
+    /// grid.
+    ///
+    /// # Errors
+    /// `delta` must lie in `(0, 1)`.
+    pub fn new(delta: f64) -> Result<Self, PrivacyError> {
+        Self::with_max_order(delta, DEFAULT_MAX_MOMENT_ORDER)
+    }
+
+    /// Creates an accountant over a custom order grid `1..=max_order`.
+    ///
+    /// # Errors
+    /// `delta` must lie in `(0, 1)` and `max_order >= 1`.
+    pub fn with_max_order(delta: f64, max_order: usize) -> Result<Self, PrivacyError> {
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                expected: "in (0, 1)",
+            });
+        }
+        Ok(MomentsAccountant {
+            delta,
+            max_order,
+            total: RdpCurve::zero(max_order)?,
+            steps: 0,
+            cached_step: None,
+            ledger: PrivacyLedger::new(),
+        })
+    }
+
+    /// The δ this accountant reports ε for.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of private steps accounted so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The underlying auditable ledger.
+    pub fn ledger(&self) -> &PrivacyLedger {
+        &self.ledger
+    }
+
+    fn step_curve(&mut self, q: f64, sigma: f64) -> Result<RdpCurve, PrivacyError> {
+        if let Some((cq, cs, curve)) = &self.cached_step {
+            if *cq == q && *cs == sigma {
+                return Ok(curve.clone());
+            }
+        }
+        let curve = RdpCurve::subsampled_gaussian_step(q, sigma, self.max_order)?;
+        self.cached_step = Some((q, sigma, curve.clone()));
+        Ok(curve)
+    }
+
+    /// Accounts one subsampled-Gaussian step.
+    ///
+    /// # Errors
+    /// `q` must lie in `[0, 1]`; `sigma` must be finite and positive.
+    pub fn step(&mut self, q: f64, sigma: f64) -> Result<(), PrivacyError> {
+        let curve = self.step_curve(q, sigma)?;
+        self.total.compose(&curve)?;
+        self.steps += 1;
+        self.ledger.track(q, sigma)?;
+        Ok(())
+    }
+
+    /// The cumulative privacy cost ε at the accountant's δ; `0` before any
+    /// step.
+    pub fn epsilon(&self) -> Result<f64, PrivacyError> {
+        if self.steps == 0 {
+            return Ok(0.0);
+        }
+        self.total.epsilon(self.delta)
+    }
+
+    /// ε after a *hypothetical* additional step — lets a trainer decide
+    /// whether the next step would overshoot the budget before taking it.
+    ///
+    /// # Errors
+    /// Same parameter requirements as [`MomentsAccountant::step`].
+    pub fn epsilon_after_hypothetical_step(
+        &mut self,
+        q: f64,
+        sigma: f64,
+    ) -> Result<f64, PrivacyError> {
+        let curve = self.step_curve(q, sigma)?;
+        let mut peek = self.total.clone();
+        peek.compose(&curve)?;
+        peek.epsilon(self.delta)
+    }
+
+    /// Returns an error if the accumulated ε has reached `budget.epsilon`
+    /// (Algorithm 1, line 12). The budget's δ must match the accountant's.
+    ///
+    /// # Errors
+    /// [`PrivacyError::BudgetExhausted`] when spent ε ≥ budget, or
+    /// [`PrivacyError::InvalidParameter`] on a δ mismatch.
+    pub fn check_budget(&self, budget: PrivacyBudget) -> Result<(), PrivacyError> {
+        if budget.delta != self.delta {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                value: budget.delta,
+                expected: "equal to the accountant's delta",
+            });
+        }
+        let spent = self.epsilon()?;
+        if spent >= budget.epsilon {
+            return Err(PrivacyError::BudgetExhausted { spent, budget: budget.epsilon });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_coalesces_identical_steps() {
+        let mut l = PrivacyLedger::new();
+        for _ in 0..5 {
+            l.track(0.06, 2.5).unwrap();
+        }
+        l.track(0.10, 2.5).unwrap();
+        assert_eq!(l.entries().len(), 2);
+        assert_eq!(l.entries()[0].steps, 5);
+        assert_eq!(l.total_steps(), 6);
+    }
+
+    #[test]
+    fn ledger_validates_parameters() {
+        let mut l = PrivacyLedger::new();
+        assert!(l.track(-0.1, 1.0).is_err());
+        assert!(l.track(1.1, 1.0).is_err());
+        assert!(l.track(0.5, 0.0).is_err());
+        assert!(l.track(0.5, f64::NAN).is_err());
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn empty_ledger_spends_nothing() {
+        let l = PrivacyLedger::new();
+        assert_eq!(l.epsilon(1e-5).unwrap(), 0.0);
+        assert!(l.epsilon(0.0).is_err());
+    }
+
+    #[test]
+    fn accountant_matches_ledger_replay() {
+        let mut acc = MomentsAccountant::with_max_order(2e-4, 128).unwrap();
+        for _ in 0..50 {
+            acc.step(0.06, 2.5).unwrap();
+        }
+        for _ in 0..20 {
+            acc.step(0.10, 1.5).unwrap();
+        }
+        let eps_inc = acc.epsilon().unwrap();
+        let replay = acc.ledger().rdp_curve(128).unwrap().epsilon(2e-4).unwrap();
+        assert!((eps_inc - replay).abs() < 1e-9, "{eps_inc} vs {replay}");
+        assert_eq!(acc.steps(), 70);
+    }
+
+    #[test]
+    fn epsilon_is_zero_before_any_step() {
+        let acc = MomentsAccountant::new(1e-5).unwrap();
+        assert_eq!(acc.epsilon().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn hypothetical_step_does_not_mutate() {
+        let mut acc = MomentsAccountant::new(2e-4).unwrap();
+        acc.step(0.06, 2.5).unwrap();
+        let before = acc.epsilon().unwrap();
+        let peek = acc.epsilon_after_hypothetical_step(0.06, 2.5).unwrap();
+        assert!(peek > before);
+        assert_eq!(acc.epsilon().unwrap(), before);
+        assert_eq!(acc.steps(), 1);
+        // Taking the real step lands exactly on the peeked value.
+        acc.step(0.06, 2.5).unwrap();
+        assert!((acc.epsilon().unwrap() - peek).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_budget_trips_when_exhausted() {
+        let mut acc = MomentsAccountant::new(2e-4).unwrap();
+        let budget = PrivacyBudget::new(0.8, 2e-4).unwrap();
+        let mut tripped = false;
+        for _ in 0..10_000 {
+            acc.step(0.10, 1.0).unwrap();
+            if acc.check_budget(budget).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "a tiny budget must eventually be exhausted");
+        let err = acc.check_budget(budget).unwrap_err();
+        assert!(matches!(err, PrivacyError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn check_budget_rejects_delta_mismatch() {
+        let acc = MomentsAccountant::new(2e-4).unwrap();
+        let budget = PrivacyBudget::new(1.0, 1e-5).unwrap();
+        assert!(acc.check_budget(budget).is_err());
+    }
+
+    #[test]
+    fn accountant_rejects_bad_delta() {
+        assert!(MomentsAccountant::new(0.0).is_err());
+        assert!(MomentsAccountant::new(1.0).is_err());
+        assert!(MomentsAccountant::with_max_order(1e-5, 0).is_err());
+    }
+
+    #[test]
+    fn ledger_serde_round_trip() {
+        let mut l = PrivacyLedger::new();
+        l.track(0.06, 2.5).unwrap();
+        l.track(0.06, 2.5).unwrap();
+        let s = serde_json::to_string(&l).unwrap();
+        let back: PrivacyLedger = serde_json::from_str(&s).unwrap();
+        assert_eq!(l, back);
+    }
+
+    #[test]
+    fn omega_two_accounting_costs_more() {
+        // Splitting a user across omega=2 buckets halves the effective noise
+        // multiplier; the resulting epsilon must be strictly larger.
+        let mut one = MomentsAccountant::new(2e-4).unwrap();
+        let mut two = MomentsAccountant::new(2e-4).unwrap();
+        for _ in 0..100 {
+            one.step(0.06, 2.5).unwrap();
+            two.step(0.06, 2.5 / 2.0).unwrap();
+        }
+        assert!(two.epsilon().unwrap() > one.epsilon().unwrap());
+    }
+}

@@ -1,0 +1,114 @@
+//! Classical (ε, δ) composition theorems.
+//!
+//! Provided as comparison baselines for the moments accountant: the paper
+//! motivates the accountant by noting that "sequential querying using
+//! differentially private mechanisms degrades the overall privacy level"
+//! under the standard composition theorem (§1, §2.3), and that the
+//! accountant "provides a much tighter upper bound on privacy budget
+//! consumption" (§2.3). These functions quantify that gap (see the
+//! `accountant_vs_composition` bench).
+
+use crate::error::PrivacyError;
+
+/// Naive (basic) composition: `k` mechanisms that are each
+/// (ε₀, δ₀)-DP compose to `(k·ε₀, k·δ₀)`-DP.
+///
+/// # Errors
+/// `eps0` must be finite and non-negative; `delta0` in `[0, 1)`.
+pub fn naive_composition(eps0: f64, delta0: f64, k: u64) -> Result<(f64, f64), PrivacyError> {
+    validate(eps0, delta0)?;
+    Ok((k as f64 * eps0, (k as f64 * delta0).min(1.0)))
+}
+
+/// Advanced composition (Dwork–Rothblum–Vadhan): `k` mechanisms each
+/// (ε₀, δ₀)-DP compose to
+/// `(ε₀·√(2k·ln(1/δ′)) + k·ε₀·(e^{ε₀} − 1), k·δ₀ + δ′)`-DP
+/// for any slack δ′ ∈ (0, 1).
+///
+/// # Errors
+/// Parameter domains as in [`naive_composition`]; `delta_slack` must lie in
+/// `(0, 1)`.
+pub fn advanced_composition(
+    eps0: f64,
+    delta0: f64,
+    k: u64,
+    delta_slack: f64,
+) -> Result<(f64, f64), PrivacyError> {
+    validate(eps0, delta0)?;
+    if !(delta_slack > 0.0 && delta_slack < 1.0) {
+        return Err(PrivacyError::InvalidParameter {
+            name: "delta_slack",
+            value: delta_slack,
+            expected: "in (0, 1)",
+        });
+    }
+    let kf = k as f64;
+    let eps = eps0 * (2.0 * kf * (1.0 / delta_slack).ln()).sqrt()
+        + kf * eps0 * (eps0.exp_m1());
+    let delta = (kf * delta0 + delta_slack).min(1.0);
+    Ok((eps, delta))
+}
+
+fn validate(eps0: f64, delta0: f64) -> Result<(), PrivacyError> {
+    if !(eps0.is_finite() && eps0 >= 0.0) {
+        return Err(PrivacyError::InvalidParameter {
+            name: "eps0",
+            value: eps0,
+            expected: "finite and >= 0",
+        });
+    }
+    if !(0.0..1.0).contains(&delta0) {
+        return Err(PrivacyError::InvalidParameter {
+            name: "delta0",
+            value: delta0,
+            expected: "in [0, 1)",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_is_linear() {
+        let (e, d) = naive_composition(0.1, 1e-6, 100).unwrap();
+        assert!((e - 10.0).abs() < 1e-12);
+        assert!((d - 1e-4).abs() < 1e-16);
+    }
+
+    #[test]
+    fn naive_delta_saturates_at_one() {
+        let (_, d) = naive_composition(0.1, 0.5, 100).unwrap();
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn advanced_beats_naive_for_many_small_steps() {
+        let eps0 = 0.01;
+        let k = 10_000;
+        let (naive_e, _) = naive_composition(eps0, 0.0, k).unwrap();
+        let (adv_e, _) = advanced_composition(eps0, 0.0, k, 1e-5).unwrap();
+        assert!(adv_e < naive_e, "advanced {adv_e} vs naive {naive_e}");
+    }
+
+    #[test]
+    fn advanced_composition_known_value() {
+        // eps0=0.1, k=100, delta'=1e-6:
+        // eps = 0.1*sqrt(200*ln(1e6)) + 100*0.1*(e^0.1 - 1)
+        let (e, d) = advanced_composition(0.1, 0.0, 100, 1e-6).unwrap();
+        let expected = 0.1 * (200.0f64 * (1e6f64).ln()).sqrt() + 10.0 * (0.1f64.exp() - 1.0);
+        assert!((e - expected).abs() < 1e-12);
+        assert!((d - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn validation_rejects_bad_domains() {
+        assert!(naive_composition(-0.1, 0.0, 1).is_err());
+        assert!(naive_composition(f64::NAN, 0.0, 1).is_err());
+        assert!(naive_composition(0.1, 1.0, 1).is_err());
+        assert!(advanced_composition(0.1, 0.0, 1, 0.0).is_err());
+        assert!(advanced_composition(0.1, 0.0, 1, 1.0).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the privacy layer.
+
+use std::fmt;
+
+/// Errors produced by differential-privacy primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivacyError {
+    /// An (ε, δ) pair or a mechanism parameter was outside its legal domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Description of the legal domain.
+        expected: &'static str,
+    },
+    /// The requested privacy guarantee cannot be met (e.g. σ = 0, or a
+    /// calibration search failed to converge).
+    Unsatisfiable {
+        /// Explanation of why the guarantee is unreachable.
+        reason: &'static str,
+    },
+    /// The privacy budget has been exhausted; no further private steps may
+    /// be executed.
+    BudgetExhausted {
+        /// ε spent so far.
+        spent: f64,
+        /// The configured budget.
+        budget: f64,
+    },
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::InvalidParameter { name, value, expected } => {
+                write!(f, "invalid privacy parameter {name} = {value}: expected {expected}")
+            }
+            PrivacyError::Unsatisfiable { reason } => {
+                write!(f, "privacy guarantee unsatisfiable: {reason}")
+            }
+            PrivacyError::BudgetExhausted { spent, budget } => {
+                write!(f, "privacy budget exhausted: spent eps = {spent} >= budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrivacyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PrivacyError::InvalidParameter { name: "q", value: 1.5, expected: "[0, 1]" };
+        assert!(e.to_string().contains("q = 1.5"));
+        let e = PrivacyError::BudgetExhausted { spent: 2.1, budget: 2.0 };
+        assert!(e.to_string().contains("2.1"));
+        let e = PrivacyError::Unsatisfiable { reason: "sigma too small" };
+        assert!(e.to_string().contains("sigma too small"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Geo-indistinguishability: the planar Laplace mechanism.
+//!
+//! §3.3: "When the model is deployed at an untrusted location-based service
+//! provider, the mobile user must protect the set ζ locally. Techniques
+//! such as geo-indistinguishability [3] can be applied to protect the
+//! check-in history … the check-in coordinates can be obfuscated."
+//!
+//! Andrés et al. (CCS 2013) define ε-geo-indistinguishability over the
+//! Euclidean plane and achieve it with the *planar Laplace* mechanism:
+//! draw an angle uniformly and a radius from the Gamma(2, 1/ε)
+//! distribution (whose density is `ε²·r·e^{−εr}`), obtained by inverting
+//! its CDF with the analytic solution based on the Lambert-W function's
+//! −1 branch.
+
+use rand::{Rng, RngExt};
+
+use crate::error::PrivacyError;
+
+/// The planar Laplace mechanism of geo-indistinguishability.
+///
+/// `epsilon` is the privacy parameter *per unit of distance*: points within
+/// distance `r` are ε·r-indistinguishable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanarLaplace {
+    epsilon: f64,
+}
+
+impl PlanarLaplace {
+    /// Creates the mechanism.
+    ///
+    /// # Errors
+    /// `epsilon` must be finite and positive.
+    pub fn new(epsilon: f64) -> Result<Self, PrivacyError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                expected: "finite and > 0",
+            });
+        }
+        Ok(PlanarLaplace { epsilon })
+    }
+
+    /// The privacy parameter ε (per distance unit).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The expected displacement `E[r] = 2/ε` of the mechanism.
+    pub fn expected_distance(&self) -> f64 {
+        2.0 / self.epsilon
+    }
+
+    /// Draws a radial displacement from the Gamma(2, 1/ε) radius
+    /// distribution by inverse-CDF sampling:
+    /// `r = −(W₋₁((u−1)/e) + 1) / ε` for `u` uniform in (0, 1).
+    pub fn sample_radius<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut u: f64 = rng.random();
+        while u <= f64::MIN_POSITIVE || u >= 1.0 {
+            u = rng.random();
+        }
+        let w = lambert_w_minus1((u - 1.0) / std::f64::consts::E);
+        -(w + 1.0) / self.epsilon
+    }
+
+    /// Perturbs a planar point `(x, y)` (in the same distance units ε was
+    /// calibrated for).
+    pub fn perturb_point<R: Rng + ?Sized>(&self, rng: &mut R, x: f64, y: f64) -> (f64, f64) {
+        let theta = std::f64::consts::TAU * rng.random::<f64>();
+        let r = self.sample_radius(rng);
+        (x + r * theta.cos(), y + r * theta.sin())
+    }
+}
+
+/// The −1 branch of the Lambert W function on `[-1/e, 0)`, via Newton
+/// iterations from the standard series initialisation.
+///
+/// Returns `f64::NAN` outside the domain.
+pub fn lambert_w_minus1(x: f64) -> f64 {
+    let inv_e = -1.0 / std::f64::consts::E;
+    if !(inv_e..0.0).contains(&x) {
+        if (x - inv_e).abs() < 1e-15 {
+            return -1.0;
+        }
+        return f64::NAN;
+    }
+    // Initialisation (Chapeau-Blondeau & Monir): series in
+    // p = -sqrt(2(1 + e·x)) near the branch point, asymptotic elsewhere.
+    let mut w = if x > -0.25 {
+        let l1 = (-x).ln();
+        let l2 = (-l1).ln();
+        l1 - l2 + l2 / l1
+    } else {
+        let p = -(2.0 * (1.0 + std::f64::consts::E * x)).sqrt();
+        -1.0 + p - p * p / 3.0 + 11.0 * p * p * p / 72.0
+    };
+    for _ in 0..60 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        let df = ew * (w + 1.0);
+        if df.abs() < 1e-300 {
+            break;
+        }
+        let step = f / df;
+        w -= step;
+        if step.abs() < 1e-14 * (1.0 + w.abs()) {
+            break;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lambert_w_satisfies_defining_equation() {
+        for &x in &[-0.3, -0.2, -0.1, -0.05, -0.01, -0.001] {
+            let w = lambert_w_minus1(x);
+            assert!((w * w.exp() - x).abs() < 1e-10, "x={x} w={w}");
+            assert!(w <= -1.0, "the -1 branch lies below -1: w={w}");
+        }
+        assert!((lambert_w_minus1(-1.0 / std::f64::consts::E) + 1.0).abs() < 1e-6);
+        assert!(lambert_w_minus1(0.5).is_nan());
+        assert!(lambert_w_minus1(-1.0).is_nan());
+    }
+
+    #[test]
+    fn radius_matches_gamma_2_mean_and_positivity() {
+        let eps = 0.5;
+        let m = PlanarLaplace::new(eps).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let radii: Vec<f64> = (0..n).map(|_| m.sample_radius(&mut rng)).collect();
+        assert!(radii.iter().all(|&r| r >= 0.0));
+        let mean = radii.iter().sum::<f64>() / n as f64;
+        // Gamma(2, 1/eps) has mean 2/eps = 4.
+        assert!((mean - m.expected_distance()).abs() < 0.1, "mean {mean}");
+        // And variance 2/eps^2 = 8.
+        let var = radii.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n as f64;
+        assert!((var - 8.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn perturbation_is_isotropic() {
+        let m = PlanarLaplace::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mut dx = 0.0;
+        let mut dy = 0.0;
+        for _ in 0..n {
+            let (x, y) = m.perturb_point(&mut rng, 10.0, -3.0);
+            dx += x - 10.0;
+            dy += y + 3.0;
+        }
+        assert!((dx / n as f64).abs() < 0.05, "mean dx {}", dx / n as f64);
+        assert!((dy / n as f64).abs() < 0.05, "mean dy {}", dy / n as f64);
+    }
+
+    #[test]
+    fn stronger_epsilon_means_smaller_displacement() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let weak = PlanarLaplace::new(0.1).unwrap();
+        let strong = PlanarLaplace::new(10.0).unwrap();
+        let avg = |m: &PlanarLaplace, rng: &mut StdRng| {
+            (0..5000).map(|_| m.sample_radius(rng)).sum::<f64>() / 5000.0
+        };
+        assert!(avg(&weak, &mut rng) > 50.0 * avg(&strong, &mut rng));
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(PlanarLaplace::new(0.0).is_err());
+        assert!(PlanarLaplace::new(-1.0).is_err());
+        assert!(PlanarLaplace::new(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Budget planning: inverse queries over the moments accountant.
+//!
+//! The paper's experiments fix a budget ε and ask how many steps training
+//! may run (Figures 7, 8, 11: "for a given value of δ, the privacy budget ε
+//! affects the amount of steps we can train until we exceed that budget").
+//! These helpers answer the two inverse questions a practitioner has:
+//!
+//! * [`max_steps`] — how many steps does (ε, δ) afford at fixed (q, σ)?
+//! * [`calibrate_noise`] — what σ achieves (ε, δ) for a fixed (q, steps)?
+
+use crate::budget::PrivacyBudget;
+use crate::error::PrivacyError;
+use crate::rdp::{RdpCurve, DEFAULT_MAX_MOMENT_ORDER};
+
+/// ε(δ) after `steps` identical subsampled-Gaussian steps.
+///
+/// # Errors
+/// Parameter domains as in [`RdpCurve::subsampled_gaussian_step`].
+pub fn epsilon_for_steps(
+    q: f64,
+    sigma: f64,
+    steps: u64,
+    delta: f64,
+) -> Result<f64, PrivacyError> {
+    if steps == 0 {
+        return Ok(0.0);
+    }
+    let step = RdpCurve::subsampled_gaussian_step(q, sigma, DEFAULT_MAX_MOMENT_ORDER)?;
+    let mut total = RdpCurve::zero(DEFAULT_MAX_MOMENT_ORDER)?;
+    total.compose_steps(&step, steps)?;
+    total.epsilon(delta)
+}
+
+/// The largest number of steps whose cumulative ε stays *strictly below* the
+/// budget, found by exponential search + bisection (ε is monotone in steps).
+///
+/// Returns 0 when even a single step overshoots.
+///
+/// # Errors
+/// Parameter domains as in [`RdpCurve::subsampled_gaussian_step`].
+pub fn max_steps(q: f64, sigma: f64, budget: PrivacyBudget) -> Result<u64, PrivacyError> {
+    // Validate parameters once up front.
+    let _ = RdpCurve::subsampled_gaussian_step(q, sigma, 1)?;
+    if epsilon_for_steps(q, sigma, 1, budget.delta)? >= budget.epsilon {
+        return Ok(0);
+    }
+    // Exponential search for an upper bound.
+    let mut hi = 1u64;
+    while epsilon_for_steps(q, sigma, hi, budget.delta)? < budget.epsilon {
+        if hi > (1 << 40) {
+            // The mechanism consumes essentially nothing (e.g. q ~ 0);
+            // report the cap rather than looping forever.
+            return Ok(hi);
+        }
+        hi *= 2;
+    }
+    let mut lo = hi / 2; // known feasible
+    // Invariant: eps(lo) < budget <= eps(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if epsilon_for_steps(q, sigma, mid, budget.delta)? < budget.epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// The smallest noise multiplier σ (within `tol`) such that `steps` steps at
+/// sampling rate `q` stay within `budget`, found by bisection over σ
+/// (ε is monotone decreasing in σ).
+///
+/// # Errors
+/// [`PrivacyError::Unsatisfiable`] if even σ = `sigma_max` overshoots.
+pub fn calibrate_noise(
+    q: f64,
+    steps: u64,
+    budget: PrivacyBudget,
+    sigma_max: f64,
+    tol: f64,
+) -> Result<f64, PrivacyError> {
+    if !(sigma_max.is_finite() && sigma_max > 0.0) {
+        return Err(PrivacyError::InvalidParameter {
+            name: "sigma_max",
+            value: sigma_max,
+            expected: "finite and > 0",
+        });
+    }
+    if epsilon_for_steps(q, sigma_max, steps, budget.delta)? > budget.epsilon {
+        return Err(PrivacyError::Unsatisfiable {
+            reason: "even sigma_max exceeds the budget; raise sigma_max or lower steps",
+        });
+    }
+    let mut lo = 1e-3; // below any usable multiplier
+    let mut hi = sigma_max;
+    if epsilon_for_steps(q, lo, steps, budget.delta)? <= budget.epsilon {
+        return Ok(lo);
+    }
+    // Invariant: eps(lo) > budget >= eps(hi).
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if epsilon_for_steps(q, mid, steps, budget.delta)? > budget.epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget(eps: f64) -> PrivacyBudget {
+        PrivacyBudget::new(eps, 2e-4).unwrap()
+    }
+
+    #[test]
+    fn epsilon_for_zero_steps_is_zero() {
+        assert_eq!(epsilon_for_steps(0.06, 2.5, 0, 2e-4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn max_steps_is_the_boundary() {
+        let q = 0.06;
+        let sigma = 2.5;
+        let b = budget(2.0);
+        let n = max_steps(q, sigma, b).unwrap();
+        assert!(n > 0);
+        let at = epsilon_for_steps(q, sigma, n, b.delta).unwrap();
+        let over = epsilon_for_steps(q, sigma, n + 1, b.delta).unwrap();
+        assert!(at < b.epsilon, "eps({n}) = {at} must be under budget");
+        assert!(over >= b.epsilon, "eps({}) = {over} must reach budget", n + 1);
+    }
+
+    #[test]
+    fn more_budget_allows_more_steps() {
+        let a = max_steps(0.06, 1.5, budget(1.0)).unwrap();
+        let b = max_steps(0.06, 1.5, budget(2.0)).unwrap();
+        let c = max_steps(0.06, 1.5, budget(4.0)).unwrap();
+        assert!(a < b && b < c, "{a} {b} {c}");
+    }
+
+    #[test]
+    fn larger_sigma_allows_more_steps() {
+        let lo = max_steps(0.06, 1.0, budget(2.0)).unwrap();
+        let hi = max_steps(0.06, 3.0, budget(2.0)).unwrap();
+        assert!(hi > lo, "{hi} vs {lo}");
+    }
+
+    #[test]
+    fn larger_q_allows_fewer_steps() {
+        // The paper: "for a higher sampling probability, the privacy budget
+        // is consumed faster, hence the count of total training steps is
+        // smaller" (Figure 8 discussion).
+        let lo_q = max_steps(0.04, 1.5, budget(2.0)).unwrap();
+        let hi_q = max_steps(0.12, 1.5, budget(2.0)).unwrap();
+        assert!(lo_q > hi_q, "{lo_q} vs {hi_q}");
+    }
+
+    #[test]
+    fn max_steps_zero_when_one_step_overshoots() {
+        // Tiny noise, huge q: a single step blows a microscopic budget.
+        let n = max_steps(1.0, 0.5, PrivacyBudget::new(0.01, 1e-6).unwrap()).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn calibrate_noise_meets_budget_tightly() {
+        let b = budget(2.0);
+        let q = 0.06;
+        let steps = 500;
+        let sigma = calibrate_noise(q, steps, b, 50.0, 1e-4).unwrap();
+        let eps = epsilon_for_steps(q, sigma, steps, b.delta).unwrap();
+        assert!(eps <= b.epsilon, "calibrated sigma must satisfy the budget");
+        // Tightness: slightly less noise must overshoot.
+        let eps_tight = epsilon_for_steps(q, sigma - 5e-3, steps, b.delta).unwrap();
+        assert!(eps_tight > b.epsilon * 0.98, "sigma should be near the boundary");
+    }
+
+    #[test]
+    fn calibrate_noise_unsatisfiable_when_capped() {
+        let b = PrivacyBudget::new(0.05, 1e-6).unwrap();
+        let r = calibrate_noise(0.5, 100_000, b, 1.0, 1e-3);
+        assert!(matches!(r, Err(PrivacyError::Unsatisfiable { .. })));
+    }
+
+    #[test]
+    fn calibrate_rejects_bad_sigma_max() {
+        assert!(calibrate_noise(0.1, 10, budget(1.0), 0.0, 1e-3).is_err());
+        assert!(calibrate_noise(0.1, 10, budget(1.0), f64::NAN, 1e-3).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper at figure scale.
+# Results land in results/<figure>.txt; EXPERIMENTS.md records the analysis.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+SCALE="${SCALE:-figure}"
+SEED="${SEED:-42}"
+# Ordered so the headline comparisons complete first.
+BINS=(
+  fig07_plp_vs_dpsgd_eps
+  fig10_vary_lambda
+  fig06_nonprivate_training
+  fig08_vary_q
+  fig09_runtime_vs_lambda
+  ablation_omega
+  ablation_grouping_strategy
+  fig12_vary_clip
+  fig11_vary_sigma
+  fig13_vary_neg
+  fig05_hparam_grid
+  ttest_plp_vs_dpsgd
+)
+cargo build --release -p plp-bench
+for bin in "${BINS[@]}"; do
+  echo "=== running $bin (scale=$SCALE seed=$SEED) ==="
+  cargo run --release -q -p plp-bench --bin "$bin" -- \
+    --scale "$SCALE" --seed "$SEED" | tee "results/$bin.txt"
+done
+echo "all figures regenerated under results/"

@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the PLP (Private Location Prediction)
+//! workspace: a Rust reproduction of "Differentially-Private Next-Location
+//! Prediction with Neural Networks" (Ahuja, Ghinita, Shahabi — EDBT 2020).
+//!
+//! See the individual crates for the actual implementation:
+//! [`plp_core`] (Algorithm 1 and baselines), [`plp_model`] (skip-gram),
+//! [`plp_privacy`] (moments accountant), [`plp_data`] (datasets) and
+//! [`plp_linalg`] (numeric kernels).
+
+pub use plp_core as core;
+pub use plp_data as data;
+pub use plp_linalg as linalg;
+pub use plp_model as model;
+pub use plp_privacy as privacy;

@@ -1,0 +1,78 @@
+//! End-to-end: the non-private skip-gram pipeline learns real structure
+//! from generated check-ins (the Figure 5/6 path).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dp_nextloc::core::config::Hyperparameters;
+use dp_nextloc::core::experiment::{evaluate, ExperimentConfig, PreparedData};
+use dp_nextloc::core::nonprivate::{train_nonprivate, NonPrivateConfig};
+use dp_nextloc::model::metrics::{popularity_hit_rate, random_baseline, token_counts};
+
+fn tiny() -> ExperimentConfig {
+    let mut c = ExperimentConfig::small(77);
+    c.generator.num_users = 150;
+    c.generator.num_locations = 120;
+    c.generator.target_checkins = 6_000;
+    c.generator.num_clusters = 6;
+    c.validation_users = 15;
+    c.test_users = 15;
+    c
+}
+
+fn fast_hp() -> Hyperparameters {
+    Hyperparameters {
+        embedding_dim: 16,
+        negative_samples: 6,
+        ..Hyperparameters::default()
+    }
+}
+
+#[test]
+fn nonprivate_training_beats_random_by_a_wide_margin() {
+    let prep = PreparedData::generate(&tiny()).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let out = train_nonprivate(
+        &mut rng,
+        &prep.train,
+        None,
+        &fast_hp(),
+        &NonPrivateConfig { epochs: 6, ..NonPrivateConfig::default() },
+    )
+    .unwrap();
+    let hr10 = evaluate(&out.params, &prep.test, &[10]).unwrap()[0].rate();
+    let random = random_baseline(10, prep.vocab_size());
+    assert!(
+        hr10 > 3.0 * random,
+        "learned HR@10 {hr10} should dwarf random {random}"
+    );
+}
+
+#[test]
+fn nonprivate_training_loss_decreases_monotonically_at_the_ends() {
+    let prep = PreparedData::generate(&tiny()).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let out = train_nonprivate(
+        &mut rng,
+        &prep.train,
+        None,
+        &fast_hp(),
+        &NonPrivateConfig { epochs: 5, ..NonPrivateConfig::default() },
+    )
+    .unwrap();
+    let first = out.telemetry.first().unwrap().train_loss;
+    let last = out.telemetry.last().unwrap().train_loss;
+    assert!(last < first, "epoch loss should fall: {first} -> {last}");
+    assert!(out.params.all_finite());
+}
+
+#[test]
+fn evaluation_baselines_are_ordered_sanely() {
+    // popularity >= random on skewed data; both within [0, 1].
+    let prep = PreparedData::generate(&tiny()).unwrap();
+    let counts = token_counts(&prep.train);
+    let pop = popularity_hit_rate(&counts, &prep.test, &[10])[0].rate();
+    let rand = random_baseline(10, prep.vocab_size());
+    assert!((0.0..=1.0).contains(&pop));
+    assert!(pop > rand, "popularity {pop} must beat random {rand} on Zipf data");
+}
