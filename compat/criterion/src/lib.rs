@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`: the same bench-definition surface
+//! (`Criterion`, groups, `BenchmarkId`, `criterion_group!` /
+//! `criterion_main!`) over a deliberately small timing loop.
+//!
+//! There is no statistical analysis — each benchmark is warmed up once
+//! and timed for a handful of iterations, and the mean is printed. Under
+//! `cargo test` (which runs `harness = false` bench targets with the
+//! `--test` flag) every benchmark body executes exactly once, as a smoke
+//! test.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing the result from being optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up (and the smoke-test run)
+        if self.iterations == 0 {
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        let per_iter = start.elapsed() / u32::try_from(self.iterations).unwrap_or(u32::MAX);
+        println!(
+            "    time: {per_iter:>12.2?}/iter over {} iters",
+            self.iterations
+        );
+    }
+}
+
+/// The benchmark driver handed to every target function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo runs `harness = false` bench targets with `--test` under
+        // `cargo test`; run each body once and skip timing there.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    fn run_one(
+        &self,
+        group: Option<&str>,
+        id: &str,
+        sample_size: u64,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let full = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_owned(),
+        };
+        println!("bench: {full}");
+        let iterations = if self.test_mode { 0 } else { sample_size };
+        f(&mut Bencher { iterations });
+    }
+
+    /// Runs an anonymous benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(None, &id.id, 10, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.criterion
+            .run_one(Some(&self.name), &id.id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        self.criterion
+            .run_one(Some(&self.name), &id.id, self.sample_size, &mut |b| {
+                f(b, input)
+            });
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles target functions into one group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_execute() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0u32;
+        c.bench_function("plain", |b| b.iter(|| runs += 1));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(20);
+            g.bench_function(format!("named_{}", 3), |b| b.iter(|| runs += 1));
+            g.bench_with_input(BenchmarkId::new("param", 64), &64usize, |b, &n| {
+                b.iter(|| runs += n as u32)
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 1 + 1 + 64, "test mode runs each body exactly once");
+    }
+}

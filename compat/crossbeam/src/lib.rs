@@ -1,0 +1,92 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`
+//! (stable since Rust 1.63). Only the `thread::scope` API the workspace
+//! uses is provided.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error half of [`scope`]'s result: the payload of a worker panic.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A handle to a scope in which threads can be spawned; mirrors
+    /// `crossbeam::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread; `join` returns the closure's result or
+    /// the panic payload.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Errors
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker; the closure receives the scope handle so it can
+        /// spawn further workers (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns.
+    ///
+    /// # Errors
+    /// `std::thread::scope` re-raises unhandled child panics in the parent,
+    /// so unlike crossbeam this in practice only ever returns `Ok`; the
+    /// `Result` mirrors crossbeam's signature for drop-in compatibility.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn workers_run_and_join() {
+        let data: Vec<u64> = (0..100).collect();
+        let total = thread::scope(|scope| {
+            let mid = data.len() / 2;
+            let (a, b) = data.split_at(mid);
+            let ha = scope.spawn(move |_| a.iter().sum::<u64>());
+            let hb = scope.spawn(move |_| b.iter().sum::<u64>());
+            ha.join().unwrap() + hb.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_in_join() {
+        let result = thread::scope(|scope| {
+            let h = scope.spawn(|_| -> usize { panic!("boom") });
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(result, "join must report the worker panic");
+    }
+}

@@ -1,0 +1,319 @@
+//! Offline stand-in for `proptest`: a deterministic random-case test
+//! runner with the strategy combinators the workspace's property tests
+//! use (ranges, `Just`, `prop_oneof!`, `collection::vec`).
+//!
+//! Unlike real proptest there is no shrinking — a failing case panics
+//! with the case index so it can be replayed (the generator is a pure
+//! function of the test name and case index).
+
+/// Strategy trait and primitive strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values for one test argument.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(usize, u32, u64, i32, i64, f64);
+
+    /// A uniform choice between boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.random_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Strategy for vectors with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn uniformly from `size` and
+    /// whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Config, RNG and case-loop driver used by the `proptest!` macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::fmt;
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property assertion (from `prop_assert!`-family macros).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Wraps an assertion-failure message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-case RNG: a pure function of (test name, case
+    /// index), so every run of the suite sees the same inputs.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Builds the RNG for one case of one named property.
+        pub fn deterministic(name: &str, case: u32) -> Self {
+            // FNV-1a over the name, then mix in the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl Rng for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Runs `f` once per case; panics (failing the enclosing `#[test]`)
+    /// on the first case whose assertions fail.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::deterministic(name, case);
+            if let Err(e) = f(&mut rng) {
+                panic!(
+                    "property `{name}` failed at case {case}/{}: {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// The glob import used by consumers: strategies, config, macros, and
+/// the crate itself under the conventional `prop` alias.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome
+            });
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(__options)
+    }};
+}
+
+/// Like `assert!`, but fails only the current case (with its index).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails only the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            n in 3usize..10,
+            x in -2.5f64..2.5,
+            pick in prop_oneof![Just(1u8), Just(9u8)],
+        ) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-2.5..2.5).contains(&x));
+            prop_assert!(pick == 1 || pick == 9, "unexpected arm {}", pick);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in prop::collection::vec(0i64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..8)
+            .map(|c| s.sample(&mut crate::test_runner::TestRng::deterministic("t", c)))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|c| s.sample(&mut crate::test_runner::TestRng::deterministic("t", c)))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "cases should vary");
+    }
+}

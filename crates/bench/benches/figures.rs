@@ -81,7 +81,10 @@ fn fig09(c: &mut Criterion) {
     let prep = prep();
     let mut hp = Scale::Bench.hyperparameters();
     hp.max_steps = 2;
-    hp.budget = plp_privacy::PrivacyBudget { epsilon: 1e9, delta: 2e-4 };
+    hp.budget = plp_privacy::PrivacyBudget {
+        epsilon: 1e9,
+        delta: 2e-4,
+    };
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
     group.bench_function("fig09_dpsgd_steps", |b| {
@@ -97,9 +100,7 @@ fn fig09(c: &mut Criterion) {
     group.bench_function("fig09_plp_lambda4_steps", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(5);
-            black_box(
-                plp_core::plp::train_plp(&mut rng, &prep.train, None, &plp_hp).expect("plp"),
-            )
+            black_box(plp_core::plp::train_plp(&mut rng, &prep.train, None, &plp_hp).expect("plp"))
         });
     });
     group.finish();
@@ -122,7 +123,11 @@ fn fig13(c: &mut Criterion) {
 }
 
 fn ablation_omega(c: &mut Criterion) {
-    bench_sweep(c, "ablation_omega_point", figures::ablation_omega(Scale::Bench));
+    bench_sweep(
+        c,
+        "ablation_omega_point",
+        figures::ablation_omega(Scale::Bench),
+    );
 }
 
 fn ablation_grouping(c: &mut Criterion) {

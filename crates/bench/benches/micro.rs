@@ -118,7 +118,10 @@ fn grouping(c: &mut Criterion) {
             sessions: vec![(0..100).map(|t| (t * 13 + i) % VOCAB).collect()],
         })
         .collect();
-    let ds = TokenizedDataset { users, vocab_size: VOCAB };
+    let ds = TokenizedDataset {
+        users,
+        vocab_size: VOCAB,
+    };
     let sampled: Vec<usize> = (0..500).collect();
     let mut group = c.benchmark_group("grouping");
     for strategy in [GroupingStrategy::Random, GroupingStrategy::EqualFrequency] {

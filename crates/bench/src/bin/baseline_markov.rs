@@ -20,14 +20,17 @@ use plp_privacy::PrivacyBudget;
 
 fn main() {
     let opts = parse_args();
-    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
-        .expect("data preparation");
+    let prep =
+        PreparedData::generate(&opts.scale.experiment_config(opts.seed)).expect("data preparation");
     println!("== baseline comparison (HR@{{5,10,20}} on held-out users) ==");
     println!(
         "dataset: {} users, {} locations, {} check-ins",
         prep.stats.num_users, prep.stats.num_locations, prep.stats.num_checkins
     );
-    println!("{:<34} {:>8} {:>8} {:>8}", "method", "HR@5", "HR@10", "HR@20");
+    println!(
+        "{:<34} {:>8} {:>8} {:>8}",
+        "method", "HR@5", "HR@10", "HR@20"
+    );
 
     let ks = [5usize, 10, 20];
     let mut rows = Vec::new();
@@ -57,8 +60,7 @@ fn main() {
     // DP-Markov at eps in {1, 2, 4}, per-user cap 20.
     for eps in [1.0, 2.0, 4.0] {
         let mut rng = StdRng::seed_from_u64(opts.seed + 13);
-        let dp = DpMarkovRecommender::fit(&mut rng, &prep.train, eps, 20)
-            .expect("dp-markov fit");
+        let dp = DpMarkovRecommender::fit(&mut rng, &prep.train, eps, 20).expect("dp-markov fit");
         let hr = evaluate_hit_rate(&dp, &prep.test, &ks).expect("dp-markov eval");
         print_row(&format!("dp-markov (eps={eps}, cap=20)"), &hr);
     }
@@ -75,20 +77,31 @@ fn main() {
         &prep.train,
         None,
         &hp,
-        &NonPrivateConfig { epochs, ..NonPrivateConfig::default() },
+        &NonPrivateConfig {
+            epochs,
+            ..NonPrivateConfig::default()
+        },
     )
     .expect("nonprivate train");
-    let hr = evaluate_hit_rate(&Recommender::new(&np.params), &prep.test, &ks)
-        .expect("nonprivate eval");
+    let hr =
+        evaluate_hit_rate(&Recommender::new(&np.params), &prep.test, &ks).expect("nonprivate eval");
     print_row(&format!("skip-gram (non-private, {epochs} ep)"), &hr);
 
     let mut plp_hp = hp;
-    plp_hp.budget = PrivacyBudget { epsilon: 2.0, delta: 2e-4 };
+    plp_hp.budget = PrivacyBudget {
+        epsilon: 2.0,
+        delta: 2e-4,
+    };
     let mut rng = StdRng::seed_from_u64(opts.seed + 31);
     let plp = train_plp(&mut rng, &prep.train, None, &plp_hp).expect("plp train");
-    let hr = evaluate_hit_rate(&Recommender::new(&plp.params), &prep.test, &ks)
-        .expect("plp eval");
-    print_row(&format!("PLP skip-gram (eps=2, λ={})", plp_hp.grouping_factor), &hr);
+    let hr = evaluate_hit_rate(&Recommender::new(&plp.params), &prep.test, &ks).expect("plp eval");
+    print_row(
+        &format!("PLP skip-gram (eps=2, λ={})", plp_hp.grouping_factor),
+        &hr,
+    );
 
-    println!("JSON {}", serde_json::json!({"figure": "baseline_markov", "rows": rows}));
+    println!(
+        "JSON {}",
+        serde_json::json!({"figure": "baseline_markov", "rows": rows})
+    );
 }

@@ -22,19 +22,17 @@ fn epochs_for(scale: Scale) -> usize {
     }
 }
 
-fn run_one(
-    prep: &PreparedData,
-    hp: &Hyperparameters,
-    epochs: usize,
-    seed: u64,
-) -> (f64, f64, f64) {
+fn run_one(prep: &PreparedData, hp: &Hyperparameters, epochs: usize, seed: u64) -> (f64, f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let out = train_nonprivate(
         &mut rng,
         &prep.train,
         None,
         hp,
-        &NonPrivateConfig { epochs, ..NonPrivateConfig::default() },
+        &NonPrivateConfig {
+            epochs,
+            ..NonPrivateConfig::default()
+        },
     )
     .expect("training");
     let rec = Recommender::new(&out.params);
@@ -53,7 +51,10 @@ fn main() {
         "dataset: {} users, {} locations, {} check-ins; {} epochs per point",
         prep.stats.num_users, prep.stats.num_locations, prep.stats.num_checkins, epochs
     );
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "panel", "value", "HR@5", "HR@10", "HR@20");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "panel", "value", "HR@5", "HR@10", "HR@20"
+    );
 
     let mut json_rows = Vec::new();
     // Panel 1: embedding dimension.
@@ -61,32 +62,55 @@ fn main() {
         let mut hp = base.clone();
         hp.embedding_dim = dim;
         let (h5, h10, h20) = run_one(&prep, &hp, epochs, opts.seed + 1);
-        println!("{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}", "dim", dim, h5, h10, h20);
-        json_rows.push(serde_json::json!({"panel": "dim", "value": dim, "hr5": h5, "hr10": h10, "hr20": h20}));
+        println!(
+            "{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}",
+            "dim", dim, h5, h10, h20
+        );
+        json_rows.push(
+            serde_json::json!({"panel": "dim", "value": dim, "hr5": h5, "hr10": h10, "hr20": h20}),
+        );
     }
     // Panel 2: skip window.
     for &win in &[1usize, 2, 3, 4, 5] {
         let mut hp = base.clone();
         hp.context_window = win;
         let (h5, h10, h20) = run_one(&prep, &hp, epochs, opts.seed + 2);
-        println!("{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}", "win", win, h5, h10, h20);
-        json_rows.push(serde_json::json!({"panel": "win", "value": win, "hr5": h5, "hr10": h10, "hr20": h20}));
+        println!(
+            "{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}",
+            "win", win, h5, h10, h20
+        );
+        json_rows.push(
+            serde_json::json!({"panel": "win", "value": win, "hr5": h5, "hr10": h10, "hr20": h20}),
+        );
     }
     // Panel 3: batch size.
     for &b in &[16usize, 32, 64, 128, 256] {
         let mut hp = base.clone();
         hp.batch_size = b;
         let (h5, h10, h20) = run_one(&prep, &hp, epochs, opts.seed + 3);
-        println!("{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}", "batch", b, h5, h10, h20);
-        json_rows.push(serde_json::json!({"panel": "batch", "value": b, "hr5": h5, "hr10": h10, "hr20": h20}));
+        println!(
+            "{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}",
+            "batch", b, h5, h10, h20
+        );
+        json_rows.push(
+            serde_json::json!({"panel": "batch", "value": b, "hr5": h5, "hr10": h10, "hr20": h20}),
+        );
     }
     // Panel 4: negative samples.
     for &neg in &[4usize, 8, 16, 32, 64] {
         let mut hp = base.clone();
         hp.negative_samples = neg;
         let (h5, h10, h20) = run_one(&prep, &hp, epochs, opts.seed + 4);
-        println!("{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}", "neg", neg, h5, h10, h20);
-        json_rows.push(serde_json::json!({"panel": "neg", "value": neg, "hr5": h5, "hr10": h10, "hr20": h20}));
+        println!(
+            "{:<10} {:>8} {:>8.4} {:>8.4} {:>8.4}",
+            "neg", neg, h5, h10, h20
+        );
+        json_rows.push(
+            serde_json::json!({"panel": "neg", "value": neg, "hr5": h5, "hr10": h10, "hr20": h20}),
+        );
     }
-    println!("JSON {}", serde_json::json!({"figure": "fig05", "rows": json_rows}));
+    println!(
+        "JSON {}",
+        serde_json::json!({"figure": "fig05", "rows": json_rows})
+    );
 }

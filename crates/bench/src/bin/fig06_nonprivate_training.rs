@@ -16,8 +16,8 @@ use plp_model::Recommender;
 
 fn main() {
     let opts = parse_args();
-    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
-        .expect("data preparation");
+    let prep =
+        PreparedData::generate(&opts.scale.experiment_config(opts.seed)).expect("data preparation");
     let (epochs, eval_every) = match opts.scale {
         Scale::Bench => (4, 2),
         Scale::Figure => (40, 4),
@@ -40,7 +40,11 @@ fn main() {
         &prep.train,
         Some(&prep.validation),
         &hp,
-        &NonPrivateConfig { epochs, eval_every, ..NonPrivateConfig::default() },
+        &NonPrivateConfig {
+            epochs,
+            eval_every,
+            ..NonPrivateConfig::default()
+        },
     )
     .expect("training");
 

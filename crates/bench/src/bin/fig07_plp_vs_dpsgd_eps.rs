@@ -13,8 +13,8 @@ use plp_core::experiment::PreparedData;
 
 fn main() {
     let opts = parse_args();
-    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
-        .expect("data preparation");
+    let prep =
+        PreparedData::generate(&opts.scale.experiment_config(opts.seed)).expect("data preparation");
     for q in [0.06, 0.10] {
         let points = fig07(opts.scale, q);
         drive_sweep(

@@ -22,8 +22,8 @@ use plp_privacy::PrivacyBudget;
 
 fn main() {
     let opts = parse_args();
-    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
-        .expect("data preparation");
+    let prep =
+        PreparedData::generate(&opts.scale.experiment_config(opts.seed)).expect("data preparation");
     let steps = match opts.scale {
         Scale::Bench => 3,
         Scale::Figure => 25,
@@ -33,11 +33,17 @@ fn main() {
         "dataset: {} users, {} check-ins; {} steps per measurement",
         prep.stats.num_users, prep.stats.num_checkins, steps
     );
-    println!("{:<18} {:>4} {:>12} {:>12} {:>8}", "setting", "λ", "dpsgd_ms", "plp_ms", "factor");
+    println!(
+        "{:<18} {:>4} {:>12} {:>12} {:>8}",
+        "setting", "λ", "dpsgd_ms", "plp_ms", "factor"
+    );
 
     let mut hp = opts.scale.hyperparameters();
     hp.max_steps = steps;
-    hp.budget = PrivacyBudget { epsilon: 1e9, delta: 2e-4 }; // step-capped runs
+    hp.budget = PrivacyBudget {
+        epsilon: 1e9,
+        delta: 2e-4,
+    }; // step-capped runs
 
     // Measure the DP-SGD reference once per (q, sigma) setting.
     let mut rows = Vec::new();
@@ -68,5 +74,8 @@ fn main() {
             "dpsgd_ms": base_ms, "plp_ms": out.summary.total_wall_ms, "factor": factor,
         }));
     }
-    println!("JSON {}", serde_json::json!({"figure": "fig09", "rows": rows}));
+    println!(
+        "JSON {}",
+        serde_json::json!({"figure": "fig09", "rows": rows})
+    );
 }

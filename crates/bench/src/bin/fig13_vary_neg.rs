@@ -11,8 +11,8 @@ use plp_core::experiment::PreparedData;
 
 fn main() {
     let opts = parse_args();
-    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
-        .expect("data preparation");
+    let prep =
+        PreparedData::generate(&opts.scale.experiment_config(opts.seed)).expect("data preparation");
     let points = fig13(opts.scale);
     drive_sweep(
         "fig13",

@@ -51,7 +51,9 @@ fn main() {
     hp.embedding_dim = dim;
     hp.budget = PrivacyBudget::new(eps, 2e-4).unwrap();
     hp.noise_multiplier = sigma;
-    hp.server_optimizer = ServerOptimizer::Adam { learning_rate: server_lr };
+    hp.server_optimizer = ServerOptimizer::Adam {
+        learning_rate: server_lr,
+    };
     hp.max_steps = std::env::var("MAX_STEPS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -70,8 +72,16 @@ fn main() {
         let hr = evaluate(&out.params, &prep.test, &[10]).unwrap();
         let mean_clip: f64 = out.telemetry.iter().map(|t| t.clip_fraction).sum::<f64>()
             / out.telemetry.len().max(1) as f64;
-        let mean_loss_first = out.telemetry.first().map(|t| t.mean_local_loss).unwrap_or(0.0);
-        let mean_loss_last = out.telemetry.last().map(|t| t.mean_local_loss).unwrap_or(0.0);
+        let mean_loss_first = out
+            .telemetry
+            .first()
+            .map(|t| t.mean_local_loss)
+            .unwrap_or(0.0);
+        let mean_loss_last = out
+            .telemetry
+            .last()
+            .map(|t| t.mean_local_loss)
+            .unwrap_or(0.0);
         println!(
             "lambda={lambda}: HR@10 {:.4} steps {} eps {:.3} clip-frac {:.3} loss {:.3}->{:.3} wall {:.1}s",
             hr[0].rate(),

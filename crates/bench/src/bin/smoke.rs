@@ -34,7 +34,12 @@ fn main() {
     plp_hp.budget = PrivacyBudget::new(4.0, 2e-4).unwrap();
     let plp = run_point(
         &prep,
-        &SweepPoint { method: "PLP λ=4".into(), x: 0.0, hp: plp_hp.clone(), dpsgd: false },
+        &SweepPoint {
+            method: "PLP λ=4".into(),
+            x: 0.0,
+            hp: plp_hp.clone(),
+            dpsgd: false,
+        },
         2,
     )
     .unwrap();
@@ -42,7 +47,12 @@ fn main() {
 
     let dpsgd = run_point(
         &prep,
-        &SweepPoint { method: "DP-SGD".into(), x: 0.0, hp: plp_hp, dpsgd: true },
+        &SweepPoint {
+            method: "DP-SGD".into(),
+            x: 0.0,
+            hp: plp_hp,
+            dpsgd: true,
+        },
         2,
     )
     .unwrap();

@@ -20,8 +20,8 @@ use plp_privacy::PrivacyBudget;
 fn main() {
     let opts = parse_args();
     let reps = if opts.seeds > 1 { opts.seeds } else { 5 };
-    let prep = PreparedData::generate(&opts.scale.experiment_config(opts.seed))
-        .expect("data preparation");
+    let prep =
+        PreparedData::generate(&opts.scale.experiment_config(opts.seed)).expect("data preparation");
     let mut hp = opts.scale.hyperparameters();
     // TTEST_EPS / TTEST_STEPS override the default eps=2 operating point
     // (the grouping gain needs enough steps to rise above the noise floor;
@@ -30,10 +30,16 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2.0);
-    if let Some(steps) = std::env::var("TTEST_STEPS").ok().and_then(|v| v.parse().ok()) {
+    if let Some(steps) = std::env::var("TTEST_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
         hp.max_steps = steps;
     }
-    hp.budget = PrivacyBudget { epsilon: eps, delta: 2e-4 };
+    hp.budget = PrivacyBudget {
+        epsilon: eps,
+        delta: 2e-4,
+    };
     hp.grouping_factor = 4;
 
     println!("== paired t-test: PLP (λ=4) vs DP-SGD at eps={eps} over {reps} seeds ==");

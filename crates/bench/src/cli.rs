@@ -15,7 +15,11 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scale: Scale::Figure, seed: 42, seeds: 1 }
+        Options {
+            scale: Scale::Figure,
+            seed: 42,
+            seeds: 1,
+        }
     }
 }
 

@@ -11,17 +11,30 @@ use plp_privacy::PrivacyBudget;
 use crate::runner::{Scale, SweepPoint};
 
 fn budget(eps: f64) -> PrivacyBudget {
-    PrivacyBudget { epsilon: eps, delta: 2e-4 }
+    PrivacyBudget {
+        epsilon: eps,
+        delta: 2e-4,
+    }
 }
 
 fn plp_point(label: &str, x: f64, hp: Hyperparameters, lambda: usize) -> SweepPoint {
     let mut hp = hp;
     hp.grouping_factor = lambda;
-    SweepPoint { method: format!("{label} λ={lambda}"), x, hp, dpsgd: false }
+    SweepPoint {
+        method: format!("{label} λ={lambda}"),
+        x,
+        hp,
+        dpsgd: false,
+    }
 }
 
 fn dpsgd_point(x: f64, hp: Hyperparameters) -> SweepPoint {
-    SweepPoint { method: "DP-SGD".to_string(), x, hp, dpsgd: true }
+    SweepPoint {
+        method: "DP-SGD".to_string(),
+        x,
+        hp,
+        dpsgd: true,
+    }
 }
 
 /// Figure 7: HR@10 vs privacy budget ε ∈ {0.5, 1, 2, 3, 4} for PLP (λ = 6,
@@ -191,7 +204,12 @@ pub fn ablation_grouping(scale: Scale) -> Vec<SweepPoint> {
         let mut hp = scale.hyperparameters();
         hp.grouping_strategy = strategy;
         hp.budget = budget(2.0);
-        points.push(SweepPoint { method: label.to_string(), x: 0.0, hp, dpsgd: false });
+        points.push(SweepPoint {
+            method: label.to_string(),
+            x: 0.0,
+            hp,
+            dpsgd: false,
+        });
     }
     points
 }

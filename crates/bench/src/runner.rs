@@ -1,14 +1,18 @@
 //! Experiment runner shared by the criterion benches and the `fig*`
 //! binaries.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::path::PathBuf;
 
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use plp_core::checkpoint::load_checkpoint;
 use plp_core::config::Hyperparameters;
-use plp_core::dpsgd::train_dpsgd;
+use plp_core::dpsgd::baseline_hyperparameters;
 use plp_core::experiment::{evaluate, EvalRecord, ExperimentConfig, PreparedData};
+use plp_core::faults::FaultInjector;
 use plp_core::nonprivate::{train_nonprivate, NonPrivateConfig};
-use plp_core::plp::{train_plp, PlpOutcome};
+use plp_core::plp::{resume_plp, train_plp_resumable, CheckpointPolicy, TrainOptions};
 use plp_core::CoreError;
 
 /// Experiment scale: trade fidelity for wall-clock time.
@@ -49,8 +53,10 @@ impl Scale {
 
     /// Hyper-parameters scaled to this profile (paper defaults otherwise).
     pub fn hyperparameters(self) -> Hyperparameters {
-        let mut hp = Hyperparameters::default();
-        hp.max_steps = self.max_steps();
+        let mut hp = Hyperparameters {
+            max_steps: self.max_steps(),
+            ..Hyperparameters::default()
+        };
         if self == Scale::Bench {
             hp.embedding_dim = 16;
             hp.negative_samples = 8;
@@ -73,6 +79,32 @@ pub struct SweepPoint {
     pub dpsgd: bool,
 }
 
+/// Crash-safety knobs for [`run_point_with`] and
+/// [`try_drive_sweep_with`]: periodic checkpointing, automatic resume and
+/// (for drills) fault injection. The default is the classic
+/// fire-and-forget run.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Checkpoint file (single points) or directory (sweeps, one file per
+    /// point/rep). `None` disables persistence and resume.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Save a checkpoint every this many steps (0: only at run end).
+    pub checkpoint_every: u64,
+    /// Fault injector for robustness drills (inert by default).
+    pub faults: FaultInjector,
+}
+
+impl RunControl {
+    /// Periodic checkpointing to `path` every `every` steps.
+    pub fn checkpointed(path: PathBuf, every: u64) -> Self {
+        RunControl {
+            checkpoint_path: Some(path),
+            checkpoint_every: every,
+            ..Self::default()
+        }
+    }
+}
+
 /// Trains one sweep point and evaluates HR@{5,10,20} on the test users.
 ///
 /// # Errors
@@ -82,11 +114,57 @@ pub fn run_point(
     point: &SweepPoint,
     seed: u64,
 ) -> Result<EvalRecord, CoreError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let outcome: PlpOutcome = if point.dpsgd {
-        train_dpsgd(&mut rng, &prep.train, None, &point.hp)?
+    run_point_with(prep, point, seed, &RunControl::default())
+}
+
+/// [`run_point`] with checkpointing and auto-resume. When the control's
+/// checkpoint file holds a valid checkpoint of this exact configuration,
+/// training resumes from it (bit-identical to an uninterrupted run); a
+/// corrupt or torn file is discarded and the run restarts from scratch.
+///
+/// # Errors
+/// Propagates pipeline errors, including [`CoreError::CheckpointMismatch`]
+/// when an existing checkpoint belongs to a *different* configuration —
+/// silently restarting would mask an experiment-setup bug.
+pub fn run_point_with(
+    prep: &PreparedData,
+    point: &SweepPoint,
+    seed: u64,
+    control: &RunControl,
+) -> Result<EvalRecord, CoreError> {
+    let hp = if point.dpsgd {
+        baseline_hyperparameters(&point.hp)
     } else {
-        train_plp(&mut rng, &prep.train, None, &point.hp)?
+        point.hp.clone()
+    };
+    // The first draw of the seeded stream is exactly the run seed the
+    // non-resumable `train_plp` would derive, so results stay comparable.
+    let run_seed: u64 = StdRng::seed_from_u64(seed).random();
+    let opts = TrainOptions {
+        faults: control.faults,
+        checkpoint: control
+            .checkpoint_path
+            .clone()
+            .map(|path| CheckpointPolicy {
+                path,
+                every: control.checkpoint_every,
+            }),
+        halt_after: None,
+    };
+    let resumable = opts
+        .checkpoint
+        .as_ref()
+        .filter(|p| p.path.exists())
+        .map(|p| &p.path);
+    let outcome = match resumable.map(|path| load_checkpoint(path)) {
+        Some(Ok(ckpt)) => resume_plp(ckpt, &prep.train, None, &hp, &opts)?,
+        Some(Err(CoreError::CheckpointCorrupt { .. })) => {
+            // A torn write from a previous crash: integrity checks caught
+            // it, so start over rather than trust damaged state.
+            train_plp_resumable(run_seed, &prep.train, None, &hp, &opts)?
+        }
+        Some(Err(e)) => return Err(e),
+        None => train_plp_resumable(run_seed, &prep.train, None, &hp, &opts)?,
     };
     let hit_rates = evaluate(&outcome.params, &prep.test, &[5, 10, 20])?;
     Ok(EvalRecord {
@@ -111,7 +189,10 @@ pub fn run_nonprivate(
     seed: u64,
 ) -> Result<EvalRecord, CoreError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let cfg = NonPrivateConfig { epochs, ..NonPrivateConfig::default() };
+    let cfg = NonPrivateConfig {
+        epochs,
+        ..NonPrivateConfig::default()
+    };
     let start = std::time::Instant::now();
     let out = train_nonprivate(&mut rng, &prep.train, None, hp, &cfg)?;
     let hit_rates = evaluate(&out.params, &prep.test, &[5, 10, 20])?;
@@ -191,8 +272,12 @@ mod tests {
         let prep = PreparedData::generate(&Scale::Bench.experiment_config(3)).unwrap();
         let mut hp = Scale::Bench.hyperparameters();
         hp.max_steps = 2;
-        let point =
-            SweepPoint { method: "PLP λ=2".into(), x: 2.0, hp, dpsgd: false };
+        let point = SweepPoint {
+            method: "PLP λ=2".into(),
+            x: 2.0,
+            hp,
+            dpsgd: false,
+        };
         let r = run_point(&prep, &point, 11).unwrap();
         assert_eq!(r.hit_rates.len(), 3);
         assert_eq!(r.steps, 2);
@@ -207,17 +292,51 @@ mod tests {
 /// and pooling hits/trials), printing rows as they complete. Returns the
 /// pooled records.
 ///
-/// # Panics
-/// Panics on pipeline errors — the binaries are experiment drivers, not
-/// library code.
-pub fn drive_sweep(
+/// # Errors
+/// Propagates the first pipeline error. Already-printed rows are lost;
+/// with checkpointing enabled (see [`try_drive_sweep_with`]) a rerun
+/// resumes each finished point from its checkpoint instead of retraining.
+pub fn try_drive_sweep(
     figure: &str,
     description: &str,
     prep: &PreparedData,
     points: &[SweepPoint],
     base_seed: u64,
     seeds: usize,
-) -> Vec<EvalRecord> {
+) -> Result<Vec<EvalRecord>, CoreError> {
+    try_drive_sweep_with(
+        figure,
+        description,
+        prep,
+        points,
+        base_seed,
+        seeds,
+        &RunControl::default(),
+    )
+}
+
+/// [`try_drive_sweep`] under a [`RunControl`]. When the control names a
+/// checkpoint *directory*, every (point, rep) run checkpoints to its own
+/// file in it and auto-resumes on rerun.
+///
+/// # Errors
+/// As [`try_drive_sweep`], plus [`CoreError::Io`] when the checkpoint
+/// directory cannot be created.
+#[allow(clippy::too_many_arguments)]
+pub fn try_drive_sweep_with(
+    figure: &str,
+    description: &str,
+    prep: &PreparedData,
+    points: &[SweepPoint],
+    base_seed: u64,
+    seeds: usize,
+    control: &RunControl,
+) -> Result<Vec<EvalRecord>, CoreError> {
+    if let Some(dir) = &control.checkpoint_path {
+        std::fs::create_dir_all(dir).map_err(|e| CoreError::Io {
+            message: e.to_string(),
+        })?;
+    }
     print_header(figure, description, prep);
     let mut records = Vec::with_capacity(points.len());
     for (i, point) in points.iter().enumerate() {
@@ -226,7 +345,14 @@ pub fn drive_sweep(
             let seed = base_seed
                 .wrapping_add(1000 + i as u64)
                 .wrapping_add(rep as u64 * 7_919);
-            let r = run_point(prep, point, seed).expect("sweep point");
+            let point_control = RunControl {
+                checkpoint_path: control
+                    .checkpoint_path
+                    .as_ref()
+                    .map(|dir| dir.join(format!("{figure}-p{i}-r{rep}.plpc"))),
+                ..control.clone()
+            };
+            let r = run_point_with(prep, point, seed, &point_control)?;
             pooled = Some(match pooled.take() {
                 None => r,
                 Some(mut acc) => {
@@ -240,12 +366,35 @@ pub fn drive_sweep(
                 }
             });
         }
-        let r = pooled.expect("at least one rep");
-        print_record(&r);
-        records.push(r);
+        // seeds.max(1) >= 1 reps always ran, so pooled is set.
+        if let Some(r) = pooled {
+            print_record(&r);
+            records.push(r);
+        }
     }
     print_json(figure, &records);
-    records
+    Ok(records)
+}
+
+/// Panicking convenience wrapper around [`try_drive_sweep`] for the
+/// `fig*` experiment binaries, where aborting with the error message is
+/// the right behaviour.
+///
+/// # Panics
+/// Panics on pipeline errors — library code should call
+/// [`try_drive_sweep`] instead.
+pub fn drive_sweep(
+    figure: &str,
+    description: &str,
+    prep: &PreparedData,
+    points: &[SweepPoint],
+    base_seed: u64,
+    seeds: usize,
+) -> Vec<EvalRecord> {
+    match try_drive_sweep(figure, description, prep, points, base_seed, seeds) {
+        Ok(records) => records,
+        Err(e) => panic!("sweep {figure} failed: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -253,12 +402,46 @@ mod drive_tests {
     use super::*;
 
     #[test]
+    fn sweep_checkpoints_and_reruns_resume() {
+        let prep = PreparedData::generate(&Scale::Bench.experiment_config(6)).unwrap();
+        let mut hp = Scale::Bench.hyperparameters();
+        hp.max_steps = 2;
+        let points = vec![SweepPoint {
+            method: "PLP λ=2".into(),
+            x: 0.0,
+            hp,
+            dpsgd: false,
+        }];
+        let dir = std::env::temp_dir().join(format!("plp_sweep_ckpt_{}", std::process::id()));
+        let control = RunControl::checkpointed(dir.clone(), 1);
+        let first = try_drive_sweep_with("t2", "ckpt", &prep, &points, 1, 1, &control).unwrap();
+        assert!(
+            dir.join("t2-p0-r0.plpc").exists(),
+            "sweep must leave a checkpoint"
+        );
+        // A rerun resumes the finished run from its checkpoint and lands
+        // on the same record without retraining.
+        let second = try_drive_sweep_with("t2", "ckpt", &prep, &points, 1, 1, &control).unwrap();
+        assert_eq!(first[0].steps, second[0].steps);
+        assert_eq!(first[0].hit_rates[0].hits, second[0].hit_rates[0].hits);
+        assert_eq!(
+            first[0].epsilon_spent.to_bits(),
+            second[0].epsilon_spent.to_bits(),
+            "resumed ε comes from the same ledger"
+        );
+    }
+
+    #[test]
     fn drive_sweep_pools_seeds() {
         let prep = PreparedData::generate(&Scale::Bench.experiment_config(5)).unwrap();
         let mut hp = Scale::Bench.hyperparameters();
         hp.max_steps = 1;
-        let points =
-            vec![SweepPoint { method: "PLP λ=2".into(), x: 0.0, hp, dpsgd: false }];
+        let points = vec![SweepPoint {
+            method: "PLP λ=2".into(),
+            x: 0.0,
+            hp,
+            dpsgd: false,
+        }];
         let recs = drive_sweep("t", "pooling", &prep, &points, 1, 2);
         assert_eq!(recs.len(), 1);
         let single = run_point(&prep, &points[0], 1001).unwrap();

@@ -56,7 +56,13 @@ pub fn per_user_losses<R: Rng + ?Sized>(
         if tokens.len() < 2 {
             continue;
         }
-        out.push(validation_loss(rng, params, &tokens, &local, &NegativeSampler::Uniform)?);
+        out.push(validation_loss(
+            rng,
+            params,
+            &tokens,
+            &local,
+            &NegativeSampler::Uniform,
+        )?);
     }
     Ok(out)
 }
@@ -172,7 +178,10 @@ mod tests {
     #[test]
     fn short_histories_are_skipped() {
         let ds = TokenizedDataset {
-            users: vec![UserSequences { user: UserId(0), sessions: vec![vec![1]] }],
+            users: vec![UserSequences {
+                user: UserId(0),
+                sessions: vec![vec![1]],
+            }],
             vocab_size: 4,
         };
         let mut rng = StdRng::seed_from_u64(5);

@@ -1,0 +1,554 @@
+//! Crash-safe training checkpoints (`PLPC` format).
+//!
+//! A [`TrainingCheckpoint`] captures everything a private training run
+//! needs to resume bit-identically after a crash: the model parameters
+//! (reusing the `PLPM` snapshot encoding), the server-optimizer state
+//! (including Adam's moment estimates), the auditable privacy ledger, the
+//! run seed and the number of completed steps.
+//!
+//! Integrity and safety properties:
+//! * **Versioned**: a magic/version header rejects foreign or future files.
+//! * **Config-fingerprinted**: the header carries a fingerprint of the
+//!   hyper-parameters (and vocabulary size) that produced it; a resumed
+//!   run refuses to start under a different configuration, because mixing
+//!   configurations would silently invalidate both the model and the
+//!   privacy accounting.
+//! * **CRC-terminated**: a CRC-32 footer over the whole payload detects
+//!   truncated or bit-flipped files before any field is trusted.
+//! * **Atomically written**: [`save_checkpoint`] writes to a temporary
+//!   file, fsyncs it, then renames over the destination, so a crash
+//!   mid-write never destroys the previous good checkpoint.
+//!
+//! The privacy ledger inside the checkpoint is the source of truth for ε:
+//! resuming rebuilds the moments accountant from the ledger entries
+//! rather than trusting any cached ε value.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use plp_model::optimizer::{ServerAdam, ServerSgd};
+use plp_model::params::ModelParams;
+use plp_model::snapshot;
+use plp_privacy::accountant::LedgerEntry;
+use plp_privacy::PrivacyLedger;
+
+use crate::config::Hyperparameters;
+use crate::error::CoreError;
+
+const MAGIC: &[u8; 4] = b"PLPC";
+const VERSION: u8 = 1;
+
+/// Server-optimizer state as stored in a checkpoint.
+// A checkpoint holds exactly one of these, so the Sgd/Adam size gap is
+// irrelevant; boxing the moment tensors would only complicate the codec.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerState {
+    /// Plain averaging server (stateless beyond its rate).
+    Sgd {
+        /// Server learning rate.
+        learning_rate: f64,
+    },
+    /// DP-Adam with its full moment state.
+    Adam {
+        /// Step size α.
+        learning_rate: f64,
+        /// First-moment decay β₁.
+        beta1: f64,
+        /// Second-moment decay β₂.
+        beta2: f64,
+        /// Numerical-stability constant ε.
+        eps: f64,
+        /// Steps taken (drives bias correction).
+        t: u64,
+        /// First-moment estimate.
+        m: ModelParams,
+        /// Second-moment estimate.
+        v: ModelParams,
+    },
+}
+
+impl ServerState {
+    /// Captures the state of a live optimizer.
+    pub fn of_sgd(sgd: &ServerSgd) -> Self {
+        ServerState::Sgd {
+            learning_rate: sgd.learning_rate,
+        }
+    }
+
+    /// Captures the state of a live Adam optimizer.
+    pub fn of_adam(adam: &ServerAdam) -> Self {
+        let (t, m, v) = adam.state();
+        ServerState::Adam {
+            learning_rate: adam.learning_rate,
+            beta1: adam.beta1,
+            beta2: adam.beta2,
+            eps: adam.eps,
+            t,
+            m: m.clone(),
+            v: v.clone(),
+        }
+    }
+}
+
+/// Everything needed to resume a private training run bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingCheckpoint {
+    /// Fingerprint of the configuration that produced this checkpoint
+    /// (see [`config_fingerprint`]).
+    pub fingerprint: u64,
+    /// The run's base seed; per-step randomness derives from
+    /// `(run_seed, step)`, which is what makes resumption bit-identical.
+    pub run_seed: u64,
+    /// Completed (and privacy-accounted) steps.
+    pub step: u64,
+    /// Model parameters after `step` steps.
+    pub params: ModelParams,
+    /// Server-optimizer state after `step` steps.
+    pub server: ServerState,
+    /// The auditable privacy ledger — the source of truth for ε.
+    pub ledger: PrivacyLedger,
+}
+
+/// Fingerprints a training configuration: FNV-1a 64 over the canonical
+/// JSON encoding of the hyper-parameters plus the vocabulary size. Any
+/// change to either yields a different fingerprint, so checkpoints cannot
+/// silently resume under mismatched settings.
+///
+/// # Errors
+/// Propagates (theoretical) serialization failures as [`CoreError::Io`].
+pub fn config_fingerprint(hp: &Hyperparameters, vocab_size: usize) -> Result<u64, CoreError> {
+    let canonical = serde_json::to_string(hp).map_err(|e| CoreError::Io {
+        message: e.to_string(),
+    })?;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(canonical.as_bytes());
+    eat(&(vocab_size as u64).to_le_bytes());
+    Ok(h)
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb == 1 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+fn put_blob(buf: &mut BytesMut, blob: &Bytes) {
+    buf.put_u64_le(blob.len() as u64);
+    buf.put_slice(blob.as_ref());
+}
+
+fn get_blob(data: &mut Bytes) -> Result<Bytes, CoreError> {
+    if data.remaining() < 8 {
+        return Err(CoreError::CheckpointCorrupt {
+            what: "truncated blob header",
+        });
+    }
+    let len = data.get_u64_le();
+    let len = usize::try_from(len).map_err(|_| CoreError::CheckpointCorrupt {
+        what: "blob length overflow",
+    })?;
+    if data.remaining() < len {
+        return Err(CoreError::CheckpointCorrupt {
+            what: "truncated blob body",
+        });
+    }
+    let blob = data.slice(..len);
+    *data = data.slice(len..);
+    Ok(blob)
+}
+
+/// Serializes a checkpoint to its `PLPC` binary form (CRC footer
+/// included).
+pub fn encode_checkpoint(ckpt: &TrainingCheckpoint) -> Bytes {
+    let params_blob = snapshot::encode_params(&ckpt.params);
+    let mut buf = BytesMut::with_capacity(64 + params_blob.len() * 3);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(ckpt.fingerprint);
+    buf.put_u64_le(ckpt.run_seed);
+    buf.put_u64_le(ckpt.step);
+    put_blob(&mut buf, &params_blob);
+    match &ckpt.server {
+        ServerState::Sgd { learning_rate } => {
+            buf.put_u8(0);
+            buf.put_f64_le(*learning_rate);
+        }
+        ServerState::Adam {
+            learning_rate,
+            beta1,
+            beta2,
+            eps,
+            t,
+            m,
+            v,
+        } => {
+            buf.put_u8(1);
+            buf.put_f64_le(*learning_rate);
+            buf.put_f64_le(*beta1);
+            buf.put_f64_le(*beta2);
+            buf.put_f64_le(*eps);
+            buf.put_u64_le(*t);
+            put_blob(&mut buf, &snapshot::encode_params(m));
+            put_blob(&mut buf, &snapshot::encode_params(v));
+        }
+    }
+    let entries = ckpt.ledger.entries();
+    buf.put_u32_le(entries.len() as u32);
+    for e in entries {
+        buf.put_f64_le(e.q);
+        buf.put_f64_le(e.noise_multiplier);
+        buf.put_u64_le(e.steps);
+    }
+    let body = buf.freeze();
+    let mut with_crc = BytesMut::with_capacity(body.len() + 4);
+    with_crc.put_slice(body.as_ref());
+    with_crc.put_u32_le(crc32(body.as_ref()));
+    with_crc.freeze()
+}
+
+fn get_f64(data: &mut Bytes, what: &'static str) -> Result<f64, CoreError> {
+    if data.remaining() < 8 {
+        return Err(CoreError::CheckpointCorrupt { what });
+    }
+    Ok(data.get_f64_le())
+}
+
+/// Deserializes and integrity-checks a `PLPC` checkpoint.
+///
+/// # Errors
+/// [`CoreError::CheckpointCorrupt`] on any truncation, bad magic/version,
+/// CRC mismatch, malformed tensor, invalid ledger entry, or a step count
+/// disagreeing with the ledger.
+pub fn decode_checkpoint(data: Bytes) -> Result<TrainingCheckpoint, CoreError> {
+    if data.len() < 4 + 1 + 24 + 4 {
+        return Err(CoreError::CheckpointCorrupt {
+            what: "file shorter than a header",
+        });
+    }
+    let body = data.slice(..data.len() - 4);
+    let mut footer = data.slice(data.len() - 4..);
+    if footer.get_u32_le() != crc32(body.as_ref()) {
+        return Err(CoreError::CheckpointCorrupt {
+            what: "CRC mismatch",
+        });
+    }
+    let mut data = body;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CoreError::CheckpointCorrupt { what: "bad magic" });
+    }
+    if data.get_u8() != VERSION {
+        return Err(CoreError::CheckpointCorrupt {
+            what: "unsupported version",
+        });
+    }
+    let fingerprint = data.get_u64_le();
+    let run_seed = data.get_u64_le();
+    let step = data.get_u64_le();
+    let params = snapshot::decode_params(get_blob(&mut data)?).map_err(|_| {
+        CoreError::CheckpointCorrupt {
+            what: "malformed parameter snapshot",
+        }
+    })?;
+    if data.remaining() < 1 {
+        return Err(CoreError::CheckpointCorrupt {
+            what: "missing server tag",
+        });
+    }
+    let server = match data.get_u8() {
+        0 => ServerState::Sgd {
+            learning_rate: get_f64(&mut data, "truncated sgd state")?,
+        },
+        1 => {
+            let learning_rate = get_f64(&mut data, "truncated adam state")?;
+            let beta1 = get_f64(&mut data, "truncated adam state")?;
+            let beta2 = get_f64(&mut data, "truncated adam state")?;
+            let eps = get_f64(&mut data, "truncated adam state")?;
+            if data.remaining() < 8 {
+                return Err(CoreError::CheckpointCorrupt {
+                    what: "truncated adam state",
+                });
+            }
+            let t = data.get_u64_le();
+            let m = snapshot::decode_params(get_blob(&mut data)?).map_err(|_| {
+                CoreError::CheckpointCorrupt {
+                    what: "malformed adam m",
+                }
+            })?;
+            let v = snapshot::decode_params(get_blob(&mut data)?).map_err(|_| {
+                CoreError::CheckpointCorrupt {
+                    what: "malformed adam v",
+                }
+            })?;
+            ServerState::Adam {
+                learning_rate,
+                beta1,
+                beta2,
+                eps,
+                t,
+                m,
+                v,
+            }
+        }
+        _ => {
+            return Err(CoreError::CheckpointCorrupt {
+                what: "unknown server tag",
+            })
+        }
+    };
+    if data.remaining() < 4 {
+        return Err(CoreError::CheckpointCorrupt {
+            what: "truncated ledger header",
+        });
+    }
+    let n = data.get_u32_le() as usize;
+    if data.remaining() != n * 24 {
+        return Err(CoreError::CheckpointCorrupt {
+            what: "ledger length mismatch",
+        });
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(LedgerEntry {
+            q: data.get_f64_le(),
+            noise_multiplier: data.get_f64_le(),
+            steps: data.get_u64_le(),
+        });
+    }
+    let ledger =
+        PrivacyLedger::from_entries(entries).map_err(|_| CoreError::CheckpointCorrupt {
+            what: "invalid ledger entry",
+        })?;
+    if ledger.total_steps() != step {
+        return Err(CoreError::CheckpointCorrupt {
+            what: "step count disagrees with ledger",
+        });
+    }
+    Ok(TrainingCheckpoint {
+        fingerprint,
+        run_seed,
+        step,
+        params,
+        server,
+        ledger,
+    })
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the destination, then best-effort directory fsync.
+///
+/// # Errors
+/// [`CoreError::Io`] on any filesystem failure.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CoreError> {
+    let io = |e: std::io::Error| CoreError::Io {
+        message: e.to_string(),
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp).map_err(io)?;
+        f.write_all(bytes).map_err(io)?;
+        f.sync_all().map_err(io)?;
+    }
+    fs::rename(&tmp, path).map_err(io)?;
+    // Persisting the rename itself needs a directory fsync; not every
+    // platform supports opening a directory, so this part is best-effort.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Atomically writes a checkpoint to `path`.
+///
+/// # Errors
+/// [`CoreError::Io`] on filesystem failures.
+pub fn save_checkpoint(ckpt: &TrainingCheckpoint, path: &Path) -> Result<(), CoreError> {
+    write_atomic(path, encode_checkpoint(ckpt).as_ref())
+}
+
+/// Reads and integrity-checks a checkpoint from `path`.
+///
+/// # Errors
+/// [`CoreError::Io`] on filesystem failures, [`CoreError::CheckpointCorrupt`]
+/// on a damaged file.
+pub fn load_checkpoint(path: &Path) -> Result<TrainingCheckpoint, CoreError> {
+    let data = fs::read(path).map_err(|e| CoreError::Io {
+        message: e.to_string(),
+    })?;
+    decode_checkpoint(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_checkpoint(adam: bool) -> TrainingCheckpoint {
+        let mut rng = StdRng::seed_from_u64(13);
+        let params = ModelParams::init(&mut rng, 9, 4).unwrap();
+        let server = if adam {
+            let mut p = params.clone();
+            let mut opt = ServerAdam::new(&params, 0.01).unwrap();
+            let mut dir = ModelParams::zeros(9, 4);
+            dir.bias[1] = 0.125;
+            opt.step(&mut p, &dir).unwrap();
+            ServerState::of_adam(&opt)
+        } else {
+            ServerState::of_sgd(&ServerSgd::new(0.5).unwrap())
+        };
+        let mut ledger = PrivacyLedger::new();
+        for _ in 0..6 {
+            ledger.track(0.06, 2.5).unwrap();
+        }
+        ledger.track(0.08, 2.5).unwrap();
+        TrainingCheckpoint {
+            fingerprint: 0xDEAD_BEEF_F00D_CAFE,
+            run_seed: 42,
+            step: 7,
+            params,
+            server,
+            ledger,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        for adam in [false, true] {
+            let ckpt = sample_checkpoint(adam);
+            let back = decode_checkpoint(encode_checkpoint(&ckpt)).unwrap();
+            assert_eq!(back, ckpt);
+        }
+    }
+
+    #[test]
+    fn corruption_is_always_detected() {
+        let ckpt = sample_checkpoint(true);
+        let bytes = encode_checkpoint(&ckpt);
+        // Truncation at every plausible boundary.
+        for cut in [0, 3, 8, 24, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_checkpoint(bytes.slice(..cut)).is_err(),
+                "truncation to {cut} bytes must fail"
+            );
+        }
+        // A single flipped bit anywhere trips the CRC.
+        for at in [
+            0usize,
+            4,
+            20,
+            bytes.len() / 3,
+            bytes.len() - 5,
+            bytes.len() - 1,
+        ] {
+            let mut raw = bytes.to_vec();
+            raw[at] ^= 0x10;
+            assert!(
+                decode_checkpoint(Bytes::from(raw)).is_err(),
+                "bit flip at {at}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version_behind_valid_crc() {
+        let ckpt = sample_checkpoint(false);
+        let bytes = encode_checkpoint(&ckpt);
+        // Re-seal the CRC after tampering so only the semantic check trips.
+        let reseal = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut raw = bytes.to_vec();
+            raw.truncate(raw.len() - 4);
+            mutate(&mut raw);
+            let crc = crc32(&raw);
+            raw.extend_from_slice(&crc.to_le_bytes());
+            decode_checkpoint(Bytes::from(raw))
+        };
+        assert!(matches!(
+            reseal(&|raw| raw[0] = b'X'),
+            Err(CoreError::CheckpointCorrupt { what: "bad magic" })
+        ));
+        assert!(matches!(
+            reseal(&|raw| raw[4] = 99),
+            Err(CoreError::CheckpointCorrupt {
+                what: "unsupported version"
+            })
+        ));
+        // Step count disagreeing with the ledger is rejected too.
+        assert!(matches!(
+            reseal(&|raw| raw[21] = 200),
+            Err(CoreError::CheckpointCorrupt {
+                what: "step count disagrees with ledger"
+            })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_config_and_vocab() {
+        let hp = Hyperparameters::default();
+        let a = config_fingerprint(&hp, 100).unwrap();
+        assert_eq!(
+            a,
+            config_fingerprint(&hp, 100).unwrap(),
+            "fingerprint is stable"
+        );
+        assert_ne!(a, config_fingerprint(&hp, 101).unwrap(), "vocab matters");
+        let mut hp2 = hp.clone();
+        hp2.noise_multiplier += 0.1;
+        assert_ne!(a, config_fingerprint(&hp2, 100).unwrap(), "σ matters");
+        let mut hp3 = hp;
+        hp3.grouping_factor += 1;
+        assert_ne!(a, config_fingerprint(&hp3, 100).unwrap(), "λ matters");
+    }
+
+    #[test]
+    fn atomic_save_and_load() {
+        let dir = std::env::temp_dir().join("plp_checkpoint_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.plpc");
+        let first = sample_checkpoint(false);
+        save_checkpoint(&first, &path).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap(), first);
+        // Overwriting is atomic: the new checkpoint replaces the old one
+        // and no temp file survives.
+        let second = sample_checkpoint(true);
+        save_checkpoint(&second, &path).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap(), second);
+        assert!(
+            !dir.join("run.plpc.tmp").exists(),
+            "temp file must not linger"
+        );
+        assert!(load_checkpoint(&dir.join("absent.plpc")).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -31,7 +31,9 @@ impl Default for ServerOptimizer {
         // rate (calibrated empirically — larger values let the DP noise
         // random-walk the parameters out of the useful region, smaller
         // values freeze learning; see EXPERIMENTS.md).
-        ServerOptimizer::Adam { learning_rate: 0.01 }
+        ServerOptimizer::Adam {
+            learning_rate: 0.01,
+        }
     }
 }
 
@@ -109,7 +111,10 @@ impl Default for Hyperparameters {
             grouping_factor: 4,
             split_factor: 1,
             grouping_strategy: GroupingStrategyConfig::Random,
-            budget: PrivacyBudget { epsilon: 2.0, delta: 2e-4 },
+            budget: PrivacyBudget {
+                epsilon: 2.0,
+                delta: 2e-4,
+            },
             loss: Loss::SampledSoftmax,
             server_optimizer: ServerOptimizer::default(),
             max_steps: 10_000,
@@ -126,16 +131,28 @@ impl Hyperparameters {
     /// Returns [`CoreError::BadConfig`] naming the first bad field.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.embedding_dim == 0 {
-            return Err(CoreError::BadConfig { name: "embedding_dim", expected: ">= 1" });
+            return Err(CoreError::BadConfig {
+                name: "embedding_dim",
+                expected: ">= 1",
+            });
         }
         if self.context_window == 0 {
-            return Err(CoreError::BadConfig { name: "context_window", expected: ">= 1" });
+            return Err(CoreError::BadConfig {
+                name: "context_window",
+                expected: ">= 1",
+            });
         }
         if self.batch_size == 0 {
-            return Err(CoreError::BadConfig { name: "batch_size", expected: ">= 1" });
+            return Err(CoreError::BadConfig {
+                name: "batch_size",
+                expected: ">= 1",
+            });
         }
         if self.negative_samples == 0 {
-            return Err(CoreError::BadConfig { name: "negative_samples", expected: ">= 1" });
+            return Err(CoreError::BadConfig {
+                name: "negative_samples",
+                expected: ">= 1",
+            });
         }
         if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
             return Err(CoreError::BadConfig {
@@ -143,8 +160,14 @@ impl Hyperparameters {
                 expected: "finite and > 0",
             });
         }
-        if !(0.0..=1.0).contains(&self.sampling_prob) || !self.sampling_prob.is_finite() {
-            return Err(CoreError::BadConfig { name: "sampling_prob", expected: "in [0, 1]" });
+        // q = 0 samples nobody yet still spends budget every step; treat
+        // it as a configuration bug rather than an expensive no-op.
+        if !self.sampling_prob.is_finite() || self.sampling_prob <= 0.0 || self.sampling_prob > 1.0
+        {
+            return Err(CoreError::BadConfig {
+                name: "sampling_prob",
+                expected: "in (0, 1]",
+            });
         }
         if !(self.noise_multiplier.is_finite() && self.noise_multiplier > 0.0) {
             return Err(CoreError::BadConfig {
@@ -153,19 +176,34 @@ impl Hyperparameters {
             });
         }
         if !(self.clip_norm.is_finite() && self.clip_norm > 0.0) {
-            return Err(CoreError::BadConfig { name: "clip_norm", expected: "finite and > 0" });
+            return Err(CoreError::BadConfig {
+                name: "clip_norm",
+                expected: "finite and > 0",
+            });
         }
         if self.grouping_factor == 0 {
-            return Err(CoreError::BadConfig { name: "grouping_factor", expected: ">= 1" });
+            return Err(CoreError::BadConfig {
+                name: "grouping_factor",
+                expected: ">= 1",
+            });
         }
         if self.split_factor == 0 {
-            return Err(CoreError::BadConfig { name: "split_factor", expected: ">= 1" });
+            return Err(CoreError::BadConfig {
+                name: "split_factor",
+                expected: ">= 1",
+            });
         }
         if self.max_steps == 0 {
-            return Err(CoreError::BadConfig { name: "max_steps", expected: ">= 1" });
+            return Err(CoreError::BadConfig {
+                name: "max_steps",
+                expected: ">= 1",
+            });
         }
         if self.threads == 0 {
-            return Err(CoreError::BadConfig { name: "threads", expected: ">= 1" });
+            return Err(CoreError::BadConfig {
+                name: "threads",
+                expected: ">= 1",
+            });
         }
         let lr = match self.server_optimizer {
             ServerOptimizer::Sgd { learning_rate } | ServerOptimizer::Adam { learning_rate } => {
@@ -217,7 +255,8 @@ mod tests {
     #[test]
     fn validation_rejects_each_bad_field() {
         let base = Hyperparameters::default();
-        let cases: Vec<Box<dyn Fn(&mut Hyperparameters)>> = vec![
+        type Mutator = Box<dyn Fn(&mut Hyperparameters)>;
+        let cases: Vec<Mutator> = vec![
             Box::new(|h| h.embedding_dim = 0),
             Box::new(|h| h.context_window = 0),
             Box::new(|h| h.batch_size = 0),
@@ -228,6 +267,12 @@ mod tests {
             Box::new(|h| h.noise_multiplier = 0.0),
             Box::new(|h| h.clip_norm = -1.0),
             Box::new(|h| h.grouping_factor = 0),
+            Box::new(|h| h.sampling_prob = 0.0),
+            Box::new(|h| h.sampling_prob = -0.1),
+            Box::new(|h| h.noise_multiplier = -2.5),
+            Box::new(|h| h.noise_multiplier = f64::INFINITY),
+            Box::new(|h| h.clip_norm = 0.0),
+            Box::new(|h| h.clip_norm = f64::NAN),
             Box::new(|h| h.split_factor = 0),
             Box::new(|h| h.max_steps = 0),
             Box::new(|h| h.threads = 0),
@@ -238,6 +283,33 @@ mod tests {
             mutate(&mut h);
             assert!(h.validate().is_err(), "case {i} should fail");
         }
+    }
+
+    #[test]
+    fn validation_names_the_offending_privacy_bound() {
+        let expect_name = |mutate: &dyn Fn(&mut Hyperparameters), name: &str| {
+            let mut h = Hyperparameters::default();
+            mutate(&mut h);
+            match h.validate() {
+                Err(CoreError::BadConfig { name: got, .. }) => {
+                    assert_eq!(got, name, "wrong field blamed");
+                }
+                other => panic!("expected BadConfig for {name}, got {other:?}"),
+            }
+        };
+        expect_name(&|h| h.noise_multiplier = 0.0, "noise_multiplier");
+        expect_name(&|h| h.noise_multiplier = -1.0, "noise_multiplier");
+        expect_name(&|h| h.sampling_prob = 0.0, "sampling_prob");
+        expect_name(&|h| h.sampling_prob = 1.0 + 1e-12, "sampling_prob");
+        expect_name(&|h| h.clip_norm = 0.0, "clip_norm");
+        expect_name(&|h| h.clip_norm = -0.5, "clip_norm");
+        expect_name(&|h| h.grouping_factor = 0, "grouping_factor");
+        // The boundary values themselves are legal.
+        let h = Hyperparameters {
+            sampling_prob: 1.0,
+            ..Hyperparameters::default()
+        };
+        assert!(h.validate().is_ok(), "q = 1 (sample everyone) is legal");
     }
 
     #[test]

@@ -18,6 +18,17 @@ use crate::config::{GroupingStrategyConfig, Hyperparameters};
 use crate::error::CoreError;
 use crate::plp::{train_plp, PlpOutcome};
 
+/// The λ = 1 configuration [`train_dpsgd`] actually runs: `hp` with the
+/// grouping knobs forced to one user per bucket. Exposed so resumable
+/// drivers can checkpoint the baseline through the same code path.
+pub fn baseline_hyperparameters(hp: &Hyperparameters) -> Hyperparameters {
+    let mut baseline = hp.clone();
+    baseline.grouping_factor = 1;
+    baseline.split_factor = 1;
+    baseline.grouping_strategy = GroupingStrategyConfig::Random;
+    baseline
+}
+
 /// Trains the user-level DP-SGD baseline: Algorithm 1 with λ = 1
 /// (one clipped, noised delta per sampled user).
 ///
@@ -32,11 +43,7 @@ pub fn train_dpsgd<R: Rng + ?Sized>(
     validation: Option<&TokenizedDataset>,
     hp: &Hyperparameters,
 ) -> Result<PlpOutcome, CoreError> {
-    let mut baseline = hp.clone();
-    baseline.grouping_factor = 1;
-    baseline.split_factor = 1;
-    baseline.grouping_strategy = GroupingStrategyConfig::Random;
-    train_plp(rng, train, validation, &baseline)
+    train_plp(rng, train, validation, &baseline_hyperparameters(hp))
 }
 
 #[cfg(test)]
@@ -55,7 +62,10 @@ mod tests {
                 sessions: vec![(0..10).map(|t| (t + i) % 8).collect()],
             })
             .collect();
-        TokenizedDataset { users, vocab_size: 8 }
+        TokenizedDataset {
+            users,
+            vocab_size: 8,
+        }
     }
 
     fn hp() -> Hyperparameters {
@@ -65,7 +75,10 @@ mod tests {
             sampling_prob: 0.4,
             grouping_factor: 4, // must be overridden to 1
             max_steps: 3,
-            budget: PrivacyBudget { epsilon: 100.0, delta: 1e-3 },
+            budget: PrivacyBudget {
+                epsilon: 100.0,
+                delta: 1e-3,
+            },
             ..Hyperparameters::default()
         }
     }
@@ -75,7 +88,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let out = train_dpsgd(&mut rng, &dataset(20), None, &hp()).unwrap();
         for t in &out.telemetry {
-            assert_eq!(t.buckets, t.sampled_users, "lambda = 1 means |H| = |sample|");
+            assert_eq!(
+                t.buckets, t.sampled_users,
+                "lambda = 1 means |H| = |sample|"
+            );
         }
     }
 

@@ -22,6 +22,23 @@ pub enum CoreError {
         /// Description of the legal domain.
         expected: &'static str,
     },
+    /// A checkpoint failed its integrity checks (truncation, bad magic or
+    /// version, CRC mismatch, inconsistent tensors).
+    CheckpointCorrupt {
+        /// Which check failed.
+        what: &'static str,
+    },
+    /// A checkpoint was written under a different configuration and must
+    /// not seed a resumed run.
+    CheckpointMismatch {
+        /// Which aspect disagreed with the current run.
+        what: &'static str,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The underlying I/O error, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +50,13 @@ impl fmt::Display for CoreError {
             CoreError::BadConfig { name, expected } => {
                 write!(f, "bad trainer config: {name} must be {expected}")
             }
+            CoreError::CheckpointCorrupt { what } => {
+                write!(f, "corrupt checkpoint: {what}")
+            }
+            CoreError::CheckpointMismatch { what } => {
+                write!(f, "checkpoint/config mismatch: {what}")
+            }
+            CoreError::Io { message } => write!(f, "io error: {message}"),
         }
     }
 }
@@ -67,10 +91,16 @@ mod tests {
         assert!(d.to_string().contains("data error"));
         let m: CoreError = ModelError::NonFinite { at: "x" }.into();
         assert!(m.to_string().contains("model error"));
-        let p: CoreError =
-            PrivacyError::BudgetExhausted { spent: 2.0, budget: 1.0 }.into();
+        let p: CoreError = PrivacyError::BudgetExhausted {
+            spent: 2.0,
+            budget: 1.0,
+        }
+        .into();
         assert!(p.to_string().contains("privacy error"));
-        let c = CoreError::BadConfig { name: "lambda", expected: ">= 1" };
+        let c = CoreError::BadConfig {
+            name: "lambda",
+            expected: ">= 1",
+        };
         assert!(c.to_string().contains("lambda"));
     }
 }

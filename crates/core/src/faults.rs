@@ -1,0 +1,250 @@
+//! Deterministic fault injection for crash-safety and robustness drills.
+//!
+//! A [`FaultInjector`] is compiled into the trainer unconditionally and is
+//! inert by default — every decision method returns "no fault" until a
+//! [`FaultPlan`] is installed. Decisions are pure functions of
+//! `(plan seed, fault kind, step, index)`, so a faulty run is exactly
+//! reproducible: re-running with the same plan poisons the same buckets
+//! and corrupts the same checkpoint writes.
+
+/// Which faults to inject, and how often.
+///
+/// All rates are probabilities in `[0, 1]` evaluated independently per
+/// decision point (per bucket for delta/panic faults, per checkpoint write
+/// for storage faults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injector's deterministic decision stream.
+    pub seed: u64,
+    /// Probability a bucket's clipped delta is poisoned with `NaN`.
+    pub nan_delta_rate: f64,
+    /// Probability a bucket worker panics mid-update.
+    pub panic_rate: f64,
+    /// Probability a checkpoint write is truncated (crash mid-write).
+    pub truncate_write_rate: f64,
+    /// Probability a checkpoint write has one bit flipped (silent
+    /// corruption).
+    pub bitflip_write_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan with every rate zero — equivalent to no plan at all.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            nan_delta_rate: 0.0,
+            panic_rate: 0.0,
+            truncate_write_rate: 0.0,
+            bitflip_write_rate: 0.0,
+        }
+    }
+}
+
+/// How a checkpoint write should be corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Keep only the first `keep` bytes.
+    Truncate {
+        /// Bytes surviving the simulated crash.
+        keep: usize,
+    },
+    /// Flip one bit at byte `at`.
+    BitFlip {
+        /// Byte offset of the flipped bit.
+        at: usize,
+    },
+}
+
+/// Injects (or, by default, does not inject) deterministic faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultInjector {
+    plan: Option<FaultPlan>,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-fault-kind domain separators.
+const KIND_NAN: u64 = 1;
+const KIND_PANIC: u64 = 2;
+const KIND_TRUNCATE: u64 = 3;
+const KIND_BITFLIP: u64 = 4;
+
+impl FaultInjector {
+    /// The default injector: never injects anything.
+    pub fn inert() -> Self {
+        FaultInjector { plan: None }
+    }
+
+    /// An injector following `plan`.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        FaultInjector { plan: Some(plan) }
+    }
+
+    /// `true` iff this injector can never fire.
+    pub fn is_inert(&self) -> bool {
+        match self.plan {
+            None => true,
+            Some(p) => {
+                p.nan_delta_rate <= 0.0
+                    && p.panic_rate <= 0.0
+                    && p.truncate_write_rate <= 0.0
+                    && p.bitflip_write_rate <= 0.0
+            }
+        }
+    }
+
+    /// Deterministic Bernoulli draw for one decision point; also returns
+    /// the raw hash so callers can derive fault parameters from it.
+    fn draw(&self, kind: u64, step: u64, index: u64, rate: f64) -> Option<u64> {
+        let plan = self.plan?;
+        if rate <= 0.0 {
+            return None;
+        }
+        let h = mix(plan.seed ^ mix(kind ^ mix(step) ^ mix(index).rotate_left(17)));
+        // Map the top 53 bits to [0, 1).
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (u < rate).then_some(mix(h))
+    }
+
+    /// Should bucket `index` of `step` get a `NaN`-poisoned delta?
+    pub fn poison_delta(&self, step: u64, index: usize) -> bool {
+        let rate = self.plan.map_or(0.0, |p| p.nan_delta_rate);
+        self.draw(KIND_NAN, step, index as u64, rate).is_some()
+    }
+
+    /// Should the worker computing bucket `index` of `step` panic?
+    pub fn panic_bucket(&self, step: u64, index: usize) -> bool {
+        let rate = self.plan.map_or(0.0, |p| p.panic_rate);
+        self.draw(KIND_PANIC, step, index as u64, rate).is_some()
+    }
+
+    /// How (if at all) the checkpoint written after `step` should be
+    /// corrupted. Truncation wins when both faults fire.
+    pub fn checkpoint_write_fault(&self, step: u64, len: usize) -> Option<WriteFault> {
+        if len == 0 {
+            return None;
+        }
+        let trunc_rate = self.plan.map_or(0.0, |p| p.truncate_write_rate);
+        if let Some(h) = self.draw(KIND_TRUNCATE, step, 0, trunc_rate) {
+            return Some(WriteFault::Truncate {
+                keep: (h as usize) % len,
+            });
+        }
+        let flip_rate = self.plan.map_or(0.0, |p| p.bitflip_write_rate);
+        if let Some(h) = self.draw(KIND_BITFLIP, step, 0, flip_rate) {
+            return Some(WriteFault::BitFlip {
+                at: (h as usize) % len,
+            });
+        }
+        None
+    }
+
+    /// Applies [`FaultInjector::checkpoint_write_fault`] to a serialized
+    /// checkpoint, returning the (possibly corrupted) bytes to write and
+    /// whether a fault fired.
+    pub fn corrupt_checkpoint_bytes(&self, step: u64, mut bytes: Vec<u8>) -> (Vec<u8>, bool) {
+        match self.checkpoint_write_fault(step, bytes.len()) {
+            None => (bytes, false),
+            Some(WriteFault::Truncate { keep }) => {
+                bytes.truncate(keep);
+                (bytes, true)
+            }
+            Some(WriteFault::BitFlip { at }) => {
+                bytes[at] ^= 1 << (at % 8);
+                (bytes, true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_by_default_and_when_rates_are_zero() {
+        let quiet = FaultInjector::default();
+        assert!(quiet.is_inert());
+        assert!(FaultInjector::with_plan(FaultPlan::quiet(5)).is_inert());
+        for step in 0..50 {
+            for b in 0..8 {
+                assert!(!quiet.poison_delta(step, b));
+                assert!(!quiet.panic_bucket(step, b));
+            }
+            assert!(quiet.checkpoint_write_fault(step, 1024).is_none());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan {
+            nan_delta_rate: 0.3,
+            panic_rate: 0.3,
+            ..FaultPlan::quiet(7)
+        };
+        let a = FaultInjector::with_plan(plan);
+        let b = FaultInjector::with_plan(plan);
+        let c = FaultInjector::with_plan(FaultPlan { seed: 8, ..plan });
+        let decisions = |inj: &FaultInjector| -> Vec<bool> {
+            (0..200)
+                .map(|i| inj.poison_delta(i / 10, (i % 10) as usize))
+                .collect()
+        };
+        assert_eq!(decisions(&a), decisions(&b));
+        assert_ne!(
+            decisions(&a),
+            decisions(&c),
+            "seed must steer the fault stream"
+        );
+        let fired = decisions(&a).iter().filter(|&&x| x).count();
+        assert!(
+            (20..100).contains(&fired),
+            "rate 0.3 of 200 draws, got {fired}"
+        );
+    }
+
+    #[test]
+    fn nan_and_panic_streams_are_independent() {
+        let plan = FaultPlan {
+            nan_delta_rate: 0.5,
+            panic_rate: 0.5,
+            ..FaultPlan::quiet(3)
+        };
+        let inj = FaultInjector::with_plan(plan);
+        let nan: Vec<bool> = (0..128).map(|i| inj.poison_delta(1, i)).collect();
+        let panic: Vec<bool> = (0..128).map(|i| inj.panic_bucket(1, i)).collect();
+        assert_ne!(nan, panic, "kinds must not share one decision stream");
+    }
+
+    #[test]
+    fn write_faults_stay_in_bounds() {
+        let plan = FaultPlan {
+            truncate_write_rate: 0.5,
+            bitflip_write_rate: 0.5,
+            ..FaultPlan::quiet(11)
+        };
+        let inj = FaultInjector::with_plan(plan);
+        let mut fired = 0;
+        for step in 0..100 {
+            let payload = vec![0xABu8; 257];
+            let (out, corrupted) = inj.corrupt_checkpoint_bytes(step, payload.clone());
+            if corrupted {
+                fired += 1;
+                assert!(out.len() < payload.len() || out.iter().zip(&payload).any(|(a, b)| a != b));
+            } else {
+                assert_eq!(out, payload);
+            }
+        }
+        assert!(fired > 20, "write faults should fire often at these rates");
+        assert!(
+            inj.checkpoint_write_fault(1, 0).is_none(),
+            "empty write has no fault"
+        );
+    }
+}

@@ -27,16 +27,26 @@
 //! training → HR@k evaluation into one reproducible harness used by every
 //! figure bench. [`attacks`] evaluates the membership-inference threat the
 //! paper's DP guarantee is meant to blunt.
+//!
+//! Training is crash-safe: [`checkpoint`] persists versioned, CRC-guarded
+//! [`checkpoint::TrainingCheckpoint`]s atomically, [`plp::resume_plp`]
+//! restores them bit-identically (ε recomputed from the restored ledger),
+//! and [`faults`] provides the deterministic fault injector used by the
+//! robustness drills.
 
 pub mod attacks;
+pub mod checkpoint;
 pub mod config;
 pub mod dpsgd;
 pub mod error;
 pub mod experiment;
+pub mod faults;
 pub mod nonprivate;
 pub mod plp;
 pub mod telemetry;
 
 pub use config::{Hyperparameters, ServerOptimizer};
 pub use error::CoreError;
-pub use plp::{train_plp, PlpOutcome};
+pub use plp::{
+    resume_plp, train_plp, train_plp_resumable, CheckpointPolicy, PlpOutcome, TrainOptions,
+};

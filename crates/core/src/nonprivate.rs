@@ -86,10 +86,16 @@ pub fn train_nonprivate<R: Rng + ?Sized>(
 ) -> Result<NonPrivateOutcome, CoreError> {
     hp.validate()?;
     if cfg.epochs == 0 {
-        return Err(CoreError::BadConfig { name: "epochs", expected: ">= 1" });
+        return Err(CoreError::BadConfig {
+            name: "epochs",
+            expected: ">= 1",
+        });
     }
     if train.vocab_size < 2 {
-        return Err(CoreError::BadConfig { name: "train.vocab_size", expected: ">= 2" });
+        return Err(CoreError::BadConfig {
+            name: "train.vocab_size",
+            expected: ">= 2",
+        });
     }
     let sampler = if cfg.unigram_negatives {
         let counts = plp_model::metrics::token_counts(train);
@@ -132,7 +138,11 @@ pub fn train_nonprivate<R: Rng + ?Sized>(
         };
         telemetry.push(EpochTelemetry {
             epoch,
-            train_loss: if pair_count == 0 { 0.0 } else { loss_sum / pair_count as f64 },
+            train_loss: if pair_count == 0 {
+                0.0
+            } else {
+                loss_sum / pair_count as f64
+            },
             validation: validation_hr,
         });
     }
@@ -183,7 +193,10 @@ mod tests {
                 }
             })
             .collect();
-        TokenizedDataset { users, vocab_size: 16 }
+        TokenizedDataset {
+            users,
+            vocab_size: 16,
+        }
     }
 
     fn hp() -> Hyperparameters {
@@ -203,7 +216,10 @@ mod tests {
             &dataset(20),
             None,
             &hp(),
-            &NonPrivateConfig { epochs: 8, ..NonPrivateConfig::default() },
+            &NonPrivateConfig {
+                epochs: 8,
+                ..NonPrivateConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(out.telemetry.len(), 8);
@@ -222,7 +238,10 @@ mod tests {
             &train,
             Some(&test),
             &hp(),
-            &NonPrivateConfig { epochs: 12, ..NonPrivateConfig::default() },
+            &NonPrivateConfig {
+                epochs: 12,
+                ..NonPrivateConfig::default()
+            },
         )
         .unwrap();
         let hr = out.telemetry.last().unwrap().validation.as_ref().unwrap();
@@ -239,7 +258,11 @@ mod tests {
             &dataset(10),
             Some(&dataset(2)),
             &hp(),
-            &NonPrivateConfig { epochs: 5, eval_every: 2, ..NonPrivateConfig::default() },
+            &NonPrivateConfig {
+                epochs: 5,
+                eval_every: 2,
+                ..NonPrivateConfig::default()
+            },
         )
         .unwrap();
         let evaluated: Vec<usize> = out
@@ -248,7 +271,11 @@ mod tests {
             .filter(|t| t.validation.is_some())
             .map(|t| t.epoch)
             .collect();
-        assert_eq!(evaluated, vec![2, 4, 5], "every 2 epochs plus the final one");
+        assert_eq!(
+            evaluated,
+            vec![2, 4, 5],
+            "every 2 epochs plus the final one"
+        );
     }
 
     #[test]
@@ -259,7 +286,11 @@ mod tests {
             &dataset(16),
             None,
             &hp(),
-            &NonPrivateConfig { epochs: 4, unigram_negatives: true, ..NonPrivateConfig::default() },
+            &NonPrivateConfig {
+                epochs: 4,
+                unigram_negatives: true,
+                ..NonPrivateConfig::default()
+            },
         )
         .unwrap();
         assert!(out.params.all_finite());
@@ -277,13 +308,22 @@ mod tests {
             &train,
             None,
             &hp(),
-            &NonPrivateConfig { epochs: 2, ..NonPrivateConfig::default() },
+            &NonPrivateConfig {
+                epochs: 2,
+                ..NonPrivateConfig::default()
+            },
         )
         .unwrap();
         let l = heldout_loss(&mut rng, &out.params, &dataset(3), &hp()).unwrap();
         assert!(l.is_finite() && l > 0.0);
-        let empty = TokenizedDataset { users: vec![], vocab_size: 16 };
-        assert_eq!(heldout_loss(&mut rng, &out.params, &empty, &hp()).unwrap(), 0.0);
+        let empty = TokenizedDataset {
+            users: vec![],
+            vocab_size: 16,
+        };
+        assert_eq!(
+            heldout_loss(&mut rng, &out.params, &empty, &hp()).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -294,7 +334,10 @@ mod tests {
             &dataset(4),
             None,
             &hp(),
-            &NonPrivateConfig { epochs: 0, ..NonPrivateConfig::default() },
+            &NonPrivateConfig {
+                epochs: 0,
+                ..NonPrivateConfig::default()
+            },
         );
         assert!(r.is_err());
     }

@@ -16,6 +16,27 @@
 //! * Bucket updates may run on several worker threads; every bucket derives
 //!   its own RNG from the step seed, so the result is bit-identical to the
 //!   sequential execution.
+//!
+//! # Crash safety and degraded modes
+//!
+//! The loop is structured around a resumable [`TrainerState`]: all
+//! per-step randomness derives from `(run_seed, step)`, so a run resumed
+//! from a checkpoint is bit-identical to one that never crashed. With a
+//! [`CheckpointPolicy`] installed, the trainer atomically persists a
+//! [`TrainingCheckpoint`] every `every` steps; ε is always recomputed from
+//! the restored privacy ledger, never trusted from a cached value.
+//!
+//! Buckets whose delta comes back non-finite, or whose worker panics, are
+//! dropped from the Gaussian sum *before* noising. Each clipped bucket
+//! contributes at most `ωC` to the sum, so dropping one (contributing 0
+//! instead) never increases the query's sensitivity — the step's DP
+//! accounting is unchanged, and the denominator stays the number of
+//! *formed* buckets `|H|`. A step in which every bucket is poisoned stops
+//! training with [`StopReason::Diverged`] after accounting the aborted
+//! step conservatively (the step is paid for but its update discarded).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
@@ -37,8 +58,12 @@ use plp_model::Recommender;
 use plp_privacy::accountant::MomentsAccountant;
 use plp_privacy::PrivacyLedger;
 
+use crate::checkpoint::{
+    config_fingerprint, encode_checkpoint, write_atomic, ServerState, TrainingCheckpoint,
+};
 use crate::config::{Hyperparameters, ServerOptimizer};
 use crate::error::CoreError;
+use crate::faults::FaultInjector;
 use crate::telemetry::{RunSummary, StepTelemetry, StopReason};
 
 /// Result of a private training run.
@@ -46,12 +71,52 @@ use crate::telemetry::{RunSummary, StepTelemetry, StopReason};
 pub struct PlpOutcome {
     /// The trained (and DP-protected) model parameters.
     pub params: ModelParams,
-    /// Per-step observations.
+    /// Per-step observations (resumed runs report only their own steps).
     pub telemetry: Vec<StepTelemetry>,
     /// Run summary (steps, ε spent, stop reason).
     pub summary: RunSummary,
     /// The auditable privacy ledger.
     pub ledger: PrivacyLedger,
+}
+
+/// Where and how often to persist checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (overwritten atomically on every save).
+    pub path: PathBuf,
+    /// Save after every `every` completed steps (0 disables periodic
+    /// saves; a final checkpoint is still written when training stops).
+    pub every: u64,
+}
+
+/// Knobs of a resumable training run beyond the hyper-parameters.
+#[derive(Debug, Clone, Default)]
+pub struct TrainOptions {
+    /// Fault injector (inert by default).
+    pub faults: FaultInjector,
+    /// Checkpointing policy; `None` disables persistence.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Stop with [`StopReason::Interrupted`] after this many *total*
+    /// completed steps — a deterministic stand-in for `kill -9` in crash
+    /// drills. No final checkpoint is written (a killed process would not
+    /// have written one either); only periodic saves survive.
+    pub halt_after: Option<u64>,
+}
+
+/// SplitMix64 finalizer, used to derive independent per-step seeds.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG driving step `step` (step 0 is parameter initialization).
+/// Deriving from `(run_seed, step)` rather than one sequential stream is
+/// what makes resumption bit-identical: step `k` draws the same variates
+/// whether or not steps `1..k` ran in this process.
+fn step_rng(run_seed: u64, step: u64) -> StdRng {
+    StdRng::seed_from_u64(mix64(run_seed ^ mix64(step)))
 }
 
 /// One bucket's contribution to the Gaussian sum query.
@@ -88,10 +153,50 @@ fn model_update_from_bucket(
         stats.touched.bias.iter().copied(),
     );
     let report = clip_per_layer(&mut grad, hp.clip_norm)?;
-    Ok(BucketUpdate { index, grad, mean_loss: stats.mean_loss, clipped: report.any_clipped() })
+    Ok(BucketUpdate {
+        index,
+        grad,
+        mean_loss: stats.mean_loss,
+        clipped: report.any_clipped(),
+    })
 }
 
-/// Computes all bucket updates, optionally on worker threads. Results are
+/// Computes one bucket update behind a panic barrier. Returns `Ok(None)`
+/// when the bucket must be dropped from the Gaussian sum: its worker
+/// panicked or its clipped delta is non-finite. Dropping is DP-safe (the
+/// bucket contributes 0 ≤ ωC instead of its delta), so training proceeds.
+/// Systematic errors (bad config, shape mismatches) still propagate.
+fn guarded_bucket_update(
+    theta: &ModelParams,
+    bucket: &Bucket,
+    hp: &Hyperparameters,
+    step_seed: u64,
+    index: usize,
+    step: u64,
+    faults: &FaultInjector,
+) -> Result<Option<BucketUpdate>, CoreError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if faults.panic_bucket(step, index) {
+            panic!("injected bucket-worker fault");
+        }
+        let mut update = model_update_from_bucket(theta, bucket, hp, step_seed, index);
+        if let Ok(u) = &mut update {
+            if faults.poison_delta(step, index) {
+                u.grad.add_bias(0, f64::NAN);
+            }
+        }
+        update
+    }));
+    match outcome {
+        Err(_) => Ok(None),
+        Ok(Err(e)) => Err(e),
+        Ok(Ok(u)) if !u.grad.all_finite() => Ok(None),
+        Ok(Ok(u)) => Ok(Some(u)),
+    }
+}
+
+/// Computes all bucket updates, optionally on worker threads, dropping
+/// poisoned buckets (second return value counts the drops). Results are
 /// sorted by bucket index so the floating-point accumulation order (and
 /// hence the output) is identical for any thread count.
 fn compute_bucket_updates(
@@ -99,16 +204,18 @@ fn compute_bucket_updates(
     buckets: &[Bucket],
     hp: &Hyperparameters,
     step_seed: u64,
-) -> Result<Vec<BucketUpdate>, CoreError> {
+    step: u64,
+    faults: &FaultInjector,
+) -> Result<(Vec<BucketUpdate>, usize), CoreError> {
     let threads = hp.threads.min(buckets.len().max(1));
-    let mut updates: Vec<BucketUpdate> = if threads <= 1 {
+    let results: Vec<Option<BucketUpdate>> = if threads <= 1 {
         buckets
             .iter()
             .enumerate()
-            .map(|(i, b)| model_update_from_bucket(theta, b, hp, step_seed, i))
+            .map(|(i, b)| guarded_bucket_update(theta, b, hp, step_seed, i, step, faults))
             .collect::<Result<_, _>>()?
     } else {
-        let results = crossbeam::thread::scope(|scope| {
+        let collected = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for w in 0..threads {
                 let theta_ref = &*theta;
@@ -117,8 +224,8 @@ fn compute_bucket_updates(
                     let mut local = Vec::new();
                     for (i, b) in buckets.iter().enumerate() {
                         if i % threads == w {
-                            local.push(model_update_from_bucket(
-                                theta_ref, b, hp_ref, step_seed, i,
+                            local.push(guarded_bucket_update(
+                                theta_ref, b, hp_ref, step_seed, i, step, faults,
                             ));
                         }
                     }
@@ -127,14 +234,16 @@ fn compute_bucket_updates(
             }
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("bucket worker panicked"))
+                .flat_map(|h| h.join().expect("bucket worker escaped its panic barrier"))
                 .collect::<Vec<_>>()
         })
         .expect("crossbeam scope");
-        results.into_iter().collect::<Result<Vec<_>, _>>()?
+        collected.into_iter().collect::<Result<Vec<_>, _>>()?
     };
+    let skipped = results.iter().filter(|r| r.is_none()).count();
+    let mut updates: Vec<BucketUpdate> = results.into_iter().flatten().collect();
     updates.sort_by_key(|u| u.index);
-    Ok(updates)
+    Ok((updates, skipped))
 }
 
 fn scale_params(p: &mut ModelParams, alpha: f64) {
@@ -158,12 +267,134 @@ impl Server {
         })
     }
 
+    fn snapshot(&self) -> ServerState {
+        match self {
+            Server::Sgd(s) => ServerState::of_sgd(s),
+            Server::Adam(a) => ServerState::of_adam(a),
+        }
+    }
+
+    fn restore(opt: ServerOptimizer, state: ServerState) -> Result<Self, CoreError> {
+        match (opt, state) {
+            (ServerOptimizer::Sgd { .. }, ServerState::Sgd { learning_rate }) => {
+                Ok(Server::Sgd(ServerSgd::new(learning_rate)?))
+            }
+            (
+                ServerOptimizer::Adam { .. },
+                ServerState::Adam {
+                    learning_rate,
+                    beta1,
+                    beta2,
+                    eps,
+                    t,
+                    m,
+                    v,
+                },
+            ) => Ok(Server::Adam(Box::new(ServerAdam::from_state(
+                learning_rate,
+                beta1,
+                beta2,
+                eps,
+                t,
+                m,
+                v,
+            )?))),
+            _ => Err(CoreError::CheckpointMismatch {
+                what: "server optimizer kind",
+            }),
+        }
+    }
+
     fn step(&mut self, params: &mut ModelParams, update: &ModelParams) -> Result<(), CoreError> {
         match self {
             Server::Sgd(s) => s.step(params, update)?,
             Server::Adam(a) => a.step(params, update)?,
         }
         Ok(())
+    }
+}
+
+/// The complete mutable state of a private training run between steps.
+struct TrainerState {
+    fingerprint: u64,
+    run_seed: u64,
+    step: u64,
+    params: ModelParams,
+    server: Server,
+    accountant: MomentsAccountant,
+}
+
+impl TrainerState {
+    /// Step-0 state of a fresh run.
+    fn fresh(
+        run_seed: u64,
+        train: &TokenizedDataset,
+        hp: &Hyperparameters,
+    ) -> Result<Self, CoreError> {
+        let fingerprint = config_fingerprint(hp, train.vocab_size)?;
+        let mut init_rng = step_rng(run_seed, 0);
+        let params = ModelParams::init(&mut init_rng, train.vocab_size, hp.embedding_dim)?;
+        let server = Server::new(hp.server_optimizer, &params)?;
+        let accountant = MomentsAccountant::new(hp.budget.delta)?;
+        Ok(TrainerState {
+            fingerprint,
+            run_seed,
+            step: 0,
+            params,
+            server,
+            accountant,
+        })
+    }
+
+    /// Rehydrates a run from a checkpoint, refusing configuration drift.
+    /// ε is recomputed from the restored ledger — the ledger, not any
+    /// cached number, is the source of truth for the privacy spend.
+    fn from_checkpoint(
+        ckpt: TrainingCheckpoint,
+        train: &TokenizedDataset,
+        hp: &Hyperparameters,
+    ) -> Result<Self, CoreError> {
+        let fingerprint = config_fingerprint(hp, train.vocab_size)?;
+        if fingerprint != ckpt.fingerprint {
+            return Err(CoreError::CheckpointMismatch {
+                what: "hyperparameters or vocabulary differ from the checkpointed run",
+            });
+        }
+        if ckpt.params.vocab_size() != train.vocab_size || ckpt.params.dim() != hp.embedding_dim {
+            return Err(CoreError::CheckpointMismatch {
+                what: "parameter shape",
+            });
+        }
+        let server = Server::restore(hp.server_optimizer, ckpt.server)?;
+        let accountant = MomentsAccountant::from_ledger(hp.budget.delta, ckpt.ledger)?;
+        Ok(TrainerState {
+            fingerprint,
+            run_seed: ckpt.run_seed,
+            step: ckpt.step,
+            params: ckpt.params,
+            server,
+            accountant,
+        })
+    }
+
+    fn checkpoint(&self) -> TrainingCheckpoint {
+        TrainingCheckpoint {
+            fingerprint: self.fingerprint,
+            run_seed: self.run_seed,
+            step: self.step,
+            params: self.params.clone(),
+            server: self.server.snapshot(),
+            ledger: self.accountant.ledger().clone(),
+        }
+    }
+
+    /// Serializes and atomically persists the current state, routing the
+    /// bytes through the fault injector (which may simulate a torn or
+    /// bit-flipped write).
+    fn persist(&self, policy: &CheckpointPolicy, faults: &FaultInjector) -> Result<(), CoreError> {
+        let bytes = encode_checkpoint(&self.checkpoint()).to_vec();
+        let (bytes, _corrupted) = faults.corrupt_checkpoint_bytes(self.step, bytes);
+        write_atomic(&policy.path, &bytes)
     }
 }
 
@@ -182,15 +413,67 @@ pub fn train_plp<R: Rng + ?Sized>(
     validation: Option<&TokenizedDataset>,
     hp: &Hyperparameters,
 ) -> Result<PlpOutcome, CoreError> {
+    let run_seed: u64 = rng.random();
+    train_plp_resumable(run_seed, train, validation, hp, &TrainOptions::default())
+}
+
+/// [`train_plp`] with an explicit run seed plus checkpointing and fault
+/// injection. The same `run_seed` always produces the same run, crash or
+/// no crash.
+///
+/// # Errors
+/// As [`train_plp`], plus [`CoreError::Io`] on checkpoint-write failures.
+pub fn train_plp_resumable(
+    run_seed: u64,
+    train: &TokenizedDataset,
+    validation: Option<&TokenizedDataset>,
+    hp: &Hyperparameters,
+    opts: &TrainOptions,
+) -> Result<PlpOutcome, CoreError> {
     hp.validate()?;
+    check_dataset(train)?;
+    let state = TrainerState::fresh(run_seed, train, hp)?;
+    run_loop(state, train, validation, hp, opts)
+}
+
+/// Resumes a run from a decoded checkpoint. The result (parameters,
+/// ledger, ε) is bit-identical to the uninterrupted run with the same
+/// seed; telemetry covers only the steps executed after resumption.
+///
+/// # Errors
+/// [`CoreError::CheckpointMismatch`] when `hp`/`train` differ from the
+/// checkpointed configuration; otherwise as [`train_plp_resumable`].
+pub fn resume_plp(
+    ckpt: TrainingCheckpoint,
+    train: &TokenizedDataset,
+    validation: Option<&TokenizedDataset>,
+    hp: &Hyperparameters,
+    opts: &TrainOptions,
+) -> Result<PlpOutcome, CoreError> {
+    hp.validate()?;
+    check_dataset(train)?;
+    let state = TrainerState::from_checkpoint(ckpt, train, hp)?;
+    run_loop(state, train, validation, hp, opts)
+}
+
+fn check_dataset(train: &TokenizedDataset) -> Result<(), CoreError> {
     if train.vocab_size < 2 {
-        return Err(CoreError::BadConfig { name: "train.vocab_size", expected: ">= 2" });
+        return Err(CoreError::BadConfig {
+            name: "train.vocab_size",
+            expected: ">= 2",
+        });
     }
+    Ok(())
+}
+
+fn run_loop(
+    mut state: TrainerState,
+    train: &TokenizedDataset,
+    validation: Option<&TokenizedDataset>,
+    hp: &Hyperparameters,
+    opts: &TrainOptions,
+) -> Result<PlpOutcome, CoreError> {
     let num_users = train.num_users();
-    let mut params = ModelParams::init(rng, train.vocab_size, hp.embedding_dim)?;
-    let mut server = Server::new(hp.server_optimizer, &params)?;
-    let mut accountant = MomentsAccountant::new(hp.budget.delta)?;
-    let mut noise = NormalSampler::new();
     let omega = hp.split_factor;
     let noise_std = hp.noise_multiplier * hp.clip_norm * omega as f64;
 
@@ -198,30 +481,40 @@ pub fn train_plp<R: Rng + ?Sized>(
     let run_start = std::time::Instant::now();
     let mut stop_reason = StopReason::MaxSteps;
 
-    for step in 1..=hp.max_steps as u64 {
+    while state.step < hp.max_steps as u64 {
         // Peek: would this step overshoot the budget?
-        let eps_next =
-            accountant.epsilon_after_hypothetical_step(hp.sampling_prob, hp.noise_multiplier)?;
+        let eps_next = state
+            .accountant
+            .epsilon_after_hypothetical_step(hp.sampling_prob, hp.noise_multiplier)?;
         if eps_next >= hp.budget.epsilon {
             stop_reason = StopReason::BudgetExhausted;
             break;
         }
+        let step = state.step + 1;
         let step_start = std::time::Instant::now();
+        let mut rng = step_rng(state.run_seed, step);
+        let mut noise = NormalSampler::new();
 
         // Line 5: Poisson user sampling.
-        let sampled = sample_users(rng, num_users, hp.sampling_prob)?;
+        let sampled = sample_users(&mut rng, num_users, hp.sampling_prob)?;
         // Line 6: data grouping.
         let buckets = if omega == 1 {
-            group_data(rng, &sampled, train, hp.grouping_factor, hp.grouping_strategy.into())?
+            group_data(
+                &mut rng,
+                &sampled,
+                train,
+                hp.grouping_factor,
+                hp.grouping_strategy.into(),
+            )?
         } else {
-            match group_data_split(rng, &sampled, train, hp.grouping_factor, omega) {
+            match group_data_split(&mut rng, &sampled, train, hp.grouping_factor, omega) {
                 Ok(b) => b,
                 // Too few sampled users to split across omega buckets this
                 // step (depends only on the public sample size): fall back
                 // to unsplit grouping. Noise stays scaled to omega, which
                 // over-protects and is therefore safe.
                 Err(DataError::BadConfig { name: "omega", .. }) => group_data(
-                    rng,
+                    &mut rng,
                     &sampled,
                     train,
                     hp.grouping_factor,
@@ -232,32 +525,61 @@ pub fn train_plp<R: Rng + ?Sized>(
         };
         debug_assert!(realized_split_factor(&buckets) <= omega);
 
-        // Lines 7-8, 15-22: per-bucket clipped deltas.
+        // Lines 7-8, 15-22: per-bucket clipped deltas, each behind a panic
+        // barrier; poisoned buckets are dropped (DP-safe, see module docs).
         let step_seed: u64 = rng.random();
-        let updates = compute_bucket_updates(&params, &buckets, hp, step_seed)?;
+        let (updates, skipped) =
+            compute_bucket_updates(&state.params, &buckets, hp, step_seed, step, &opts.faults)?;
+
+        if !buckets.is_empty() && updates.is_empty() && skipped > 0 {
+            // Every formed bucket was poisoned: no signal survives, so the
+            // update would be pure noise. Account the step conservatively
+            // (it is paid for even though its update is discarded — never
+            // under-reports ε), record it, and stop.
+            state
+                .accountant
+                .step(hp.sampling_prob, hp.noise_multiplier)?;
+            state.step = step;
+            telemetry.push(StepTelemetry {
+                step,
+                sampled_users: sampled.len(),
+                buckets: buckets.len(),
+                skipped_buckets: skipped,
+                mean_local_loss: 0.0,
+                clip_fraction: 0.0,
+                epsilon_spent: state.accountant.epsilon()?,
+                wall_ms: step_start.elapsed().as_secs_f64() * 1e3,
+                validation_hr10: None,
+            });
+            stop_reason = StopReason::Diverged;
+            break;
+        }
 
         // Line 9: Gaussian sum query over the *whole* parameter vector.
-        let mut aggregate = ModelParams::zeros(params.vocab_size(), params.dim());
+        let mut aggregate = ModelParams::zeros(state.params.vocab_size(), state.params.dim());
         for u in &updates {
             u.grad.accumulate_into(&mut aggregate)?;
         }
-        noise.perturb(rng, noise_std, aggregate.embedding.as_mut_slice());
-        noise.perturb(rng, noise_std, aggregate.context.as_mut_slice());
-        noise.perturb(rng, noise_std, &mut aggregate.bias);
-        // Fixed-denominator average.
+        noise.perturb(&mut rng, noise_std, aggregate.embedding.as_mut_slice());
+        noise.perturb(&mut rng, noise_std, aggregate.context.as_mut_slice());
+        noise.perturb(&mut rng, noise_std, &mut aggregate.bias);
+        // Fixed-denominator average over formed (not surviving) buckets.
         let denom = buckets.len().max(1) as f64;
         scale_params(&mut aggregate, 1.0 / denom);
 
         // Line 10: model update.
-        server.step(&mut params, &aggregate)?;
+        state.server.step(&mut state.params, &aggregate)?;
 
         // Line 11: ledger tracking. The effective noise multiplier stays σ
         // for any ω: noise std σCω over sensitivity ωC.
-        accountant.step(hp.sampling_prob, hp.noise_multiplier)?;
+        state
+            .accountant
+            .step(hp.sampling_prob, hp.noise_multiplier)?;
+        state.step = step;
 
         let validation_hr10 = match validation {
-            Some(v) if hp.eval_every > 0 && step % hp.eval_every as u64 == 0 => {
-                let rec = Recommender::new(&params);
+            Some(v) if hp.eval_every > 0 && step.is_multiple_of(hp.eval_every as u64) => {
+                let rec = Recommender::new(&state.params);
                 let hr = evaluate_hit_rate(&rec, v, &[10])?;
                 Some(hr[0].rate())
             }
@@ -269,6 +591,7 @@ pub fn train_plp<R: Rng + ?Sized>(
             step,
             sampled_users: sampled.len(),
             buckets: buckets.len(),
+            skipped_buckets: skipped,
             mean_local_loss: if updates.is_empty() {
                 0.0
             } else {
@@ -279,30 +602,51 @@ pub fn train_plp<R: Rng + ?Sized>(
             } else {
                 clipped as f64 / updates.len() as f64
             },
-            epsilon_spent: accountant.epsilon()?,
+            epsilon_spent: state.accountant.epsilon()?,
             wall_ms: step_start.elapsed().as_secs_f64() * 1e3,
             validation_hr10,
         });
+
+        if let Some(policy) = &opts.checkpoint {
+            if policy.every > 0 && step.is_multiple_of(policy.every) {
+                state.persist(policy, &opts.faults)?;
+            }
+        }
+        if opts.halt_after.is_some_and(|k| step >= k) {
+            stop_reason = StopReason::Interrupted;
+            break;
+        }
+    }
+
+    // Final save so a finished (or diverged) run restores to its terminal
+    // state. An interrupted run deliberately skips this: it simulates a
+    // killed process, which would only have its periodic saves on disk.
+    if stop_reason != StopReason::Interrupted {
+        if let Some(policy) = &opts.checkpoint {
+            state.persist(policy, &opts.faults)?;
+        }
     }
 
     let summary = RunSummary {
-        steps: accountant.steps(),
-        epsilon_spent: accountant.epsilon()?,
+        steps: state.accountant.steps(),
+        epsilon_spent: state.accountant.epsilon()?,
         delta: hp.budget.delta,
         total_wall_ms: run_start.elapsed().as_secs_f64() * 1e3,
         stop_reason,
     };
     Ok(PlpOutcome {
-        params,
+        params: state.params,
         telemetry,
         summary,
-        ledger: accountant.ledger().clone(),
+        ledger: state.accountant.ledger().clone(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::load_checkpoint;
+    use crate::faults::FaultPlan;
     use plp_data::checkin::UserId;
     use plp_data::dataset::UserSequences;
     use plp_privacy::PrivacyBudget;
@@ -318,7 +662,10 @@ mod tests {
                 }
             })
             .collect();
-        TokenizedDataset { users, vocab_size: 16 }
+        TokenizedDataset {
+            users,
+            vocab_size: 16,
+        }
     }
 
     fn fast_hp() -> Hyperparameters {
@@ -328,9 +675,18 @@ mod tests {
             sampling_prob: 0.3,
             grouping_factor: 2,
             max_steps: 5,
-            budget: PrivacyBudget { epsilon: 50.0, delta: 1e-3 },
+            budget: PrivacyBudget {
+                epsilon: 50.0,
+                delta: 1e-3,
+            },
             ..Hyperparameters::default()
         }
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("plp_{}_{}", name, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -344,6 +700,7 @@ mod tests {
         assert!(out.params.all_finite());
         assert_eq!(out.ledger.total_steps(), 5);
         assert!(out.summary.epsilon_spent > 0.0);
+        assert!(out.telemetry.iter().all(|t| t.skipped_buckets == 0));
     }
 
     #[test]
@@ -351,13 +708,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let ds = tiny_dataset(30);
         let mut hp = fast_hp();
-        hp.budget = PrivacyBudget { epsilon: 2.0, delta: 1e-3 };
+        hp.budget = PrivacyBudget {
+            epsilon: 2.0,
+            delta: 1e-3,
+        };
         hp.sampling_prob = 0.2;
         hp.noise_multiplier = 1.5;
         hp.max_steps = 10_000;
         let out = train_plp(&mut rng, &ds, None, &hp).unwrap();
         assert_eq!(out.summary.stop_reason, StopReason::BudgetExhausted);
-        assert!(out.summary.epsilon_spent < 2.0, "eps {}", out.summary.epsilon_spent);
+        assert!(
+            out.summary.epsilon_spent < 2.0,
+            "eps {}",
+            out.summary.epsilon_spent
+        );
         assert!(out.summary.steps > 0);
         // The ledger independently verifies the spend.
         let replay = out.ledger.epsilon(1e-3).unwrap();
@@ -418,15 +782,21 @@ mod tests {
         let mut hp = fast_hp();
         hp.eval_every = 2;
         let out = train_plp(&mut rng, &ds, Some(&val), &hp).unwrap();
-        let evals: Vec<_> =
-            out.telemetry.iter().filter(|t| t.validation_hr10.is_some()).collect();
+        let evals: Vec<_> = out
+            .telemetry
+            .iter()
+            .filter(|t| t.validation_hr10.is_some())
+            .collect();
         assert_eq!(evals.len(), 2, "steps 2 and 4");
     }
 
     #[test]
     fn rejects_degenerate_vocab_and_config() {
         let mut rng = StdRng::seed_from_u64(9);
-        let bad = TokenizedDataset { users: vec![], vocab_size: 1 };
+        let bad = TokenizedDataset {
+            users: vec![],
+            vocab_size: 1,
+        };
         assert!(train_plp(&mut rng, &bad, None, &fast_hp()).is_err());
         let ds = tiny_dataset(10);
         let mut hp = fast_hp();
@@ -439,10 +809,164 @@ mod tests {
         // Zero users: every step is an empty Gaussian sum query (pure
         // noise) but the mechanism still runs and must be accounted.
         let mut rng = StdRng::seed_from_u64(10);
-        let ds = TokenizedDataset { users: vec![], vocab_size: 4 };
+        let ds = TokenizedDataset {
+            users: vec![],
+            vocab_size: 4,
+        };
         let out = train_plp(&mut rng, &ds, None, &fast_hp()).unwrap();
         assert_eq!(out.summary.steps, 5);
         assert!(out.summary.epsilon_spent > 0.0);
         assert!(out.telemetry.iter().all(|t| t.buckets == 0));
+    }
+
+    #[test]
+    fn killed_and_resumed_run_is_bit_identical() {
+        let ds = tiny_dataset(24);
+        let hp = fast_hp();
+        let dir = scratch_dir("kill_resume");
+        let path = dir.join("run.plpc");
+        let seed = 42u64;
+
+        // Uninterrupted reference run.
+        let full = train_plp_resumable(seed, &ds, None, &hp, &TrainOptions::default()).unwrap();
+        assert_eq!(full.summary.stop_reason, StopReason::MaxSteps);
+
+        // Same run, checkpointed every 2 steps and "killed" after step 3:
+        // the newest surviving checkpoint is from step 2, so resumption
+        // must re-execute step 3 and still land on identical bits.
+        let crash_opts = TrainOptions {
+            checkpoint: Some(CheckpointPolicy {
+                path: path.clone(),
+                every: 2,
+            }),
+            halt_after: Some(3),
+            ..TrainOptions::default()
+        };
+        let interrupted = train_plp_resumable(seed, &ds, None, &hp, &crash_opts).unwrap();
+        assert_eq!(interrupted.summary.stop_reason, StopReason::Interrupted);
+        assert_eq!(interrupted.summary.steps, 3);
+
+        let ckpt = load_checkpoint(&path).unwrap();
+        assert_eq!(ckpt.step, 2, "kill at 3 leaves the step-2 checkpoint");
+        let resumed = resume_plp(ckpt, &ds, None, &hp, &TrainOptions::default()).unwrap();
+
+        assert_eq!(
+            resumed.params, full.params,
+            "parameters must be bit-identical"
+        );
+        assert_eq!(resumed.ledger.entries(), full.ledger.entries());
+        assert_eq!(
+            resumed.summary.epsilon_spent.to_bits(),
+            full.summary.epsilon_spent.to_bits(),
+            "ε recomputed from the restored ledger must match exactly"
+        );
+        assert_eq!(resumed.summary.steps, full.summary.steps);
+        assert_eq!(
+            resumed.telemetry.len(),
+            3,
+            "resumed run re-executes steps 3..=5"
+        );
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_config() {
+        let ds = tiny_dataset(20);
+        let hp = fast_hp();
+        let dir = scratch_dir("mismatch");
+        let path = dir.join("run.plpc");
+        let opts = TrainOptions {
+            checkpoint: Some(CheckpointPolicy {
+                path: path.clone(),
+                every: 2,
+            }),
+            halt_after: Some(2),
+            ..TrainOptions::default()
+        };
+        train_plp_resumable(3, &ds, None, &hp, &opts).unwrap();
+        let ckpt = load_checkpoint(&path).unwrap();
+
+        let mut other = hp.clone();
+        other.noise_multiplier += 0.5;
+        let err = resume_plp(ckpt, &ds, None, &other, &TrainOptions::default());
+        assert!(
+            matches!(err, Err(CoreError::CheckpointMismatch { .. })),
+            "resuming under different hyperparameters must be refused, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_faults_skip_buckets_without_breaking_dp() {
+        let ds = tiny_dataset(30);
+        let hp = fast_hp();
+        let faults = FaultInjector::with_plan(FaultPlan {
+            nan_delta_rate: 0.3,
+            panic_rate: 0.2,
+            ..FaultPlan::quiet(99)
+        });
+        let opts = TrainOptions {
+            faults,
+            ..TrainOptions::default()
+        };
+        let out = train_plp_resumable(7, &ds, None, &hp, &opts).unwrap();
+        let skipped: usize = out.telemetry.iter().map(|t| t.skipped_buckets).sum();
+        assert!(skipped > 0, "at these rates some buckets must be poisoned");
+        assert!(
+            out.params.all_finite(),
+            "poisoned deltas must never reach the model"
+        );
+        assert!(out.summary.epsilon_spent < hp.budget.epsilon);
+        // Dropping buckets never skips accounting: every executed step is
+        // in the ledger.
+        assert_eq!(out.ledger.total_steps(), out.summary.steps);
+    }
+
+    #[test]
+    fn fully_poisoned_step_stops_with_diverged() {
+        let ds = tiny_dataset(30);
+        let hp = fast_hp();
+        let faults = FaultInjector::with_plan(FaultPlan {
+            nan_delta_rate: 1.0,
+            ..FaultPlan::quiet(1)
+        });
+        let opts = TrainOptions {
+            faults,
+            ..TrainOptions::default()
+        };
+        let out = train_plp_resumable(11, &ds, None, &hp, &opts).unwrap();
+        assert_eq!(out.summary.stop_reason, StopReason::Diverged);
+        assert_eq!(out.summary.steps, 1, "stops after the first poisoned step");
+        assert_eq!(
+            out.ledger.total_steps(),
+            1,
+            "the aborted step is still accounted"
+        );
+        let t = &out.telemetry[0];
+        assert!(t.skipped_buckets > 0 && t.skipped_buckets == t.buckets);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_write_is_detected_on_load() {
+        let ds = tiny_dataset(20);
+        let hp = fast_hp();
+        let dir = scratch_dir("corrupt_write");
+        let path = dir.join("run.plpc");
+        let faults = FaultInjector::with_plan(FaultPlan {
+            truncate_write_rate: 1.0,
+            ..FaultPlan::quiet(4)
+        });
+        let opts = TrainOptions {
+            faults,
+            checkpoint: Some(CheckpointPolicy {
+                path: path.clone(),
+                every: 1,
+            }),
+            ..TrainOptions::default()
+        };
+        train_plp_resumable(5, &ds, None, &hp, &opts).unwrap();
+        let err = load_checkpoint(&path);
+        assert!(
+            matches!(err, Err(CoreError::CheckpointCorrupt { .. })),
+            "a torn write must fail integrity checks, got {err:?}"
+        );
     }
 }

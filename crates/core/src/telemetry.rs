@@ -11,6 +11,10 @@ pub struct StepTelemetry {
     pub sampled_users: usize,
     /// Buckets formed (`|H|`).
     pub buckets: usize,
+    /// Buckets dropped from the Gaussian sum this step (non-finite delta
+    /// or a panicking bucket worker). Dropping never increases the query's
+    /// sensitivity, so the step's DP accounting is unaffected.
+    pub skipped_buckets: usize,
     /// Mean local training loss across buckets.
     pub mean_local_loss: f64,
     /// Fraction of buckets whose delta hit the clip bound.
@@ -45,6 +49,14 @@ pub enum StopReason {
     BudgetExhausted,
     /// The configured `max_steps` cap was reached first.
     MaxSteps,
+    /// Every bucket of a step was poisoned (non-finite delta or panicked
+    /// worker): training cannot make progress and stops after accounting
+    /// the aborted step conservatively.
+    Diverged,
+    /// The run was halted by its driver (e.g. a crash drill or scheduling
+    /// preemption) before any other stop condition; it can be resumed from
+    /// the latest checkpoint.
+    Interrupted,
 }
 
 #[cfg(test)]
@@ -57,6 +69,7 @@ mod tests {
             step: 3,
             sampled_users: 12,
             buckets: 3,
+            skipped_buckets: 1,
             mean_local_loss: 2.5,
             clip_fraction: 1.0,
             epsilon_spent: 0.4,

@@ -7,15 +7,11 @@
 use serde::{Deserialize, Serialize};
 
 /// Opaque user identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UserId(pub u32);
 
 /// Opaque location (POI) identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LocationId(pub u32);
 
 /// Seconds since the Unix epoch.
@@ -38,8 +34,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 }
@@ -61,7 +56,12 @@ impl BoundingBox {
     /// The Tokyo study region of §5.1: a 35 × 25 km² area bounded by
     /// latitudes 35.554–35.759 and longitudes 139.496–139.905.
     pub fn tokyo() -> Self {
-        BoundingBox { south: 35.554, north: 35.759, west: 139.496, east: 139.905 }
+        BoundingBox {
+            south: 35.554,
+            north: 35.759,
+            west: 139.496,
+            east: 139.905,
+        }
     }
 
     /// `true` iff `p` lies inside (inclusive on all edges).
@@ -93,7 +93,11 @@ pub struct CheckIn {
 impl CheckIn {
     /// Convenience constructor.
     pub fn new(user: u32, location: u32, timestamp: Timestamp) -> Self {
-        CheckIn { user: UserId(user), location: LocationId(location), timestamp }
+        CheckIn {
+            user: UserId(user),
+            location: LocationId(location),
+            timestamp,
+        }
     }
 }
 
@@ -111,8 +115,14 @@ mod tests {
     #[test]
     fn haversine_known_distance() {
         // Tokyo Station to Shinjuku Station: ~6.3 km.
-        let tokyo_sta = GeoPoint { lat: 35.6812, lon: 139.7671 };
-        let shinjuku = GeoPoint { lat: 35.6896, lon: 139.7006 };
+        let tokyo_sta = GeoPoint {
+            lat: 35.6812,
+            lon: 139.7671,
+        };
+        let shinjuku = GeoPoint {
+            lat: 35.6896,
+            lon: 139.7006,
+        };
         let d = tokyo_sta.distance_km(&shinjuku);
         assert!((5.9..6.8).contains(&d), "distance {d}");
         assert_eq!(tokyo_sta.distance_km(&tokyo_sta), 0.0);
@@ -122,10 +132,22 @@ mod tests {
     fn tokyo_bbox_dimensions_match_paper() {
         // The paper describes the region as roughly 35 x 25 km².
         let b = BoundingBox::tokyo();
-        let width = GeoPoint { lat: (b.south + b.north) / 2.0, lon: b.west }
-            .distance_km(&GeoPoint { lat: (b.south + b.north) / 2.0, lon: b.east });
-        let height = GeoPoint { lat: b.south, lon: b.west }
-            .distance_km(&GeoPoint { lat: b.north, lon: b.west });
+        let width = GeoPoint {
+            lat: (b.south + b.north) / 2.0,
+            lon: b.west,
+        }
+        .distance_km(&GeoPoint {
+            lat: (b.south + b.north) / 2.0,
+            lon: b.east,
+        });
+        let height = GeoPoint {
+            lat: b.south,
+            lon: b.west,
+        }
+        .distance_km(&GeoPoint {
+            lat: b.north,
+            lon: b.west,
+        });
         assert!((33.0..40.0).contains(&width), "width {width}");
         assert!((20.0..26.0).contains(&height), "height {height}");
     }
@@ -133,10 +155,22 @@ mod tests {
     #[test]
     fn bbox_containment_is_inclusive() {
         let b = BoundingBox::tokyo();
-        assert!(b.contains(&GeoPoint { lat: 35.554, lon: 139.496 }));
-        assert!(b.contains(&GeoPoint { lat: 35.65, lon: 139.7 }));
-        assert!(!b.contains(&GeoPoint { lat: 35.50, lon: 139.7 }));
-        assert!(!b.contains(&GeoPoint { lat: 35.65, lon: 140.0 }));
+        assert!(b.contains(&GeoPoint {
+            lat: 35.554,
+            lon: 139.496
+        }));
+        assert!(b.contains(&GeoPoint {
+            lat: 35.65,
+            lon: 139.7
+        }));
+        assert!(!b.contains(&GeoPoint {
+            lat: 35.50,
+            lon: 139.7
+        }));
+        assert!(!b.contains(&GeoPoint {
+            lat: 35.65,
+            lon: 140.0
+        }));
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl CheckInDataset {
             .into_iter()
             .map(|(user, mut cs)| {
                 cs.sort_by(|a, b| {
-                    a.timestamp.cmp(&b.timestamp).then(a.location.cmp(&b.location))
+                    a.timestamp
+                        .cmp(&b.timestamp)
+                        .then(a.location.cmp(&b.location))
                 });
                 UserHistory { user, checkins: cs }
             })
@@ -173,9 +175,15 @@ impl TokenizedDataset {
                 }
                 sessions.push(tokens);
             }
-            users.push(UserSequences { user: h.user, sessions });
+            users.push(UserSequences {
+                user: h.user,
+                sessions,
+            });
         }
-        Ok(TokenizedDataset { users, vocab_size: vocab.len() })
+        Ok(TokenizedDataset {
+            users,
+            vocab_size: vocab.len(),
+        })
     }
 
     /// Number of users.
@@ -212,7 +220,13 @@ mod tests {
     use crate::checkin::{GeoPoint, LocationId};
 
     fn poi(id: u32) -> Poi {
-        Poi { id: LocationId(id), point: GeoPoint { lat: 35.6, lon: 139.7 } }
+        Poi {
+            id: LocationId(id),
+            point: GeoPoint {
+                lat: 35.6,
+                lon: 139.7,
+            },
+        }
     }
 
     #[test]
@@ -281,7 +295,10 @@ mod tests {
         let empty = CheckInDataset::default();
         let vocab = Vocabulary::build(&empty);
         let r = TokenizedDataset::from_dataset(&ds, &vocab, 3600);
-        assert!(matches!(r, Err(DataError::UnknownLocation { location: 100 })));
+        assert!(matches!(
+            r,
+            Err(DataError::UnknownLocation { location: 100 })
+        ));
     }
 
     #[test]
@@ -297,7 +314,10 @@ mod tests {
         let tok = TokenizedDataset::from_dataset(&ds, &vocab, i64::MAX).unwrap();
         // 3 distinct (user, loc) cells over 2 users x 2 locations.
         assert!((tok.density() - 0.75).abs() < 1e-12);
-        let empty = TokenizedDataset { users: vec![], vocab_size: 0 };
+        let empty = TokenizedDataset {
+            users: vec![],
+            vocab_size: 0,
+        };
         assert_eq!(empty.density(), 0.0);
     }
 }

@@ -60,7 +60,9 @@ impl std::error::Error for DataError {}
 
 impl From<std::io::Error> for DataError {
     fn from(e: std::io::Error) -> Self {
-        DataError::Io { message: e.to_string() }
+        DataError::Io {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -70,12 +72,26 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(DataError::UnknownLocation { location: 7 }.to_string(), "unknown location id 7");
-        assert_eq!(DataError::UnknownUser { user: 3 }.to_string(), "unknown user id 3");
-        assert!(DataError::Invalid { what: "x".into() }.to_string().contains("x"));
-        let e = DataError::BadConfig { name: "lambda", expected: ">= 1" };
+        assert_eq!(
+            DataError::UnknownLocation { location: 7 }.to_string(),
+            "unknown location id 7"
+        );
+        assert_eq!(
+            DataError::UnknownUser { user: 3 }.to_string(),
+            "unknown user id 3"
+        );
+        assert!(DataError::Invalid { what: "x".into() }
+            .to_string()
+            .contains("x"));
+        let e = DataError::BadConfig {
+            name: "lambda",
+            expected: ">= 1",
+        };
         assert!(e.to_string().contains("lambda"));
-        let e = DataError::Parse { line: 4, what: "bad float".into() };
+        let e = DataError::Parse {
+            line: 4,
+            what: "bad float".into(),
+        };
         assert!(e.to_string().contains("line 4"));
     }
 

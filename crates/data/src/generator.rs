@@ -22,7 +22,6 @@
 //! Everything is driven by one seeded RNG: the same seed yields the same
 //! dataset byte-for-byte.
 
-
 use rand::{Rng, RngExt};
 
 use plp_linalg::sample::{NormalSampler, Zipf};
@@ -132,10 +131,16 @@ impl GeneratorConfig {
     /// Returns [`DataError::BadConfig`] naming the first bad field.
     pub fn validate(&self) -> Result<(), DataError> {
         if self.num_users == 0 {
-            return Err(DataError::BadConfig { name: "num_users", expected: ">= 1" });
+            return Err(DataError::BadConfig {
+                name: "num_users",
+                expected: ">= 1",
+            });
         }
         if self.num_locations == 0 {
-            return Err(DataError::BadConfig { name: "num_locations", expected: ">= 1" });
+            return Err(DataError::BadConfig {
+                name: "num_locations",
+                expected: ">= 1",
+            });
         }
         if self.num_clusters == 0 || self.num_clusters > self.num_locations {
             return Err(DataError::BadConfig {
@@ -150,10 +155,16 @@ impl GeneratorConfig {
             });
         }
         if !(0.0..=1.0).contains(&self.explore_prob) {
-            return Err(DataError::BadConfig { name: "explore_prob", expected: "in [0, 1]" });
+            return Err(DataError::BadConfig {
+                name: "explore_prob",
+                expected: "in [0, 1]",
+            });
         }
         if self.favorites_per_user == 0 {
-            return Err(DataError::BadConfig { name: "favorites_per_user", expected: ">= 1" });
+            return Err(DataError::BadConfig {
+                name: "favorites_per_user",
+                expected: ">= 1",
+            });
         }
         if self.min_checkins_per_user == 0
             || self.max_checkins_per_user < self.min_checkins_per_user
@@ -164,7 +175,10 @@ impl GeneratorConfig {
             });
         }
         if self.duration_secs <= 0 {
-            return Err(DataError::BadConfig { name: "duration_secs", expected: "> 0" });
+            return Err(DataError::BadConfig {
+                name: "duration_secs",
+                expected: "> 0",
+            });
         }
         Ok(())
     }
@@ -190,10 +204,7 @@ impl SyntheticGenerator {
     ///
     /// # Errors
     /// Propagates configuration validation failures.
-    pub fn new<R: Rng + ?Sized>(
-        rng: &mut R,
-        config: GeneratorConfig,
-    ) -> Result<Self, DataError> {
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: GeneratorConfig) -> Result<Self, DataError> {
         config.validate()?;
         let bbox = config.bbox;
         let lat_span = bbox.north - bbox.south;
@@ -207,8 +218,12 @@ impl SyntheticGenerator {
             })
             .collect();
 
-        let cluster_dist = Zipf::new(config.num_clusters, config.cluster_zipf_exponent)
-            .ok_or(DataError::BadConfig { name: "cluster_zipf_exponent", expected: ">= 0" })?;
+        let cluster_dist = Zipf::new(config.num_clusters, config.cluster_zipf_exponent).ok_or(
+            DataError::BadConfig {
+                name: "cluster_zipf_exponent",
+                expected: ">= 0",
+            },
+        )?;
 
         // Assign POIs to clusters (attractive clusters get more POIs) and
         // scatter them around the centre.
@@ -218,7 +233,11 @@ impl SyntheticGenerator {
         let mut pois = Vec::with_capacity(config.num_locations);
         for p in 0..config.num_locations {
             // Guarantee every cluster owns at least one POI, then sample.
-            let c = if p < config.num_clusters { p } else { cluster_dist.sample(rng) };
+            let c = if p < config.num_clusters {
+                p
+            } else {
+                cluster_dist.sample(rng)
+            };
             poi_cluster.push(c);
             cluster_pois[c].push(p);
             let center = centers[c];
@@ -228,10 +247,19 @@ impl SyntheticGenerator {
                 lon: (center.lon + normal.sample_scaled(rng, config.poi_scatter_deg))
                     .clamp(bbox.west, bbox.east),
             };
-            pois.push(Poi { id: LocationId(p as u32), point });
+            pois.push(Poi {
+                id: LocationId(p as u32),
+                point,
+            });
         }
 
-        Ok(SyntheticGenerator { config, poi_cluster, cluster_pois, pois, cluster_dist })
+        Ok(SyntheticGenerator {
+            config,
+            poi_cluster,
+            cluster_pois,
+            pois,
+            cluster_dist,
+        })
     }
 
     /// The world's POIs.
@@ -258,8 +286,8 @@ impl SyntheticGenerator {
         let mut checkins = Vec::with_capacity(cfg.target_checkins + cfg.target_checkins / 8);
         for user in 0..cfg.num_users {
             let raw = (mu + s * normal.sample(rng)).exp();
-            let count = (raw.round() as usize)
-                .clamp(cfg.min_checkins_per_user, cfg.max_checkins_per_user);
+            let count =
+                (raw.round() as usize).clamp(cfg.min_checkins_per_user, cfg.max_checkins_per_user);
             let favorites = self.pick_favorites(rng);
             self.generate_user(rng, user as u32, count, &favorites, &mut checkins);
         }

@@ -72,7 +72,10 @@ pub fn group_data<R: Rng + ?Sized>(
     strategy: GroupingStrategy,
 ) -> Result<Vec<Bucket>, DataError> {
     if lambda == 0 {
-        return Err(DataError::BadConfig { name: "lambda", expected: ">= 1" });
+        return Err(DataError::BadConfig {
+            name: "lambda",
+            expected: ">= 1",
+        });
     }
     for &u in sampled {
         if u >= dataset.num_users() {
@@ -113,7 +116,11 @@ pub fn group_data<R: Rng + ?Sized>(
                 buckets[target].0 += dataset.users[u].num_tokens();
                 buckets[target].1.push(u);
             }
-            buckets.into_iter().map(|(_, members)| members).filter(|m| !m.is_empty()).collect()
+            buckets
+                .into_iter()
+                .map(|(_, members)| members)
+                .filter(|m| !m.is_empty())
+                .collect()
         }
     };
     Ok(assignments
@@ -123,7 +130,10 @@ pub fn group_data<R: Rng + ?Sized>(
                 .iter()
                 .flat_map(|&u| dataset.users[u].flattened())
                 .collect();
-            Bucket { user_indices, tokens }
+            Bucket {
+                user_indices,
+                tokens,
+            }
         })
         .collect())
 }
@@ -147,10 +157,16 @@ pub fn group_data_split<R: Rng + ?Sized>(
     omega: usize,
 ) -> Result<Vec<Bucket>, DataError> {
     if lambda == 0 {
-        return Err(DataError::BadConfig { name: "lambda", expected: ">= 1" });
+        return Err(DataError::BadConfig {
+            name: "lambda",
+            expected: ">= 1",
+        });
     }
     if omega == 0 {
-        return Err(DataError::BadConfig { name: "omega", expected: ">= 1" });
+        return Err(DataError::BadConfig {
+            name: "omega",
+            expected: ">= 1",
+        });
     }
     if omega == 1 {
         return group_data(rng, sampled, dataset, lambda, GroupingStrategy::Random);
@@ -170,8 +186,12 @@ pub fn group_data_split<R: Rng + ?Sized>(
             expected: "<= number of buckets (sampled users / lambda)",
         });
     }
-    let mut buckets: Vec<Bucket> =
-        (0..num_buckets).map(|_| Bucket { user_indices: Vec::new(), tokens: Vec::new() }).collect();
+    let mut buckets: Vec<Bucket> = (0..num_buckets)
+        .map(|_| Bucket {
+            user_indices: Vec::new(),
+            tokens: Vec::new(),
+        })
+        .collect();
     let mut bucket_ids: Vec<usize> = (0..num_buckets).collect();
     for &u in sampled {
         let tokens = dataset.users[u].flattened();
@@ -183,7 +203,10 @@ pub fn group_data_split<R: Rng + ?Sized>(
             buckets[b].tokens.extend_from_slice(piece);
         }
     }
-    Ok(buckets.into_iter().filter(|b| !b.user_indices.is_empty()).collect())
+    Ok(buckets
+        .into_iter()
+        .filter(|b| !b.user_indices.is_empty())
+        .collect())
 }
 
 /// The realised split factor of a bucket assignment: the maximum number of
@@ -221,7 +244,10 @@ mod tests {
                 sessions: vec![(0..n).map(|t| (i * 100 + t) % 50).collect()],
             })
             .collect();
-        TokenizedDataset { users, vocab_size: 50 }
+        TokenizedDataset {
+            users,
+            vocab_size: 50,
+        }
     }
 
     #[test]
@@ -229,17 +255,22 @@ mod tests {
         let ds = dataset(&[5, 5, 5, 5, 5, 5, 5]);
         let sampled = vec![0, 1, 2, 3, 4, 5, 6];
         let mut rng = StdRng::seed_from_u64(1);
-        let buckets =
-            group_data(&mut rng, &sampled, &ds, 2, GroupingStrategy::Random).unwrap();
+        let buckets = group_data(&mut rng, &sampled, &ds, 2, GroupingStrategy::Random).unwrap();
         assert_eq!(buckets.len(), 4, "ceil(7/2)");
-        let mut all: Vec<usize> =
-            buckets.iter().flat_map(|b| b.user_indices.iter().copied()).collect();
+        let mut all: Vec<usize> = buckets
+            .iter()
+            .flat_map(|b| b.user_indices.iter().copied())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, sampled, "every user in exactly one bucket");
         assert_eq!(realized_split_factor(&buckets), 1);
         // Bucket token arrays are the concatenation of member data.
         for b in &buckets {
-            let expected: usize = b.user_indices.iter().map(|&u| ds.users[u].num_tokens()).sum();
+            let expected: usize = b
+                .user_indices
+                .iter()
+                .map(|&u| ds.users[u].num_tokens())
+                .sum();
             assert_eq!(b.len(), expected);
         }
     }
@@ -248,8 +279,7 @@ mod tests {
     fn lambda_one_is_per_user_buckets() {
         let ds = dataset(&[3, 4, 5]);
         let mut rng = StdRng::seed_from_u64(2);
-        let buckets =
-            group_data(&mut rng, &[0, 1, 2], &ds, 1, GroupingStrategy::Random).unwrap();
+        let buckets = group_data(&mut rng, &[0, 1, 2], &ds, 1, GroupingStrategy::Random).unwrap();
         assert_eq!(buckets.len(), 3);
         assert!(buckets.iter().all(|b| b.user_indices.len() == 1));
     }
@@ -274,8 +304,10 @@ mod tests {
         assert!(spread <= 100, "loads {loads:?}");
         // Users still never split.
         assert_eq!(realized_split_factor(&buckets), 1);
-        let mut all: Vec<usize> =
-            buckets.iter().flat_map(|b| b.user_indices.iter().copied()).collect();
+        let mut all: Vec<usize> = buckets
+            .iter()
+            .flat_map(|b| b.user_indices.iter().copied())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
     }

@@ -22,8 +22,9 @@ const VERSION: u8 = 1;
 /// # Errors
 /// Propagates I/O failures.
 pub fn save_json(dataset: &CheckInDataset, path: &Path) -> Result<(), DataError> {
-    let json = serde_json::to_string_pretty(dataset)
-        .map_err(|e| DataError::Invalid { what: format!("json encode: {e}") })?;
+    let json = serde_json::to_string_pretty(dataset).map_err(|e| DataError::Invalid {
+        what: format!("json encode: {e}"),
+    })?;
     fs::write(path, json)?;
     Ok(())
 }
@@ -34,8 +35,9 @@ pub fn save_json(dataset: &CheckInDataset, path: &Path) -> Result<(), DataError>
 /// Propagates I/O and decode failures.
 pub fn load_json(path: &Path) -> Result<CheckInDataset, DataError> {
     let text = fs::read_to_string(path)?;
-    serde_json::from_str(&text)
-        .map_err(|e| DataError::Invalid { what: format!("json decode: {e}") })
+    serde_json::from_str(&text).map_err(|e| DataError::Invalid {
+        what: format!("json decode: {e}"),
+    })
 }
 
 /// Writes check-ins as CSV lines `user,location,timestamp` (with header).
@@ -63,19 +65,31 @@ pub fn checkins_from_csv(text: &str) -> Result<Vec<CheckIn>, DataError> {
         }
         let mut parts = line.split(',');
         let parse_u32 = |s: Option<&str>, what: &str| -> Result<u32, DataError> {
-            s.ok_or_else(|| DataError::Parse { line: i + 1, what: format!("missing {what}") })?
-                .trim()
-                .parse()
-                .map_err(|_| DataError::Parse { line: i + 1, what: format!("bad {what}") })
+            s.ok_or_else(|| DataError::Parse {
+                line: i + 1,
+                what: format!("missing {what}"),
+            })?
+            .trim()
+            .parse()
+            .map_err(|_| DataError::Parse {
+                line: i + 1,
+                what: format!("bad {what}"),
+            })
         };
         let user = parse_u32(parts.next(), "user")?;
         let location = parse_u32(parts.next(), "location")?;
         let ts: i64 = parts
             .next()
-            .ok_or_else(|| DataError::Parse { line: i + 1, what: "missing timestamp".into() })?
+            .ok_or_else(|| DataError::Parse {
+                line: i + 1,
+                what: "missing timestamp".into(),
+            })?
             .trim()
             .parse()
-            .map_err(|_| DataError::Parse { line: i + 1, what: "bad timestamp".into() })?;
+            .map_err(|_| DataError::Parse {
+                line: i + 1,
+                what: "bad timestamp".into(),
+            })?;
         out.push(CheckIn::new(user, location, ts));
     }
     Ok(out)
@@ -83,9 +97,8 @@ pub fn checkins_from_csv(text: &str) -> Result<Vec<CheckIn>, DataError> {
 
 /// Encodes the dataset into the compact binary snapshot format.
 pub fn encode_binary(dataset: &CheckInDataset) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        16 + dataset.pois.len() * 20 + dataset.num_checkins() * 16,
-    );
+    let mut buf =
+        BytesMut::with_capacity(16 + dataset.pois.len() * 20 + dataset.num_checkins() * 16);
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u32_le(dataset.pois.len() as u32);
@@ -111,28 +124,49 @@ pub fn encode_binary(dataset: &CheckInDataset) -> Bytes {
 /// Returns [`DataError::Invalid`] on a bad magic/version or truncation.
 pub fn decode_binary(mut data: Bytes) -> Result<CheckInDataset, DataError> {
     if data.remaining() < 17 {
-        return Err(DataError::Invalid { what: "binary snapshot truncated header".into() });
+        return Err(DataError::Invalid {
+            what: "binary snapshot truncated header".into(),
+        });
     }
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(DataError::Invalid { what: "bad magic bytes".into() });
+        return Err(DataError::Invalid {
+            what: "bad magic bytes".into(),
+        });
     }
     let version = data.get_u8();
     if version != VERSION {
-        return Err(DataError::Invalid { what: format!("unsupported version {version}") });
+        return Err(DataError::Invalid {
+            what: format!("unsupported version {version}"),
+        });
     }
     let num_pois = data.get_u32_le() as usize;
-    let num_checkins = data.get_u64_le() as usize;
-    if data.remaining() < num_pois * 20 + num_checkins * 16 {
-        return Err(DataError::Invalid { what: "binary snapshot truncated body".into() });
+    let num_checkins = usize::try_from(data.get_u64_le()).map_err(|_| DataError::Invalid {
+        what: "binary snapshot count overflow".into(),
+    })?;
+    // Checked arithmetic: a corrupt header must not wrap the size math
+    // into a panic further down.
+    let body = num_pois
+        .checked_mul(20)
+        .and_then(|p| num_checkins.checked_mul(16).and_then(|c| p.checked_add(c)))
+        .ok_or_else(|| DataError::Invalid {
+            what: "binary snapshot count overflow".into(),
+        })?;
+    if data.remaining() < body {
+        return Err(DataError::Invalid {
+            what: "binary snapshot truncated body".into(),
+        });
     }
     let mut pois = Vec::with_capacity(num_pois);
     for _ in 0..num_pois {
         let id = LocationId(data.get_u32_le());
         let lat = data.get_f64_le();
         let lon = data.get_f64_le();
-        pois.push(Poi { id, point: GeoPoint { lat, lon } });
+        pois.push(Poi {
+            id,
+            point: GeoPoint { lat, lon },
+        });
     }
     let mut checkins = Vec::with_capacity(num_checkins);
     for _ in 0..num_checkins {
@@ -169,7 +203,10 @@ mod tests {
     fn sample() -> CheckInDataset {
         let pois = vec![Poi {
             id: LocationId(10),
-            point: GeoPoint { lat: 35.6, lon: 139.7 },
+            point: GeoPoint {
+                lat: 35.6,
+                lon: 139.7,
+            },
         }];
         let cs = vec![
             CheckIn::new(1, 10, 100),

@@ -22,7 +22,10 @@ pub struct FilterConfig {
 
 impl Default for FilterConfig {
     fn default() -> Self {
-        FilterConfig { min_checkins_per_user: 10, min_users_per_location: 2 }
+        FilterConfig {
+            min_checkins_per_user: 10,
+            min_users_per_location: 2,
+        }
     }
 }
 
@@ -36,7 +39,12 @@ pub fn filter_bounding_box(dataset: &CheckInDataset, bbox: &BoundingBox) -> Chec
         .iter()
         .map(|p| (p.id, !bbox.contains(&p.point)))
         .collect();
-    let pois = dataset.pois.iter().filter(|p| bbox.contains(&p.point)).copied().collect();
+    let pois = dataset
+        .pois
+        .iter()
+        .filter(|p| bbox.contains(&p.point))
+        .copied()
+        .collect();
     let checkins = dataset
         .users
         .iter()
@@ -88,8 +96,10 @@ pub fn filter_sparse(dataset: &CheckInDataset, config: FilterConfig) -> CheckInD
             }
         }
 
-        let surviving: HashMap<LocationId, bool> =
-            checkins.iter().map(|c: &crate::checkin::CheckIn| (c.location, true)).collect();
+        let surviving: HashMap<LocationId, bool> = checkins
+            .iter()
+            .map(|c: &crate::checkin::CheckIn| (c.location, true))
+            .collect();
         let pois = current
             .pois
             .iter()
@@ -110,7 +120,10 @@ mod tests {
     use crate::checkin::{CheckIn, GeoPoint, Poi};
 
     fn poi(id: u32, lat: f64, lon: f64) -> Poi {
-        Poi { id: LocationId(id), point: GeoPoint { lat, lon } }
+        Poi {
+            id: LocationId(id),
+            point: GeoPoint { lat, lon },
+        }
     }
 
     #[test]
@@ -127,7 +140,10 @@ mod tests {
         let ds = CheckInDataset::from_checkins(vec![], cs);
         let f = filter_sparse(
             &ds,
-            FilterConfig { min_checkins_per_user: 2, min_users_per_location: 2 },
+            FilterConfig {
+                min_checkins_per_user: 2,
+                min_users_per_location: 2,
+            },
         );
         assert_eq!(f.num_users(), 2, "users 1 and 3 survive");
         assert!(f.users.iter().all(|u| u.len() >= 2));
@@ -145,7 +161,10 @@ mod tests {
         let ds = CheckInDataset::from_checkins(vec![], cs);
         let f = filter_sparse(
             &ds,
-            FilterConfig { min_checkins_per_user: 1, min_users_per_location: 2 },
+            FilterConfig {
+                min_checkins_per_user: 1,
+                min_users_per_location: 2,
+            },
         );
         let locs: Vec<u32> = f
             .users
@@ -171,7 +190,10 @@ mod tests {
         let ds = CheckInDataset::from_checkins(vec![], cs);
         let f = filter_sparse(
             &ds,
-            FilterConfig { min_checkins_per_user: 2, min_users_per_location: 2 },
+            FilterConfig {
+                min_checkins_per_user: 2,
+                min_users_per_location: 2,
+            },
         );
         assert_eq!(f.num_users(), 0);
         assert_eq!(f.num_checkins(), 0);
@@ -192,7 +214,10 @@ mod tests {
         assert_eq!(f.num_users(), 0);
         let f2 = filter_sparse(
             &ds,
-            FilterConfig { min_checkins_per_user: 2, min_users_per_location: 2 },
+            FilterConfig {
+                min_checkins_per_user: 2,
+                min_users_per_location: 2,
+            },
         );
         assert_eq!(f2.pois.len(), 1);
         assert_eq!(f2.pois[0].id, LocationId(10));
@@ -210,8 +235,7 @@ mod tests {
         let ds = CheckInDataset::from_checkins(vec![inside, outside], cs);
         let f = filter_bounding_box(&ds, &BoundingBox::tokyo());
         assert_eq!(f.pois.len(), 1);
-        let locs: Vec<u32> =
-            f.users[0].checkins.iter().map(|c| c.location.0).collect();
+        let locs: Vec<u32> = f.users[0].checkins.iter().map(|c| c.location.0).collect();
         assert_eq!(locs, vec![1, 3]);
     }
 }

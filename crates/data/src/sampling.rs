@@ -21,7 +21,10 @@ pub fn sample_users<R: Rng + ?Sized>(
     q: f64,
 ) -> Result<Vec<usize>, DataError> {
     if !(0.0..=1.0).contains(&q) || !q.is_finite() {
-        return Err(DataError::BadConfig { name: "q", expected: "in [0, 1]" });
+        return Err(DataError::BadConfig {
+            name: "q",
+            expected: "in [0, 1]",
+        });
     }
     Ok(poisson_subsample(rng, num_users, q))
 }
@@ -49,7 +52,10 @@ mod tests {
         }
         let mean = total as f64 / reps as f64;
         let expected = expected_sample_size(n, q);
-        assert!((mean - expected).abs() < 0.05 * expected, "{mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "{mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -57,8 +63,9 @@ mod tests {
         // Poisson sampling gives a *random* sample size — a fixed-size
         // sampler would invalidate the accountant's amplification bound.
         let mut rng = StdRng::seed_from_u64(22);
-        let sizes: Vec<usize> =
-            (0..20).map(|_| sample_users(&mut rng, 1000, 0.1).unwrap().len()).collect();
+        let sizes: Vec<usize> = (0..20)
+            .map(|_| sample_users(&mut rng, 1000, 0.1).unwrap().len())
+            .collect();
         let distinct: std::collections::HashSet<_> = sizes.iter().collect();
         assert!(distinct.len() > 1);
     }

@@ -22,8 +22,7 @@ pub fn sessionize(history: &UserHistory, max_duration_secs: i64) -> Vec<Vec<Chec
     for &c in &history.checkins {
         match current.first() {
             Some(first)
-                if max_duration_secs > 0
-                    && c.timestamp - first.timestamp <= max_duration_secs =>
+                if max_duration_secs > 0 && c.timestamp - first.timestamp <= max_duration_secs =>
             {
                 current.push(c);
             }
@@ -73,7 +72,10 @@ mod tests {
     fn history(times: &[i64]) -> UserHistory {
         UserHistory {
             user: UserId(1),
-            checkins: times.iter().map(|&t| CheckIn::new(1, t as u32, t)).collect(),
+            checkins: times
+                .iter()
+                .map(|&t| CheckIn::new(1, t as u32, t))
+                .collect(),
         }
     }
 

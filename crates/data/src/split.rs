@@ -57,7 +57,11 @@ pub fn holdout_split<R: Rng + ?Sized>(
         }
     };
     let rest: Vec<usize> = order[num_validation + num_test..].to_vec();
-    Ok(Split { train: pick(&rest), validation: pick(val_set), test: pick(test_set) })
+    Ok(Split {
+        train: pick(&rest),
+        validation: pick(val_set),
+        test: pick(test_set),
+    })
 }
 
 #[cfg(test)]

@@ -72,7 +72,9 @@ pub fn dataset_stats(dataset: &CheckInDataset) -> DatasetStats {
     let mut counts: Vec<usize> = loc_counts.values().copied().collect();
     counts.sort_unstable();
     let location_gini = gini(&counts);
-    let top1 = ((num_locations as f64 * 0.01).ceil() as usize).max(1).min(counts.len());
+    let top1 = ((num_locations as f64 * 0.01).ceil() as usize)
+        .max(1)
+        .min(counts.len());
     let top_share = if num_checkins == 0 {
         0.0
     } else {

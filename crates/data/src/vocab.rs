@@ -45,7 +45,12 @@ impl Vocabulary {
     /// Rebuilds the lookup index after deserialisation (the map is not
     /// serialised; the sorted location list is the source of truth).
     pub fn rebuild_index(&mut self) {
-        self.index = self.locations.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        self.index = self
+            .locations
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i))
+            .collect();
     }
 
     /// Vocabulary size `L`.

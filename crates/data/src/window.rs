@@ -25,9 +25,9 @@ pub fn pairs_from_sequence(tokens: &[usize], win: usize) -> Vec<Pair> {
     for (i, &target) in tokens.iter().enumerate() {
         let lo = i.saturating_sub(win);
         let hi = (i + win).min(tokens.len().saturating_sub(1));
-        for j in lo..=hi {
+        for (j, &context) in tokens.iter().enumerate().take(hi + 1).skip(lo) {
             if j != i {
-                out.push((target, tokens[j]));
+                out.push((target, context));
             }
         }
     }
@@ -37,7 +37,10 @@ pub fn pairs_from_sequence(tokens: &[usize], win: usize) -> Vec<Pair> {
 /// Emits pairs from several sequences (e.g. a user's sessions) without
 /// creating windows that straddle sequence boundaries.
 pub fn pairs_from_sequences(sequences: &[Vec<usize>], win: usize) -> Vec<Pair> {
-    sequences.iter().flat_map(|s| pairs_from_sequence(s, win)).collect()
+    sequences
+        .iter()
+        .flat_map(|s| pairs_from_sequence(s, win))
+        .collect()
 }
 
 /// The paper's `generateBatches`: windows the concatenated bucket array,

@@ -50,7 +50,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "shape mismatch in {op}: {left} vs {right}")
             }
             LinalgError::BadBuffer { rows, cols, len } => {
-                write!(f, "buffer of length {len} cannot back a {rows}x{cols} matrix")
+                write!(
+                    f,
+                    "buffer of length {len} cannot back a {rows}x{cols} matrix"
+                )
             }
             LinalgError::IndexOutOfRange { index, len } => {
                 write!(f, "index {index} out of range for length {len}")
@@ -69,9 +72,17 @@ mod tests {
 
     #[test]
     fn display_formats_are_readable() {
-        let e = LinalgError::ShapeMismatch { op: "dot", left: 3, right: 4 };
+        let e = LinalgError::ShapeMismatch {
+            op: "dot",
+            left: 3,
+            right: 4,
+        };
         assert_eq!(e.to_string(), "shape mismatch in dot: 3 vs 4");
-        let e = LinalgError::BadBuffer { rows: 2, cols: 3, len: 5 };
+        let e = LinalgError::BadBuffer {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
         assert_eq!(e.to_string(), "buffer of length 5 cannot back a 2x3 matrix");
         let e = LinalgError::IndexOutOfRange { index: 9, len: 4 };
         assert_eq!(e.to_string(), "index 9 out of range for length 4");

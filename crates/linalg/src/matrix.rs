@@ -21,7 +21,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major buffer.
@@ -30,7 +34,11 @@ impl Matrix {
     /// Returns [`LinalgError::BadBuffer`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
         if data.len() != rows * cols {
-            return Err(LinalgError::BadBuffer { rows, cols, len: data.len() });
+            return Err(LinalgError::BadBuffer {
+                rows,
+                cols,
+                len: data.len(),
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -97,7 +105,10 @@ impl Matrix {
     /// Returns [`LinalgError::IndexOutOfRange`] if `r >= rows`.
     pub fn try_row(&self, r: usize) -> Result<&[f64], LinalgError> {
         if r >= self.rows {
-            return Err(LinalgError::IndexOutOfRange { index: r, len: self.rows });
+            return Err(LinalgError::IndexOutOfRange {
+                index: r,
+                len: self.rows,
+            });
         }
         Ok(self.row(r))
     }
@@ -170,7 +181,9 @@ impl Matrix {
                 right: x.len(),
             });
         }
-        Ok((0..self.rows).map(|r| ops::dot_unchecked(self.row(r), x)).collect())
+        Ok((0..self.rows)
+            .map(|r| ops::dot_unchecked(self.row(r), x))
+            .collect())
     }
 
     /// Normalises every row to unit ℓ2 length (zero rows are left as-is).

@@ -13,7 +13,11 @@ use crate::error::LinalgError;
 /// Returns [`LinalgError::ShapeMismatch`] if the lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
     if a.len() != b.len() {
-        return Err(LinalgError::ShapeMismatch { op: "dot", left: a.len(), right: b.len() });
+        return Err(LinalgError::ShapeMismatch {
+            op: "dot",
+            left: a.len(),
+            right: b.len(),
+        });
     }
     Ok(dot_unchecked(a, b))
 }
@@ -31,7 +35,11 @@ pub fn dot_unchecked(a: &[f64], b: &[f64]) -> f64 {
 /// Returns [`LinalgError::ShapeMismatch`] if the lengths differ.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
     if x.len() != y.len() {
-        return Err(LinalgError::ShapeMismatch { op: "axpy", left: x.len(), right: y.len() });
+        return Err(LinalgError::ShapeMismatch {
+            op: "axpy",
+            left: x.len(),
+            right: y.len(),
+        });
     }
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
@@ -52,7 +60,11 @@ pub fn scale(alpha: f64, y: &mut [f64]) {
 /// Returns [`LinalgError::ShapeMismatch`] if the lengths differ.
 pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     if a.len() != b.len() {
-        return Err(LinalgError::ShapeMismatch { op: "sub", left: a.len(), right: b.len() });
+        return Err(LinalgError::ShapeMismatch {
+            op: "sub",
+            left: a.len(),
+            right: b.len(),
+        });
     }
     Ok(a.iter().zip(b).map(|(x, y)| x - y).collect())
 }
@@ -104,7 +116,9 @@ pub fn normalize(v: &mut [f64]) {
 /// Gaussian sum query).
 pub fn clip_to_norm(v: &mut [f64], max_norm: f64) -> Result<f64, LinalgError> {
     if !(max_norm.is_finite() && max_norm > 0.0) {
-        return Err(LinalgError::InvalidArgument { what: "max_norm must be finite and > 0" });
+        return Err(LinalgError::InvalidArgument {
+            what: "max_norm must be finite and > 0",
+        });
     }
     let n = l2_norm(v);
     if !n.is_finite() {
@@ -148,7 +162,9 @@ pub fn mean(v: &[f64]) -> f64 {
 /// [`LinalgError::InvalidArgument`] for empty input.
 pub fn softmax_into(logits: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
     if logits.is_empty() {
-        return Err(LinalgError::InvalidArgument { what: "softmax of empty slice" });
+        return Err(LinalgError::InvalidArgument {
+            what: "softmax of empty slice",
+        });
     }
     if logits.len() != out.len() {
         return Err(LinalgError::ShapeMismatch {
@@ -253,7 +269,10 @@ mod tests {
         let mut small = vec![0.1, 0.1];
         let n = l2_norm(&small);
         clip_to_norm(&mut small, 1.0).unwrap();
-        assert!((l2_norm(&small) - n).abs() < 1e-12, "small vectors untouched");
+        assert!(
+            (l2_norm(&small) - n).abs() < 1e-12,
+            "small vectors untouched"
+        );
     }
 
     #[test]
@@ -262,7 +281,10 @@ mod tests {
         assert!(clip_to_norm(&mut v, 0.0).is_err());
         assert!(clip_to_norm(&mut v, f64::NAN).is_err());
         let mut bad = vec![f64::NAN];
-        assert!(matches!(clip_to_norm(&mut bad, 1.0), Err(LinalgError::NonFinite { .. })));
+        assert!(matches!(
+            clip_to_norm(&mut bad, 1.0),
+            Err(LinalgError::NonFinite { .. })
+        ));
     }
 
     #[test]

@@ -255,10 +255,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let n = 10_000;
         let q = 0.06;
-        let sizes: Vec<usize> =
-            (0..50).map(|_| poisson_subsample(&mut rng, n, q).len()).collect();
+        let sizes: Vec<usize> = (0..50)
+            .map(|_| poisson_subsample(&mut rng, n, q).len())
+            .collect();
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
-        assert!((mean - q * n as f64).abs() < 40.0, "mean sample size {mean}");
+        assert!(
+            (mean - q * n as f64).abs() < 40.0,
+            "mean sample size {mean}"
+        );
         assert!(poisson_subsample(&mut rng, n, 0.0).is_empty());
         assert_eq!(poisson_subsample(&mut rng, n, 1.0).len(), n);
         assert_eq!(poisson_subsample(&mut rng, n, 2.0).len(), n, "q is clamped");

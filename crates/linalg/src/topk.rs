@@ -51,8 +51,7 @@ pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
         if heap.len() < k {
             heap.push(Entry { score, index });
         } else if let Some(worst) = heap.peek() {
-            let better = score > worst.score
-                || (score == worst.score && index < worst.index);
+            let better = score > worst.score || (score == worst.score && index < worst.index);
             if better {
                 heap.pop();
                 heap.push(Entry { score, index });
@@ -71,7 +70,10 @@ pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
 
 /// Returns `(index, score)` pairs of the `k` largest scores, best first.
 pub fn top_k_with_scores(scores: &[f64], k: usize) -> Vec<(usize, f64)> {
-    top_k_indices(scores, k).into_iter().map(|i| (i, scores[i])).collect()
+    top_k_indices(scores, k)
+        .into_iter()
+        .map(|i| (i, scores[i]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -126,9 +128,7 @@ mod tests {
             let k = rng.random_range(0..n + 5);
             let got = top_k_indices(&scores, k);
             let mut idx: Vec<usize> = (0..n).collect();
-            idx.sort_by(|&a, &b| {
-                scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
-            });
+            idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
             idx.truncate(k);
             assert_eq!(got, idx);
         }

@@ -40,10 +40,15 @@ impl ClipReport {
 ///   it can never enter the Gaussian sum query.
 pub fn clip_per_layer(grad: &mut SparseGrad, clip_norm: f64) -> Result<ClipReport, ModelError> {
     if !(clip_norm.is_finite() && clip_norm > 0.0) {
-        return Err(ModelError::BadConfig { name: "clip_norm", expected: "finite and > 0" });
+        return Err(ModelError::BadConfig {
+            name: "clip_norm",
+            expected: "finite and > 0",
+        });
     }
     if !grad.all_finite() {
-        return Err(ModelError::NonFinite { at: "gradient before clipping" });
+        return Err(ModelError::NonFinite {
+            at: "gradient before clipping",
+        });
     }
     let bound = clip_norm / (NUM_TENSORS as f64).sqrt();
     let (ne, nc, nb) = grad.tensor_norms();
@@ -111,7 +116,10 @@ mod tests {
         assert!(clip_per_layer(&mut g, f64::NAN).is_err());
         assert!(clip_per_layer(&mut g, f64::INFINITY).is_err());
         let mut bad = grad_with_norms(f64::NAN, 1.0, 1.0);
-        assert!(matches!(clip_per_layer(&mut bad, 1.0), Err(ModelError::NonFinite { .. })));
+        assert!(matches!(
+            clip_per_layer(&mut bad, 1.0),
+            Err(ModelError::NonFinite { .. })
+        ));
     }
 
     #[test]

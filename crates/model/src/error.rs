@@ -73,15 +73,20 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ModelError::BadConfig { name: "dim", expected: ">= 1" }
-            .to_string()
-            .contains("dim"));
+        assert!(ModelError::BadConfig {
+            name: "dim",
+            expected: ">= 1"
+        }
+        .to_string()
+        .contains("dim"));
         assert!(ModelError::TokenOutOfRange { token: 9, vocab: 5 }
             .to_string()
             .contains("9"));
-        assert!(ModelError::NonFinite { at: "bucket gradient" }
-            .to_string()
-            .contains("bucket gradient"));
+        assert!(ModelError::NonFinite {
+            at: "bucket gradient"
+        }
+        .to_string()
+        .contains("bucket gradient"));
         let l: ModelError = LinalgError::NonFinite { op: "dot" }.into();
         assert!(l.to_string().contains("dot"));
     }

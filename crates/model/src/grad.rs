@@ -49,7 +49,10 @@ impl SparseGrad {
 
     /// Adds `alpha * v` into embedding row `row`.
     pub fn add_embedding_row(&mut self, row: usize, alpha: f64, v: &[f64]) {
-        let e = self.embedding.entry(row).or_insert_with(|| vec![0.0; v.len()]);
+        let e = self
+            .embedding
+            .entry(row)
+            .or_insert_with(|| vec![0.0; v.len()]);
         for (ei, vi) in e.iter_mut().zip(v) {
             *ei += alpha * vi;
         }
@@ -57,7 +60,10 @@ impl SparseGrad {
 
     /// Adds `alpha * v` into context row `row`.
     pub fn add_context_row(&mut self, row: usize, alpha: f64, v: &[f64]) {
-        let e = self.context.entry(row).or_insert_with(|| vec![0.0; v.len()]);
+        let e = self
+            .context
+            .entry(row)
+            .or_insert_with(|| vec![0.0; v.len()]);
         for (ei, vi) in e.iter_mut().zip(v) {
             *ei += alpha * vi;
         }
@@ -96,8 +102,18 @@ impl SparseGrad {
 
     /// Per-tensor ℓ2 norms `(‖gW‖, ‖gW′‖, ‖gB′‖)`.
     pub fn tensor_norms(&self) -> (f64, f64, f64) {
-        let e = self.embedding.values().map(|v| ops::l2_norm_sq(v)).sum::<f64>().sqrt();
-        let c = self.context.values().map(|v| ops::l2_norm_sq(v)).sum::<f64>().sqrt();
+        let e = self
+            .embedding
+            .values()
+            .map(|v| ops::l2_norm_sq(v))
+            .sum::<f64>()
+            .sqrt();
+        let c = self
+            .context
+            .values()
+            .map(|v| ops::l2_norm_sq(v))
+            .sum::<f64>()
+            .sqrt();
         let b = self.bias.values().map(|x| x * x).sum::<f64>().sqrt();
         (e, c, b)
     }
@@ -143,7 +159,9 @@ impl SparseGrad {
                 return Err(ModelError::TokenOutOfRange { token: r, vocab });
             }
             if v.len() != dim {
-                return Err(ModelError::ShapeMismatch { what: "embedding row width" });
+                return Err(ModelError::ShapeMismatch {
+                    what: "embedding row width",
+                });
             }
             ops::axpy(alpha, v, params.embedding.row_mut(r))?;
         }
@@ -152,7 +170,9 @@ impl SparseGrad {
                 return Err(ModelError::TokenOutOfRange { token: r, vocab });
             }
             if v.len() != dim {
-                return Err(ModelError::ShapeMismatch { what: "context row width" });
+                return Err(ModelError::ShapeMismatch {
+                    what: "context row width",
+                });
             }
             ops::axpy(alpha, v, params.context.row_mut(r))?;
         }
@@ -277,10 +297,16 @@ mod tests {
         let mut p = ModelParams::zeros(2, 2);
         let mut g = SparseGrad::new();
         g.add_embedding_row(5, 1.0, &[1.0, 1.0]);
-        assert!(matches!(g.apply_to(&mut p, 1.0), Err(ModelError::TokenOutOfRange { .. })));
+        assert!(matches!(
+            g.apply_to(&mut p, 1.0),
+            Err(ModelError::TokenOutOfRange { .. })
+        ));
         let mut g = SparseGrad::new();
         g.add_embedding_row(0, 1.0, &[1.0, 1.0, 1.0]);
-        assert!(matches!(g.apply_to(&mut p, 1.0), Err(ModelError::ShapeMismatch { .. })));
+        assert!(matches!(
+            g.apply_to(&mut p, 1.0),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
         let mut g = SparseGrad::new();
         g.add_bias(9, 1.0);
         assert!(g.apply_to(&mut p, 1.0).is_err());

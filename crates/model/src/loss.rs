@@ -72,6 +72,7 @@ fn check_token(t: usize, vocab: usize) -> Result<(), ModelError> {
 ///
 /// # Errors
 /// Tokens must be within the vocabulary.
+#[allow(clippy::too_many_arguments)]
 pub fn forward_backward(
     params: &ModelParams,
     loss: Loss,
@@ -93,7 +94,9 @@ pub fn forward_backward(
     let k = negatives.len() + 1;
     scratch.logits.clear();
     scratch.logits.reserve(k);
-    scratch.logits.push(ops::dot_unchecked(u, params.context.row(context)) + params.bias[context]);
+    scratch
+        .logits
+        .push(ops::dot_unchecked(u, params.context.row(context)) + params.bias[context]);
     for &n in negatives {
         scratch
             .logits
@@ -159,7 +162,9 @@ pub fn example_loss(
     scratch: &mut Scratch,
 ) -> Result<f64, ModelError> {
     let mut sink = SparseGrad::new();
-    forward_backward(params, loss, target, context, negatives, 0.0, &mut sink, scratch)
+    forward_backward(
+        params, loss, target, context, negatives, 0.0, &mut sink, scratch,
+    )
 }
 
 /// Numerically-stable `log σ(x) = −log(1 + e^{−x})`.
@@ -198,8 +203,17 @@ mod tests {
         let context = 5usize;
         let mut scratch = Scratch::new();
         let mut grad = SparseGrad::new();
-        forward_backward(&params, loss, target, context, &negs, 1.0, &mut grad, &mut scratch)
-            .unwrap();
+        forward_backward(
+            &params,
+            loss,
+            target,
+            context,
+            &negs,
+            1.0,
+            &mut grad,
+            &mut scratch,
+        )
+        .unwrap();
 
         let eps = 1e-6;
         let f = |p: &ModelParams| {
@@ -214,7 +228,10 @@ mod tests {
             minus.embedding.row_mut(target)[d] -= eps;
             let num = (f(&plus) - f(&minus)) / (2.0 * eps);
             let ana = grad.embedding[&target][d];
-            assert!((num - ana).abs() < 1e-5, "dW[{target}][{d}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 1e-5,
+                "dW[{target}][{d}]: {num} vs {ana}"
+            );
         }
         // Context rows and biases of all candidates.
         for &c in [context].iter().chain(&negs) {
@@ -325,7 +342,10 @@ mod tests {
             &mut grad,
             &mut scratch,
         );
-        assert!(matches!(r, Err(ModelError::TokenOutOfRange { token: 99, .. })));
+        assert!(matches!(
+            r,
+            Err(ModelError::TokenOutOfRange { token: 99, .. })
+        ));
         let r = example_loss(&params, Loss::Sgns, 1, 99, &[1], &mut scratch);
         assert!(r.is_err());
         let r = example_loss(&params, Loss::Sgns, 1, 5, &[99], &mut scratch);

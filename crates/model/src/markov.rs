@@ -19,7 +19,6 @@
 //! [`RankLocations`] trait, so `plp_model::metrics` evaluates them with the
 //! same leave-one-out HR@k harness as the skip-gram recommender.
 
-
 use rand::Rng;
 
 use plp_data::dataset::TokenizedDataset;
@@ -60,7 +59,10 @@ impl MarkovRecommender {
     /// The dataset must have a non-empty vocabulary.
     pub fn fit(data: &TokenizedDataset) -> Result<Self, ModelError> {
         if data.vocab_size == 0 {
-            return Err(ModelError::BadConfig { name: "vocab_size", expected: ">= 1" });
+            return Err(ModelError::BadConfig {
+                name: "vocab_size",
+                expected: ">= 1",
+            });
         }
         let vocab = data.vocab_size;
         let mut counts = vec![vec![0.0; vocab]; vocab];
@@ -78,7 +80,11 @@ impl MarkovRecommender {
                 }
             }
         }
-        Ok(MarkovRecommender { vocab, counts, popularity })
+        Ok(MarkovRecommender {
+            vocab,
+            counts,
+            popularity,
+        })
     }
 
     /// Vocabulary size.
@@ -97,7 +103,10 @@ impl MarkovRecommender {
             expected: "non-empty",
         })?;
         if last >= self.vocab {
-            return Err(ModelError::TokenOutOfRange { token: last, vocab: self.vocab });
+            return Err(ModelError::TokenOutOfRange {
+                token: last,
+                vocab: self.vocab,
+            });
         }
         let row = &self.counts[last];
         let total: f64 = row.iter().map(|&c| c.max(0.0)).sum();
@@ -143,13 +152,22 @@ impl DpMarkovRecommender {
         per_user_cap: usize,
     ) -> Result<Self, ModelError> {
         if !(epsilon.is_finite() && epsilon > 0.0) {
-            return Err(ModelError::BadConfig { name: "epsilon", expected: "finite and > 0" });
+            return Err(ModelError::BadConfig {
+                name: "epsilon",
+                expected: "finite and > 0",
+            });
         }
         if per_user_cap == 0 {
-            return Err(ModelError::BadConfig { name: "per_user_cap", expected: ">= 1" });
+            return Err(ModelError::BadConfig {
+                name: "per_user_cap",
+                expected: ">= 1",
+            });
         }
         if data.vocab_size == 0 {
-            return Err(ModelError::BadConfig { name: "vocab_size", expected: ">= 1" });
+            return Err(ModelError::BadConfig {
+                name: "vocab_size",
+                expected: ">= 1",
+            });
         }
         let vocab = data.vocab_size;
         let mut counts = vec![vec![0.0; vocab]; vocab];
@@ -186,7 +204,11 @@ impl DpMarkovRecommender {
             *p += laplace_sample(rng, b);
         }
         Ok(DpMarkovRecommender {
-            inner: MarkovRecommender { vocab, counts, popularity },
+            inner: MarkovRecommender {
+                vocab,
+                counts,
+                popularity,
+            },
             epsilon,
             per_user_cap,
         })
@@ -217,7 +239,10 @@ impl RankLocations for DpMarkovRecommender {
             expected: "non-empty",
         })?;
         if last >= self.inner.vocab {
-            return Err(ModelError::TokenOutOfRange { token: last, vocab: self.inner.vocab });
+            return Err(ModelError::TokenOutOfRange {
+                token: last,
+                vocab: self.inner.vocab,
+            });
         }
         Ok(topk::top_k_indices(&self.inner.counts[last], k))
     }
@@ -244,11 +269,18 @@ mod tests {
                 user: UserId(i as u32),
                 sessions: vec![
                     vec![0, 1, 2, 0, 1, 2, 0],
-                    if i % 2 == 0 { vec![5, 6, 5, 6] } else { vec![5, 6] },
+                    if i % 2 == 0 {
+                        vec![5, 6, 5, 6]
+                    } else {
+                        vec![5, 6]
+                    },
                 ],
             })
             .collect();
-        TokenizedDataset { users, vocab_size: 8 }
+        TokenizedDataset {
+            users,
+            vocab_size: 8,
+        }
     }
 
     #[test]
@@ -258,7 +290,11 @@ mod tests {
         assert_eq!(m.top_k(&[0], 1).unwrap(), vec![1]);
         assert_eq!(m.top_k(&[1], 1).unwrap(), vec![2]);
         assert_eq!(m.top_k(&[2], 1).unwrap(), vec![0]);
-        assert_eq!(m.top_k(&[9, 5], 1).unwrap(), vec![6], "only the last token matters");
+        assert_eq!(
+            m.top_k(&[9, 5], 1).unwrap(),
+            vec![6],
+            "only the last token matters"
+        );
         assert!(m.count(0, 1).unwrap() > 0.0);
         assert_eq!(m.count(0, 5).unwrap(), 0.0);
         assert_eq!(m.count(99, 0), None);
@@ -278,10 +314,16 @@ mod tests {
         let m = MarkovRecommender::fit(&data()).unwrap();
         assert!(m.top_k(&[], 3).is_err());
         assert!(m.top_k(&[99], 3).is_err());
-        let empty = TokenizedDataset { users: vec![], vocab_size: 0 };
+        let empty = TokenizedDataset {
+            users: vec![],
+            vocab_size: 0,
+        };
         assert!(MarkovRecommender::fit(&empty).is_err());
         let bad = TokenizedDataset {
-            users: vec![UserSequences { user: UserId(0), sessions: vec![vec![9]] }],
+            users: vec![UserSequences {
+                user: UserId(0),
+                sessions: vec![vec![9]],
+            }],
             vocab_size: 4,
         };
         assert!(MarkovRecommender::fit(&bad).is_err());
@@ -341,7 +383,10 @@ mod tests {
             user: UserId(0),
             sessions: vec![(0..100).map(|i| i % 2).collect()],
         }];
-        let ds = TokenizedDataset { users, vocab_size: 2 };
+        let ds = TokenizedDataset {
+            users,
+            vocab_size: 2,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let dp = DpMarkovRecommender::fit(&mut rng, &ds, 1e9, 3).unwrap();
         // True capped count is at most 3; noise at eps=1e9 is negligible.

@@ -80,7 +80,11 @@ pub fn evaluate_hit_rate<R: RankLocations + ?Sized>(
     Ok(ks
         .iter()
         .zip(hits)
-        .map(|(&k, h)| HitRate { k, hits: h, trials: trials.len() })
+        .map(|(&k, h)| HitRate {
+            k,
+            hits: h,
+            trials: trials.len(),
+        })
         .collect())
 }
 
@@ -105,7 +109,11 @@ pub fn popularity_hit_rate(
     }
     ks.iter()
         .zip(hits)
-        .map(|(&k, h)| HitRate { k, hits: h, trials: trials.len() })
+        .map(|(&k, h)| HitRate {
+            k,
+            hits: h,
+            trials: trials.len(),
+        })
         .collect()
 }
 
@@ -145,7 +153,10 @@ mod tests {
 
     fn test_set(sessions: Vec<Vec<usize>>) -> TokenizedDataset {
         TokenizedDataset {
-            users: vec![UserSequences { user: UserId(0), sessions }],
+            users: vec![UserSequences {
+                user: UserId(0),
+                sessions,
+            }],
             vocab_size: 6,
         }
     }

@@ -35,10 +35,16 @@ impl NegativeSampler {
     /// and non-negative.
     pub fn unigram(counts: &[usize], power: f64) -> Result<Self, ModelError> {
         if counts.is_empty() {
-            return Err(ModelError::BadConfig { name: "counts", expected: "non-empty" });
+            return Err(ModelError::BadConfig {
+                name: "counts",
+                expected: "non-empty",
+            });
         }
         if !(power.is_finite() && power >= 0.0) {
-            return Err(ModelError::BadConfig { name: "power", expected: "finite and >= 0" });
+            return Err(ModelError::BadConfig {
+                name: "power",
+                expected: "finite and >= 0",
+            });
         }
         let mut cdf = Vec::with_capacity(counts.len());
         let mut acc = 0.0;
@@ -47,7 +53,10 @@ impl NegativeSampler {
             cdf.push(acc);
         }
         if acc <= 0.0 {
-            return Err(ModelError::BadConfig { name: "counts", expected: "positive total" });
+            return Err(ModelError::BadConfig {
+                name: "counts",
+                expected: "positive total",
+            });
         }
         for c in &mut cdf {
             *c /= acc;
@@ -68,15 +77,18 @@ impl NegativeSampler {
         exclude: usize,
     ) -> Result<Vec<usize>, ModelError> {
         if vocab < 2 {
-            return Err(ModelError::BadConfig { name: "vocab", expected: ">= 2" });
+            return Err(ModelError::BadConfig {
+                name: "vocab",
+                expected: ">= 2",
+            });
         }
         match self {
-            NegativeSampler::Uniform => {
-                Ok(sample_distinct_excluding(rng, vocab, neg, exclude))
-            }
+            NegativeSampler::Uniform => Ok(sample_distinct_excluding(rng, vocab, neg, exclude)),
             NegativeSampler::Unigram { cdf } => {
                 if cdf.len() != vocab {
-                    return Err(ModelError::ShapeMismatch { what: "unigram cdf vs vocab" });
+                    return Err(ModelError::ShapeMismatch {
+                        what: "unigram cdf vs vocab",
+                    });
                 }
                 let want = neg.min(vocab - 1);
                 let mut out = Vec::with_capacity(want);

@@ -43,7 +43,9 @@ impl ServerSgd {
     pub fn step(&self, params: &mut ModelParams, update: &ModelParams) -> Result<(), ModelError> {
         params.axpy(self.learning_rate, update)?;
         if !params.all_finite() {
-            return Err(ModelError::NonFinite { at: "parameters after server sgd" });
+            return Err(ModelError::NonFinite {
+                at: "parameters after server sgd",
+            });
         }
         Ok(())
     }
@@ -95,10 +97,16 @@ impl ServerAdam {
             });
         }
         if !(0.0..1.0).contains(&beta1) || !(0.0..1.0).contains(&beta2) {
-            return Err(ModelError::BadConfig { name: "beta1/beta2", expected: "in [0, 1)" });
+            return Err(ModelError::BadConfig {
+                name: "beta1/beta2",
+                expected: "in [0, 1)",
+            });
         }
         if !(eps.is_finite() && eps > 0.0) {
-            return Err(ModelError::BadConfig { name: "eps", expected: "finite and > 0" });
+            return Err(ModelError::BadConfig {
+                name: "eps",
+                expected: "finite and > 0",
+            });
         }
         Ok(ServerAdam {
             learning_rate,
@@ -116,6 +124,42 @@ impl ServerAdam {
         self.t
     }
 
+    /// The internal optimiser state `(t, m, v)`, for checkpointing.
+    pub fn state(&self) -> (u64, &ModelParams, &ModelParams) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Reconstructs an Adam state restored from a checkpoint.
+    ///
+    /// # Errors
+    /// Same domain checks as [`ServerAdam::with_betas`], plus `m` and `v`
+    /// must share one shape.
+    pub fn from_state(
+        learning_rate: f64,
+        beta1: f64,
+        beta2: f64,
+        eps: f64,
+        t: u64,
+        m: ModelParams,
+        v: ModelParams,
+    ) -> Result<Self, ModelError> {
+        let mut adam = Self::with_betas(&m, learning_rate, beta1, beta2, eps)?;
+        if !m.same_shape(&v) {
+            return Err(ModelError::ShapeMismatch {
+                what: "ServerAdam m/v state",
+            });
+        }
+        if !(m.all_finite() && v.all_finite()) {
+            return Err(ModelError::NonFinite {
+                at: "restored adam moments",
+            });
+        }
+        adam.t = t;
+        adam.m = m;
+        adam.v = v;
+        Ok(adam)
+    }
+
     /// Applies one Adam step with `update` as the (noisy) direction.
     ///
     /// # Errors
@@ -126,7 +170,9 @@ impl ServerAdam {
         update: &ModelParams,
     ) -> Result<(), ModelError> {
         if !params.same_shape(update) || !params.same_shape(&self.m) {
-            return Err(ModelError::ShapeMismatch { what: "ServerAdam step" });
+            return Err(ModelError::ShapeMismatch {
+                what: "ServerAdam step",
+            });
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -155,10 +201,17 @@ impl ServerAdam {
             self.v.context.as_mut_slice(),
             update.context.as_slice(),
         );
-        apply(&mut params.bias, &mut self.m.bias, &mut self.v.bias, &update.bias);
+        apply(
+            &mut params.bias,
+            &mut self.m.bias,
+            &mut self.v.bias,
+            &update.bias,
+        );
 
         if !params.all_finite() {
-            return Err(ModelError::NonFinite { at: "parameters after adam step" });
+            return Err(ModelError::NonFinite {
+                at: "parameters after adam step",
+            });
         }
         Ok(())
     }
@@ -241,6 +294,42 @@ mod tests {
     }
 
     #[test]
+    fn adam_state_round_trip_continues_identically() {
+        let mut p = ModelParams::zeros(2, 3);
+        let mut adam = ServerAdam::new(&p, 0.05).unwrap();
+        let u = delta(2, 3, 0.25);
+        for _ in 0..5 {
+            adam.step(&mut p, &u).unwrap();
+        }
+        let (t, m, v) = adam.state();
+        let mut restored = ServerAdam::from_state(
+            adam.learning_rate,
+            adam.beta1,
+            adam.beta2,
+            adam.eps,
+            t,
+            m.clone(),
+            v.clone(),
+        )
+        .unwrap();
+        let mut p2 = p.clone();
+        adam.step(&mut p, &u).unwrap();
+        restored.step(&mut p2, &u).unwrap();
+        assert_eq!(p, p2, "restored optimizer must continue bit-identically");
+        assert_eq!(adam.steps(), restored.steps());
+    }
+
+    #[test]
+    fn adam_from_state_rejects_bad_state() {
+        let m = ModelParams::zeros(2, 2);
+        let v = ModelParams::zeros(3, 2);
+        assert!(ServerAdam::from_state(0.1, 0.9, 0.999, 1e-8, 1, m.clone(), v).is_err());
+        let mut bad = ModelParams::zeros(2, 2);
+        bad.bias[0] = f64::INFINITY;
+        assert!(ServerAdam::from_state(0.1, 0.9, 0.999, 1e-8, 1, m, bad).is_err());
+    }
+
+    #[test]
     fn adam_validates_parameters() {
         let p = ModelParams::zeros(1, 1);
         assert!(ServerAdam::with_betas(&p, 0.0, 0.9, 0.999, 1e-8).is_err());
@@ -250,6 +339,9 @@ mod tests {
         let mut adam = ServerAdam::new(&p, 0.1).unwrap();
         let mut p2 = ModelParams::zeros(2, 1);
         let u2 = ModelParams::zeros(2, 1);
-        assert!(adam.step(&mut p2, &u2).is_err(), "shape mismatch with state");
+        assert!(
+            adam.step(&mut p2, &u2).is_err(),
+            "shape mismatch with state"
+        );
     }
 }

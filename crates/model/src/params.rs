@@ -37,14 +37,21 @@ impl ModelParams {
         dim: usize,
     ) -> Result<Self, ModelError> {
         if vocab_size == 0 {
-            return Err(ModelError::BadConfig { name: "vocab_size", expected: ">= 1" });
+            return Err(ModelError::BadConfig {
+                name: "vocab_size",
+                expected: ">= 1",
+            });
         }
         if dim == 0 {
-            return Err(ModelError::BadConfig { name: "dim", expected: ">= 1" });
+            return Err(ModelError::BadConfig {
+                name: "dim",
+                expected: ">= 1",
+            });
         }
         let half = 0.5 / dim as f64;
-        let embedding =
-            Matrix::from_fn(vocab_size, dim, |_, _| rng.random::<f64>() * 2.0 * half - half);
+        let embedding = Matrix::from_fn(vocab_size, dim, |_, _| {
+            rng.random::<f64>() * 2.0 * half - half
+        });
         Ok(ModelParams {
             embedding,
             context: Matrix::zeros(vocab_size, dim),
@@ -91,7 +98,11 @@ impl ModelParams {
 
     /// Per-tensor ℓ2 norms `(‖W‖, ‖W′‖, ‖B′‖)`.
     pub fn tensor_norms(&self) -> (f64, f64, f64) {
-        (self.embedding.frobenius_norm(), self.context.frobenius_norm(), ops::l2_norm(&self.bias))
+        (
+            self.embedding.frobenius_norm(),
+            self.context.frobenius_norm(),
+            ops::l2_norm(&self.bias),
+        )
     }
 
     /// `self += alpha * other`, element-wise over all three tensors.
@@ -100,7 +111,9 @@ impl ModelParams {
     /// Shapes must match.
     pub fn axpy(&mut self, alpha: f64, other: &ModelParams) -> Result<(), ModelError> {
         if !self.same_shape(other) {
-            return Err(ModelError::ShapeMismatch { what: "ModelParams axpy" });
+            return Err(ModelError::ShapeMismatch {
+                what: "ModelParams axpy",
+            });
         }
         self.embedding.axpy(alpha, &other.embedding)?;
         self.context.axpy(alpha, &other.context)?;

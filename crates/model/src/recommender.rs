@@ -25,13 +25,17 @@ impl Recommender {
     /// Builds a recommender from trained parameters (normalises rows; dot
     /// product thereafter equals cosine similarity).
     pub fn new(params: &ModelParams) -> Self {
-        Recommender { embedding: params.deployable_embedding() }
+        Recommender {
+            embedding: params.deployable_embedding(),
+        }
     }
 
     /// Builds a recommender from a raw embedding matrix (rows are
     /// normalised).
     pub fn from_embedding(embedding: Matrix) -> Self {
-        Recommender { embedding: embedding.normalized_rows() }
+        Recommender {
+            embedding: embedding.normalized_rows(),
+        }
     }
 
     /// Vocabulary size.
@@ -51,12 +55,18 @@ impl Recommender {
     /// `recent` must be non-empty and all tokens in range.
     pub fn profile(&self, recent: &[usize]) -> Result<Vec<f64>, ModelError> {
         if recent.is_empty() {
-            return Err(ModelError::BadConfig { name: "recent", expected: "non-empty" });
+            return Err(ModelError::BadConfig {
+                name: "recent",
+                expected: "non-empty",
+            });
         }
         let mut acc = vec![0.0; self.dim()];
         for &t in recent {
             if t >= self.vocab_size() {
-                return Err(ModelError::TokenOutOfRange { token: t, vocab: self.vocab_size() });
+                return Err(ModelError::TokenOutOfRange {
+                    token: t,
+                    vocab: self.vocab_size(),
+                });
             }
             ops::axpy(1.0, self.embedding.row(t), &mut acc)?;
         }
@@ -69,7 +79,9 @@ impl Recommender {
     /// cosine).
     pub fn scores(&self, profile: &[f64]) -> Result<Vec<f64>, ModelError> {
         if profile.len() != self.dim() {
-            return Err(ModelError::ShapeMismatch { what: "profile vs embedding dim" });
+            return Err(ModelError::ShapeMismatch {
+                what: "profile vs embedding dim",
+            });
         }
         Ok(self.embedding.matvec(profile)?)
     }
@@ -129,7 +141,10 @@ mod tests {
     fn recommends_within_cluster() {
         let r = clustered();
         let top = r.recommend(&[0, 1], 3).unwrap();
-        assert!(top.contains(&0) && top.contains(&1) && top.contains(&2), "{top:?}");
+        assert!(
+            top.contains(&0) && top.contains(&1) && top.contains(&2),
+            "{top:?}"
+        );
         let top_y = r.recommend(&[3, 4], 3).unwrap();
         assert!(top_y.contains(&5), "{top_y:?}");
     }

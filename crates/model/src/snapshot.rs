@@ -30,22 +30,30 @@ fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
 
 fn get_matrix(data: &mut Bytes) -> Result<Matrix, ModelError> {
     if data.remaining() < 8 {
-        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (matrix header)" });
+        return Err(ModelError::ShapeMismatch {
+            what: "snapshot truncated (matrix header)",
+        });
     }
     let rows = data.get_u32_le() as usize;
     let cols = data.get_u32_le() as usize;
     let len = rows
         .checked_mul(cols)
-        .ok_or(ModelError::ShapeMismatch { what: "snapshot matrix dims overflow" })?;
+        .and_then(|n| n.checked_mul(8).map(|_| n))
+        .ok_or(ModelError::ShapeMismatch {
+            what: "snapshot matrix dims overflow",
+        })?;
     if data.remaining() < len * 8 {
-        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (matrix body)" });
+        return Err(ModelError::ShapeMismatch {
+            what: "snapshot truncated (matrix body)",
+        });
     }
     let mut v = Vec::with_capacity(len);
     for _ in 0..len {
         v.push(data.get_f64_le());
     }
-    Matrix::from_vec(rows, cols, v)
-        .map_err(|_| ModelError::ShapeMismatch { what: "snapshot matrix buffer" })
+    Matrix::from_vec(rows, cols, v).map_err(|_| ModelError::ShapeMismatch {
+        what: "snapshot matrix buffer",
+    })
 }
 
 /// Encodes a full-parameter snapshot.
@@ -69,24 +77,34 @@ pub fn encode_params(params: &ModelParams) -> Bytes {
 /// mismatch or inconsistent tensor shapes.
 pub fn decode_params(mut data: Bytes) -> Result<ModelParams, ModelError> {
     if data.remaining() < 5 {
-        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (header)" });
+        return Err(ModelError::ShapeMismatch {
+            what: "snapshot truncated (header)",
+        });
     }
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC_FULL {
-        return Err(ModelError::ShapeMismatch { what: "bad snapshot magic" });
+        return Err(ModelError::ShapeMismatch {
+            what: "bad snapshot magic",
+        });
     }
     if data.get_u8() != VERSION {
-        return Err(ModelError::ShapeMismatch { what: "unsupported snapshot version" });
+        return Err(ModelError::ShapeMismatch {
+            what: "unsupported snapshot version",
+        });
     }
     let embedding = get_matrix(&mut data)?;
     let context = get_matrix(&mut data)?;
     if data.remaining() < 4 {
-        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (bias header)" });
+        return Err(ModelError::ShapeMismatch {
+            what: "snapshot truncated (bias header)",
+        });
     }
     let blen = data.get_u32_le() as usize;
     if data.remaining() < blen * 8 {
-        return Err(ModelError::ShapeMismatch { what: "snapshot truncated (bias body)" });
+        return Err(ModelError::ShapeMismatch {
+            what: "snapshot truncated (bias body)",
+        });
     }
     let mut bias = Vec::with_capacity(blen);
     for _ in 0..blen {
@@ -96,9 +114,15 @@ pub fn decode_params(mut data: Bytes) -> Result<ModelParams, ModelError> {
         || embedding.cols() != context.cols()
         || bias.len() != embedding.rows()
     {
-        return Err(ModelError::ShapeMismatch { what: "inconsistent snapshot tensors" });
+        return Err(ModelError::ShapeMismatch {
+            what: "inconsistent snapshot tensors",
+        });
     }
-    Ok(ModelParams { embedding, context, bias })
+    Ok(ModelParams {
+        embedding,
+        context,
+        bias,
+    })
 }
 
 /// Encodes the deployment bundle: the unit-normalised embedding only.
@@ -117,15 +141,21 @@ pub fn encode_deployable(params: &ModelParams) -> Bytes {
 /// Returns [`ModelError::ShapeMismatch`] on a malformed bundle.
 pub fn decode_deployable(mut data: Bytes) -> Result<Matrix, ModelError> {
     if data.remaining() < 5 {
-        return Err(ModelError::ShapeMismatch { what: "bundle truncated (header)" });
+        return Err(ModelError::ShapeMismatch {
+            what: "bundle truncated (header)",
+        });
     }
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC_EMBED {
-        return Err(ModelError::ShapeMismatch { what: "bad bundle magic" });
+        return Err(ModelError::ShapeMismatch {
+            what: "bad bundle magic",
+        });
     }
     if data.get_u8() != VERSION {
-        return Err(ModelError::ShapeMismatch { what: "unsupported bundle version" });
+        return Err(ModelError::ShapeMismatch {
+            what: "unsupported bundle version",
+        });
     }
     get_matrix(&mut data)
 }
@@ -135,8 +165,9 @@ pub fn decode_deployable(mut data: Bytes) -> Result<Matrix, ModelError> {
 /// # Errors
 /// Returns [`ModelError::Io`] on filesystem failures.
 pub fn save_params(params: &ModelParams, path: &Path) -> Result<(), ModelError> {
-    fs::write(path, encode_params(params))
-        .map_err(|e| ModelError::Io { message: e.to_string() })
+    fs::write(path, encode_params(params)).map_err(|e| ModelError::Io {
+        message: e.to_string(),
+    })
 }
 
 /// Reads a full snapshot from disk.
@@ -145,7 +176,9 @@ pub fn save_params(params: &ModelParams, path: &Path) -> Result<(), ModelError> 
 /// Returns [`ModelError::Io`] on filesystem failures and
 /// [`ModelError::ShapeMismatch`] on a malformed snapshot.
 pub fn load_params(path: &Path) -> Result<ModelParams, ModelError> {
-    let data = fs::read(path).map_err(|e| ModelError::Io { message: e.to_string() })?;
+    let data = fs::read(path).map_err(|e| ModelError::Io {
+        message: e.to_string(),
+    })?;
     decode_params(Bytes::from(data))
 }
 
@@ -210,5 +243,100 @@ mod tests {
         save_params(&p, &path).unwrap();
         assert_eq!(load_params(&path).unwrap(), p);
         assert!(load_params(&dir.join("missing.plpm")).is_err());
+    }
+}
+
+#[cfg(test)]
+mod corruption_props {
+    //! Property tests: no damaged buffer may ever panic the decoders —
+    //! corruption must surface as `ModelError`, because checkpoints and
+    //! deployment bundles cross process and machine boundaries.
+
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_params(vocab: usize, dim: usize) -> ModelParams {
+        let mut rng = StdRng::seed_from_u64((vocab * 31 + dim) as u64);
+        ModelParams::init(&mut rng, vocab, dim).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn truncated_snapshots_error_not_panic(
+            vocab in 2usize..9,
+            dim in 1usize..5,
+            cut_frac in 0usize..1000,
+        ) {
+            let bytes = encode_params(&sample_params(vocab, dim));
+            let cut = cut_frac * bytes.len() / 1000;
+            prop_assert!(cut < bytes.len());
+            prop_assert!(decode_params(bytes.slice(..cut)).is_err());
+        }
+
+        #[test]
+        fn truncated_bundles_error_not_panic(
+            vocab in 2usize..9,
+            dim in 1usize..5,
+            cut_frac in 0usize..1000,
+        ) {
+            let bytes = encode_deployable(&sample_params(vocab, dim));
+            let cut = cut_frac * bytes.len() / 1000;
+            prop_assert!(decode_deployable(bytes.slice(..cut)).is_err());
+        }
+
+        #[test]
+        fn bit_flips_never_panic(
+            vocab in 2usize..9,
+            dim in 1usize..5,
+            at_frac in 0usize..1000,
+            bit in 0usize..8,
+        ) {
+            let bytes = encode_params(&sample_params(vocab, dim));
+            let mut raw = bytes.to_vec();
+            let at = at_frac * raw.len() / 1000;
+            raw[at] ^= 1 << bit;
+            // A flip in the payload may still decode (the format carries
+            // no integrity footer — the PLPC checkpoint layer adds one);
+            // the property is that decoding never panics, and header
+            // damage is always rejected.
+            let result = decode_params(Bytes::from(raw));
+            if at < 5 {
+                prop_assert!(result.is_err(), "magic/version damage must be rejected");
+            }
+        }
+
+        #[test]
+        fn random_garbage_is_rejected(data in vec(0u32..256u32, 0usize..96)) {
+            let bytes: Vec<u8> = data.iter().map(|&x| x as u8).collect();
+            if !bytes.starts_with(MAGIC_FULL) {
+                prop_assert!(decode_params(Bytes::from(bytes.clone())).is_err());
+            }
+            if !bytes.starts_with(MAGIC_EMBED) {
+                prop_assert!(decode_deployable(Bytes::from(bytes)).is_err());
+            }
+        }
+
+        #[test]
+        fn swapped_dims_or_oversized_claims_are_rejected(
+            vocab in 2usize..9,
+            dim in 1usize..5,
+            claimed in 0u32..10_000u32,
+        ) {
+            // Rewrite the claimed embedding row count; unless it happens
+            // to match the real shape, decode must fail cleanly (shape
+            // consistency or truncation), never over-read.
+            let bytes = encode_params(&sample_params(vocab, dim));
+            let mut raw = bytes.to_vec();
+            raw[5..9].copy_from_slice(&claimed.to_le_bytes());
+            let result = decode_params(Bytes::from(raw));
+            if claimed as usize != vocab {
+                prop_assert!(result.is_err());
+            }
+        }
     }
 }

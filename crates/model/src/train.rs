@@ -45,13 +45,22 @@ impl LocalSgdConfig {
             });
         }
         if self.batch_size == 0 {
-            return Err(ModelError::BadConfig { name: "batch_size", expected: ">= 1" });
+            return Err(ModelError::BadConfig {
+                name: "batch_size",
+                expected: ">= 1",
+            });
         }
         if self.window == 0 {
-            return Err(ModelError::BadConfig { name: "window", expected: ">= 1" });
+            return Err(ModelError::BadConfig {
+                name: "window",
+                expected: ">= 1",
+            });
         }
         if self.negatives == 0 {
-            return Err(ModelError::BadConfig { name: "negatives", expected: ">= 1" });
+            return Err(ModelError::BadConfig {
+                name: "negatives",
+                expected: ">= 1",
+            });
         }
         Ok(())
     }
@@ -122,7 +131,9 @@ pub fn train_on_tokens<R: Rng + ?Sized>(
             pairs += 1;
         }
         if !grad.all_finite() {
-            return Err(ModelError::NonFinite { at: "batch gradient" });
+            return Err(ModelError::NonFinite {
+                at: "batch gradient",
+            });
         }
         touched.embedding.extend(grad.embedding.keys().copied());
         touched.context.extend(grad.context.keys().copied());
@@ -132,7 +143,11 @@ pub fn train_on_tokens<R: Rng + ?Sized>(
     }
 
     Ok(TrainStats {
-        mean_loss: if pairs == 0 { 0.0 } else { total_loss / pairs as f64 },
+        mean_loss: if pairs == 0 {
+            0.0
+        } else {
+            total_loss / pairs as f64
+        },
         pairs,
         batches,
         touched,
@@ -206,8 +221,7 @@ mod tests {
         let cfg = config();
         let sampler = NegativeSampler::Uniform;
         let tokens = corpus();
-        let before =
-            validation_loss(&mut rng, &params, &tokens, &cfg, &sampler).unwrap();
+        let before = validation_loss(&mut rng, &params, &tokens, &cfg, &sampler).unwrap();
         for _ in 0..5 {
             train_on_tokens(&mut rng, &mut params, &tokens, &cfg, &sampler).unwrap();
         }
@@ -222,9 +236,14 @@ mod tests {
         let mut params = ModelParams::init(&mut rng, 20, 4).unwrap();
         let tokens = corpus();
         let cfg = config();
-        let stats =
-            train_on_tokens(&mut rng, &mut params, &tokens, &cfg, &NegativeSampler::Uniform)
-                .unwrap();
+        let stats = train_on_tokens(
+            &mut rng,
+            &mut params,
+            &tokens,
+            &cfg,
+            &NegativeSampler::Uniform,
+        )
+        .unwrap();
         let expected = plp_data::window::pairs_from_sequence(&tokens, cfg.window).len();
         assert_eq!(stats.pairs, expected);
         assert_eq!(stats.batches, expected.div_ceil(cfg.batch_size));
@@ -251,8 +270,8 @@ mod tests {
         assert_eq!(stats.pairs, 0);
         assert_eq!(stats.mean_loss, 0.0);
         assert_eq!(params, before);
-        let v = validation_loss(&mut rng, &params, &[], &config(), &NegativeSampler::Uniform)
-            .unwrap();
+        let v =
+            validation_loss(&mut rng, &params, &[], &config(), &NegativeSampler::Uniform).unwrap();
         assert_eq!(v, 0.0);
     }
 
@@ -294,8 +313,7 @@ mod tests {
         let run = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut p = ModelParams::init(&mut rng, 20, 4).unwrap();
-            train_on_tokens(&mut rng, &mut p, &tokens, &cfg, &NegativeSampler::Uniform)
-                .unwrap();
+            train_on_tokens(&mut rng, &mut p, &tokens, &cfg, &NegativeSampler::Uniform).unwrap();
             p
         };
         assert_eq!(run(7), run(7));

@@ -44,7 +44,9 @@ pub struct PrivacyLedger {
 impl PrivacyLedger {
     /// Creates an empty ledger.
     pub fn new() -> Self {
-        PrivacyLedger { entries: Vec::new() }
+        PrivacyLedger {
+            entries: Vec::new(),
+        }
     }
 
     /// Records one step with sampling rate `q` and effective noise
@@ -74,8 +76,38 @@ impl PrivacyLedger {
                 return Ok(());
             }
         }
-        self.entries.push(LedgerEntry { q, noise_multiplier: sigma, steps: 1 });
+        self.entries.push(LedgerEntry {
+            q,
+            noise_multiplier: sigma,
+            steps: 1,
+        });
         Ok(())
+    }
+
+    /// Rebuilds a ledger from previously recorded entries (e.g. restored
+    /// from a training checkpoint), re-validating every record.
+    ///
+    /// # Errors
+    /// Each entry must satisfy the [`PrivacyLedger::track`] domain and
+    /// cover at least one step.
+    pub fn from_entries(entries: Vec<LedgerEntry>) -> Result<Self, PrivacyError> {
+        let mut ledger = PrivacyLedger::new();
+        for e in &entries {
+            if e.steps == 0 {
+                return Err(PrivacyError::InvalidParameter {
+                    name: "steps",
+                    value: 0.0,
+                    expected: ">= 1 in every ledger entry",
+                });
+            }
+            // Reuse track()'s parameter validation on the first step; the
+            // remaining steps of the entry are identical.
+            ledger.track(e.q, e.noise_multiplier)?;
+            if let Some(last) = ledger.entries.last_mut() {
+                last.steps = last.steps - 1 + e.steps;
+            }
+        }
+        Ok(ledger)
     }
 
     /// All recorded entries, in order.
@@ -171,6 +203,31 @@ impl MomentsAccountant {
         })
     }
 
+    /// Restores an accountant from an auditable ledger — the resume path
+    /// of a crash-safe trainer. The ledger is the source of truth: the
+    /// composed RDP curve (and hence ε) is recomputed from its entries by
+    /// replaying them step by step, which is bit-identical to having
+    /// accounted the same steps incrementally.
+    ///
+    /// # Errors
+    /// Same δ domain as [`MomentsAccountant::new`]; propagates parameter
+    /// errors from curve reconstruction.
+    pub fn from_ledger(delta: f64, ledger: PrivacyLedger) -> Result<Self, PrivacyError> {
+        let mut acc = Self::new(delta)?;
+        for e in ledger.entries() {
+            // One compose per step (not one scaled compose per entry) so a
+            // restored accountant's floating-point state exactly matches an
+            // uninterrupted run's.
+            let curve = acc.step_curve(e.q, e.noise_multiplier)?;
+            for _ in 0..e.steps {
+                acc.total.compose(&curve)?;
+            }
+            acc.steps += e.steps;
+        }
+        acc.ledger = ledger;
+        Ok(acc)
+    }
+
     /// The δ this accountant reports ε for.
     pub fn delta(&self) -> f64 {
         self.delta
@@ -250,7 +307,10 @@ impl MomentsAccountant {
         }
         let spent = self.epsilon()?;
         if spent >= budget.epsilon {
-            return Err(PrivacyError::BudgetExhausted { spent, budget: budget.epsilon });
+            return Err(PrivacyError::BudgetExhausted {
+                spent,
+                budget: budget.epsilon,
+            });
         }
         Ok(())
     }
@@ -363,6 +423,57 @@ mod tests {
         let s = serde_json::to_string(&l).unwrap();
         let back: PrivacyLedger = serde_json::from_str(&s).unwrap();
         assert_eq!(l, back);
+    }
+
+    #[test]
+    fn from_entries_validates_and_round_trips() {
+        let mut l = PrivacyLedger::new();
+        for _ in 0..7 {
+            l.track(0.06, 2.5).unwrap();
+        }
+        l.track(0.1, 1.5).unwrap();
+        let rebuilt = PrivacyLedger::from_entries(l.entries().to_vec()).unwrap();
+        assert_eq!(rebuilt, l);
+        assert!(PrivacyLedger::from_entries(vec![LedgerEntry {
+            q: 2.0,
+            noise_multiplier: 1.0,
+            steps: 1
+        }])
+        .is_err());
+        assert!(PrivacyLedger::from_entries(vec![LedgerEntry {
+            q: 0.1,
+            noise_multiplier: 1.0,
+            steps: 0
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn restored_accountant_is_bit_identical() {
+        let mut live = MomentsAccountant::new(2e-4).unwrap();
+        for _ in 0..40 {
+            live.step(0.06, 2.5).unwrap();
+        }
+        for _ in 0..10 {
+            live.step(0.08, 1.5).unwrap();
+        }
+        let restored = MomentsAccountant::from_ledger(2e-4, live.ledger().clone()).unwrap();
+        assert_eq!(restored.steps(), live.steps());
+        assert_eq!(restored.ledger(), live.ledger());
+        // Bitwise equality, not approximate: resume must not drift.
+        assert_eq!(
+            restored.epsilon().unwrap().to_bits(),
+            live.epsilon().unwrap().to_bits()
+        );
+        // Continuing both accountants stays bit-identical.
+        let mut live2 = live.clone();
+        let mut restored2 = restored.clone();
+        live2.step(0.06, 2.5).unwrap();
+        restored2.step(0.06, 2.5).unwrap();
+        assert_eq!(
+            restored2.epsilon().unwrap().to_bits(),
+            live2.epsilon().unwrap().to_bits()
+        );
     }
 
     #[test]

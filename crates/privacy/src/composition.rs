@@ -43,8 +43,7 @@ pub fn advanced_composition(
         });
     }
     let kf = k as f64;
-    let eps = eps0 * (2.0 * kf * (1.0 / delta_slack).ln()).sqrt()
-        + kf * eps0 * (eps0.exp_m1());
+    let eps = eps0 * (2.0 * kf * (1.0 / delta_slack).ln()).sqrt() + kf * eps0 * (eps0.exp_m1());
     let delta = (kf * delta0 + delta_slack).min(1.0);
     Ok((eps, delta))
 }

@@ -33,14 +33,24 @@ pub enum PrivacyError {
 impl fmt::Display for PrivacyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PrivacyError::InvalidParameter { name, value, expected } => {
-                write!(f, "invalid privacy parameter {name} = {value}: expected {expected}")
+            PrivacyError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid privacy parameter {name} = {value}: expected {expected}"
+                )
             }
             PrivacyError::Unsatisfiable { reason } => {
                 write!(f, "privacy guarantee unsatisfiable: {reason}")
             }
             PrivacyError::BudgetExhausted { spent, budget } => {
-                write!(f, "privacy budget exhausted: spent eps = {spent} >= budget {budget}")
+                write!(
+                    f,
+                    "privacy budget exhausted: spent eps = {spent} >= budget {budget}"
+                )
             }
         }
     }
@@ -54,11 +64,20 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = PrivacyError::InvalidParameter { name: "q", value: 1.5, expected: "[0, 1]" };
+        let e = PrivacyError::InvalidParameter {
+            name: "q",
+            value: 1.5,
+            expected: "[0, 1]",
+        };
         assert!(e.to_string().contains("q = 1.5"));
-        let e = PrivacyError::BudgetExhausted { spent: 2.1, budget: 2.0 };
+        let e = PrivacyError::BudgetExhausted {
+            spent: 2.1,
+            budget: 2.0,
+        };
         assert!(e.to_string().contains("2.1"));
-        let e = PrivacyError::Unsatisfiable { reason: "sigma too small" };
+        let e = PrivacyError::Unsatisfiable {
+            reason: "sigma too small",
+        };
         assert!(e.to_string().contains("sigma too small"));
     }
 }

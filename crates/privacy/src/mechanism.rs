@@ -48,7 +48,11 @@ impl GaussianMechanism {
                 expected: "finite and > 0",
             });
         }
-        Ok(GaussianMechanism { noise_multiplier: sigma, sensitivity, sampler: NormalSampler::new() })
+        Ok(GaussianMechanism {
+            noise_multiplier: sigma,
+            sensitivity,
+            sampler: NormalSampler::new(),
+        })
     }
 
     /// Calibrates the classical Gaussian mechanism for a single release under
@@ -125,7 +129,9 @@ impl LaplaceMechanism {
                 expected: "finite and > 0",
             });
         }
-        Ok(LaplaceMechanism { scale: l1_sensitivity / epsilon })
+        Ok(LaplaceMechanism {
+            scale: l1_sensitivity / epsilon,
+        })
     }
 
     /// The Laplace scale parameter `b`.
@@ -182,7 +188,10 @@ mod tests {
         m.perturb(&mut rng, &mut v);
         let var = v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64;
         let expected = m.noise_std() * m.noise_std();
-        assert!((var - expected).abs() < 0.05 * expected, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < 0.05 * expected,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

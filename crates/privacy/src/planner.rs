@@ -16,12 +16,7 @@ use crate::rdp::{RdpCurve, DEFAULT_MAX_MOMENT_ORDER};
 ///
 /// # Errors
 /// Parameter domains as in [`RdpCurve::subsampled_gaussian_step`].
-pub fn epsilon_for_steps(
-    q: f64,
-    sigma: f64,
-    steps: u64,
-    delta: f64,
-) -> Result<f64, PrivacyError> {
+pub fn epsilon_for_steps(q: f64, sigma: f64, steps: u64, delta: f64) -> Result<f64, PrivacyError> {
     if steps == 0 {
         return Ok(0.0);
     }
@@ -55,7 +50,7 @@ pub fn max_steps(q: f64, sigma: f64, budget: PrivacyBudget) -> Result<u64, Priva
         hi *= 2;
     }
     let mut lo = hi / 2; // known feasible
-    // Invariant: eps(lo) < budget <= eps(hi).
+                         // Invariant: eps(lo) < budget <= eps(hi).
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         if epsilon_for_steps(q, sigma, mid, budget.delta)? < budget.epsilon {
@@ -132,7 +127,11 @@ mod tests {
         let at = epsilon_for_steps(q, sigma, n, b.delta).unwrap();
         let over = epsilon_for_steps(q, sigma, n + 1, b.delta).unwrap();
         assert!(at < b.epsilon, "eps({n}) = {at} must be under budget");
-        assert!(over >= b.epsilon, "eps({}) = {over} must reach budget", n + 1);
+        assert!(
+            over >= b.epsilon,
+            "eps({}) = {over} must reach budget",
+            n + 1
+        );
     }
 
     #[test]
@@ -177,7 +176,10 @@ mod tests {
         assert!(eps <= b.epsilon, "calibrated sigma must satisfy the budget");
         // Tightness: slightly less noise must overshoot.
         let eps_tight = epsilon_for_steps(q, sigma - 5e-3, steps, b.delta).unwrap();
-        assert!(eps_tight > b.epsilon * 0.98, "sigma should be near the boundary");
+        assert!(
+            eps_tight > b.epsilon * 0.98,
+            "sigma should be near the boundary"
+        );
     }
 
     #[test]

@@ -95,7 +95,9 @@ impl RdpCurve {
                 expected: ">= 1",
             });
         }
-        Ok(RdpCurve { log_moments: vec![0.0; max_order] })
+        Ok(RdpCurve {
+            log_moments: vec![0.0; max_order],
+        })
     }
 
     /// The curve of a single subsampled-Gaussian step.
@@ -241,7 +243,10 @@ mod tests {
         for lambda in [1usize, 2, 5, 32] {
             let lm = log_moment_subsampled_gaussian(1.0, sigma, lambda);
             let expected = (lambda * (lambda + 1)) as f64 / (2.0 * sigma * sigma);
-            assert!((lm - expected).abs() < 1e-9, "lambda {lambda}: {lm} vs {expected}");
+            assert!(
+                (lm - expected).abs() < 1e-9,
+                "lambda {lambda}: {lm} vs {expected}"
+            );
         }
     }
 
@@ -258,9 +263,18 @@ mod tests {
     #[test]
     fn log_moment_monotone_in_q_and_sigma() {
         let base = log_moment_subsampled_gaussian(0.05, 2.0, 16);
-        assert!(log_moment_subsampled_gaussian(0.10, 2.0, 16) > base, "larger q leaks more");
-        assert!(log_moment_subsampled_gaussian(0.05, 3.0, 16) < base, "larger sigma leaks less");
-        assert!(log_moment_subsampled_gaussian(0.05, 2.0, 32) > base, "higher order is larger");
+        assert!(
+            log_moment_subsampled_gaussian(0.10, 2.0, 16) > base,
+            "larger q leaks more"
+        );
+        assert!(
+            log_moment_subsampled_gaussian(0.05, 3.0, 16) < base,
+            "larger sigma leaks less"
+        );
+        assert!(
+            log_moment_subsampled_gaussian(0.05, 2.0, 32) > base,
+            "higher order is larger"
+        );
     }
 
     #[test]
@@ -318,7 +332,10 @@ mod tests {
         let mut c = RdpCurve::zero(255).unwrap();
         c.compose_steps(&step, 10_000).unwrap();
         let eps = c.epsilon(1e-5).unwrap();
-        assert!((1.15..1.40).contains(&eps), "eps {eps} outside the published band");
+        assert!(
+            (1.15..1.40).contains(&eps),
+            "eps {eps} outside the published band"
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ fn main() {
         &prep.train,
         None,
         &hp,
-        &NonPrivateConfig { epochs: 15, lr_decay: false, ..NonPrivateConfig::default() },
+        &NonPrivateConfig {
+            epochs: 15,
+            lr_decay: false,
+            ..NonPrivateConfig::default()
+        },
     )
     .expect("non-private training");
 
@@ -56,13 +60,11 @@ fn main() {
 
     // Attack both. Members = training users; non-members = held-out users.
     let mut rng = StdRng::seed_from_u64(2);
-    let attack_np =
-        loss_threshold_attack(&mut rng, &np.params, &prep.train, &prep.test, &hp)
-            .expect("attack (non-private)");
+    let attack_np = loss_threshold_attack(&mut rng, &np.params, &prep.train, &prep.test, &hp)
+        .expect("attack (non-private)");
     let mut rng = StdRng::seed_from_u64(2);
-    let attack_plp =
-        loss_threshold_attack(&mut rng, &plp.params, &prep.train, &prep.test, &hp)
-            .expect("attack (PLP)");
+    let attack_plp = loss_threshold_attack(&mut rng, &plp.params, &prep.train, &prep.test, &hp)
+        .expect("attack (PLP)");
 
     println!("loss-threshold membership inference (AUC 0.5 = no leakage):");
     println!(

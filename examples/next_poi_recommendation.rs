@@ -25,7 +25,11 @@ fn main() {
         .expect("generation");
     let prep = PreparedData::from_checkins(&raw, &config).expect("preparation");
 
-    let hp = Hyperparameters { embedding_dim: 32, negative_samples: 8, ..Hyperparameters::default() };
+    let hp = Hyperparameters {
+        embedding_dim: 32,
+        negative_samples: 8,
+        ..Hyperparameters::default()
+    };
     let mut rng = StdRng::seed_from_u64(11);
     println!("training a non-private skip-gram for a few epochs ...");
     let out = train_nonprivate(
@@ -33,7 +37,10 @@ fn main() {
         &prep.train,
         None,
         &hp,
-        &NonPrivateConfig { epochs: 6, ..NonPrivateConfig::default() },
+        &NonPrivateConfig {
+            epochs: 6,
+            ..NonPrivateConfig::default()
+        },
     )
     .expect("training");
 

@@ -16,7 +16,10 @@ fn main() {
 
     // 1. Steps afforded by a budget at the paper's settings.
     println!("steps afforded by (eps, delta={delta}) at the paper's settings:");
-    println!("{:<8} {:<8} {:>8} {:>8} {:>8} {:>8}", "q", "sigma", "eps=1", "eps=2", "eps=3", "eps=4");
+    println!(
+        "{:<8} {:<8} {:>8} {:>8} {:>8} {:>8}",
+        "q", "sigma", "eps=1", "eps=2", "eps=3", "eps=4"
+    );
     for (q, sigma) in [(0.06, 1.5), (0.06, 2.5), (0.10, 1.5), (0.10, 2.5)] {
         let row: Vec<u64> = [1.0, 2.0, 3.0, 4.0]
             .iter()
@@ -61,7 +64,7 @@ fn main() {
         }
         acc.step(q, sigma).unwrap();
         step += 1;
-        if step % 20 == 0 {
+        if step.is_multiple_of(20) {
             println!("after {step} steps: eps = {:.4}", acc.epsilon().unwrap());
         }
     }

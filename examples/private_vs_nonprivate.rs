@@ -38,7 +38,10 @@ fn main() {
         &prep.train,
         None,
         &hp,
-        &NonPrivateConfig { epochs: 6, ..NonPrivateConfig::default() },
+        &NonPrivateConfig {
+            epochs: 6,
+            ..NonPrivateConfig::default()
+        },
     )
     .expect("non-private");
     let np_hr = hit_rate_at_10(&np.params, &prep.test).expect("eval");
@@ -67,7 +70,11 @@ fn main() {
     println!("{:<28} {:>8.4}", "PLP (eps=2, lambda=4)", mean(&plp_scores));
     println!("{:<28} {:>8.4}", "DP-SGD (eps=2)", mean(&dpsgd_scores));
     println!("{:<28} {:>8.4}", "popularity baseline", pop_hr);
-    println!("{:<28} {:>8.4}", "random baseline", random_baseline(10, prep.vocab_size()));
+    println!(
+        "{:<28} {:>8.4}",
+        "random baseline",
+        random_baseline(10, prep.vocab_size())
+    );
 
     match paired_t_test(&plp_scores, &dpsgd_scores) {
         Some(t) => println!(

@@ -48,7 +48,13 @@ fn main() {
     // 4. Evaluate leave-one-out Hit-Rate on held-out users.
     let hr = evaluate(&outcome.params, &prep.test, &[5, 10, 20]).expect("evaluation");
     for h in &hr {
-        println!("HR@{:<2} = {:.4}  ({} / {} trials)", h.k, h.rate(), h.hits, h.trials);
+        println!(
+            "HR@{:<2} = {:.4}  ({} / {} trials)",
+            h.k,
+            h.rate(),
+            h.hits,
+            h.trials
+        );
     }
 
     // 5. Deploy: only the (normalised) embedding matrix ships to devices.

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build and the full test suite.
+# Mirrors .github/workflows/ci.yml so the same checks run locally with
+# no network access (all dependencies are vendored in compat/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (root package, tier-1) =="
+cargo test -q
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+echo "== chaos drill (crash-safety smoke) =="
+cargo run --release -p plp-bench --bin chaos
+
+echo "CI checks passed."

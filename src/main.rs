@@ -105,7 +105,9 @@ fn opt_parse<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad value `{v}` for --{name}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value `{v}` for --{name}")),
     }
 }
 
@@ -143,7 +145,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let ds = data_io::load_binary(Path::new(req(&flags, "data")?)).map_err(|e| e.to_string())?;
     let s = dataset_stats(&ds);
-    println!("{}", serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 
@@ -208,13 +213,20 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
                 &prep.train,
                 None,
                 &hp,
-                &NonPrivateConfig { epochs, ..NonPrivateConfig::default() },
+                &NonPrivateConfig {
+                    epochs,
+                    ..NonPrivateConfig::default()
+                },
             )
             .map_err(|e| e.to_string())?;
             println!(
                 "nonprivate: {} epochs, final loss {:.4}",
                 epochs,
-                outcome.telemetry.last().map(|t| t.train_loss).unwrap_or(0.0)
+                outcome
+                    .telemetry
+                    .last()
+                    .map(|t| t.train_loss)
+                    .unwrap_or(0.0)
             );
             (outcome.params, None)
         }
@@ -273,17 +285,19 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
 
 fn cmd_budget(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let q: f64 = req(&flags, "q")?.parse().map_err(|_| "bad --q".to_string())?;
-    let sigma: f64 = req(&flags, "sigma")?.parse().map_err(|_| "bad --sigma".to_string())?;
+    let q: f64 = req(&flags, "q")?
+        .parse()
+        .map_err(|_| "bad --q".to_string())?;
+    let sigma: f64 = req(&flags, "sigma")?
+        .parse()
+        .map_err(|_| "bad --sigma".to_string())?;
     let delta: f64 = opt_parse(&flags, "delta", 2e-4)?;
     match (flags.get("eps"), flags.get("steps")) {
         (Some(eps), None) => {
             let eps: f64 = eps.parse().map_err(|_| "bad --eps".to_string())?;
             let budget = PrivacyBudget::new(eps, delta).map_err(|e| e.to_string())?;
             let steps = max_steps(q, sigma, budget).map_err(|e| e.to_string())?;
-            println!(
-                "(eps={eps}, delta={delta}) affords {steps} steps at q={q}, sigma={sigma}"
-            );
+            println!("(eps={eps}, delta={delta}) affords {steps} steps at q={q}, sigma={sigma}");
         }
         (None, Some(steps)) => {
             let steps: u64 = steps.parse().map_err(|_| "bad --steps".to_string())?;
@@ -300,13 +314,17 @@ mod tests {
     use super::*;
 
     fn flags(v: &[(&str, &str)]) -> HashMap<String, String> {
-        v.iter().map(|(k, x)| (k.to_string(), x.to_string())).collect()
+        v.iter()
+            .map(|(k, x)| (k.to_string(), x.to_string()))
+            .collect()
     }
 
     #[test]
     fn parse_flags_accepts_pairs_and_rejects_stragglers() {
-        let args: Vec<String> =
-            ["--out", "x.bin", "--seed", "7"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--out", "x.bin", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let f = parse_flags(&args).unwrap();
         assert_eq!(f["out"], "x.bin");
         assert_eq!(f["seed"], "7");

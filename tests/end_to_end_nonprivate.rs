@@ -37,7 +37,10 @@ fn nonprivate_training_beats_random_by_a_wide_margin() {
         &prep.train,
         None,
         &fast_hp(),
-        &NonPrivateConfig { epochs: 6, ..NonPrivateConfig::default() },
+        &NonPrivateConfig {
+            epochs: 6,
+            ..NonPrivateConfig::default()
+        },
     )
     .unwrap();
     let hr10 = evaluate(&out.params, &prep.test, &[10]).unwrap()[0].rate();
@@ -57,7 +60,10 @@ fn nonprivate_training_loss_decreases_monotonically_at_the_ends() {
         &prep.train,
         None,
         &fast_hp(),
-        &NonPrivateConfig { epochs: 5, ..NonPrivateConfig::default() },
+        &NonPrivateConfig {
+            epochs: 5,
+            ..NonPrivateConfig::default()
+        },
     )
     .unwrap();
     let first = out.telemetry.first().unwrap().train_loss;
@@ -74,5 +80,8 @@ fn evaluation_baselines_are_ordered_sanely() {
     let pop = popularity_hit_rate(&counts, &prep.test, &[10])[0].rate();
     let rand = random_baseline(10, prep.vocab_size());
     assert!((0.0..=1.0).contains(&pop));
-    assert!(pop > rand, "popularity {pop} must beat random {rand} on Zipf data");
+    assert!(
+        pop > rand,
+        "popularity {pop} must beat random {rand} on Zipf data"
+    );
 }

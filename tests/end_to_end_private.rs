@@ -30,7 +30,10 @@ fn fast_hp() -> Hyperparameters {
         sampling_prob: 0.1,
         grouping_factor: 4,
         max_steps: 6,
-        budget: PrivacyBudget { epsilon: 100.0, delta: 2e-4 },
+        budget: PrivacyBudget {
+            epsilon: 100.0,
+            delta: 2e-4,
+        },
         ..Hyperparameters::default()
     }
 }
@@ -39,7 +42,10 @@ fn fast_hp() -> Hyperparameters {
 fn plp_trains_within_budget_and_ledger_replays() {
     let prep = PreparedData::generate(&tiny()).unwrap();
     let mut hp = fast_hp();
-    hp.budget = PrivacyBudget { epsilon: 1.2, delta: 2e-4 };
+    hp.budget = PrivacyBudget {
+        epsilon: 1.2,
+        delta: 2e-4,
+    };
     hp.max_steps = 10_000;
     let mut rng = StdRng::seed_from_u64(9);
     let out = train_plp(&mut rng, &prep.train, None, &hp).unwrap();

@@ -21,8 +21,7 @@ fn tiny() -> ExperimentConfig {
 #[test]
 fn binary_snapshot_survives_the_full_pipeline() {
     let cfg = tiny();
-    let raw =
-        SyntheticGenerator::generate_with_seed(cfg.generator.clone(), cfg.seed).unwrap();
+    let raw = SyntheticGenerator::generate_with_seed(cfg.generator.clone(), cfg.seed).unwrap();
     let bytes = io::encode_binary(&raw);
     let restored = io::decode_binary(bytes).unwrap();
     assert_eq!(raw, restored);
@@ -38,12 +37,10 @@ fn binary_snapshot_survives_the_full_pipeline() {
 #[test]
 fn csv_export_reimports_to_the_same_histories() {
     let cfg = tiny();
-    let raw =
-        SyntheticGenerator::generate_with_seed(cfg.generator.clone(), cfg.seed).unwrap();
+    let raw = SyntheticGenerator::generate_with_seed(cfg.generator.clone(), cfg.seed).unwrap();
     let csv = io::checkins_to_csv(&raw);
     let back = io::checkins_from_csv(&csv).unwrap();
-    let rebuilt =
-        dp_nextloc::data::CheckInDataset::from_checkins(raw.pois.clone(), back);
+    let rebuilt = dp_nextloc::data::CheckInDataset::from_checkins(raw.pois.clone(), back);
     assert_eq!(raw.users, rebuilt.users);
 }
 
@@ -66,8 +63,7 @@ fn splits_share_one_vocabulary_and_tokens_are_in_range() {
 #[test]
 fn filtering_is_idempotent() {
     let cfg = tiny();
-    let raw =
-        SyntheticGenerator::generate_with_seed(cfg.generator.clone(), cfg.seed).unwrap();
+    let raw = SyntheticGenerator::generate_with_seed(cfg.generator.clone(), cfg.seed).unwrap();
     let once = filter_sparse(&raw, FilterConfig::default());
     let twice = filter_sparse(&once, FilterConfig::default());
     assert_eq!(once, twice, "a fixpoint must be stable");

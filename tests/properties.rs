@@ -24,7 +24,10 @@ fn dataset(num_users: usize, tokens_per_user: usize, vocab: usize) -> TokenizedD
             sessions: vec![(0..tokens_per_user).map(|t| (t * 7 + i) % vocab).collect()],
         })
         .collect();
-    TokenizedDataset { users, vocab_size: vocab }
+    TokenizedDataset {
+        users,
+        vocab_size: vocab,
+    }
 }
 
 proptest! {
