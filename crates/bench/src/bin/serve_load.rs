@@ -1,0 +1,202 @@
+//! Serving load generator: replays held-out test sequences through the
+//! batched `plp-serve` engine, asserts the batched results are
+//! bit-identical to the sequential `Recommender` path, and reports
+//! throughput/latency/cache telemetry per batch size.
+//!
+//! Usage:
+//!   cargo run --release -p plp-bench --bin serve_load            # full run
+//!   cargo run --release -p plp-bench --bin serve_load -- --smoke # CI smoke
+//!   ... -- --out path.json                                       # output path
+//!
+//! Writes `BENCH_serve.json` (or `--out`) and exits non-zero if any
+//! batched result diverges from the sequential reference.
+
+use std::process::ExitCode;
+
+use plp_core::experiment::{ExperimentConfig, PreparedData};
+use plp_model::metrics::leave_one_out_trials;
+use plp_model::params::ModelParams;
+use plp_model::Recommender;
+use plp_serve::{BatchEngine, Query, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 42;
+const EMBEDDING_DIM: usize = 32;
+const TOP_K: usize = 10;
+const WAVE: usize = 512;
+
+struct Opts {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    Opts { smoke, out }
+}
+
+/// Builds the query stream: leave-one-out test prefixes, alternating
+/// between plain queries and queries that exclude the just-visited
+/// locations (the paper's deployment pattern), cycled up to `target`.
+fn build_queries(prep: &PreparedData, target: usize) -> Vec<Query> {
+    let trials = leave_one_out_trials(&prep.test);
+    assert!(!trials.is_empty(), "test split produced no trials");
+    let mut queries = Vec::with_capacity(target);
+    let ks = [TOP_K, 5, 20];
+    for i in 0..target {
+        let (recent, _target) = &trials[i % trials.len()];
+        let k = ks[(i / trials.len()) % ks.len()];
+        if i % 2 == 0 {
+            queries.push(Query::new(recent.clone(), k));
+        } else {
+            queries.push(Query::with_exclusions(recent.clone(), k, recent.clone()));
+        }
+    }
+    queries
+}
+
+fn sequential_reference(rec: &Recommender, queries: &[Query]) -> Vec<Vec<usize>> {
+    queries
+        .iter()
+        .map(|q| {
+            if q.exclude.is_empty() {
+                rec.recommend(&q.recent, q.k).expect("sequential recommend")
+            } else {
+                rec.recommend_excluding(&q.recent, q.k, &q.exclude)
+                    .expect("sequential recommend_excluding")
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+    let (config, num_queries) = if opts.smoke {
+        let mut c = ExperimentConfig::small(SEED);
+        c.generator.num_users = 150;
+        c.generator.num_locations = 120;
+        c.generator.target_checkins = 6_000;
+        c.validation_users = 15;
+        c.test_users = 15;
+        (c, 384)
+    } else {
+        (ExperimentConfig::medium(SEED), 2_048)
+    };
+
+    println!(
+        "serve_load: preparing data (smoke={}, queries={num_queries})",
+        opts.smoke
+    );
+    let prep = PreparedData::generate(&config).expect("prepare data");
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x5E27E);
+    let params =
+        ModelParams::init(&mut rng, prep.vocab_size(), EMBEDDING_DIM).expect("init params");
+    let rec = Recommender::new(&params);
+    let queries = build_queries(&prep, num_queries);
+    println!(
+        "serve_load: vocab={} dim={} queries={}",
+        rec.vocab_size(),
+        rec.dim(),
+        queries.len()
+    );
+
+    let expected = sequential_reference(&rec, &queries);
+
+    let mut ok = true;
+    let mut rows = Vec::new();
+    for max_batch in [1usize, 32, 256] {
+        let engine = BatchEngine::new(
+            rec.clone(),
+            ServeConfig {
+                max_batch,
+                workers: 4,
+                cache_capacity: 4096,
+            },
+        )
+        .expect("engine config");
+
+        // Pass 1: cold cache — every query is scored through the batched
+        // kernel; results must be bit-identical to the sequential path.
+        let mut got = Vec::with_capacity(queries.len());
+        for wave in queries.chunks(WAVE) {
+            got.extend(engine.serve(wave).expect("serve wave"));
+        }
+        let identical = got == expected;
+        ok &= identical;
+        println!(
+            "{} batch={max_batch}: batched results {} sequential",
+            if identical { "PASS" } else { "FAIL" },
+            if identical {
+                "bit-identical to"
+            } else {
+                "DIVERGED from"
+            }
+        );
+
+        // Pass 2: warm cache — the same stream again, to exercise the LRU
+        // path. Results must not change.
+        let mut warm = Vec::with_capacity(queries.len());
+        for wave in queries.chunks(WAVE) {
+            warm.extend(engine.serve(wave).expect("serve warm wave"));
+        }
+        let warm_identical = warm == expected;
+        ok &= warm_identical;
+        let t = engine.telemetry();
+        ok &= t.cache_hits > 0;
+        println!(
+            "{} batch={max_batch}: warm pass identical, hit rate {:.3}",
+            if warm_identical && t.cache_hits > 0 {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+            t.cache_hit_rate()
+        );
+        println!(
+            "  qps={:.0} p50={:.3}ms p95={:.3}ms p99={:.3}ms batches={} wall={:.1}ms",
+            t.qps, t.p50_ms, t.p95_ms, t.p99_ms, t.batches, t.wall_ms
+        );
+
+        rows.push(serde_json::json!({
+            "max_batch": max_batch,
+            "workers": 4,
+            "qps": t.qps,
+            "p50_ms": t.p50_ms,
+            "p95_ms": t.p95_ms,
+            "p99_ms": t.p99_ms,
+            "wall_ms": t.wall_ms,
+            "batches": t.batches,
+            "cache_hit_rate": t.cache_hit_rate(),
+            "bit_identical": identical && warm_identical,
+        }));
+    }
+
+    let payload = serde_json::json!({
+        "bench": "serve",
+        "seed": SEED,
+        "smoke": opts.smoke,
+        "vocab": rec.vocab_size(),
+        "dim": rec.dim(),
+        "top_k": TOP_K,
+        "queries_per_pass": queries.len(),
+        "batch_sizes": rows,
+    });
+    let text = serde_json::to_string_pretty(&payload).expect("serialise payload");
+    std::fs::write(&opts.out, text).expect("write output");
+    println!("serve_load: wrote {}", opts.out);
+
+    if ok {
+        println!("serve_load: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("serve_load: FAILURES detected");
+        ExitCode::FAILURE
+    }
+}

@@ -10,7 +10,8 @@
 //!    ([`plp_model::clip`]),
 //! 4. sum the clipped deltas and add Gaussian noise `N(0, σ²ω²C²I)` over
 //!    the *entire* flattened parameter vector,
-//! 5. average by the fixed denominator `|H|` and apply a server-side
+//! 5. average by the fixed denominator `q·W/λ` (the expected bucket
+//!    count; see [`plp::fixed_denominator`]) and apply a server-side
 //!    (DP-)Adam step ([`plp_model::optimizer`]),
 //! 6. track `(q, σ)` in the privacy ledger and stop when the moments
 //!    accountant reports ε reaching the budget

@@ -4,7 +4,8 @@
 //! Each step: Poisson-sample users (line 5), group into buckets of λ
 //! (line 6), compute a clipped local-SGD delta per bucket (lines 7–8 /
 //! 15–22), sum and perturb with `N(0, σ²ω²C²I)` (line 9), average by the
-//! fixed denominator `|H|` and update the model (line 10), then track the
+//! fixed denominator `q·W/λ` — the *expected* bucket count, see
+//! [`fixed_denominator`] — and update the model (line 10), then track the
 //! step in the privacy ledger (line 11) and stop once the moments
 //! accountant reaches ε (lines 12–13).
 //!
@@ -30,8 +31,8 @@
 //! dropped from the Gaussian sum *before* noising. Each clipped bucket
 //! contributes at most `ωC` to the sum, so dropping one (contributing 0
 //! instead) never increases the query's sensitivity — the step's DP
-//! accounting is unchanged, and the denominator stays the number of
-//! *formed* buckets `|H|`. A step in which every bucket is poisoned stops
+//! accounting is unchanged, and the denominator stays the fixed `q·W/λ`
+//! regardless. A step in which every bucket is poisoned stops
 //! training with [`StopReason::Diverged`] after accounting the aborted
 //! step conservatively (the step is paid for but its update discarded).
 
@@ -101,6 +102,26 @@ pub struct TrainOptions {
     /// drills. No final checkpoint is written (a killed process would not
     /// have written one either); only periodic saves survive.
     pub halt_after: Option<u64>,
+}
+
+/// The fixed denominator `q·W/λ` of the averaging estimator (Algorithm 1,
+/// line 10): the *expected* number of buckets a step forms, which — unlike
+/// the realised `|H_t|` — does not depend on the Poisson draw.
+///
+/// Using the expectation keeps the estimator's scale constant across
+/// steps, so the degenerate step in which the sampler selects zero users
+/// (or zero buckets survive) is still divided by the same `q·W/λ`, still
+/// pays its RDP cost in the ledger, and never divides by zero: only a
+/// population of `W = 0` users makes the expectation vanish, and that case
+/// degenerates to a denominator of 1 (the update is pure noise either
+/// way).
+pub fn fixed_denominator(sampling_prob: f64, num_users: usize, lambda: usize) -> f64 {
+    let expected = sampling_prob * num_users as f64 / lambda.max(1) as f64;
+    if expected > 0.0 {
+        expected
+    } else {
+        1.0
+    }
 }
 
 /// SplitMix64 finalizer, used to derive independent per-step seeds.
@@ -476,6 +497,9 @@ fn run_loop(
     let num_users = train.num_users();
     let omega = hp.split_factor;
     let noise_std = hp.noise_multiplier * hp.clip_norm * omega as f64;
+    // Fixed-denominator estimator scale: constant for the whole run, paid
+    // even by steps whose Poisson draw comes back empty.
+    let denom = fixed_denominator(hp.sampling_prob, num_users, hp.grouping_factor);
 
     let mut telemetry = Vec::new();
     let run_start = std::time::Instant::now();
@@ -563,8 +587,8 @@ fn run_loop(
         noise.perturb(&mut rng, noise_std, aggregate.embedding.as_mut_slice());
         noise.perturb(&mut rng, noise_std, aggregate.context.as_mut_slice());
         noise.perturb(&mut rng, noise_std, &mut aggregate.bias);
-        // Fixed-denominator average over formed (not surviving) buckets.
-        let denom = buckets.len().max(1) as f64;
+        // Fixed-denominator average by the expected bucket count q·W/λ —
+        // never by the realised (sample-dependent) |H_t|.
         scale_params(&mut aggregate, 1.0 / denom);
 
         // Line 10: model update.
@@ -802,6 +826,63 @@ mod tests {
         let mut hp = fast_hp();
         hp.grouping_factor = 0;
         assert!(train_plp(&mut rng, &ds, None, &hp).is_err());
+    }
+
+    #[test]
+    fn fixed_denominator_is_expected_bucket_count() {
+        // q·W/λ, independent of any realised sample.
+        assert!((fixed_denominator(0.1, 1000, 5) - 20.0).abs() < 1e-12);
+        assert!((fixed_denominator(0.06, 4602, 6) - 46.02).abs() < 1e-12);
+        assert!((fixed_denominator(1.0, 7, 1) - 7.0).abs() < 1e-12);
+        // Sub-unit expectations are *not* clamped: the estimator stays
+        // q·W/λ even when fewer than one bucket is expected per step.
+        assert!((fixed_denominator(0.01, 10, 1) - 0.1).abs() < 1e-12);
+        // Only a zero expectation (empty population) degenerates, to 1 —
+        // never to a division by zero.
+        assert_eq!(fixed_denominator(0.3, 0, 2), 1.0);
+        assert_eq!(fixed_denominator(0.3, 10, 0), 3.0, "λ floor of 1");
+        assert!(fixed_denominator(0.5, usize::MAX >> 12, 1).is_finite());
+    }
+
+    #[test]
+    fn empty_sample_steps_pay_rdp_and_keep_denominator_fixed() {
+        // q so small that (seeded) steps routinely sample zero users: every
+        // such step must still appear in the ledger at full cost, produce a
+        // finite (noise-only) update scaled by the same fixed q·W/λ, and
+        // never divide by zero.
+        let ds = tiny_dataset(5);
+        let mut hp = fast_hp();
+        hp.sampling_prob = 0.01;
+        hp.max_steps = 4;
+        let out = train_plp_resumable(13, &ds, None, &hp, &TrainOptions::default()).unwrap();
+        assert_eq!(out.summary.steps, 4);
+        assert_eq!(out.ledger.total_steps(), 4, "empty steps are accounted");
+        assert!(out.params.all_finite());
+        let empty_steps = out
+            .telemetry
+            .iter()
+            .filter(|t| t.sampled_users == 0)
+            .count();
+        assert!(
+            empty_steps > 0,
+            "q = 0.01 over 5 users must leave some steps empty (seeded)"
+        );
+        for w in out.telemetry.windows(2) {
+            assert!(
+                w[1].epsilon_spent > w[0].epsilon_spent,
+                "every step, empty or not, spends budget"
+            );
+        }
+        // The noise-only update went through: parameters moved away from
+        // their init even on a run whose steps were all-empty.
+        let mut all_empty_hp = hp.clone();
+        all_empty_hp.sampling_prob = 1e-9;
+        let moved =
+            train_plp_resumable(13, &ds, None, &all_empty_hp, &TrainOptions::default()).unwrap();
+        let init =
+            ModelParams::init(&mut step_rng(13, 0), ds.vocab_size, hp.embedding_dim).unwrap();
+        assert_ne!(moved.params, init, "noise-only steps still update θ");
+        assert!(moved.params.all_finite());
     }
 
     #[test]

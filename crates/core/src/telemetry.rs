@@ -1,4 +1,5 @@
-//! Training telemetry: per-step observations and run summaries.
+//! Training and serving telemetry: per-step observations, run summaries
+//! and the serving-layer counters reported by `plp-serve`.
 
 use serde::{Deserialize, Serialize};
 
@@ -59,9 +60,77 @@ pub enum StopReason {
     Interrupted,
 }
 
+/// What a batch-serving engine observed over its lifetime: load, latency
+/// percentiles and cache effectiveness (the serving counterpart of
+/// [`StepTelemetry`], reported by the `plp-serve` engine).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeTelemetry {
+    /// Recommendation queries answered (cache hits included).
+    pub queries: u64,
+    /// Scoring batches executed (cache hits never form a batch).
+    pub batches: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that had to be scored.
+    pub cache_misses: u64,
+    /// Queries per second of engine wall time (`queries / wall_ms`).
+    pub qps: f64,
+    /// Median per-query latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-query latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-query latency in milliseconds.
+    pub p99_ms: f64,
+    /// Total wall-clock milliseconds spent inside `serve` calls.
+    pub wall_ms: f64,
+}
+
+impl ServeTelemetry {
+    /// Fraction of queries answered from the cache; `0.0` before any
+    /// traffic.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serve_telemetry_hit_rate_and_serde() {
+        let t = ServeTelemetry {
+            queries: 100,
+            batches: 4,
+            cache_hits: 25,
+            cache_misses: 75,
+            qps: 1_000.0,
+            p50_ms: 0.5,
+            p95_ms: 1.5,
+            p99_ms: 2.0,
+            wall_ms: 100.0,
+        };
+        assert!((t.cache_hit_rate() - 0.25).abs() < 1e-12);
+        let s = serde_json::to_string(&t).unwrap();
+        let back: ServeTelemetry = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+        let empty = ServeTelemetry {
+            queries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            batches: 0,
+            qps: 0.0,
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            wall_ms: 0.0,
+        };
+        assert_eq!(empty.cache_hit_rate(), 0.0);
+    }
 
     #[test]
     fn serde_round_trip() {

@@ -363,4 +363,99 @@ mod tests {
     fn realized_split_factor_empty() {
         assert_eq!(realized_split_factor(&[]), 0);
     }
+
+    #[test]
+    fn fewer_sampled_users_than_lambda_forms_one_bucket() {
+        // A thin Poisson draw (|sample| < λ) must still group cleanly:
+        // everyone lands in the single, under-full bucket.
+        let ds = dataset(&[4, 6, 2, 3, 5, 7, 8, 9]);
+        for strategy in [GroupingStrategy::Random, GroupingStrategy::EqualFrequency] {
+            let mut rng = StdRng::seed_from_u64(8);
+            let buckets = group_data(&mut rng, &[2, 5, 6], &ds, 10, strategy).unwrap();
+            assert_eq!(buckets.len(), 1, "{strategy:?}");
+            let mut members = buckets[0].user_indices.clone();
+            members.sort_unstable();
+            assert_eq!(members, vec![2, 5, 6]);
+            assert_eq!(
+                buckets[0].len(),
+                ds.users[2].num_tokens() + ds.users[5].num_tokens() + ds.users[6].num_tokens()
+            );
+            assert_eq!(realized_split_factor(&buckets), 1);
+        }
+    }
+
+    #[test]
+    fn lambda_one_equal_frequency_is_per_user_buckets() {
+        let ds = dataset(&[3, 9, 1, 4]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let buckets = group_data(
+            &mut rng,
+            &[0, 1, 2, 3],
+            &ds,
+            1,
+            GroupingStrategy::EqualFrequency,
+        )
+        .unwrap();
+        assert_eq!(buckets.len(), 4);
+        assert!(buckets.iter().all(|b| b.user_indices.len() == 1));
+        assert_eq!(realized_split_factor(&buckets), 1);
+    }
+
+    #[test]
+    fn split_lambda_one_delegates_cleanly() {
+        // λ = 1 with ω = 1 through the split entry point: per-user buckets.
+        let ds = dataset(&[2, 2, 2]);
+        let mut rng = StdRng::seed_from_u64(10);
+        let buckets = group_data_split(&mut rng, &[0, 1, 2], &ds, 1, 1).unwrap();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(realized_split_factor(&buckets), 1);
+    }
+
+    mod sensitivity_props {
+        //! Property tests for the §4.2 Case 1 invariant: with ω = 1, every
+        //! sampled user's data lands in exactly one bucket — the
+        //! precondition for the sum query's sensitivity bound S_GSQ ≤ C.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn every_sampled_user_in_exactly_one_bucket(
+                seed in 0u64..1000,
+                num_users in 1usize..24,
+                lambda in 1usize..9,
+                strategy_pick in 0usize..2,
+            ) {
+                let sizes: Vec<usize> = (0..num_users).map(|i| 1 + (i * 7) % 12).collect();
+                let ds = dataset(&sizes);
+                // A deterministic strict subset exercises partial samples.
+                let sampled: Vec<usize> =
+                    (0..num_users).filter(|i| !(i + seed as usize).is_multiple_of(3)).collect();
+                let strategy = if strategy_pick == 1 {
+                    GroupingStrategy::EqualFrequency
+                } else {
+                    GroupingStrategy::Random
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                let buckets = group_data(&mut rng, &sampled, &ds, lambda, strategy).unwrap();
+                // Exactly ω = 1: each sampled user appears once across all
+                // buckets, unsampled users never.
+                let mut appearances: Vec<usize> = buckets
+                    .iter()
+                    .flat_map(|b| b.user_indices.iter().copied())
+                    .collect();
+                appearances.sort_unstable();
+                let mut expected = sampled.clone();
+                expected.sort_unstable();
+                prop_assert_eq!(appearances, expected);
+                prop_assert!(realized_split_factor(&buckets) <= 1);
+                // No bucket over λ members, and no empty buckets emitted.
+                prop_assert!(buckets.iter().all(|b| !b.user_indices.is_empty()));
+                prop_assert!(buckets.iter().all(|b| b.user_indices.len() <= lambda));
+            }
+        }
+    }
 }

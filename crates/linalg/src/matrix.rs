@@ -186,6 +186,26 @@ impl Matrix {
             .collect())
     }
 
+    /// Blocked matrix product against a transposed right-hand side:
+    /// `out[i][j] = self.row(i) · rhs.row(j)`, i.e. `self · rhsᵀ`.
+    ///
+    /// Both operands are row-major with rows as the per-item vectors (the
+    /// layout of every tensor in this workspace), so `A · Bᵀ` is the
+    /// natural batched form of [`Matrix::matvec`]: scoring a batch of
+    /// query profiles against every embedding row is one call instead of
+    /// one `matvec` per query. Iteration is tiled over the rows of both
+    /// operands for cache locality, while each inner product runs over the
+    /// shared dimension in the same sequential order as `matvec` — so
+    /// every output element is **bit-identical** to the per-query path.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols != rhs.cols`.
+    pub fn matmul_block(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        matmul_block_into(&self.data, self.rows, self.cols, rhs, &mut out.data)?;
+        Ok(out)
+    }
+
     /// Normalises every row to unit ℓ2 length (zero rows are left as-is).
     ///
     /// The paper normalises the embedding matrix before deployment so that
@@ -207,6 +227,69 @@ impl Matrix {
     pub fn all_finite(&self) -> bool {
         ops::all_finite(&self.data)
     }
+}
+
+/// Row-block tile over the left operand of [`matmul_block_into`].
+const MATMUL_BLOCK_ROWS: usize = 16;
+/// Row-block tile over the right operand of [`matmul_block_into`].
+const MATMUL_BLOCK_COLS: usize = 64;
+
+/// The raw-buffer form of [`Matrix::matmul_block`], for callers that reuse
+/// scratch storage: `a` holds `a_rows` row-major rows of `a_cols` elements
+/// (a prefix of a larger buffer is fine as long as the lengths check out),
+/// and `out` receives `a_rows × rhs.rows()` scores.
+///
+/// Tiling reorders only *which* output element is computed when; each
+/// element's inner product still accumulates over the shared dimension in
+/// order, so results are bit-identical to a per-row [`Matrix::matvec`].
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if `a_cols != rhs.cols()`, and
+/// [`LinalgError::BadBuffer`] if `a` is shorter than `a_rows * a_cols` or
+/// `out` shorter than `a_rows * rhs.rows()`.
+pub fn matmul_block_into(
+    a: &[f64],
+    a_rows: usize,
+    a_cols: usize,
+    rhs: &Matrix,
+    out: &mut [f64],
+) -> Result<(), LinalgError> {
+    if a_cols != rhs.cols {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul_block",
+            left: a_cols,
+            right: rhs.cols,
+        });
+    }
+    if a.len() < a_rows * a_cols {
+        return Err(LinalgError::BadBuffer {
+            rows: a_rows,
+            cols: a_cols,
+            len: a.len(),
+        });
+    }
+    let b_rows = rhs.rows;
+    if out.len() < a_rows * b_rows {
+        return Err(LinalgError::BadBuffer {
+            rows: a_rows,
+            cols: b_rows,
+            len: out.len(),
+        });
+    }
+    for ib in (0..a_rows).step_by(MATMUL_BLOCK_ROWS) {
+        let i_end = (ib + MATMUL_BLOCK_ROWS).min(a_rows);
+        for jb in (0..b_rows).step_by(MATMUL_BLOCK_COLS) {
+            let j_end = (jb + MATMUL_BLOCK_COLS).min(b_rows);
+            for i in ib..i_end {
+                let a_row = &a[i * a_cols..(i + 1) * a_cols];
+                let out_row = &mut out[i * b_rows..(i + 1) * b_rows];
+                for (j, out_cell) in out_row.iter_mut().enumerate().take(j_end).skip(jb) {
+                    *out_cell = ops::dot_unchecked(a_row, rhs.row(j));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -272,6 +355,64 @@ mod tests {
         m.normalize_rows();
         assert!((crate::ops::l2_norm(m.row(0)) - 1.0).abs() < 1e-12);
         assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn matmul_block_is_bitwise_matvec_per_row() {
+        // Sizes straddle both tile boundaries (16 and 64).
+        for (b, l, d) in [(1, 3, 2), (5, 70, 7), (17, 64, 3), (33, 130, 5)] {
+            let queries = Matrix::from_fn(b, d, |r, c| ((r * 31 + c * 17) % 13) as f64 - 6.0);
+            let emb = Matrix::from_fn(l, d, |r, c| ((r * 7 + c * 5) % 11) as f64 * 0.25 - 1.0);
+            let out = queries.matmul_block(&emb).unwrap();
+            assert_eq!(out.rows(), b);
+            assert_eq!(out.cols(), l);
+            for r in 0..b {
+                let reference = emb.matvec(queries.row(r)).unwrap();
+                for (j, expected) in reference.iter().enumerate() {
+                    assert_eq!(
+                        out.get(r, j).to_bits(),
+                        expected.to_bits(),
+                        "row {r} col {j} must be bit-identical to matvec"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_block_validates_shapes_and_buffers() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matches!(
+            a.matmul_block(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let rhs = Matrix::zeros(4, 3);
+        let mut out = vec![0.0; 7]; // needs 2 * 4 = 8
+        assert!(matches!(
+            matmul_block_into(a.as_slice(), 2, 3, &rhs, &mut out),
+            Err(LinalgError::BadBuffer { .. })
+        ));
+        let mut full = vec![0.0; 8];
+        assert!(matches!(
+            matmul_block_into(&a.as_slice()[..5], 2, 3, &rhs, &mut full),
+            Err(LinalgError::BadBuffer { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_block_into_accepts_prefix_of_larger_scratch() {
+        // A serving worker sizes scratch for max_batch and scores smaller
+        // final batches through the same buffers.
+        let emb = Matrix::from_fn(5, 2, |r, c| (r + c) as f64);
+        let profiles = vec![1.0, 2.0, 0.5, -1.0, 9.0, 9.0]; // 2 used rows + slack
+        let mut scores = vec![f64::NAN; 3 * 5]; // oversized on purpose
+        matmul_block_into(&profiles, 2, 2, &emb, &mut scores).unwrap();
+        let r0 = emb.matvec(&[1.0, 2.0]).unwrap();
+        let r1 = emb.matvec(&[0.5, -1.0]).unwrap();
+        assert_eq!(&scores[..5], r0.as_slice());
+        assert_eq!(&scores[5..10], r1.as_slice());
+        assert!(scores[10..].iter().all(|x| x.is_nan()), "slack untouched");
     }
 
     #[test]

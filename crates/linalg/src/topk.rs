@@ -3,6 +3,12 @@
 //! The recommender ranks all `L` locations by cosine score and returns the
 //! `k` best (paper §3.3); a bounded min-heap gives O(L log k) instead of a
 //! full O(L log L) sort.
+//!
+//! Only `NaN` scores are unrankable and skipped. Infinite scores are
+//! legitimate values: `+∞` ranks first and `-∞` ranks last, but both *can*
+//! appear in the result. Callers that want to exclude candidates outright
+//! (e.g. already-visited locations) must mark them `NaN`, not `-∞` — the
+//! two cases are deliberately distinct.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -35,17 +41,42 @@ impl PartialOrd for Entry {
     }
 }
 
-/// Returns the indices of the `k` largest scores, best first.
-///
-/// Non-finite scores are skipped (they never enter the result). Ties are
-/// broken by smaller index first, making the output deterministic.
-pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
-    if k == 0 || scores.is_empty() {
-        return Vec::new();
+/// Reusable heap storage for [`top_k_with_scores_into`], so hot serving
+/// loops can run the selection without allocating per call.
+#[derive(Debug, Default)]
+pub struct TopKScratch {
+    heap: BinaryHeap<Entry>,
+}
+
+impl TopKScratch {
+    /// An empty scratch; its heap grows on first use and is retained
+    /// across calls.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+}
+
+/// Writes the `(index, score)` pairs of the `k` largest scores into `out`,
+/// best first, in a single selection pass (no second indexing pass).
+///
+/// `NaN` scores are skipped (unrankable); `±∞` are ranked like any other
+/// value. Ties break by smaller index first, making the output
+/// deterministic. `out` is cleared first; `scratch` is reused and never
+/// shrinks, so steady-state calls are allocation-free.
+pub fn top_k_with_scores_into(
+    scores: &[f64],
+    k: usize,
+    scratch: &mut TopKScratch,
+    out: &mut Vec<(usize, f64)>,
+) {
+    out.clear();
+    let heap = &mut scratch.heap;
+    heap.clear();
+    if k == 0 || scores.is_empty() {
+        return;
+    }
     for (index, &score) in scores.iter().enumerate() {
-        if !score.is_finite() {
+        if score.is_nan() {
             continue;
         }
         if heap.len() < k {
@@ -58,21 +89,33 @@ pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
             }
         }
     }
-    let mut out: Vec<Entry> = heap.into_vec();
-    out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| a.index.cmp(&b.index))
-    });
-    out.into_iter().map(|e| e.index).collect()
+    // Popping yields worst-first (the heap's `Ord` is reversed), so the
+    // reversed pop sequence is exactly best-first with index tie-breaks.
+    while let Some(e) = heap.pop() {
+        out.push((e.index, e.score));
+    }
+    out.reverse();
 }
 
 /// Returns `(index, score)` pairs of the `k` largest scores, best first.
+///
+/// See [`top_k_with_scores_into`] for ranking semantics; this is the
+/// allocating convenience wrapper around the same single-pass selection.
 pub fn top_k_with_scores(scores: &[f64], k: usize) -> Vec<(usize, f64)> {
-    top_k_indices(scores, k)
+    let mut scratch = TopKScratch::new();
+    let mut out = Vec::with_capacity(k.min(scores.len()));
+    top_k_with_scores_into(scores, k, &mut scratch, &mut out);
+    out
+}
+
+/// Returns the indices of the `k` largest scores, best first.
+///
+/// `NaN` scores are skipped; `±∞` are ranked (see the module docs). Ties
+/// are broken by smaller index first, making the output deterministic.
+pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    top_k_with_scores(scores, k)
         .into_iter()
-        .map(|i| (i, scores[i]))
+        .map(|(i, _)| i)
         .collect()
 }
 
@@ -107,15 +150,55 @@ mod tests {
 
     #[test]
     fn nan_scores_are_skipped() {
+        let scores = [f64::NAN, 1.0, 0.5, f64::NAN];
+        assert_eq!(top_k_indices(&scores, 4), vec![1, 2]);
+    }
+
+    #[test]
+    fn positive_infinity_ranks_first() {
+        // Regression: +∞ is a legitimate (maximal) score, not an
+        // unrankable one; it must enter the result and lead it.
         let scores = [f64::NAN, 1.0, f64::INFINITY, 0.5];
-        // +inf is not finite either: skipped by design.
-        assert_eq!(top_k_indices(&scores, 3), vec![1, 3]);
+        assert_eq!(top_k_indices(&scores, 3), vec![2, 1, 3]);
+        assert_eq!(
+            top_k_with_scores(&scores, 2),
+            vec![(2, f64::INFINITY), (1, 1.0)]
+        );
+    }
+
+    #[test]
+    fn negative_infinity_ranks_last_but_is_rankable() {
+        // Regression: -∞ sorts below every finite score yet is still a
+        // score — exclusion is the caller's job, via NaN.
+        let scores = [1.0, f64::NEG_INFINITY, 0.5];
+        assert_eq!(top_k_indices(&scores, 3), vec![0, 2, 1]);
+        assert_eq!(top_k_indices(&scores, 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn infinite_ties_break_by_index() {
+        let scores = [f64::INFINITY, f64::INFINITY, 0.0];
+        assert_eq!(top_k_indices(&scores, 2), vec![0, 1]);
+        let lows = [f64::NEG_INFINITY, f64::NEG_INFINITY];
+        assert_eq!(top_k_indices(&lows, 2), vec![0, 1]);
     }
 
     #[test]
     fn with_scores_pairs_match() {
         let scores = [0.2, 0.8, 0.4];
         assert_eq!(top_k_with_scores(&scores, 2), vec![(1, 0.8), (2, 0.4)]);
+    }
+
+    #[test]
+    fn into_variant_reuses_scratch_and_clears_out() {
+        let mut scratch = TopKScratch::new();
+        let mut out = vec![(99, 9.9)];
+        top_k_with_scores_into(&[0.1, 0.7], 1, &mut scratch, &mut out);
+        assert_eq!(out, vec![(1, 0.7)]);
+        top_k_with_scores_into(&[0.3, 0.2, 0.9], 2, &mut scratch, &mut out);
+        assert_eq!(out, vec![(2, 0.9), (0, 0.3)]);
+        top_k_with_scores_into(&[], 2, &mut scratch, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -48,19 +48,45 @@ impl Recommender {
         self.embedding.cols()
     }
 
+    /// The frozen, row-normalised embedding matrix — the serving artifact.
+    /// Batch scorers use it to run one matrix–matrix product over many
+    /// profiles instead of a `matvec` per query.
+    pub fn embedding(&self) -> &Matrix {
+        &self.embedding
+    }
+
     /// The profile `F(ζ)`: the mean of the embedding rows of the recent
     /// check-ins.
     ///
     /// # Errors
     /// `recent` must be non-empty and all tokens in range.
     pub fn profile(&self, recent: &[usize]) -> Result<Vec<f64>, ModelError> {
+        let mut acc = vec![0.0; self.dim()];
+        self.profile_into(recent, &mut acc)?;
+        Ok(acc)
+    }
+
+    /// [`Recommender::profile`] into a caller-provided buffer of length
+    /// [`Recommender::dim`], so serving workers can reuse scratch rows.
+    /// The accumulation order is identical to `profile`, making the two
+    /// bit-identical.
+    ///
+    /// # Errors
+    /// `recent` must be non-empty, all tokens in range, and `out` exactly
+    /// `dim` long.
+    pub fn profile_into(&self, recent: &[usize], out: &mut [f64]) -> Result<(), ModelError> {
         if recent.is_empty() {
             return Err(ModelError::BadConfig {
                 name: "recent",
                 expected: "non-empty",
             });
         }
-        let mut acc = vec![0.0; self.dim()];
+        if out.len() != self.dim() {
+            return Err(ModelError::ShapeMismatch {
+                what: "profile buffer vs embedding dim",
+            });
+        }
+        out.fill(0.0);
         for &t in recent {
             if t >= self.vocab_size() {
                 return Err(ModelError::TokenOutOfRange {
@@ -68,10 +94,10 @@ impl Recommender {
                     vocab: self.vocab_size(),
                 });
             }
-            ops::axpy(1.0, self.embedding.row(t), &mut acc)?;
+            ops::axpy(1.0, self.embedding.row(t), out)?;
         }
-        ops::scale(1.0 / recent.len() as f64, &mut acc);
-        Ok(acc)
+        ops::scale(1.0 / recent.len() as f64, out);
+        Ok(())
     }
 
     /// Cosine-proportional scores of every location against `profile`
@@ -99,6 +125,12 @@ impl Recommender {
     /// Top-`k` recommendations excluding the given locations (e.g. the ones
     /// just visited).
     ///
+    /// Excluded locations are marked `NaN` — the selection's explicit
+    /// "unrankable" sentinel — not `-∞`: an infinite score is still a
+    /// *score* (and ranks accordingly), whereas an excluded location must
+    /// never appear no matter how large `k` is. Out-of-range exclusions
+    /// are ignored.
+    ///
     /// # Errors
     /// Propagates profile errors.
     pub fn recommend_excluding(
@@ -109,12 +141,19 @@ impl Recommender {
     ) -> Result<Vec<usize>, ModelError> {
         let p = self.profile(recent)?;
         let mut s = self.scores(&p)?;
-        for &e in exclude {
-            if e < s.len() {
-                s[e] = f64::NEG_INFINITY;
-            }
-        }
+        mask_excluded(&mut s, exclude);
         Ok(topk::top_k_indices(&s, k))
+    }
+}
+
+/// Marks every in-range excluded index `NaN` so the top-k selection skips
+/// it. Shared by the sequential path above and the batched serving path
+/// (`plp-serve`), which must stay bit-identical.
+pub fn mask_excluded(scores: &mut [f64], exclude: &[usize]) {
+    for &e in exclude {
+        if e < scores.len() {
+            scores[e] = f64::NAN;
+        }
     }
 }
 
@@ -168,6 +207,38 @@ mod tests {
         // Out-of-range exclusions are ignored.
         let same = r.recommend_excluding(&[0, 1], 2, &[999]).unwrap();
         assert_eq!(same, r.recommend(&[0, 1], 2).unwrap());
+    }
+
+    #[test]
+    fn exclusion_holds_even_when_k_exceeds_candidates() {
+        // Regression: exclusion must behave as removal, not as a -∞ score
+        // that a large k could still dredge up.
+        let r = clustered();
+        let top = r.recommend_excluding(&[0, 1], 6, &[0, 1]).unwrap();
+        assert_eq!(top.len(), 4, "6 locations minus 2 excluded");
+        assert!(!top.contains(&0) && !top.contains(&1), "{top:?}");
+    }
+
+    #[test]
+    fn profile_into_matches_profile_and_validates() {
+        let r = clustered();
+        let p = r.profile(&[0, 3, 4]).unwrap();
+        let mut buf = vec![7.0; r.dim()];
+        r.profile_into(&[0, 3, 4], &mut buf).unwrap();
+        assert_eq!(p, buf, "shared path must be bit-identical");
+        let mut wrong = vec![0.0; r.dim() + 1];
+        assert!(r.profile_into(&[0], &mut wrong).is_err());
+        assert!(r.profile_into(&[], &mut buf).is_err());
+        assert!(r.profile_into(&[99], &mut buf).is_err());
+    }
+
+    #[test]
+    fn mask_excluded_marks_nan_and_ignores_out_of_range() {
+        let mut s = vec![0.1, 0.2, 0.3];
+        mask_excluded(&mut s, &[1, 9]);
+        assert!(s[1].is_nan());
+        assert_eq!(s[0], 0.1);
+        assert_eq!(s[2], 0.3);
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! A fixed-capacity LRU result cache with hit/miss counters.
+//!
+//! Implemented as a `HashMap` into a slab of intrusively doubly-linked
+//! nodes: `get` and `put` are O(1), eviction removes the least-recently
+//! used entry, and slots are recycled so a warmed cache performs no
+//! further node allocations.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache of fixed capacity.
+///
+/// Capacity 0 disables caching entirely: every `get` is a miss and `put`
+/// is a no-op, which lets callers keep one code path.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    /// Most recently used node, `NIL` when empty.
+    head: usize,
+    /// Least recently used node, `NIL` when empty.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Queries answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up `key`, counting a hit or miss and promoting a hit to
+    /// most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.push_front(idx);
+                Some(&self.nodes[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → value` as most-recently-used,
+    /// evicting the least-recently-used entry when full. Does not touch
+    /// the hit/miss counters.
+    pub fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx].value = value;
+            self.detach(idx);
+            self.push_front(idx);
+            return;
+        }
+        let idx = if self.map.len() < self.capacity {
+            let idx = self.nodes.len();
+            self.nodes.push(Node {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        } else {
+            // Recycle the LRU slot.
+            let idx = self.tail;
+            debug_assert_ne!(idx, NIL, "capacity > 0 and full implies a tail");
+            self.detach(idx);
+            let node = &mut self.nodes[idx];
+            self.map.remove(&node.key);
+            node.key = key.clone();
+            node.value = value;
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_and_counters() {
+        let mut c: LruCache<u32, &'static str> = LruCache::new(2);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.put(1, "one");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(c.get(&1), Some(&10));
+        c.put(3, 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None, "2 was evicted");
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn refresh_updates_value_and_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11); // refresh: 2 is now LRU
+        c.put(3, 30);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.put(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_one_cycles_correctly() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        for i in 0..10 {
+            c.put(i, i * 10);
+            assert_eq!(c.get(&i), Some(&(i * 10)));
+            if i > 0 {
+                assert_eq!(c.get(&(i - 1)), None);
+            }
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn slab_slots_are_recycled_not_grown() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..100 {
+            c.put(i, i);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.nodes.len(), 3, "nodes recycled, slab never grows");
+        // The three newest survive.
+        for i in 97..100 {
+            assert_eq!(c.get(&i), Some(&i));
+        }
+    }
+
+    #[test]
+    fn interleaved_access_keeps_list_consistent() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for round in 0..5u32 {
+            for i in 0..8u32 {
+                c.put(i, i + round);
+                let _ = c.get(&(i / 2));
+            }
+        }
+        assert_eq!(c.len(), 4);
+        // Walk the list from head to tail and back; both directions must
+        // agree with the map size.
+        let mut forward = 0;
+        let mut idx = c.head;
+        while idx != NIL {
+            forward += 1;
+            idx = c.nodes[idx].next;
+        }
+        let mut backward = 0;
+        idx = c.tail;
+        while idx != NIL {
+            backward += 1;
+            idx = c.nodes[idx].prev;
+        }
+        assert_eq!(forward, c.len());
+        assert_eq!(backward, c.len());
+    }
+}

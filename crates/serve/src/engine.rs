@@ -1,0 +1,578 @@
+//! The batch serving engine: micro-batching, worker scratch pooling,
+//! result caching and telemetry.
+//!
+//! A [`BatchEngine`] wraps a frozen [`Recommender`] and answers slices of
+//! [`Query`]s. Cache misses are grouped into batches of at most
+//! `max_batch` queries; each batch stacks its profiles into one matrix
+//! and scores every profile against the whole vocabulary with a single
+//! blocked matrix–matrix kernel. Batches are striped across scoped
+//! worker threads by `batch_index % workers` and results are reassembled
+//! by original query position, so neither the worker count nor the batch
+//! size can change what a query returns — only how fast it returns.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use plp_core::telemetry::ServeTelemetry;
+use plp_linalg::matrix::matmul_block_into;
+use plp_linalg::stats::percentile_sorted;
+use plp_linalg::topk::{top_k_with_scores_into, TopKScratch};
+use plp_model::recommender::mask_excluded;
+use plp_model::{ModelError, Recommender};
+
+use crate::cache::LruCache;
+use crate::error::ServeError;
+use crate::query::{Query, QueryKey};
+
+/// Tuning knobs of a [`BatchEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Largest number of cache-missing queries scored by one kernel call.
+    pub max_batch: usize,
+    /// Worker threads scoring batches concurrently.
+    pub workers: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            workers: 4,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::BadConfig {
+                name: "max_batch",
+                expected: ">= 1",
+            });
+        }
+        if self.workers == 0 {
+            return Err(ServeError::BadConfig {
+                name: "workers",
+                expected: ">= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker reusable buffers: one profile row and one score row per
+/// batch slot, plus the top-k selection heap. Pooled across `serve`
+/// calls, so the steady state performs no scoring allocations.
+struct Scratch {
+    /// `max_batch × dim` stacked profile rows (prefix used for short
+    /// batches).
+    profiles: Vec<f64>,
+    /// `max_batch × vocab` stacked score rows.
+    scores: Vec<f64>,
+    topk: TopKScratch,
+    ranked: Vec<(usize, f64)>,
+}
+
+impl Scratch {
+    fn new(max_batch: usize, dim: usize, vocab: usize) -> Self {
+        Scratch {
+            profiles: vec![0.0; max_batch * dim],
+            scores: vec![0.0; max_batch * vocab],
+            topk: TopKScratch::new(),
+            ranked: Vec::new(),
+        }
+    }
+}
+
+/// Mutable serving state behind one lock: the result cache and the
+/// telemetry accumulators.
+struct EngineState {
+    cache: LruCache<QueryKey, Vec<usize>>,
+    /// Per-query latencies in milliseconds (batch wall time for scored
+    /// queries, lookup time for cache hits).
+    latencies_ms: Vec<f64>,
+    queries: u64,
+    batches: u64,
+    wall_ms: f64,
+}
+
+/// One batch's scored output: the original query positions with their
+/// ranked locations, and the batch's wall time.
+struct BatchResult {
+    ranked: Vec<(usize, Vec<usize>)>,
+    elapsed_ms: f64,
+}
+
+/// A multi-threaded, cached, micro-batching recommendation engine over a
+/// frozen [`Recommender`]. See the crate docs for the architecture.
+pub struct BatchEngine {
+    rec: Recommender,
+    cfg: ServeConfig,
+    state: Mutex<EngineState>,
+    scratch_pool: Mutex<Vec<Scratch>>,
+}
+
+impl BatchEngine {
+    /// Wraps `rec` with the given configuration.
+    ///
+    /// # Errors
+    /// `BadConfig` when `max_batch` or `workers` is zero.
+    pub fn new(rec: Recommender, cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        Ok(BatchEngine {
+            rec,
+            cfg,
+            state: Mutex::new(EngineState {
+                cache: LruCache::new(cfg.cache_capacity),
+                latencies_ms: Vec::new(),
+                queries: 0,
+                batches: 0,
+                wall_ms: 0.0,
+            }),
+            scratch_pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The wrapped recommender.
+    pub fn recommender(&self) -> &Recommender {
+        &self.rec
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// Answers every query, in order. Each result is the query's top-`k`
+    /// locations, identical to what `Recommender::recommend` /
+    /// `recommend_excluding` would return for it.
+    ///
+    /// # Errors
+    /// `BadQuery` (with the offending position) when any query has an
+    /// empty history or an out-of-vocabulary token; the whole call is
+    /// rejected before any scoring.
+    pub fn serve(&self, queries: &[Query]) -> Result<Vec<Vec<usize>>, ServeError> {
+        let call_start = Instant::now();
+        self.validate_queries(queries)?;
+
+        // Phase 1: cache lookups (single short critical section).
+        let lookup_start = Instant::now();
+        let mut results: Vec<Option<Vec<usize>>> = vec![None; queries.len()];
+        let keys: Vec<QueryKey> = queries.iter().map(Query::key).collect();
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let mut state = self.state.lock().expect("serve state poisoned");
+            for (i, key) in keys.iter().enumerate() {
+                match state.cache.get(key) {
+                    Some(hit) => results[i] = Some(hit.clone()),
+                    None => misses.push(i),
+                }
+            }
+        }
+        let lookup_ms = ms_since(lookup_start);
+
+        // Phase 2: score the misses in batches, striped across workers.
+        let batch_results = self.score_misses(queries, &misses)?;
+
+        // Phase 3: reassemble, fill the cache, record telemetry.
+        let num_batches = batch_results.len() as u64;
+        let mut state = self.state.lock().expect("serve state poisoned");
+        for br in batch_results {
+            for (qi, ranked) in br.ranked {
+                state.cache.put(keys[qi].clone(), ranked.clone());
+                state.latencies_ms.push(br.elapsed_ms);
+                results[qi] = Some(ranked);
+            }
+        }
+        let hits = queries.len() - misses.len();
+        for _ in 0..hits {
+            state.latencies_ms.push(lookup_ms);
+        }
+        state.queries += queries.len() as u64;
+        state.batches += num_batches;
+        state.wall_ms += ms_since(call_start);
+        drop(state);
+
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every query answered by cache or a batch"))
+            .collect())
+    }
+
+    /// Convenience single-query entry point.
+    ///
+    /// # Errors
+    /// As [`BatchEngine::serve`].
+    pub fn serve_one(&self, query: &Query) -> Result<Vec<usize>, ServeError> {
+        let mut out = self.serve(std::slice::from_ref(query))?;
+        Ok(out.pop().expect("one query in, one result out"))
+    }
+
+    /// A snapshot of lifetime serving telemetry.
+    pub fn telemetry(&self) -> ServeTelemetry {
+        let state = self.state.lock().expect("serve state poisoned");
+        let mut sorted = state.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pct = |p: f64| percentile_sorted(&sorted, p).unwrap_or(0.0);
+        let qps = if state.wall_ms > 0.0 {
+            state.queries as f64 / (state.wall_ms / 1000.0)
+        } else {
+            0.0
+        };
+        ServeTelemetry {
+            queries: state.queries,
+            batches: state.batches,
+            cache_hits: state.cache.hits(),
+            cache_misses: state.cache.misses(),
+            qps,
+            p50_ms: pct(50.0),
+            p95_ms: pct(95.0),
+            p99_ms: pct(99.0),
+            wall_ms: state.wall_ms,
+        }
+    }
+
+    fn validate_queries(&self, queries: &[Query]) -> Result<(), ServeError> {
+        let vocab = self.rec.vocab_size();
+        for (index, q) in queries.iter().enumerate() {
+            if q.recent.is_empty() {
+                return Err(ServeError::BadQuery {
+                    index,
+                    source: ModelError::BadConfig {
+                        name: "recent",
+                        expected: "non-empty",
+                    },
+                });
+            }
+            if let Some(&token) = q.recent.iter().find(|&&t| t >= vocab) {
+                return Err(ServeError::BadQuery {
+                    index,
+                    source: ModelError::TokenOutOfRange { token, vocab },
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Scores `misses` (positions into `queries`) in batches of at most
+    /// `max_batch`, batch `b` on worker `b % workers`.
+    fn score_misses(
+        &self,
+        queries: &[Query],
+        misses: &[usize],
+    ) -> Result<Vec<BatchResult>, ServeError> {
+        if misses.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batches: Vec<&[usize]> = misses.chunks(self.cfg.max_batch).collect();
+        let workers = self.cfg.workers.min(batches.len());
+        let outcome: Vec<Result<Vec<BatchResult>, ServeError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let batches = &batches;
+                        scope.spawn(move |_| {
+                            let mut scratch = self.take_scratch();
+                            let mut produced = Vec::new();
+                            for batch in batches.iter().skip(w).step_by(workers) {
+                                match self.score_batch(queries, batch, &mut scratch) {
+                                    Ok(br) => produced.push(br),
+                                    Err(e) => {
+                                        self.return_scratch(scratch);
+                                        return Err(e);
+                                    }
+                                }
+                            }
+                            self.return_scratch(scratch);
+                            Ok(produced)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("serve worker panicked"))
+                    .collect()
+            })
+            .expect("serve scope panicked");
+        let mut out = Vec::with_capacity(batches.len());
+        for worker_result in outcome {
+            out.extend(worker_result?);
+        }
+        Ok(out)
+    }
+
+    /// Scores one batch: stack profiles, run the blocked kernel, then
+    /// exclude and select per query. Every step reuses the sequential
+    /// path's kernels in the sequential path's order, keeping the result
+    /// bit-identical to `Recommender::recommend_excluding`.
+    fn score_batch(
+        &self,
+        queries: &[Query],
+        batch: &[usize],
+        scratch: &mut Scratch,
+    ) -> Result<BatchResult, ServeError> {
+        let start = Instant::now();
+        let dim = self.rec.dim();
+        let vocab = self.rec.vocab_size();
+        let rows = batch.len();
+        for (slot, &qi) in batch.iter().enumerate() {
+            self.rec.profile_into(
+                &queries[qi].recent,
+                &mut scratch.profiles[slot * dim..(slot + 1) * dim],
+            )?;
+        }
+        matmul_block_into(
+            &scratch.profiles[..rows * dim],
+            rows,
+            dim,
+            self.rec.embedding(),
+            &mut scratch.scores[..rows * vocab],
+        )?;
+        let mut ranked = Vec::with_capacity(rows);
+        for (slot, &qi) in batch.iter().enumerate() {
+            let q = &queries[qi];
+            let row = &mut scratch.scores[slot * vocab..(slot + 1) * vocab];
+            mask_excluded(row, &q.exclude);
+            top_k_with_scores_into(row, q.k, &mut scratch.topk, &mut scratch.ranked);
+            ranked.push((qi, scratch.ranked.iter().map(|&(i, _)| i).collect()));
+        }
+        Ok(BatchResult {
+            ranked,
+            elapsed_ms: ms_since(start),
+        })
+    }
+
+    fn take_scratch(&self) -> Scratch {
+        let pooled = self
+            .scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop();
+        pooled.unwrap_or_else(|| {
+            Scratch::new(self.cfg.max_batch, self.rec.dim(), self.rec.vocab_size())
+        })
+    }
+
+    fn return_scratch(&self, scratch: Scratch) {
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+    }
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plp_linalg::Matrix;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_recommender(vocab: usize, dim: usize, seed: u64) -> Recommender {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(vocab, dim);
+        for r in 0..vocab {
+            for c in 0..dim {
+                m.set(r, c, rng.random::<f64>() * 2.0 - 1.0);
+            }
+        }
+        Recommender::from_embedding(m)
+    }
+
+    fn mixed_queries(vocab: usize, n: usize, seed: u64) -> Vec<Query> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let hist_len = rng.random_range(1usize..6);
+                let recent: Vec<usize> =
+                    (0..hist_len).map(|_| rng.random_range(0..vocab)).collect();
+                let k = rng.random_range(0usize..12);
+                let exclude = if rng.random_bool(0.5) {
+                    recent.clone()
+                } else {
+                    Vec::new()
+                };
+                Query::with_exclusions(recent, k, exclude)
+            })
+            .collect()
+    }
+
+    fn sequential(rec: &Recommender, q: &Query) -> Vec<usize> {
+        if q.exclude.is_empty() {
+            rec.recommend(&q.recent, q.k).unwrap()
+        } else {
+            rec.recommend_excluding(&q.recent, q.k, &q.exclude).unwrap()
+        }
+    }
+
+    #[test]
+    fn batched_matches_sequential_for_every_shape() {
+        let rec = random_recommender(53, 7, 11);
+        let queries = mixed_queries(53, 40, 12);
+        let expected: Vec<Vec<usize>> = queries.iter().map(|q| sequential(&rec, q)).collect();
+        for (max_batch, workers) in [(1, 1), (4, 1), (4, 3), (64, 2), (7, 5)] {
+            let engine = BatchEngine::new(
+                rec.clone(),
+                ServeConfig {
+                    max_batch,
+                    workers,
+                    cache_capacity: 0,
+                },
+            )
+            .unwrap();
+            let got = engine.serve(&queries).unwrap();
+            assert_eq!(
+                got, expected,
+                "batched must be bit-identical (max_batch={max_batch}, workers={workers})"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_answers_second_pass() {
+        let rec = random_recommender(31, 5, 3);
+        let queries = mixed_queries(31, 10, 4);
+        let engine = BatchEngine::new(rec, ServeConfig::default()).unwrap();
+        let first = engine.serve(&queries).unwrap();
+        let second = engine.serve(&queries).unwrap();
+        assert_eq!(first, second);
+        let t = engine.telemetry();
+        assert_eq!(t.queries, 20);
+        assert_eq!(t.cache_hits, 10, "entire second pass served from cache");
+        assert_eq!(t.cache_misses, 10);
+        assert!((t.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_respects_exclusions_in_the_key() {
+        let rec = random_recommender(20, 4, 5);
+        let engine = BatchEngine::new(rec.clone(), ServeConfig::default()).unwrap();
+        let plain = Query::new(vec![1, 2], 5);
+        let excl = Query::with_exclusions(vec![1, 2], 5, vec![plain_first(&rec)]);
+        let a = engine.serve_one(&plain).unwrap();
+        let b = engine.serve_one(&excl).unwrap();
+        assert_ne!(a, b, "exclusion must not be served from the plain entry");
+        assert_eq!(b, sequential(&rec, &excl));
+    }
+
+    fn plain_first(rec: &Recommender) -> usize {
+        rec.recommend(&[1, 2], 1).unwrap()[0]
+    }
+
+    #[test]
+    fn bad_queries_are_rejected_with_their_position() {
+        let rec = random_recommender(10, 3, 6);
+        let engine = BatchEngine::new(rec, ServeConfig::default()).unwrap();
+        let queries = vec![Query::new(vec![1], 3), Query::new(vec![], 3)];
+        match engine.serve(&queries) {
+            Err(ServeError::BadQuery { index: 1, .. }) => {}
+            other => panic!("expected BadQuery at 1, got {other:?}"),
+        }
+        let queries = vec![Query::new(vec![1], 3), Query::new(vec![2, 99], 3)];
+        match engine.serve(&queries) {
+            Err(ServeError::BadQuery {
+                index: 1,
+                source: ModelError::TokenOutOfRange { token: 99, .. },
+            }) => {}
+            other => panic!("expected TokenOutOfRange at 1, got {other:?}"),
+        }
+        assert_eq!(
+            engine.telemetry().queries,
+            0,
+            "rejected calls record nothing"
+        );
+    }
+
+    #[test]
+    fn k_zero_and_k_beyond_vocab() {
+        let rec = random_recommender(6, 3, 7);
+        let engine = BatchEngine::new(rec.clone(), ServeConfig::default()).unwrap();
+        assert!(engine
+            .serve_one(&Query::new(vec![0], 0))
+            .unwrap()
+            .is_empty());
+        let all = engine.serve_one(&Query::new(vec![0], 100)).unwrap();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all, rec.recommend(&[0], 100).unwrap());
+    }
+
+    #[test]
+    fn telemetry_counts_batches_and_latencies() {
+        let rec = random_recommender(17, 4, 8);
+        let queries = mixed_queries(17, 5, 9);
+        let engine = BatchEngine::new(
+            rec,
+            ServeConfig {
+                max_batch: 2,
+                workers: 2,
+                cache_capacity: 0,
+            },
+        )
+        .unwrap();
+        engine.serve(&queries).unwrap();
+        let t = engine.telemetry();
+        assert_eq!(t.queries, 5);
+        assert_eq!(t.batches, 3, "5 queries at max_batch 2 → 3 batches");
+        assert_eq!(t.cache_misses, 5);
+        assert!(t.wall_ms > 0.0);
+        assert!(t.qps > 0.0);
+        assert!(t.p50_ms <= t.p95_ms && t.p95_ms <= t.p99_ms);
+    }
+
+    #[test]
+    fn scratch_pool_is_reused_across_calls() {
+        let rec = random_recommender(12, 3, 10);
+        let engine = BatchEngine::new(
+            rec,
+            ServeConfig {
+                max_batch: 4,
+                workers: 2,
+                cache_capacity: 0,
+            },
+        )
+        .unwrap();
+        let queries = mixed_queries(12, 8, 11);
+        engine.serve(&queries).unwrap();
+        let pooled_after_first = engine.scratch_pool.lock().unwrap().len();
+        assert!(pooled_after_first >= 1);
+        engine.serve(&queries).unwrap();
+        let pooled_after_second = engine.scratch_pool.lock().unwrap().len();
+        assert_eq!(
+            pooled_after_first, pooled_after_second,
+            "steady state reuses pooled scratch instead of growing the pool"
+        );
+    }
+
+    #[test]
+    fn config_is_validated() {
+        let rec = random_recommender(4, 2, 1);
+        let bad_batch = ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            BatchEngine::new(rec.clone(), bad_batch),
+            Err(ServeError::BadConfig {
+                name: "max_batch",
+                ..
+            })
+        ));
+        let bad_workers = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            BatchEngine::new(rec, bad_workers),
+            Err(ServeError::BadConfig {
+                name: "workers",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the serving layer.
+
+use std::fmt;
+
+use plp_linalg::LinalgError;
+use plp_model::ModelError;
+
+/// Errors produced by engine construction or query serving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// An engine configuration knob was out of domain.
+    BadConfig {
+        /// Name of the knob.
+        name: &'static str,
+        /// Description of the legal domain.
+        expected: &'static str,
+    },
+    /// A query in the submitted batch was invalid (empty history or a
+    /// token outside the vocabulary). The whole call is rejected before
+    /// any scoring so partial results never escape.
+    BadQuery {
+        /// Position of the offending query in the submitted slice.
+        index: usize,
+        /// The underlying validation error.
+        source: ModelError,
+    },
+    /// An underlying model error (a scoring bug, not a bad query).
+    Model(ModelError),
+    /// An underlying linear-algebra error.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadConfig { name, expected } => {
+                write!(f, "bad serve config: {name} must be {expected}")
+            }
+            ServeError::BadQuery { index, source } => {
+                write!(f, "bad query at index {index}: {source}")
+            }
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Linalg(e) => write!(f, "linalg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<LinalgError> for ServeError {
+    fn from(e: LinalgError) -> Self {
+        ServeError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ServeError::BadConfig {
+            name: "max_batch",
+            expected: ">= 1",
+        };
+        assert!(e.to_string().contains("max_batch"));
+        let q = ServeError::BadQuery {
+            index: 3,
+            source: ModelError::BadConfig {
+                name: "recent",
+                expected: "non-empty",
+            },
+        };
+        assert!(q.to_string().contains("index 3"));
+        let m: ServeError = ModelError::ShapeMismatch { what: "x" }.into();
+        assert!(m.to_string().contains("shape"));
+        let l: ServeError = LinalgError::NonFinite { op: "dot" }.into();
+        assert!(l.to_string().contains("dot"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Batched next-POI recommendation serving (the §3.3 deployment path at
+//! production scale).
+//!
+//! Training produces one artifact — the row-normalised embedding matrix
+//! wrapped in [`plp_model::Recommender`] — and the paper's end product is
+//! answering `(recent-history, k, exclude)` queries against it. This
+//! crate turns that frozen artifact into a high-throughput serving
+//! engine:
+//!
+//! * [`engine::BatchEngine`] — a query micro-batcher that groups incoming
+//!   requests and scores each batch with **one** blocked matrix–matrix
+//!   kernel ([`plp_linalg::matrix::matmul_block_into`]) instead of a
+//!   `matvec` per query,
+//! * per-worker scratch buffers (profile rows, score rows, the top-k
+//!   heap) pooled across calls, so the steady state performs no scoring
+//!   allocations,
+//! * [`cache::LruCache`] — an LRU result cache keyed by the normalised
+//!   `(recent, k, exclude)` query with hit/miss counters,
+//! * serving telemetry — QPS, p50/p95/p99 latency and cache hit rate —
+//!   reported as [`plp_core::telemetry::ServeTelemetry`].
+//!
+//! The batched path is **bit-identical** to the sequential
+//! [`plp_model::Recommender`] calls: profiles accumulate in the same
+//! order, the blocked kernel computes each inner product in `matvec`
+//! order, and exclusion/top-k share the sequential path's code. The
+//! `serve_load` generator in `plp-bench` asserts this on every run.
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod query;
+
+pub use cache::LruCache;
+pub use engine::{BatchEngine, ServeConfig};
+pub use error::ServeError;
+pub use query::{Query, QueryKey};

@@ -23,4 +23,7 @@ cargo test --workspace -q
 echo "== chaos drill (crash-safety smoke) =="
 cargo run --release -p plp-bench --bin chaos
 
+echo "== serve load-generator smoke (batched == sequential) =="
+cargo run --release -p plp-bench --bin serve_load -- --smoke --out target/BENCH_serve_smoke.json
+
 echo "CI checks passed."
