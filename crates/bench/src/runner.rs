@@ -92,6 +92,8 @@ pub struct RunControl {
     pub checkpoint_every: u64,
     /// Fault injector for robustness drills (inert by default).
     pub faults: FaultInjector,
+    /// Observability context threaded into training (inert by default).
+    pub observer: plp_obs::Observer,
 }
 
 impl RunControl {
@@ -150,6 +152,7 @@ pub fn run_point_with(
                 every: control.checkpoint_every,
             }),
         halt_after: None,
+        observer: control.observer.clone(),
     };
     let resumable = opts
         .checkpoint

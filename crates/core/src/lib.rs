@@ -34,6 +34,16 @@
 //! restores them bit-identically (ε recomputed from the restored ledger),
 //! and [`faults`] provides the deterministic fault injector used by the
 //! robustness drills.
+//!
+//! Training is also observable: pass a `plp_obs::Observer` in
+//! [`plp::TrainOptions`] to get per-phase latency histograms
+//! (`plp_train_phase_ms{phase=…}` for every stage of Algorithm 1),
+//! privacy-budget gauges (`plp_epsilon_spent`, bit-identical to
+//! [`telemetry::RunSummary::epsilon_spent`] at run end), stop-reason and
+//! skipped-bucket counters, and a JSONL event stream (`run_start`,
+//! `step`, `skipped_buckets`, `checkpoint_saved`, `checkpoint_resumed`,
+//! `run_end`). The default observer is inert, and an enabled one never
+//! changes what training computes.
 
 pub mod attacks;
 pub mod checkpoint;

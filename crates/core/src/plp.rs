@@ -56,8 +56,10 @@ use plp_model::optimizer::{ServerAdam, ServerSgd};
 use plp_model::params::ModelParams;
 use plp_model::train::train_on_tokens;
 use plp_model::Recommender;
+use plp_obs::{HistogramHandle, Observer};
 use plp_privacy::accountant::MomentsAccountant;
 use plp_privacy::PrivacyLedger;
+use serde_json::json;
 
 use crate::checkpoint::{
     config_fingerprint, encode_checkpoint, write_atomic, ServerState, TrainingCheckpoint,
@@ -102,6 +104,13 @@ pub struct TrainOptions {
     /// drills. No final checkpoint is written (a killed process would not
     /// have written one either); only periodic saves survive.
     pub halt_after: Option<u64>,
+    /// Observability context: phase-latency histograms
+    /// (`plp_train_phase_ms{phase=…}`), privacy-budget gauges
+    /// (`plp_epsilon_spent` / `plp_epsilon_budget` / `plp_delta`),
+    /// step/fault counters and the JSONL event stream. Inert by default,
+    /// and never able to change what the trainer computes — only what it
+    /// reports.
+    pub observer: Observer,
 }
 
 /// The fixed denominator `q·W/λ` of the averaging estimator (Algorithm 1,
@@ -148,6 +157,30 @@ struct BucketUpdate {
     clipped: bool,
 }
 
+/// Per-bucket phase histograms, resolved once per step and shared by all
+/// bucket workers (recording is thread-safe and cannot influence the
+/// bucket's RNG or result).
+struct BucketPhases {
+    local_sgd: HistogramHandle,
+    clip: HistogramHandle,
+}
+
+impl BucketPhases {
+    fn resolve(obs: &Observer) -> Self {
+        BucketPhases {
+            local_sgd: obs.histogram_with("plp_train_phase_ms", "phase", "local_sgd"),
+            clip: obs.histogram_with("plp_train_phase_ms", "phase", "clip"),
+        }
+    }
+}
+
+/// Per-step context shared by every bucket worker: the fault injector and
+/// the per-bucket phase histograms.
+struct BucketCtx<'a> {
+    faults: &'a FaultInjector,
+    phases: BucketPhases,
+}
+
 /// `ModelUpdateFromBucket` (Algorithm 1, lines 15–22): local SGD from θ_t,
 /// delta extraction and per-layer clipping.
 fn model_update_from_bucket(
@@ -156,9 +189,11 @@ fn model_update_from_bucket(
     hp: &Hyperparameters,
     seed: u64,
     index: usize,
+    phases: &BucketPhases,
 ) -> Result<BucketUpdate, CoreError> {
     let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut phi = theta.clone();
+    let span = phases.local_sgd.start_span();
     let stats = train_on_tokens(
         &mut rng,
         &mut phi,
@@ -166,6 +201,7 @@ fn model_update_from_bucket(
         &hp.local_sgd(),
         &NegativeSampler::Uniform,
     )?;
+    span.finish();
     let mut grad = SparseGrad::from_delta(
         theta,
         &phi,
@@ -173,7 +209,9 @@ fn model_update_from_bucket(
         stats.touched.context.iter().copied(),
         stats.touched.bias.iter().copied(),
     );
+    let span = phases.clip.start_span();
     let report = clip_per_layer(&mut grad, hp.clip_norm)?;
+    span.finish();
     Ok(BucketUpdate {
         index,
         grad,
@@ -194,15 +232,15 @@ fn guarded_bucket_update(
     step_seed: u64,
     index: usize,
     step: u64,
-    faults: &FaultInjector,
+    ctx: &BucketCtx<'_>,
 ) -> Result<Option<BucketUpdate>, CoreError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        if faults.panic_bucket(step, index) {
+        if ctx.faults.panic_bucket(step, index) {
             panic!("injected bucket-worker fault");
         }
-        let mut update = model_update_from_bucket(theta, bucket, hp, step_seed, index);
+        let mut update = model_update_from_bucket(theta, bucket, hp, step_seed, index, &ctx.phases);
         if let Ok(u) = &mut update {
-            if faults.poison_delta(step, index) {
+            if ctx.faults.poison_delta(step, index) {
                 u.grad.add_bias(0, f64::NAN);
             }
         }
@@ -227,13 +265,18 @@ fn compute_bucket_updates(
     step_seed: u64,
     step: u64,
     faults: &FaultInjector,
+    obs: &Observer,
 ) -> Result<(Vec<BucketUpdate>, usize), CoreError> {
+    let ctx = BucketCtx {
+        faults,
+        phases: BucketPhases::resolve(obs),
+    };
     let threads = hp.threads.min(buckets.len().max(1));
     let results: Vec<Option<BucketUpdate>> = if threads <= 1 {
         buckets
             .iter()
             .enumerate()
-            .map(|(i, b)| guarded_bucket_update(theta, b, hp, step_seed, i, step, faults))
+            .map(|(i, b)| guarded_bucket_update(theta, b, hp, step_seed, i, step, &ctx))
             .collect::<Result<_, _>>()?
     } else {
         let collected = crossbeam::thread::scope(|scope| {
@@ -241,12 +284,13 @@ fn compute_bucket_updates(
             for w in 0..threads {
                 let theta_ref = &*theta;
                 let hp_ref = &*hp;
+                let ctx_ref = &ctx;
                 handles.push(scope.spawn(move |_| {
                     let mut local = Vec::new();
                     for (i, b) in buckets.iter().enumerate() {
                         if i % threads == w {
                             local.push(guarded_bucket_update(
-                                theta_ref, b, hp_ref, step_seed, i, step, faults,
+                                theta_ref, b, hp_ref, step_seed, i, step, ctx_ref,
                             ));
                         }
                     }
@@ -474,6 +518,10 @@ pub fn resume_plp(
     hp.validate()?;
     check_dataset(train)?;
     let state = TrainerState::from_checkpoint(ckpt, train, hp)?;
+    opts.observer.emit(
+        "checkpoint_resumed",
+        json!({ "step": state.step, "run_seed": state.run_seed }),
+    );
     run_loop(state, train, validation, hp, opts)
 }
 
@@ -505,6 +553,39 @@ fn run_loop(
     let run_start = std::time::Instant::now();
     let mut stop_reason = StopReason::MaxSteps;
 
+    // Observability: resolve every handle once, outside the step loop.
+    // Disabled observers hand back disconnected no-op handles, so the hot
+    // loop pays only a branch per phase. None of this touches the RNG
+    // stream — instrumentation must never change the trained model.
+    let obs = &opts.observer;
+    let ph_sample = obs.histogram_with("plp_train_phase_ms", "phase", "sample");
+    let ph_group = obs.histogram_with("plp_train_phase_ms", "phase", "group");
+    let ph_noise = obs.histogram_with("plp_train_phase_ms", "phase", "noise");
+    let ph_server = obs.histogram_with("plp_train_phase_ms", "phase", "server_update");
+    let ph_accountant = obs.histogram_with("plp_train_phase_ms", "phase", "accountant");
+    let ph_eval = obs.histogram_with("plp_train_phase_ms", "phase", "eval");
+    let ph_checkpoint = obs.histogram_with("plp_train_phase_ms", "phase", "checkpoint");
+    let g_eps_spent = obs.gauge("plp_epsilon_spent");
+    let g_eps_budget = obs.gauge("plp_epsilon_budget");
+    let g_delta = obs.gauge("plp_delta");
+    let g_step = obs.gauge("plp_train_step");
+    let c_steps = obs.counter("plp_train_steps_total");
+    let c_skipped = obs.counter("plp_train_skipped_buckets_total");
+    g_eps_budget.set(hp.budget.epsilon);
+    g_delta.set(hp.budget.delta);
+    g_step.set(state.step as f64);
+    obs.emit(
+        "run_start",
+        json!({
+            "start_step": state.step,
+            "max_steps": hp.max_steps,
+            "epsilon_budget": hp.budget.epsilon,
+            "delta": hp.budget.delta,
+            "num_users": num_users,
+            "split_factor": omega,
+        }),
+    );
+
     while state.step < hp.max_steps as u64 {
         // Peek: would this step overshoot the budget?
         let eps_next = state
@@ -520,8 +601,11 @@ fn run_loop(
         let mut noise = NormalSampler::new();
 
         // Line 5: Poisson user sampling.
+        let sample_span = ph_sample.start_span();
         let sampled = sample_users(&mut rng, num_users, hp.sampling_prob)?;
+        sample_span.finish();
         // Line 6: data grouping.
+        let group_span = ph_group.start_span();
         let buckets = if omega == 1 {
             group_data(
                 &mut rng,
@@ -547,13 +631,21 @@ fn run_loop(
                 Err(e) => return Err(e.into()),
             }
         };
+        group_span.finish();
         debug_assert!(realized_split_factor(&buckets) <= omega);
 
         // Lines 7-8, 15-22: per-bucket clipped deltas, each behind a panic
         // barrier; poisoned buckets are dropped (DP-safe, see module docs).
         let step_seed: u64 = rng.random();
-        let (updates, skipped) =
-            compute_bucket_updates(&state.params, &buckets, hp, step_seed, step, &opts.faults)?;
+        let (updates, skipped) = compute_bucket_updates(
+            &state.params,
+            &buckets,
+            hp,
+            step_seed,
+            step,
+            &opts.faults,
+            obs,
+        )?;
 
         if !buckets.is_empty() && updates.is_empty() && skipped > 0 {
             // Every formed bucket was poisoned: no signal survives, so the
@@ -575,11 +667,23 @@ fn run_loop(
                 wall_ms: step_start.elapsed().as_secs_f64() * 1e3,
                 validation_hr10: None,
             });
+            c_steps.inc();
+            c_skipped.add(skipped as u64);
+            g_step.set(step as f64);
+            g_eps_spent.set(state.accountant.epsilon()?);
+            obs.emit(
+                "skipped_buckets",
+                json!({ "step": step, "skipped": skipped, "buckets": buckets.len() }),
+            );
+            if let Some(t) = telemetry.last() {
+                obs.emit("step", serde_json::to_value_of(t));
+            }
             stop_reason = StopReason::Diverged;
             break;
         }
 
         // Line 9: Gaussian sum query over the *whole* parameter vector.
+        let noise_span = ph_noise.start_span();
         let mut aggregate = ModelParams::zeros(state.params.vocab_size(), state.params.dim());
         for u in &updates {
             u.grad.accumulate_into(&mut aggregate)?;
@@ -590,21 +694,28 @@ fn run_loop(
         // Fixed-denominator average by the expected bucket count q·W/λ —
         // never by the realised (sample-dependent) |H_t|.
         scale_params(&mut aggregate, 1.0 / denom);
+        noise_span.finish();
 
         // Line 10: model update.
+        let server_span = ph_server.start_span();
         state.server.step(&mut state.params, &aggregate)?;
+        server_span.finish();
 
         // Line 11: ledger tracking. The effective noise multiplier stays σ
         // for any ω: noise std σCω over sensitivity ωC.
+        let accountant_span = ph_accountant.start_span();
         state
             .accountant
             .step(hp.sampling_prob, hp.noise_multiplier)?;
+        accountant_span.finish();
         state.step = step;
 
         let validation_hr10 = match validation {
             Some(v) if hp.eval_every > 0 && step.is_multiple_of(hp.eval_every as u64) => {
+                let eval_span = ph_eval.start_span();
                 let rec = Recommender::new(&state.params);
                 let hr = evaluate_hit_rate(&rec, v, &[10])?;
+                eval_span.finish();
                 Some(hr[0].rate())
             }
             _ => None,
@@ -630,10 +741,26 @@ fn run_loop(
             wall_ms: step_start.elapsed().as_secs_f64() * 1e3,
             validation_hr10,
         });
+        c_steps.inc();
+        g_step.set(step as f64);
+        g_eps_spent.set(state.accountant.epsilon()?);
+        if skipped > 0 {
+            c_skipped.add(skipped as u64);
+            obs.emit(
+                "skipped_buckets",
+                json!({ "step": step, "skipped": skipped, "buckets": buckets.len() }),
+            );
+        }
+        if let Some(t) = telemetry.last() {
+            obs.emit("step", serde_json::to_value_of(t));
+        }
 
         if let Some(policy) = &opts.checkpoint {
             if policy.every > 0 && step.is_multiple_of(policy.every) {
+                let ckpt_span = ph_checkpoint.start_span();
                 state.persist(policy, &opts.faults)?;
+                ckpt_span.finish();
+                obs.emit("checkpoint_saved", json!({ "step": step }));
             }
         }
         if opts.halt_after.is_some_and(|k| step >= k) {
@@ -647,7 +774,10 @@ fn run_loop(
     // killed process, which would only have its periodic saves on disk.
     if stop_reason != StopReason::Interrupted {
         if let Some(policy) = &opts.checkpoint {
+            let ckpt_span = ph_checkpoint.start_span();
             state.persist(policy, &opts.faults)?;
+            ckpt_span.finish();
+            obs.emit("checkpoint_saved", json!({ "step": state.step }));
         }
     }
 
@@ -658,6 +788,13 @@ fn run_loop(
         total_wall_ms: run_start.elapsed().as_secs_f64() * 1e3,
         stop_reason,
     };
+    // Terminal metric state: the ε gauge must match the summary exactly
+    // (same accountant read feeds both), and the stop reason is counted so
+    // dashboards can alert on Diverged/Interrupted runs.
+    obs.counter_with("plp_train_stop_total", "reason", stop_reason.name())
+        .inc();
+    g_eps_spent.set(summary.epsilon_spent);
+    obs.emit("run_end", serde_json::to_value_of(&summary));
     Ok(PlpOutcome {
         params: state.params,
         telemetry,
@@ -1049,5 +1186,240 @@ mod tests {
             matches!(err, Err(CoreError::CheckpointCorrupt { .. })),
             "a torn write must fail integrity checks, got {err:?}"
         );
+    }
+
+    #[test]
+    fn instrumentation_never_changes_the_trained_model() {
+        let ds = tiny_dataset(24);
+        let hp = fast_hp();
+        let plain = train_plp_resumable(21, &ds, None, &hp, &TrainOptions::default()).unwrap();
+        let opts = TrainOptions {
+            observer: Observer::with_memory_sink("instrumented"),
+            ..TrainOptions::default()
+        };
+        let observed = train_plp_resumable(21, &ds, None, &hp, &opts).unwrap();
+        assert_eq!(
+            plain.params, observed.params,
+            "an enabled observer must be invisible to the math"
+        );
+        assert_eq!(plain.telemetry.len(), observed.telemetry.len());
+        assert!(!opts.observer.captured_events().is_empty());
+    }
+
+    #[test]
+    fn observer_emits_parseable_run_events_in_order() {
+        let ds = tiny_dataset(24);
+        let hp = fast_hp();
+        let opts = TrainOptions {
+            observer: Observer::with_memory_sink("events"),
+            ..TrainOptions::default()
+        };
+        let out = train_plp_resumable(9, &ds, None, &hp, &opts).unwrap();
+
+        let events = opts.observer.captured_events();
+        let mut kinds = Vec::new();
+        for (i, line) in events.iter().enumerate() {
+            let v: serde_json::Value = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("line {i} is not valid JSON: {e:?}"));
+            let obj = v.as_object().unwrap();
+            assert_eq!(
+                obj.get("seq").and_then(serde_json::Value::as_f64),
+                Some(i as f64),
+                "event sequence numbers must be gapless"
+            );
+            let serde_json::Value::Str(kind) = &obj["kind"] else {
+                panic!("kind must be a string")
+            };
+            kinds.push(kind.clone());
+        }
+        assert_eq!(kinds.first().map(String::as_str), Some("run_start"));
+        assert_eq!(kinds.last().map(String::as_str), Some("run_end"));
+        assert_eq!(
+            kinds.iter().filter(|k| *k == "step").count() as u64,
+            out.summary.steps,
+            "one step event per executed step"
+        );
+
+        // The run_end payload carries the summary, ε included.
+        let last: serde_json::Value = serde_json::from_str(events.last().unwrap()).unwrap();
+        let eps = last.as_object().unwrap()["payload"].as_object().unwrap()["epsilon_spent"]
+            .as_f64()
+            .unwrap();
+        assert_eq!(eps.to_bits(), out.summary.epsilon_spent.to_bits());
+    }
+
+    #[test]
+    fn epsilon_gauge_matches_summary_exactly_and_renders() {
+        let ds = tiny_dataset(24);
+        let hp = fast_hp();
+        let opts = TrainOptions {
+            observer: Observer::new("gauges"),
+            ..TrainOptions::default()
+        };
+        let out = train_plp_resumable(13, &ds, None, &hp, &opts).unwrap();
+
+        let obs = &opts.observer;
+        assert_eq!(
+            obs.gauge("plp_epsilon_spent").get().to_bits(),
+            out.summary.epsilon_spent.to_bits(),
+            "terminal ε gauge must be bit-identical to the run summary"
+        );
+        assert_eq!(
+            obs.gauge("plp_epsilon_budget").get().to_bits(),
+            hp.budget.epsilon.to_bits()
+        );
+        assert_eq!(
+            obs.gauge("plp_delta").get().to_bits(),
+            hp.budget.delta.to_bits()
+        );
+        assert_eq!(
+            obs.counter("plp_train_steps_total").get(),
+            out.summary.steps
+        );
+
+        let text = obs.render_prometheus();
+        for phase in [
+            "sample",
+            "group",
+            "local_sgd",
+            "clip",
+            "noise",
+            "accountant",
+        ] {
+            assert!(
+                text.contains(&format!("plp_train_phase_ms_bucket{{phase=\"{phase}\"")),
+                "missing phase {phase} in:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_faults_surface_as_events_and_counters() {
+        let ds = tiny_dataset(30);
+        let hp = fast_hp();
+        let faults = FaultInjector::with_plan(FaultPlan {
+            nan_delta_rate: 0.3,
+            panic_rate: 0.2,
+            ..FaultPlan::quiet(99)
+        });
+        let opts = TrainOptions {
+            faults,
+            observer: Observer::with_memory_sink("faults"),
+            ..TrainOptions::default()
+        };
+        let out = train_plp_resumable(7, &ds, None, &hp, &opts).unwrap();
+        let skipped: u64 = out.telemetry.iter().map(|t| t.skipped_buckets as u64).sum();
+        assert!(skipped > 0, "this seeded plan must poison some buckets");
+        assert_eq!(
+            opts.observer
+                .counter("plp_train_skipped_buckets_total")
+                .get(),
+            skipped,
+            "the counter must agree with telemetry"
+        );
+        let fault_events = opts
+            .observer
+            .captured_events()
+            .iter()
+            .filter(|l| {
+                let v: serde_json::Value = serde_json::from_str(l).unwrap();
+                v.as_object().unwrap().get("kind")
+                    == Some(&serde_json::Value::Str("skipped_buckets".into()))
+            })
+            .count();
+        assert!(fault_events > 0, "skipped buckets must emit events");
+    }
+
+    #[test]
+    fn stop_reasons_are_counted_by_label() {
+        let ds = tiny_dataset(30);
+        let hp = fast_hp();
+
+        // Interrupted: driver halt.
+        let halted = TrainOptions {
+            halt_after: Some(2),
+            observer: Observer::new("halt"),
+            ..TrainOptions::default()
+        };
+        let out = train_plp_resumable(3, &ds, None, &hp, &halted).unwrap();
+        assert_eq!(out.summary.stop_reason, StopReason::Interrupted);
+        assert_eq!(
+            halted
+                .observer
+                .counter_with("plp_train_stop_total", "reason", "interrupted")
+                .get(),
+            1
+        );
+
+        // Diverged: every bucket poisoned.
+        let poisoned = TrainOptions {
+            faults: FaultInjector::with_plan(FaultPlan {
+                nan_delta_rate: 1.0,
+                ..FaultPlan::quiet(1)
+            }),
+            observer: Observer::with_memory_sink("poison"),
+            ..TrainOptions::default()
+        };
+        let out = train_plp_resumable(11, &ds, None, &hp, &poisoned).unwrap();
+        assert_eq!(out.summary.stop_reason, StopReason::Diverged);
+        assert_eq!(
+            poisoned
+                .observer
+                .counter_with("plp_train_stop_total", "reason", "diverged")
+                .get(),
+            1
+        );
+        let text = poisoned.observer.render_prometheus();
+        assert!(
+            text.contains("plp_train_stop_total{reason=\"diverged\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn resumed_run_appends_to_the_same_event_log() {
+        let ds = tiny_dataset(24);
+        let hp = fast_hp();
+        let dir = scratch_dir("obs_resume");
+        let path = dir.join("run.plpc");
+        let log = dir.join("events.jsonl");
+
+        let crash_opts = TrainOptions {
+            checkpoint: Some(CheckpointPolicy {
+                path: path.clone(),
+                every: 2,
+            }),
+            halt_after: Some(3),
+            observer: Observer::with_jsonl_file("crash", &log).unwrap(),
+            ..TrainOptions::default()
+        };
+        train_plp_resumable(42, &ds, None, &hp, &crash_opts).unwrap();
+
+        let ckpt = load_checkpoint(&path).unwrap();
+        let resume_opts = TrainOptions {
+            observer: Observer::with_jsonl_file("resume", &log).unwrap(),
+            ..TrainOptions::default()
+        };
+        resume_plp(ckpt, &ds, None, &hp, &resume_opts).unwrap();
+
+        let text = std::fs::read_to_string(&log).unwrap();
+        let mut kinds = Vec::new();
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("every line parses");
+            let serde_json::Value::Str(kind) = &v.as_object().unwrap()["kind"] else {
+                panic!("kind must be a string")
+            };
+            kinds.push(kind.clone());
+        }
+        assert_eq!(
+            kinds.iter().filter(|k| *k == "run_start").count(),
+            2,
+            "both the crashed and the resumed run log run_start"
+        );
+        assert_eq!(
+            kinds.iter().filter(|k| *k == "checkpoint_resumed").count(),
+            1
+        );
+        assert!(kinds.iter().any(|k| k == "checkpoint_saved"));
     }
 }

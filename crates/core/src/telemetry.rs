@@ -60,6 +60,19 @@ pub enum StopReason {
     Interrupted,
 }
 
+impl StopReason {
+    /// Stable snake_case label used as the `reason` metric label on
+    /// `plp_train_stop_total` and in log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::BudgetExhausted => "budget_exhausted",
+            StopReason::MaxSteps => "max_steps",
+            StopReason::Diverged => "diverged",
+            StopReason::Interrupted => "interrupted",
+        }
+    }
+}
+
 /// What a batch-serving engine observed over its lifetime: load, latency
 /// percentiles and cache effectiveness (the serving counterpart of
 /// [`StepTelemetry`], reported by the `plp-serve` engine).
@@ -73,15 +86,21 @@ pub struct ServeTelemetry {
     pub cache_hits: u64,
     /// Queries that had to be scored.
     pub cache_misses: u64,
-    /// Queries per second of engine wall time (`queries / wall_ms`).
+    /// Queries per **second** of engine wall time
+    /// (`queries / (wall_ms / 1000)`); `0.0` before any traffic.
     pub qps: f64,
-    /// Median per-query latency in milliseconds.
+    /// Median per-query latency, in **milliseconds**. Derived from a
+    /// bounded log-linear histogram, so it carries that histogram's
+    /// ≤ one-bucket-width quantile error.
     pub p50_ms: f64,
-    /// 95th-percentile per-query latency in milliseconds.
+    /// 95th-percentile per-query latency, in **milliseconds** (same
+    /// histogram-derived error bound as `p50_ms`).
     pub p95_ms: f64,
-    /// 99th-percentile per-query latency in milliseconds.
+    /// 99th-percentile per-query latency, in **milliseconds** (same
+    /// histogram-derived error bound as `p50_ms`).
     pub p99_ms: f64,
-    /// Total wall-clock milliseconds spent inside `serve` calls.
+    /// Total wall-clock time spent inside `serve` calls, in
+    /// **milliseconds**.
     pub wall_ms: f64,
 }
 

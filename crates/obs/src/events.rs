@@ -1,0 +1,131 @@
+//! The structured JSONL event sink.
+//!
+//! Each event is one JSON object on its own line, written with a single
+//! `write_all` call (line + trailing newline together) to an append-mode
+//! file — the same "whole record or nothing" discipline as the PLPC
+//! checkpoint writer, scaled down to log lines. A process killed between
+//! events therefore leaves a log whose every line parses; at worst the
+//! final line is torn, which a line-by-line reader skips.
+//!
+//! An in-memory variant backs tests and short-lived tooling that wants to
+//! inspect the event stream without touching the filesystem.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Where emitted event lines go.
+#[derive(Debug)]
+pub enum EventSink {
+    /// Append-mode file at `path`; one `write_all` per event line.
+    File {
+        /// The open log file.
+        file: File,
+        /// Where the log lives (for diagnostics).
+        path: PathBuf,
+    },
+    /// In-memory capture (tests, tooling).
+    Memory(Vec<String>),
+}
+
+impl EventSink {
+    /// Opens (creating if needed) an append-mode JSONL file at `path`.
+    ///
+    /// # Errors
+    /// Any `std::io::Error` from opening the file.
+    pub fn file(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventSink::File {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// An in-memory sink capturing every line.
+    pub fn memory() -> Self {
+        EventSink::Memory(Vec::new())
+    }
+
+    /// Appends one event line (the trailing newline is added here, so
+    /// `line` must not contain one). File sinks issue a single
+    /// `write_all` and flush before returning.
+    ///
+    /// # Errors
+    /// Any `std::io::Error` from the underlying write.
+    pub fn append_line(&mut self, line: &str) -> io::Result<()> {
+        debug_assert!(!line.contains('\n'), "one event per line");
+        match self {
+            EventSink::File { file, .. } => {
+                let mut record = String::with_capacity(line.len() + 1);
+                record.push_str(line);
+                record.push('\n');
+                file.write_all(record.as_bytes())?;
+                file.flush()
+            }
+            EventSink::Memory(lines) => {
+                lines.push(line.to_string());
+                Ok(())
+            }
+        }
+    }
+
+    /// The captured lines of a memory sink (`None` for a file sink).
+    pub fn lines(&self) -> Option<&[String]> {
+        match self {
+            EventSink::Memory(lines) => Some(lines),
+            EventSink::File { .. } => None,
+        }
+    }
+
+    /// The path of a file sink (`None` for a memory sink).
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            EventSink::File { path, .. } => Some(path),
+            EventSink::Memory(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("plp_obs_{}_{}", name, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("events.jsonl")
+    }
+
+    #[test]
+    fn memory_sink_captures_lines_in_order() {
+        let mut sink = EventSink::memory();
+        sink.append_line("{\"a\":1}").unwrap();
+        sink.append_line("{\"b\":2}").unwrap();
+        assert_eq!(sink.lines().unwrap(), &["{\"a\":1}", "{\"b\":2}"]);
+        assert!(sink.path().is_none());
+    }
+
+    #[test]
+    fn file_sink_appends_parseable_lines() {
+        let path = scratch("file_sink");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = EventSink::file(&path).unwrap();
+            sink.append_line("{\"kind\":\"one\"}").unwrap();
+        }
+        {
+            // Reopening appends instead of truncating (resume semantics).
+            let mut sink = EventSink::file(&path).unwrap();
+            sink.append_line("{\"kind\":\"two\"}").unwrap();
+            assert_eq!(sink.path(), Some(path.as_path()));
+            assert!(sink.lines().is_none());
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.as_object().is_some(), "every line is a JSON object");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Hand-rolled span timing (no `tracing` dependency — the build is
+//! offline, so this follows the same stub-over-crate discipline as
+//! `compat/`).
+//!
+//! A [`Span`] measures the wall time of one phase of work and records it,
+//! in milliseconds, into the per-phase [`HistogramHandle`] it was started
+//! from — either when explicitly [`Span::finish`]ed or when dropped, so
+//! early returns and `?` propagation are still measured.
+
+use std::time::Instant;
+
+use crate::registry::HistogramHandle;
+
+/// An in-flight phase timer; records elapsed milliseconds on drop.
+#[derive(Debug)]
+pub struct Span {
+    hist: HistogramHandle,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing now, recording into `hist` on completion.
+    pub(crate) fn new(hist: HistogramHandle) -> Self {
+        Span {
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Ends the span, recording its duration (equivalent to dropping it,
+    /// but reads better at call sites).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record_ms_since(self.start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn span_records_once_on_finish_or_drop() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with("phase_ms", Some(("phase", "demo")));
+        h.start_span().finish();
+        {
+            let _span = h.start_span(); // dropped at scope end
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert!(snap.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn disconnected_span_is_a_no_op() {
+        let h = HistogramHandle::default();
+        let span = h.start_span();
+        assert!(span.elapsed_ms() >= 0.0);
+        span.finish();
+        assert_eq!(h.snapshot().count(), 0);
+    }
+}

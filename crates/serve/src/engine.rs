@@ -15,10 +15,10 @@ use std::time::Instant;
 
 use plp_core::telemetry::ServeTelemetry;
 use plp_linalg::matrix::matmul_block_into;
-use plp_linalg::stats::percentile_sorted;
 use plp_linalg::topk::{top_k_with_scores_into, TopKScratch};
 use plp_model::recommender::mask_excluded;
 use plp_model::{ModelError, Recommender};
+use plp_obs::{HistogramHandle, Observer};
 
 use crate::cache::LruCache;
 use crate::error::ServeError;
@@ -87,16 +87,40 @@ impl Scratch {
     }
 }
 
-/// Mutable serving state behind one lock: the result cache and the
-/// telemetry accumulators.
+/// Mutable serving state behind one lock: the result cache and the scalar
+/// telemetry accumulators. Per-query latencies live in a bounded
+/// log-linear histogram on the engine's [`Observer`], so telemetry memory
+/// is O(histogram buckets), not O(queries served).
 struct EngineState {
     cache: LruCache<QueryKey, Vec<usize>>,
-    /// Per-query latencies in milliseconds (batch wall time for scored
-    /// queries, lookup time for cache hits).
-    latencies_ms: Vec<f64>,
     queries: u64,
     batches: u64,
     wall_ms: f64,
+}
+
+/// The engine's per-phase latency histograms, resolved once at
+/// construction so the serve path never does registry lookups. Phases:
+/// `queue_wait` (miss enqueued → its batch starts scoring), `cache_lookup`
+/// (the hit-check critical section), `batch_matmul` (profile stacking +
+/// blocked kernel) and `topk` (mask + selection).
+struct ServePhases {
+    latency: HistogramHandle,
+    queue_wait: HistogramHandle,
+    cache_lookup: HistogramHandle,
+    batch_matmul: HistogramHandle,
+    topk: HistogramHandle,
+}
+
+impl ServePhases {
+    fn resolve(obs: &Observer) -> Self {
+        ServePhases {
+            latency: obs.histogram("plp_serve_query_latency_ms"),
+            queue_wait: obs.histogram_with("plp_serve_phase_ms", "phase", "queue_wait"),
+            cache_lookup: obs.histogram_with("plp_serve_phase_ms", "phase", "cache_lookup"),
+            batch_matmul: obs.histogram_with("plp_serve_phase_ms", "phase", "batch_matmul"),
+            topk: obs.histogram_with("plp_serve_phase_ms", "phase", "topk"),
+        }
+    }
 }
 
 /// One batch's scored output: the original query positions with their
@@ -111,23 +135,49 @@ struct BatchResult {
 pub struct BatchEngine {
     rec: Recommender,
     cfg: ServeConfig,
+    obs: Observer,
+    phases: ServePhases,
     state: Mutex<EngineState>,
     scratch_pool: Mutex<Vec<Scratch>>,
 }
 
 impl BatchEngine {
-    /// Wraps `rec` with the given configuration.
+    /// Wraps `rec` with the given configuration and a private metrics
+    /// registry (run id `"serve"`).
     ///
     /// # Errors
     /// `BadConfig` when `max_batch` or `workers` is zero.
     pub fn new(rec: Recommender, cfg: ServeConfig) -> Result<Self, ServeError> {
+        Self::with_observer(rec, cfg, Observer::new("serve"))
+    }
+
+    /// Wraps `rec` recording metrics into `obs` — pass a shared observer
+    /// to co-locate serving metrics with training metrics in one registry
+    /// / JSONL log. A *disabled* observer is replaced by a private enabled
+    /// one: the latency histogram doubles as the engine's own telemetry
+    /// store, so the engine always keeps one.
+    ///
+    /// # Errors
+    /// `BadConfig` when `max_batch` or `workers` is zero.
+    pub fn with_observer(
+        rec: Recommender,
+        cfg: ServeConfig,
+        obs: Observer,
+    ) -> Result<Self, ServeError> {
         cfg.validate()?;
+        let obs = if obs.is_enabled() {
+            obs
+        } else {
+            Observer::new("serve")
+        };
+        let phases = ServePhases::resolve(&obs);
         Ok(BatchEngine {
             rec,
             cfg,
+            obs,
+            phases,
             state: Mutex::new(EngineState {
                 cache: LruCache::new(cfg.cache_capacity),
-                latencies_ms: Vec::new(),
                 queries: 0,
                 batches: 0,
                 wall_ms: 0.0,
@@ -146,6 +196,11 @@ impl BatchEngine {
         self.cfg
     }
 
+    /// The observer this engine records into (always enabled).
+    pub fn observer(&self) -> &Observer {
+        &self.obs
+    }
+
     /// Answers every query, in order. Each result is the query's top-`k`
     /// locations, identical to what `Recommender::recommend` /
     /// `recommend_excluding` would return for it.
@@ -159,6 +214,7 @@ impl BatchEngine {
         self.validate_queries(queries)?;
 
         // Phase 1: cache lookups (single short critical section).
+        let lookup_span = self.phases.cache_lookup.start_span();
         let lookup_start = Instant::now();
         let mut results: Vec<Option<Vec<usize>>> = vec![None; queries.len()];
         let keys: Vec<QueryKey> = queries.iter().map(Query::key).collect();
@@ -173,28 +229,43 @@ impl BatchEngine {
             }
         }
         let lookup_ms = ms_since(lookup_start);
+        lookup_span.finish();
 
         // Phase 2: score the misses in batches, striped across workers.
-        let batch_results = self.score_misses(queries, &misses)?;
+        let batch_results = self.score_misses(queries, &misses, call_start)?;
 
-        // Phase 3: reassemble, fill the cache, record telemetry.
+        // Phase 3: reassemble, fill the cache, record telemetry. Per-query
+        // latency is the query's batch wall time (scored) or the lookup
+        // time (cache hit), recorded into the bounded histogram.
         let num_batches = batch_results.len() as u64;
+        let hits = (queries.len() - misses.len()) as u64;
         let mut state = self.state.lock().expect("serve state poisoned");
+        for br in &batch_results {
+            self.phases
+                .latency
+                .record_n(br.elapsed_ms, br.ranked.len() as u64);
+        }
         for br in batch_results {
             for (qi, ranked) in br.ranked {
                 state.cache.put(keys[qi].clone(), ranked.clone());
-                state.latencies_ms.push(br.elapsed_ms);
                 results[qi] = Some(ranked);
             }
         }
-        let hits = queries.len() - misses.len();
-        for _ in 0..hits {
-            state.latencies_ms.push(lookup_ms);
+        if hits > 0 {
+            self.phases.latency.record_n(lookup_ms, hits);
         }
         state.queries += queries.len() as u64;
         state.batches += num_batches;
         state.wall_ms += ms_since(call_start);
         drop(state);
+        self.obs
+            .counter("plp_serve_queries_total")
+            .add(queries.len() as u64);
+        self.obs.counter("plp_serve_batches_total").add(num_batches);
+        self.obs.counter("plp_serve_cache_hits_total").add(hits);
+        self.obs
+            .counter("plp_serve_cache_misses_total")
+            .add(misses.len() as u64);
 
         Ok(results
             .into_iter()
@@ -211,12 +282,15 @@ impl BatchEngine {
         Ok(out.pop().expect("one query in, one result out"))
     }
 
-    /// A snapshot of lifetime serving telemetry.
+    /// A snapshot of lifetime serving telemetry. Latency percentiles come
+    /// from the bounded log-linear histogram (≤ one-bucket-width error),
+    /// so this is O(histogram buckets) in time and memory regardless of
+    /// how many queries the engine has answered — and needs no sort, so
+    /// there is nothing to panic on.
     pub fn telemetry(&self) -> ServeTelemetry {
         let state = self.state.lock().expect("serve state poisoned");
-        let mut sorted = state.latencies_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let pct = |p: f64| percentile_sorted(&sorted, p).unwrap_or(0.0);
+        let latencies = self.phases.latency.snapshot();
+        let pct = |q: f64| latencies.quantile(q).unwrap_or(0.0);
         let qps = if state.wall_ms > 0.0 {
             state.queries as f64 / (state.wall_ms / 1000.0)
         } else {
@@ -228,9 +302,9 @@ impl BatchEngine {
             cache_hits: state.cache.hits(),
             cache_misses: state.cache.misses(),
             qps,
-            p50_ms: pct(50.0),
-            p95_ms: pct(95.0),
-            p99_ms: pct(99.0),
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
             wall_ms: state.wall_ms,
         }
     }
@@ -258,11 +332,14 @@ impl BatchEngine {
     }
 
     /// Scores `misses` (positions into `queries`) in batches of at most
-    /// `max_batch`, batch `b` on worker `b % workers`.
+    /// `max_batch`, batch `b` on worker `b % workers`. `enqueued_at` is
+    /// when the serve call admitted these misses; the gap until a batch
+    /// actually starts scoring is recorded as its `queue_wait` phase.
     fn score_misses(
         &self,
         queries: &[Query],
         misses: &[usize],
+        enqueued_at: Instant,
     ) -> Result<Vec<BatchResult>, ServeError> {
         if misses.is_empty() {
             return Ok(Vec::new());
@@ -278,6 +355,7 @@ impl BatchEngine {
                             let mut scratch = self.take_scratch();
                             let mut produced = Vec::new();
                             for batch in batches.iter().skip(w).step_by(workers) {
+                                self.phases.queue_wait.record_ms_since(enqueued_at);
                                 match self.score_batch(queries, batch, &mut scratch) {
                                     Ok(br) => produced.push(br),
                                     Err(e) => {
@@ -318,6 +396,7 @@ impl BatchEngine {
         let dim = self.rec.dim();
         let vocab = self.rec.vocab_size();
         let rows = batch.len();
+        let matmul_span = self.phases.batch_matmul.start_span();
         for (slot, &qi) in batch.iter().enumerate() {
             self.rec.profile_into(
                 &queries[qi].recent,
@@ -331,6 +410,8 @@ impl BatchEngine {
             self.rec.embedding(),
             &mut scratch.scores[..rows * vocab],
         )?;
+        matmul_span.finish();
+        let topk_span = self.phases.topk.start_span();
         let mut ranked = Vec::with_capacity(rows);
         for (slot, &qi) in batch.iter().enumerate() {
             let q = &queries[qi];
@@ -339,6 +420,7 @@ impl BatchEngine {
             top_k_with_scores_into(row, q.k, &mut scratch.topk, &mut scratch.ranked);
             ranked.push((qi, scratch.ranked.iter().map(|&(i, _)| i).collect()));
         }
+        topk_span.finish();
         Ok(BatchResult {
             ranked,
             elapsed_ms: ms_since(start),
@@ -547,6 +629,83 @@ mod tests {
             pooled_after_first, pooled_after_second,
             "steady state reuses pooled scratch instead of growing the pool"
         );
+    }
+
+    #[test]
+    fn instrumentation_keeps_results_bit_identical() {
+        let rec = random_recommender(41, 6, 21);
+        let queries = mixed_queries(41, 30, 22);
+        let expected: Vec<Vec<usize>> = queries.iter().map(|q| sequential(&rec, q)).collect();
+        let obs = Observer::with_memory_sink("serve-test");
+        let engine = BatchEngine::with_observer(
+            rec,
+            ServeConfig {
+                max_batch: 4,
+                workers: 3,
+                cache_capacity: 8,
+            },
+            obs.clone(),
+        )
+        .unwrap();
+        let got = engine.serve(&queries).unwrap();
+        assert_eq!(got, expected, "observer must not change what is served");
+
+        let text = obs.render_prometheus();
+        for phase in ["queue_wait", "cache_lookup", "batch_matmul", "topk"] {
+            assert!(
+                text.contains(&format!("plp_serve_phase_ms_bucket{{phase=\"{phase}\"")),
+                "missing serve phase {phase} in:\n{text}"
+            );
+        }
+        assert!(text.contains("plp_serve_queries_total 30"), "{text}");
+    }
+
+    #[test]
+    fn latency_telemetry_is_bounded_by_histogram_buckets() {
+        let rec = random_recommender(19, 4, 30);
+        let engine = BatchEngine::new(
+            rec,
+            ServeConfig {
+                max_batch: 8,
+                workers: 2,
+                cache_capacity: 16,
+            },
+        )
+        .unwrap();
+        // Several passes, mixing fresh scoring and cache hits.
+        for pass in 0..6 {
+            let queries = mixed_queries(19, 25, 31 + (pass % 2));
+            engine.serve(&queries).unwrap();
+        }
+        let t = engine.telemetry();
+        assert_eq!(t.queries, 150);
+        // One latency observation per query, held in a fixed-layout
+        // histogram rather than a per-query Vec.
+        let snapshot = engine
+            .observer()
+            .registry()
+            .unwrap()
+            .histogram("plp_serve_query_latency_ms")
+            .snapshot();
+        assert_eq!(snapshot.count(), 150);
+        assert_eq!(
+            snapshot.bucket_counts().len(),
+            plp_obs::hist::NUM_BUCKETS,
+            "telemetry storage is O(buckets), independent of query count"
+        );
+        assert!(t.p50_ms <= t.p95_ms && t.p95_ms <= t.p99_ms);
+    }
+
+    #[test]
+    fn disabled_observer_is_upgraded_to_private_one() {
+        let rec = random_recommender(9, 3, 40);
+        let engine =
+            BatchEngine::with_observer(rec, ServeConfig::default(), Observer::disabled()).unwrap();
+        assert!(engine.observer().is_enabled());
+        engine.serve_one(&Query::new(vec![1], 3)).unwrap();
+        let t = engine.telemetry();
+        assert_eq!(t.queries, 1);
+        assert!(t.p99_ms >= 0.0);
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //! * [`cache::LruCache`] — an LRU result cache keyed by the normalised
 //!   `(recent, k, exclude)` query with hit/miss counters,
 //! * serving telemetry — QPS, p50/p95/p99 latency and cache hit rate —
-//!   reported as [`plp_core::telemetry::ServeTelemetry`].
+//!   reported as [`plp_core::telemetry::ServeTelemetry`], with per-query
+//!   latencies held in a bounded `plp_obs` log-linear histogram
+//!   (O(buckets) memory, not O(queries)) and per-phase spans
+//!   (`queue_wait` / `cache_lookup` / `batch_matmul` / `topk`) exported
+//!   in Prometheus text format via the engine's
+//!   [`plp_obs::Observer`].
 //!
 //! The batched path is **bit-identical** to the sequential
 //! [`plp_model::Recommender`] calls: profiles accumulate in the same

@@ -26,4 +26,19 @@ cargo run --release -p plp-bench --bin chaos
 echo "== serve load-generator smoke (batched == sequential) =="
 cargo run --release -p plp-bench --bin serve_load -- --smoke --out target/BENCH_serve_smoke.json
 
+echo "== observability smoke (phase spans, budget gauge, JSONL log) =="
+cargo run --release -p plp-bench --bin obs_report -- --smoke \
+  --out target/BENCH_obs_smoke.json --log target/BENCH_obs_events.jsonl
+# The report asserts the log parses, but belt-and-braces: every line must
+# be a JSON object.
+python3 - target/BENCH_obs_events.jsonl <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [l for l in f.read().splitlines() if l]
+for i, line in enumerate(lines):
+    event = json.loads(line)
+    assert isinstance(event, dict) and "kind" in event, f"line {i}: {line!r}"
+print(f"event log OK ({len(lines)} events)")
+PY
+
 echo "CI checks passed."
