@@ -222,9 +222,9 @@ fn main() -> ExitCode {
         .map(|i| {
             let (recent, _) = &trials[i % trials.len()];
             if i % 2 == 0 {
-                Query::new(recent.clone(), TOP_K)
+                Query::new(recent.to_vec(), TOP_K)
             } else {
-                Query::with_exclusions(recent.clone(), TOP_K, recent.clone())
+                Query::with_exclusions(recent.to_vec(), TOP_K, recent.to_vec())
             }
         })
         .collect();

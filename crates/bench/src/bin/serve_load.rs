@@ -54,9 +54,9 @@ fn build_queries(prep: &PreparedData, target: usize) -> Vec<Query> {
         let (recent, _target) = &trials[i % trials.len()];
         let k = ks[(i / trials.len()) % ks.len()];
         if i % 2 == 0 {
-            queries.push(Query::new(recent.clone(), k));
+            queries.push(Query::new(recent.to_vec(), k));
         } else {
-            queries.push(Query::with_exclusions(recent.clone(), k, recent.clone()));
+            queries.push(Query::with_exclusions(recent.to_vec(), k, recent.to_vec()));
         }
     }
     queries

@@ -1,0 +1,245 @@
+//! Training-throughput benchmark: runs the same seeded private training
+//! run at `threads ∈ {1, 4}`, reports steps/sec, examples/sec (from the
+//! `plp_train_pairs_total` counter) and the `plp_train_phase_ms` phase
+//! breakdown per thread count, and **asserts thread-count invariance**:
+//! the trained parameters must be bit-identical at every thread count —
+//! the determinism contract of the unrolled kernels and the strided
+//! bucket/eval partitions (see DESIGN.md §11).
+//!
+//! Usage:
+//!   cargo run --release -p plp-bench --bin train_throughput            # full run
+//!   cargo run --release -p plp-bench --bin train_throughput -- --smoke # CI smoke
+//!   ... -- --out path.json        # report path (default BENCH_train.json)
+//!
+//! Exits non-zero if any check fails (in particular, if threading changes
+//! the trained model by even one bit).
+
+use std::process::ExitCode;
+
+use plp_bench::runner::Scale;
+use plp_core::config::Hyperparameters;
+use plp_core::experiment::PreparedData;
+use plp_core::plp::{train_plp_resumable, PlpOutcome, TrainOptions};
+use plp_obs::Observer;
+
+const SEED: u64 = 42;
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+struct Opts {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    Opts {
+        smoke: args.iter().any(|a| a == "--smoke"),
+        out: flag("--out").unwrap_or_else(|| "BENCH_train.json".to_string()),
+    }
+}
+
+/// One PASS/FAIL check line; returns the verdict so main can aggregate.
+fn check(ok: bool, what: &str) -> bool {
+    println!("{} {what}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+/// Snapshots every phase of `plp_train_phase_ms{phase=…}` and prints a
+/// breakdown table; returns `(phase, count, p50, p95, total_ms)` rows.
+fn phase_breakdown(obs: &Observer) -> Vec<(String, u64, f64, f64, f64)> {
+    let registry = obs.registry().expect("enabled observer");
+    let mut rows = Vec::new();
+    println!("  plp_train_phase_ms breakdown:");
+    for phase in [
+        "sample",
+        "group",
+        "local_sgd",
+        "clip",
+        "noise",
+        "server_update",
+        "accountant",
+        "eval",
+        "checkpoint",
+    ] {
+        let h = registry
+            .histogram_with("plp_train_phase_ms", Some(("phase", phase)))
+            .snapshot();
+        if h.count() == 0 {
+            continue;
+        }
+        let p50 = h.quantile(0.5).unwrap_or(0.0);
+        let p95 = h.quantile(0.95).unwrap_or(0.0);
+        println!(
+            "    {phase:<14} n={:<6} p50={:.3}ms p95={:.3}ms total={:.1}ms",
+            h.count(),
+            p50,
+            p95,
+            h.sum()
+        );
+        rows.push((phase.to_string(), h.count(), p50, p95, h.sum()));
+    }
+    rows
+}
+
+/// One measured run: the outcome, its observer (for counters/histograms)
+/// and throughput figures.
+struct Measured {
+    threads: usize,
+    outcome: PlpOutcome,
+    observer: Observer,
+    steps_per_sec: f64,
+    examples_per_sec: f64,
+    pairs: u64,
+}
+
+fn run_at(threads: usize, prep: &PreparedData, hp: &Hyperparameters) -> Measured {
+    let mut hp = hp.clone();
+    hp.threads = threads;
+    let observer = Observer::new("train_throughput");
+    let opts = TrainOptions {
+        observer: observer.clone(),
+        ..TrainOptions::default()
+    };
+    println!(
+        "train_throughput: threads={threads}, max_steps={}",
+        hp.max_steps
+    );
+    let outcome = train_plp_resumable(SEED, &prep.train, Some(&prep.validation), &hp, &opts)
+        .expect("training run");
+    let wall_s = outcome.summary.total_wall_ms / 1e3;
+    let pairs = observer.counter("plp_train_pairs_total").get();
+    let steps_per_sec = outcome.summary.steps as f64 / wall_s.max(1e-9);
+    let examples_per_sec = pairs as f64 / wall_s.max(1e-9);
+    println!(
+        "  steps={} wall={:.1}ms steps/s={:.2} pairs={} examples/s={:.0}",
+        outcome.summary.steps,
+        outcome.summary.total_wall_ms,
+        steps_per_sec,
+        pairs,
+        examples_per_sec
+    );
+    Measured {
+        threads,
+        outcome,
+        observer,
+        steps_per_sec,
+        examples_per_sec,
+        pairs,
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+    let mut ok = true;
+
+    let config = Scale::Bench.experiment_config(SEED);
+    let mut hp = Scale::Bench.hyperparameters();
+    hp.max_steps = if opts.smoke { 6 } else { 30 };
+    hp.eval_every = 3;
+    let prep = PreparedData::generate(&config).expect("prepare data");
+
+    let runs: Vec<Measured> = THREAD_COUNTS
+        .iter()
+        .map(|&t| run_at(t, &prep, &hp))
+        .collect();
+
+    // Thread-count invariance: the whole point of the fixed-order kernels
+    // and the ordered bucket/eval reductions. A single differing bit here
+    // means a nondeterministic reduction crept into the hot path.
+    let reference = &runs[0];
+    for run in &runs[1..] {
+        ok &= check(
+            run.outcome.params == reference.outcome.params,
+            &format!(
+                "params at threads={} bit-identical to threads={}",
+                run.threads, reference.threads
+            ),
+        );
+        ok &= check(
+            run.pairs == reference.pairs,
+            &format!(
+                "pair count at threads={} ({}) matches threads={} ({})",
+                run.threads, run.pairs, reference.threads, reference.pairs
+            ),
+        );
+    }
+    ok &= check(
+        runs.iter()
+            .all(|r| r.outcome.summary.steps > 0 && r.pairs > 0),
+        "every run executed steps and trained on pairs",
+    );
+    // Validation HR@10 telemetry (threaded eval) must agree across thread
+    // counts too — the eval fan-out has its own ordered reduction.
+    let hr = |m: &Measured| -> Vec<Option<f64>> {
+        m.outcome
+            .telemetry
+            .iter()
+            .map(|t| t.validation_hr10)
+            .collect()
+    };
+    for run in &runs[1..] {
+        ok &= check(
+            hr(run) == hr(reference),
+            &format!(
+                "validation HR@10 series at threads={} matches threads={}",
+                run.threads, reference.threads
+            ),
+        );
+    }
+
+    let per_run: Vec<serde_json::Value> = runs
+        .iter()
+        .map(|r| {
+            let rows = phase_breakdown(&r.observer);
+            serde_json::json!({
+                "threads": r.threads,
+                "steps": r.outcome.summary.steps,
+                "wall_ms": r.outcome.summary.total_wall_ms,
+                "steps_per_sec": r.steps_per_sec,
+                "pairs": r.pairs,
+                "examples_per_sec": r.examples_per_sec,
+                "epsilon_spent": r.outcome.summary.epsilon_spent,
+                "phases": serde_json::Value::Array(
+                    rows.iter()
+                        .map(|(phase, n, p50, p95, total)| {
+                            serde_json::json!({
+                                "phase": phase.clone(),
+                                "count": *n,
+                                "p50_ms": *p50,
+                                "p95_ms": *p95,
+                                "total_ms": *total,
+                            })
+                        })
+                        .collect(),
+                ),
+            })
+        })
+        .collect();
+
+    let payload = serde_json::json!({
+        "bench": "train_throughput",
+        "seed": SEED,
+        "smoke": opts.smoke,
+        "max_steps": hp.max_steps,
+        "embedding_dim": hp.embedding_dim,
+        "runs": serde_json::Value::Array(per_run),
+        "thread_invariant": ok,
+        "all_checks_passed": ok,
+    });
+    let text = serde_json::to_string_pretty(&payload).expect("serialise payload");
+    std::fs::write(&opts.out, text).expect("write output");
+    println!("train_throughput: wrote {}", opts.out);
+
+    if ok {
+        println!("train_throughput: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("train_throughput: CHECKS FAILED");
+        ExitCode::FAILURE
+    }
+}

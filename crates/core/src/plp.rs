@@ -50,13 +50,14 @@ use plp_linalg::ops;
 use plp_linalg::sample::NormalSampler;
 use plp_model::clip::clip_per_layer;
 use plp_model::grad::SparseGrad;
-use plp_model::metrics::evaluate_hit_rate;
+use plp_model::journal::{CowParams, RowJournal};
+use plp_model::metrics::evaluate_hit_rate_threaded;
 use plp_model::negative::NegativeSampler;
 use plp_model::optimizer::{ServerAdam, ServerSgd};
 use plp_model::params::ModelParams;
-use plp_model::train::train_on_tokens;
+use plp_model::train::{train_on_tokens_with_scratch, TrainScratch};
 use plp_model::Recommender;
-use plp_obs::{HistogramHandle, Observer};
+use plp_obs::{Counter, HistogramHandle, Observer};
 use plp_privacy::accountant::MomentsAccountant;
 use plp_privacy::PrivacyLedger;
 use serde_json::json;
@@ -163,6 +164,7 @@ struct BucketUpdate {
 struct BucketPhases {
     local_sgd: HistogramHandle,
     clip: HistogramHandle,
+    pairs: Counter,
 }
 
 impl BucketPhases {
@@ -170,19 +172,40 @@ impl BucketPhases {
         BucketPhases {
             local_sgd: obs.histogram_with("plp_train_phase_ms", "phase", "local_sgd"),
             clip: obs.histogram_with("plp_train_phase_ms", "phase", "clip"),
+            pairs: obs.counter("plp_train_pairs_total"),
         }
     }
 }
 
-/// Per-step context shared by every bucket worker: the fault injector and
-/// the per-bucket phase histograms.
+/// Per-worker reusable buffers for the bucket hot path: the copy-on-write
+/// row journal that replaces the per-bucket `θ.clone()` and the local-SGD
+/// training scratch. One instance lives per worker thread for a whole
+/// step, so steady-state bucket processing performs no heap allocation
+/// beyond first-touch growth.
+#[derive(Default)]
+struct BucketScratch {
+    journal: RowJournal,
+    train: TrainScratch,
+}
+
+/// Per-step context shared by every bucket worker: the step identity and
+/// seed, the fault injector and the per-bucket phase histograms.
 struct BucketCtx<'a> {
+    step: u64,
+    step_seed: u64,
     faults: &'a FaultInjector,
     phases: BucketPhases,
 }
 
 /// `ModelUpdateFromBucket` (Algorithm 1, lines 15–22): local SGD from θ_t,
 /// delta extraction and per-layer clipping.
+///
+/// Φ is never materialised as a dense clone of θ: local SGD runs on a
+/// [`CowParams`] overlay whose [`RowJournal`] snapshots only the rows the
+/// bucket touches, and the sparse delta Φ − θ is drained straight from the
+/// journal — bit-identical to the dense clone-and-subtract it replaced
+/// (see the journal's determinism tests), at O(touched rows) instead of
+/// O(L·dim) per bucket.
 fn model_update_from_bucket(
     theta: &ModelParams,
     bucket: &Bucket,
@@ -190,25 +213,29 @@ fn model_update_from_bucket(
     seed: u64,
     index: usize,
     phases: &BucketPhases,
+    scratch: &mut BucketScratch,
 ) -> Result<BucketUpdate, CoreError> {
     let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut phi = theta.clone();
+    let BucketScratch { journal, train } = scratch;
+    // A previous bucket on this worker may have panicked mid-update and
+    // left stale Φ rows in the overlay; the next bucket must start clean.
+    journal.reset();
     let span = phases.local_sgd.start_span();
-    let stats = train_on_tokens(
-        &mut rng,
-        &mut phi,
-        &bucket.tokens,
-        &hp.local_sgd(),
-        &NegativeSampler::Uniform,
-    )?;
+    let stats = {
+        let mut phi = CowParams::new(theta, journal);
+        train_on_tokens_with_scratch(
+            &mut rng,
+            &mut phi,
+            &bucket.tokens,
+            &hp.local_sgd(),
+            &NegativeSampler::Uniform,
+            train,
+            None,
+        )?
+    };
     span.finish();
-    let mut grad = SparseGrad::from_delta(
-        theta,
-        &phi,
-        stats.touched.embedding.iter().copied(),
-        stats.touched.context.iter().copied(),
-        stats.touched.bias.iter().copied(),
-    );
+    phases.pairs.add(stats.pairs as u64);
+    let mut grad = journal.take_delta(theta);
     let span = phases.clip.start_span();
     let report = clip_per_layer(&mut grad, hp.clip_norm)?;
     span.finish();
@@ -229,18 +256,25 @@ fn guarded_bucket_update(
     theta: &ModelParams,
     bucket: &Bucket,
     hp: &Hyperparameters,
-    step_seed: u64,
     index: usize,
-    step: u64,
     ctx: &BucketCtx<'_>,
+    scratch: &mut BucketScratch,
 ) -> Result<Option<BucketUpdate>, CoreError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        if ctx.faults.panic_bucket(step, index) {
+        if ctx.faults.panic_bucket(ctx.step, index) {
             panic!("injected bucket-worker fault");
         }
-        let mut update = model_update_from_bucket(theta, bucket, hp, step_seed, index, &ctx.phases);
+        let mut update = model_update_from_bucket(
+            theta,
+            bucket,
+            hp,
+            ctx.step_seed,
+            index,
+            &ctx.phases,
+            scratch,
+        );
         if let Ok(u) = &mut update {
-            if ctx.faults.poison_delta(step, index) {
+            if ctx.faults.poison_delta(ctx.step, index) {
                 u.grad.add_bias(0, f64::NAN);
             }
         }
@@ -268,15 +302,18 @@ fn compute_bucket_updates(
     obs: &Observer,
 ) -> Result<(Vec<BucketUpdate>, usize), CoreError> {
     let ctx = BucketCtx {
+        step,
+        step_seed,
         faults,
         phases: BucketPhases::resolve(obs),
     };
     let threads = hp.threads.min(buckets.len().max(1));
     let results: Vec<Option<BucketUpdate>> = if threads <= 1 {
+        let mut scratch = BucketScratch::default();
         buckets
             .iter()
             .enumerate()
-            .map(|(i, b)| guarded_bucket_update(theta, b, hp, step_seed, i, step, &ctx))
+            .map(|(i, b)| guarded_bucket_update(theta, b, hp, i, &ctx, &mut scratch))
             .collect::<Result<_, _>>()?
     } else {
         let collected = crossbeam::thread::scope(|scope| {
@@ -286,11 +323,19 @@ fn compute_bucket_updates(
                 let hp_ref = &*hp;
                 let ctx_ref = &ctx;
                 handles.push(scope.spawn(move |_| {
+                    // One scratch per worker: buckets on the same worker
+                    // reuse its journal and training buffers.
+                    let mut scratch = BucketScratch::default();
                     let mut local = Vec::new();
                     for (i, b) in buckets.iter().enumerate() {
                         if i % threads == w {
                             local.push(guarded_bucket_update(
-                                theta_ref, b, hp_ref, step_seed, i, step, ctx_ref,
+                                theta_ref,
+                                b,
+                                hp_ref,
+                                i,
+                                ctx_ref,
+                                &mut scratch,
                             ));
                         }
                     }
@@ -714,7 +759,10 @@ fn run_loop(
             Some(v) if hp.eval_every > 0 && step.is_multiple_of(hp.eval_every as u64) => {
                 let eval_span = ph_eval.start_span();
                 let rec = Recommender::new(&state.params);
-                let hr = evaluate_hit_rate(&rec, v, &[10])?;
+                // Leave-one-out trials fan out over `hp.threads` workers;
+                // the ordered integer-count reduction makes the metric
+                // identical for any thread count.
+                let hr = evaluate_hit_rate_threaded(&rec, v, &[10], hp.threads)?;
                 eval_span.finish();
                 Some(hr[0].rate())
             }

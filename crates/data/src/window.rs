@@ -19,8 +19,17 @@ pub type Pair = (usize, usize);
 /// position, then by context offset left-to-right.
 pub fn pairs_from_sequence(tokens: &[usize], win: usize) -> Vec<Pair> {
     let mut out = Vec::new();
+    pairs_from_sequence_into(tokens, win, &mut out);
+    out
+}
+
+/// [`pairs_from_sequence`] into a caller-provided buffer. `out` is cleared
+/// first and retains its capacity, so the local-SGD loop can reuse one pair
+/// buffer across buckets without allocating in steady state.
+pub fn pairs_from_sequence_into(tokens: &[usize], win: usize, out: &mut Vec<Pair>) {
+    out.clear();
     if win == 0 {
-        return out;
+        return;
     }
     for (i, &target) in tokens.iter().enumerate() {
         let lo = i.saturating_sub(win);
@@ -31,7 +40,6 @@ pub fn pairs_from_sequence(tokens: &[usize], win: usize) -> Vec<Pair> {
             }
         }
     }
-    out
 }
 
 /// Emits pairs from several sequences (e.g. a user's sessions) without

@@ -240,8 +240,10 @@ const MATMUL_BLOCK_COLS: usize = 64;
 /// and `out` receives `a_rows × rhs.rows()` scores.
 ///
 /// Tiling reorders only *which* output element is computed when; each
-/// element's inner product still accumulates over the shared dimension in
-/// order, so results are bit-identical to a per-row [`Matrix::matvec`].
+/// element's inner product runs [`ops::dot_unchecked`]'s four-lane
+/// micro-kernel with its fixed reduction order over the shared dimension,
+/// so results are bit-identical to a per-row [`Matrix::matvec`] (which uses
+/// the same kernel) regardless of tile shape or thread count.
 ///
 /// # Errors
 /// Returns [`LinalgError::ShapeMismatch`] if `a_cols != rhs.cols()`, and

@@ -4,8 +4,25 @@
 //! between embedding rows, `axpy` accumulation of gradients, ℓ2 norms and the
 //! norm clipping at the heart of DP-SGD (Abadi et al. 2016, eq. in §3.1 of
 //! the paper's Algorithm 1, line 21).
+//!
+//! # Determinism contract
+//!
+//! The reduction kernels ([`dot_unchecked`], [`l2_norm_sq`]) run four
+//! independent accumulator lanes over `chunks_exact(4)` and combine them in
+//! the *fixed* order `((s0 + s1) + (s2 + s3)) + tail`, where `tail` sums the
+//! `len % 4` remainder sequentially. Element-wise kernels ([`axpy`],
+//! [`scale`], [`sub_into`]) have no cross-element reduction at all. The
+//! result therefore depends only on the input values — never on thread
+//! count, batch shape, or call site — which is what keeps the bit-identical
+//! checkpoint/resume and serve-vs-sequential invariants holding while still
+//! letting the compiler auto-vectorise the four-lane main loop.
 
 use crate::error::LinalgError;
+
+/// Unroll width of the multi-accumulator kernels. Changing this changes the
+/// floating-point reduction order and thus the bit pattern of every trained
+/// model; treat it as part of the on-disk format.
+const LANES: usize = 4;
 
 /// Dot product of two equal-length slices.
 ///
@@ -23,10 +40,52 @@ pub fn dot(a: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
 }
 
 /// Dot product without a shape check; panics in debug builds on mismatch.
+///
+/// Four-lane multi-accumulator loop with the fixed reduction order
+/// `((s0 + s1) + (s2 + s3)) + tail` (see the module docs): deterministic,
+/// and independent of everything but the input values.
 #[inline]
 pub fn dot_unchecked(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let n = a.len().min(b.len());
+    let main = n - n % LANES;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+    for (ca, cb) in a[..main]
+        .chunks_exact(LANES)
+        .zip(b[..main].chunks_exact(LANES))
+    {
+        s0 += ca[0] * cb[0];
+        s1 += ca[1] * cb[1];
+        s2 += ca[2] * cb[2];
+        s3 += ca[3] * cb[3];
+    }
+    let mut tail = 0.0_f64;
+    for (x, y) in a[main..n].iter().zip(&b[main..n]) {
+        tail += x * y;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
+}
+
+/// `y += alpha * x` without a shape check; panics in debug builds on
+/// mismatch. Element-wise (no reduction), unrolled four wide for
+/// auto-vectorisation; each `y[i]` sees exactly `y[i] + alpha * x[i]`.
+#[inline]
+pub fn axpy_unchecked(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len().min(y.len());
+    let main = n - n % LANES;
+    for (cy, cx) in y[..main]
+        .chunks_exact_mut(LANES)
+        .zip(x[..main].chunks_exact(LANES))
+    {
+        cy[0] += alpha * cx[0];
+        cy[1] += alpha * cx[1];
+        cy[2] += alpha * cx[2];
+        cy[3] += alpha * cx[3];
+    }
+    for (yi, xi) in y[main..n].iter_mut().zip(&x[main..n]) {
+        *yi += alpha * xi;
+    }
 }
 
 /// `y += alpha * x` (the BLAS `axpy` kernel).
@@ -41,24 +100,31 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
             right: y.len(),
         });
     }
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    axpy_unchecked(alpha, x, y);
     Ok(())
 }
 
-/// `y *= alpha` in place.
+/// `y *= alpha` in place. Element-wise, unrolled four wide.
 pub fn scale(alpha: f64, y: &mut [f64]) {
-    for yi in y {
+    let n = y.len();
+    let main = n - n % LANES;
+    for cy in y[..main].chunks_exact_mut(LANES) {
+        cy[0] *= alpha;
+        cy[1] *= alpha;
+        cy[2] *= alpha;
+        cy[3] *= alpha;
+    }
+    for yi in &mut y[main..] {
         *yi *= alpha;
     }
 }
 
-/// Element-wise `a - b` into a fresh vector.
+/// Element-wise `out = a - b` into a caller-provided buffer, so hot delta
+/// paths can reuse scratch rows instead of allocating per call.
 ///
 /// # Errors
-/// Returns [`LinalgError::ShapeMismatch`] if the lengths differ.
-pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+/// Returns [`LinalgError::ShapeMismatch`] if any of the lengths differ.
+pub fn sub_into(a: &[f64], b: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
     if a.len() != b.len() {
         return Err(LinalgError::ShapeMismatch {
             op: "sub",
@@ -66,13 +132,61 @@ pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>, LinalgError> {
             right: b.len(),
         });
     }
-    Ok(a.iter().zip(b).map(|(x, y)| x - y).collect())
+    if out.len() != a.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "sub",
+            left: a.len(),
+            right: out.len(),
+        });
+    }
+    let n = a.len();
+    let main = n - n % LANES;
+    for ((co, ca), cb) in out[..main]
+        .chunks_exact_mut(LANES)
+        .zip(a[..main].chunks_exact(LANES))
+        .zip(b[..main].chunks_exact(LANES))
+    {
+        co[0] = ca[0] - cb[0];
+        co[1] = ca[1] - cb[1];
+        co[2] = ca[2] - cb[2];
+        co[3] = ca[3] - cb[3];
+    }
+    for ((o, x), y) in out[main..].iter_mut().zip(&a[main..]).zip(&b[main..]) {
+        *o = x - y;
+    }
+    Ok(())
+}
+
+/// Element-wise `a - b` into a fresh vector (thin wrapper over [`sub_into`]).
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let mut out = vec![0.0; a.len().min(b.len())];
+    sub_into(a, b, &mut out)?;
+    Ok(out)
 }
 
 /// Squared ℓ2 norm.
+///
+/// Same four-lane accumulator structure and fixed reduction order as
+/// [`dot_unchecked`] (see the module docs).
 #[inline]
 pub fn l2_norm_sq(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum()
+    let n = v.len();
+    let main = n - n % LANES;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+    for c in v[..main].chunks_exact(LANES) {
+        s0 += c[0] * c[0];
+        s1 += c[1] * c[1];
+        s2 += c[2] * c[2];
+        s3 += c[3] * c[3];
+    }
+    let mut tail = 0.0_f64;
+    for x in &v[main..] {
+        tail += x * x;
+    }
+    ((s0 + s1) + (s2 + s3)) + tail
 }
 
 /// ℓ2 (Euclidean) norm.
@@ -333,5 +447,136 @@ mod tests {
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
         assert!(all_finite(&[1.0, 2.0]));
         assert!(!all_finite(&[1.0, f64::INFINITY]));
+    }
+
+    #[test]
+    fn sub_into_matches_sub_and_validates() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [0.5, 0.25, 0.125, 4.0, -1.0];
+        let mut out = vec![9.0; 5];
+        sub_into(&a, &b, &mut out).unwrap();
+        assert_eq!(out, sub(&a, &b).unwrap());
+        assert_eq!(out, vec![0.5, 1.75, 2.875, 0.0, 6.0]);
+        let mut short = vec![0.0; 4];
+        assert!(sub_into(&a, &b, &mut short).is_err());
+        assert!(sub_into(&a, &b[..4], &mut out).is_err());
+        assert!(sub(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}
+
+/// Property tests pinning the unrolled kernels, bit for bit, to naive
+/// reference implementations that spell out the same fixed lane structure
+/// and reduction order. If a refactor ever changes the order (and thus the
+/// result bits of every trained model), these fail rather than letting the
+/// change slip through as "just float noise".
+#[cfg(test)]
+mod reduction_order_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference dot product: four scalar lanes filled round-robin over the
+    /// unrolled prefix, a sequential tail, combined as
+    /// `((s0 + s1) + (s2 + s3)) + tail`.
+    fn dot_reference(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len();
+        let main = n - n % 4;
+        let mut lanes = [0.0_f64; 4];
+        for i in 0..main {
+            lanes[i % 4] += a[i] * b[i];
+        }
+        let mut tail = 0.0_f64;
+        for (x, y) in a[main..].iter().zip(&b[main..]) {
+            tail += x * y;
+        }
+        ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+    }
+
+    fn l2_reference(v: &[f64]) -> f64 {
+        let n = v.len();
+        let main = n - n % 4;
+        let mut lanes = [0.0_f64; 4];
+        for (i, &x) in v[..main].iter().enumerate() {
+            lanes[i % 4] += x * x;
+        }
+        let mut tail = 0.0_f64;
+        for &x in &v[main..] {
+            tail += x * x;
+        }
+        ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+    }
+
+    /// Deterministic pseudo-random values spanning magnitudes and signs,
+    /// derived from a seed so every length in 0..64 gets distinct data.
+    fn values(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+                let mag = 10f64.powi((state % 7) as i32 - 3);
+                (unit - 0.5) * mag
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn dot_unchecked_is_bitwise_reference(seed in 0u64..1_000_000) {
+            for len in 0..64usize {
+                let a = values(seed, len);
+                let b = values(seed ^ 0xDEAD_BEEF, len);
+                let got = dot_unchecked(&a, &b);
+                let want = dot_reference(&a, &b);
+                prop_assert!(got.to_bits() == want.to_bits(), "dot len={}", len);
+            }
+        }
+
+        #[test]
+        fn l2_norm_sq_is_bitwise_reference(seed in 0u64..1_000_000) {
+            for len in 0..64usize {
+                let v = values(seed, len);
+                prop_assert!(
+                    l2_norm_sq(&v).to_bits() == l2_reference(&v).to_bits(),
+                    "l2 len={}", len
+                );
+            }
+        }
+
+        #[test]
+        fn axpy_is_bitwise_elementwise(seed in 0u64..1_000_000, alpha in -4.0f64..4.0) {
+            for len in 0..64usize {
+                let x = values(seed, len);
+                let mut y = values(seed ^ 0x5A5A, len);
+                let want: Vec<f64> = y.iter().zip(&x).map(|(yi, xi)| yi + alpha * xi).collect();
+                axpy_unchecked(alpha, &x, &mut y);
+                for (g, w) in y.iter().zip(&want) {
+                    prop_assert!(g.to_bits() == w.to_bits(), "axpy len={}", len);
+                }
+            }
+        }
+
+        #[test]
+        fn scale_and_sub_are_bitwise_elementwise(seed in 0u64..1_000_000, alpha in -4.0f64..4.0) {
+            for len in 0..64usize {
+                let a = values(seed, len);
+                let b = values(seed ^ 0xC0FFEE, len);
+
+                let mut scaled = a.clone();
+                scale(alpha, &mut scaled);
+                for (g, x) in scaled.iter().zip(&a) {
+                    prop_assert!(g.to_bits() == (x * alpha).to_bits(), "scale len={}", len);
+                }
+
+                let mut diff = vec![0.0; len];
+                sub_into(&a, &b, &mut diff).unwrap();
+                for ((g, x), y) in diff.iter().zip(&a).zip(&b) {
+                    prop_assert!(g.to_bits() == (x - y).to_bits(), "sub len={}", len);
+                }
+            }
+        }
     }
 }

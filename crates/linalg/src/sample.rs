@@ -152,18 +152,34 @@ pub fn sample_distinct_excluding<R: Rng + ?Sized>(
     k: usize,
     forbidden: usize,
 ) -> Vec<usize> {
+    let mut picked = Vec::with_capacity(k);
+    sample_distinct_excluding_into(rng, n, k, forbidden, &mut picked);
+    picked
+}
+
+/// [`sample_distinct_excluding`] into a caller-provided buffer, so the
+/// negative-sampling inner loop can reuse one candidate vector across calls.
+/// `out` is cleared first; it retains its capacity, so steady-state calls are
+/// allocation-free. Draws the same RNG sequence as the allocating wrapper.
+pub fn sample_distinct_excluding_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    forbidden: usize,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     let avail = if forbidden < n { n - 1 } else { n };
     if k >= avail {
-        return (0..n).filter(|&i| i != forbidden).collect();
+        out.extend((0..n).filter(|&i| i != forbidden));
+        return;
     }
-    let mut picked = Vec::with_capacity(k);
-    while picked.len() < k {
+    while out.len() < k {
         let c = rng.random_range(0..n);
-        if c != forbidden && !picked.contains(&c) {
-            picked.push(c);
+        if c != forbidden && !out.contains(&c) {
+            out.push(c);
         }
     }
-    picked
 }
 
 #[cfg(test)]
@@ -280,6 +296,20 @@ mod tests {
             sorted.dedup();
             assert_eq!(sorted.len(), 5, "values are distinct");
         }
+    }
+
+    #[test]
+    fn distinct_excluding_into_matches_wrapper() {
+        let mut a = StdRng::seed_from_u64(23);
+        let mut b = StdRng::seed_from_u64(23);
+        let mut buf = vec![99, 98];
+        for _ in 0..20 {
+            let want = sample_distinct_excluding(&mut a, 30, 6, 4);
+            sample_distinct_excluding_into(&mut b, 30, 6, 4, &mut buf);
+            assert_eq!(buf, want, "same RNG sequence, same picks");
+        }
+        sample_distinct_excluding_into(&mut b, 3, 10, 1, &mut buf);
+        assert_eq!(buf, vec![0, 2], "saturation clears previous contents");
     }
 
     #[test]

@@ -12,7 +12,21 @@ use std::collections::BTreeMap;
 use plp_linalg::ops;
 
 use crate::error::ModelError;
-use crate::params::ModelParams;
+use crate::params::{ModelParams, ParamsViewMut};
+
+/// Pops a recycled buffer from `pool` (or allocates one) and zero-fills it
+/// to `len`. The shared row recycler of [`SparseGrad`] and the row journal:
+/// once the pool is warm, taking a row performs no heap allocation.
+pub(crate) fn pooled_zeroed(pool: &mut Vec<Vec<f64>>, len: usize) -> Vec<f64> {
+    match pool.pop() {
+        Some(mut v) => {
+            v.clear();
+            v.resize(len, 0.0);
+            v
+        }
+        None => vec![0.0; len],
+    }
+}
 
 /// A row-sparse gradient (or model delta) with the same logical shape as
 /// [`ModelParams`].
@@ -21,7 +35,12 @@ use crate::params::ModelParams;
 /// accumulation order in norms and dense sums) is deterministic — a
 /// `HashMap`'s per-instance hash seed would make bit-identical reruns
 /// impossible.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// A private pool recycles row buffers across [`SparseGrad::recycle`]
+/// cycles, so a gradient reused across batches stops allocating once it has
+/// seen its working set. The pool is invisible to `Clone`/`PartialEq`: it
+/// only affects capacity, never values.
+#[derive(Debug, Default)]
 pub struct SparseGrad {
     /// Touched rows of the embedding matrix `W`.
     pub embedding: BTreeMap<usize, Vec<f64>>,
@@ -29,6 +48,27 @@ pub struct SparseGrad {
     pub context: BTreeMap<usize, Vec<f64>>,
     /// Touched entries of the bias vector `B′`.
     pub bias: BTreeMap<usize, f64>,
+    /// Recycled row buffers, fed by `recycle` and drained by `add_*_row`.
+    pool: Vec<Vec<f64>>,
+}
+
+impl Clone for SparseGrad {
+    fn clone(&self) -> Self {
+        SparseGrad {
+            embedding: self.embedding.clone(),
+            context: self.context.clone(),
+            bias: self.bias.clone(),
+            pool: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for SparseGrad {
+    fn eq(&self, other: &Self) -> bool {
+        self.embedding == other.embedding
+            && self.context == other.context
+            && self.bias == other.bias
+    }
 }
 
 impl SparseGrad {
@@ -47,26 +87,43 @@ impl SparseGrad {
         self.embedding.len() + self.context.len() + self.bias.len()
     }
 
+    /// Empties the gradient, moving its row buffers into the internal pool
+    /// for reuse by later `add_*_row` calls. Equivalent to clearing, but
+    /// allocation-free on the next fill of the same working set.
+    pub fn recycle(&mut self) {
+        while let Some((_, v)) = self.embedding.pop_first() {
+            self.pool.push(v);
+        }
+        while let Some((_, v)) = self.context.pop_first() {
+            self.pool.push(v);
+        }
+        self.bias.clear();
+    }
+
+    /// Number of pooled row buffers currently available for reuse (a
+    /// diagnostic hook for allocation-freedom tests).
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
     /// Adds `alpha * v` into embedding row `row`.
     pub fn add_embedding_row(&mut self, row: usize, alpha: f64, v: &[f64]) {
-        let e = self
-            .embedding
+        let Self {
+            embedding, pool, ..
+        } = self;
+        let e = embedding
             .entry(row)
-            .or_insert_with(|| vec![0.0; v.len()]);
-        for (ei, vi) in e.iter_mut().zip(v) {
-            *ei += alpha * vi;
-        }
+            .or_insert_with(|| pooled_zeroed(pool, v.len()));
+        ops::axpy_unchecked(alpha, v, e);
     }
 
     /// Adds `alpha * v` into context row `row`.
     pub fn add_context_row(&mut self, row: usize, alpha: f64, v: &[f64]) {
-        let e = self
-            .context
+        let Self { context, pool, .. } = self;
+        let e = context
             .entry(row)
-            .or_insert_with(|| vec![0.0; v.len()]);
-        for (ei, vi) in e.iter_mut().zip(v) {
-            *ei += alpha * vi;
-        }
+            .or_insert_with(|| pooled_zeroed(pool, v.len()));
+        ops::axpy_unchecked(alpha, v, e);
     }
 
     /// Adds `alpha` into bias entry `row`.
@@ -145,13 +202,18 @@ impl SparseGrad {
             && self.bias.values().all(|b| b.is_finite())
     }
 
-    /// Applies `params += alpha * self`.
+    /// Applies `params += alpha * self` to any parameter view — a dense
+    /// [`ModelParams`] or a copy-on-write overlay.
     ///
     /// # Errors
     /// Returns [`ModelError::TokenOutOfRange`] if a stored row exceeds the
     /// parameter shape, or [`ModelError::ShapeMismatch`] on a row-width
     /// mismatch.
-    pub fn apply_to(&self, params: &mut ModelParams, alpha: f64) -> Result<(), ModelError> {
+    pub fn apply_to<P: ParamsViewMut + ?Sized>(
+        &self,
+        params: &mut P,
+        alpha: f64,
+    ) -> Result<(), ModelError> {
         let vocab = params.vocab_size();
         let dim = params.dim();
         for (&r, v) in &self.embedding {
@@ -163,7 +225,7 @@ impl SparseGrad {
                     what: "embedding row width",
                 });
             }
-            ops::axpy(alpha, v, params.embedding.row_mut(r))?;
+            ops::axpy(alpha, v, params.embedding_row_mut(r))?;
         }
         for (&r, v) in &self.context {
             if r >= vocab {
@@ -174,13 +236,13 @@ impl SparseGrad {
                     what: "context row width",
                 });
             }
-            ops::axpy(alpha, v, params.context.row_mut(r))?;
+            ops::axpy(alpha, v, params.context_row_mut(r))?;
         }
         for (&r, &b) in &self.bias {
             if r >= vocab {
                 return Err(ModelError::TokenOutOfRange { token: r, vocab });
             }
-            params.bias[r] += alpha * b;
+            *params.bias_at_mut(r) += alpha * b;
         }
         Ok(())
     }
@@ -207,25 +269,17 @@ impl SparseGrad {
     ) -> SparseGrad {
         let mut g = SparseGrad::new();
         for r in touched_embedding {
-            let d: Vec<f64> = after
-                .embedding
-                .row(r)
-                .iter()
-                .zip(before.embedding.row(r))
-                .map(|(a, b)| a - b)
-                .collect();
+            let mut d = vec![0.0; after.dim()];
+            ops::sub_into(after.embedding.row(r), before.embedding.row(r), &mut d)
+                .expect("before/after rows share the model dim");
             if d.iter().any(|&x| x != 0.0) {
                 g.embedding.insert(r, d);
             }
         }
         for r in touched_context {
-            let d: Vec<f64> = after
-                .context
-                .row(r)
-                .iter()
-                .zip(before.context.row(r))
-                .map(|(a, b)| a - b)
-                .collect();
+            let mut d = vec![0.0; after.dim()];
+            ops::sub_into(after.context.row(r), before.context.row(r), &mut d)
+                .expect("before/after rows share the model dim");
             if d.iter().any(|&x| x != 0.0) {
                 g.context.insert(r, d);
             }
@@ -336,5 +390,32 @@ mod tests {
         assert!(g.all_finite());
         g.add_bias(0, f64::INFINITY);
         assert!(!g.all_finite());
+    }
+
+    #[test]
+    fn recycle_pools_rows_for_reuse() {
+        let mut g = SparseGrad::new();
+        g.add_embedding_row(0, 1.0, &[1.0, 2.0]);
+        g.add_context_row(1, 1.0, &[3.0, 4.0]);
+        g.add_bias(2, 5.0);
+        g.recycle();
+        assert!(g.is_empty());
+        assert_eq!(g.pool_len(), 2);
+        g.add_embedding_row(7, 1.0, &[9.0, 8.0]);
+        assert_eq!(g.pool_len(), 1, "row buffer came from the pool");
+        assert_eq!(g.embedding[&7], vec![9.0, 8.0], "pooled rows are zeroed");
+    }
+
+    #[test]
+    fn pool_is_invisible_to_clone_and_eq() {
+        let mut warm = SparseGrad::new();
+        warm.add_embedding_row(0, 1.0, &[1.0]);
+        warm.recycle();
+        warm.add_embedding_row(0, 1.0, &[1.0]);
+        let mut cold = SparseGrad::new();
+        cold.add_embedding_row(0, 1.0, &[1.0]);
+        assert_eq!(warm, cold, "pool state must not affect equality");
+        assert_eq!(warm.clone(), warm);
+        assert_eq!(warm.clone().pool_len(), 0, "clones start with a cold pool");
     }
 }

@@ -1,0 +1,325 @@
+//! Copy-on-write row journal: the clone-free bucket-delta path.
+//!
+//! Algorithm 1 (lines 15–22) computes each sampled user-bucket's update as
+//! `Φ − θ_t`, where Φ starts from the current global parameters θ_t and is
+//! trained locally. A naive implementation clones all of θ_t — O(L·dim)
+//! per bucket — even though negative sampling guarantees local SGD touches
+//! only `neg + 1` rows per example (§3.2). [`RowJournal`] + [`CowParams`]
+//! replace the clone with an overlay: reads fall through to the immutable
+//! base θ_t, and the *first mutable touch* of a row snapshots it into the
+//! journal. After training, the journal holds exactly the touched rows at
+//! their Φ values, so the sparse delta `Φ − θ_t` falls out of one walk over
+//! the overlay — no dense clone, no dense subtraction, and (with a warm
+//! buffer pool) no allocation in steady state.
+
+use std::collections::BTreeMap;
+
+use plp_linalg::ops;
+
+use crate::grad::{pooled_zeroed, SparseGrad};
+use crate::params::{ModelParams, ParamsView, ParamsViewMut};
+
+/// The overlay of touched rows: embedding/context rows and bias entries
+/// that have been mutably touched through a [`CowParams`] view, holding
+/// their current (local Φ) values. Row buffers are recycled through an
+/// internal pool across [`RowJournal::take_delta`]/[`RowJournal::reset`]
+/// cycles, so a worker that reuses one journal across buckets stops
+/// allocating once the pool covers its working set.
+#[derive(Debug, Default)]
+pub struct RowJournal {
+    embedding: BTreeMap<usize, Vec<f64>>,
+    context: BTreeMap<usize, Vec<f64>>,
+    bias: BTreeMap<usize, f64>,
+    pool: Vec<Vec<f64>>,
+}
+
+impl RowJournal {
+    /// An empty journal; its pool grows on first use.
+    pub fn new() -> Self {
+        RowJournal::default()
+    }
+
+    /// Number of journalled rows/entries across all three tensors.
+    pub fn touched_rows(&self) -> usize {
+        self.embedding.len() + self.context.len() + self.bias.len()
+    }
+
+    /// `true` iff no row has been touched since the last
+    /// [`RowJournal::take_delta`] or [`RowJournal::reset`].
+    pub fn is_clean(&self) -> bool {
+        self.touched_rows() == 0
+    }
+
+    /// Number of pooled row buffers available for reuse (a diagnostic hook
+    /// for allocation-freedom tests).
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Discards all journalled state without producing a delta, recycling
+    /// the row buffers. This is the recovery path after a failed or
+    /// panicked bucket: the next bucket must start from a clean overlay, or
+    /// stale Φ rows would leak into its view of θ.
+    pub fn reset(&mut self) {
+        while let Some((_, v)) = self.embedding.pop_first() {
+            self.pool.push(v);
+        }
+        while let Some((_, v)) = self.context.pop_first() {
+            self.pool.push(v);
+        }
+        self.bias.clear();
+    }
+
+    /// Drains the journal into the sparse bucket delta `Φ − θ`, leaving the
+    /// journal clean and its buffers pooled for the next bucket.
+    ///
+    /// `base` must be the same θ the [`CowParams`] view was built over.
+    /// Semantics match [`SparseGrad::from_delta`] bit for bit: each touched
+    /// row stores `Φ[r] − θ[r]` (computed element-wise with the unrolled
+    /// kernel — `x + (−1)·y` is IEEE-identical to `x − y`), and rows whose
+    /// delta is exactly zero everywhere are dropped rather than stored.
+    pub fn take_delta(&mut self, base: &ModelParams) -> SparseGrad {
+        let mut g = SparseGrad::new();
+        while let Some((r, mut v)) = self.embedding.pop_first() {
+            ops::axpy_unchecked(-1.0, base.embedding.row(r), &mut v);
+            if v.iter().any(|&x| x != 0.0) {
+                g.embedding.insert(r, v);
+            } else {
+                self.pool.push(v);
+            }
+        }
+        while let Some((r, mut v)) = self.context.pop_first() {
+            ops::axpy_unchecked(-1.0, base.context.row(r), &mut v);
+            if v.iter().any(|&x| x != 0.0) {
+                g.context.insert(r, v);
+            } else {
+                self.pool.push(v);
+            }
+        }
+        while let Some((r, b)) = self.bias.pop_first() {
+            let d = b - base.bias[r];
+            if d != 0.0 {
+                g.bias.insert(r, d);
+            }
+        }
+        g
+    }
+
+    /// Pops a pooled buffer (or allocates) and fills it with a copy of
+    /// `src` — the snapshot taken on a row's first mutable touch.
+    fn copied_row(pool: &mut Vec<Vec<f64>>, src: &[f64]) -> Vec<f64> {
+        let mut v = pooled_zeroed(pool, 0);
+        v.extend_from_slice(src);
+        v
+    }
+}
+
+/// A copy-on-write view over base parameters θ: a [`ParamsView`] /
+/// [`ParamsViewMut`] whose reads fall through to `base` until a row is
+/// mutably touched, at which point the row is snapshotted into the journal
+/// and all further access (read or write) goes to the journalled copy.
+///
+/// Training through this view is bit-identical to training a dense clone of
+/// `base`: every read sees the same values, every write lands on a
+/// faithful copy of the row it would have landed on.
+#[derive(Debug)]
+pub struct CowParams<'a> {
+    base: &'a ModelParams,
+    journal: &'a mut RowJournal,
+}
+
+impl<'a> CowParams<'a> {
+    /// Wraps `base` with `journal` as the mutation overlay.
+    ///
+    /// The journal is expected to be clean (typically freshly
+    /// [`RowJournal::reset`] or drained by [`RowJournal::take_delta`]);
+    /// stale entries from a *different* base would shadow `base`'s rows.
+    pub fn new(base: &'a ModelParams, journal: &'a mut RowJournal) -> Self {
+        CowParams { base, journal }
+    }
+
+    /// The wrapped base parameters.
+    pub fn base(&self) -> &ModelParams {
+        self.base
+    }
+}
+
+impl ParamsView for CowParams<'_> {
+    fn vocab_size(&self) -> usize {
+        self.base.vocab_size()
+    }
+
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn embedding_row(&self, r: usize) -> &[f64] {
+        self.journal
+            .embedding
+            .get(&r)
+            .map(Vec::as_slice)
+            .unwrap_or_else(|| self.base.embedding.row(r))
+    }
+
+    fn context_row(&self, r: usize) -> &[f64] {
+        self.journal
+            .context
+            .get(&r)
+            .map(Vec::as_slice)
+            .unwrap_or_else(|| self.base.context.row(r))
+    }
+
+    fn bias_at(&self, r: usize) -> f64 {
+        self.journal
+            .bias
+            .get(&r)
+            .copied()
+            .unwrap_or_else(|| self.base.bias[r])
+    }
+}
+
+impl ParamsViewMut for CowParams<'_> {
+    fn embedding_row_mut(&mut self, r: usize) -> &mut [f64] {
+        let base = self.base;
+        let RowJournal {
+            embedding, pool, ..
+        } = &mut *self.journal;
+        embedding
+            .entry(r)
+            .or_insert_with(|| RowJournal::copied_row(pool, base.embedding.row(r)))
+    }
+
+    fn context_row_mut(&mut self, r: usize) -> &mut [f64] {
+        let base = self.base;
+        let RowJournal { context, pool, .. } = &mut *self.journal;
+        context
+            .entry(r)
+            .or_insert_with(|| RowJournal::copied_row(pool, base.context.row(r)))
+    }
+
+    fn bias_at_mut(&mut self, r: usize) -> &mut f64 {
+        let base = self.base;
+        self.journal.bias.entry(r).or_insert_with(|| base.bias[r])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Loss;
+    use crate::negative::NegativeSampler;
+    use crate::train::{train_on_tokens, LocalSgdConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_params() -> ModelParams {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut p = ModelParams::init(&mut rng, 12, 6).unwrap();
+        p.context.map_inplace(|x| x + 0.25);
+        for (i, b) in p.bias.iter_mut().enumerate() {
+            *b = 0.1 * i as f64;
+        }
+        p
+    }
+
+    #[test]
+    fn reads_fall_through_until_first_write() {
+        let base = base_params();
+        let mut journal = RowJournal::new();
+        let mut cow = CowParams::new(&base, &mut journal);
+        assert_eq!(cow.vocab_size(), 12);
+        assert_eq!(cow.dim(), 6);
+        assert_eq!(cow.embedding_row(3), base.embedding.row(3));
+        assert_eq!(cow.context_row(5), base.context.row(5));
+        assert_eq!(cow.bias_at(2), base.bias[2]);
+
+        cow.embedding_row_mut(3)[0] = 99.0;
+        *cow.bias_at_mut(2) += 1.0;
+        assert_eq!(cow.embedding_row(3)[0], 99.0, "reads see the overlay");
+        assert_eq!(cow.embedding_row(3)[1], base.embedding.row(3)[1]);
+        assert_eq!(cow.bias_at(2), base.bias[2] + 1.0);
+        assert_eq!(base.embedding.row(3)[0], base.embedding.get(3, 0));
+        assert_eq!(journal.touched_rows(), 2);
+    }
+
+    #[test]
+    fn take_delta_matches_from_delta_on_a_cloned_copy() {
+        let base = base_params();
+
+        // Reference path: dense clone, mutate, diff.
+        let mut phi = base.clone();
+        phi.embedding.row_mut(1)[2] += 0.5;
+        phi.context.row_mut(4)[0] -= 0.25;
+        phi.bias[7] += 2.0;
+        // Touch-but-don't-change row 9: must be dropped from the delta.
+        phi.embedding.row_mut(9)[0] += 0.0;
+        let want = SparseGrad::from_delta(&base, &phi, [1usize, 9], [4usize], [7usize]);
+
+        // Journal path: same mutations through the overlay.
+        let mut journal = RowJournal::new();
+        let mut cow = CowParams::new(&base, &mut journal);
+        cow.embedding_row_mut(1)[2] += 0.5;
+        cow.context_row_mut(4)[0] -= 0.25;
+        *cow.bias_at_mut(7) += 2.0;
+        cow.embedding_row_mut(9)[0] += 0.0;
+        let got = journal.take_delta(&base);
+
+        assert_eq!(got, want);
+        assert!(journal.is_clean(), "take_delta drains the journal");
+        assert_eq!(journal.pool_len(), 1, "the all-zero row was recycled");
+    }
+
+    #[test]
+    fn journaled_training_is_bit_identical_to_cloned_training() {
+        let base = base_params();
+        let tokens: Vec<usize> = (0..48).map(|i| (i * 5) % 12).collect();
+        let cfg = LocalSgdConfig {
+            learning_rate: 0.05,
+            batch_size: 8,
+            window: 2,
+            negatives: 3,
+            loss: Loss::SampledSoftmax,
+        };
+
+        // Reference: the historical clone-and-diff path.
+        let mut phi = base.clone();
+        let mut rng = StdRng::seed_from_u64(77);
+        let stats =
+            train_on_tokens(&mut rng, &mut phi, &tokens, &cfg, &NegativeSampler::Uniform).unwrap();
+        let want = SparseGrad::from_delta(
+            &base,
+            &phi,
+            stats.touched.embedding.iter().copied(),
+            stats.touched.context.iter().copied(),
+            stats.touched.bias.iter().copied(),
+        );
+
+        // Clone-free: same training through the overlay, same RNG seed.
+        let mut journal = RowJournal::new();
+        let mut cow = CowParams::new(&base, &mut journal);
+        let mut rng = StdRng::seed_from_u64(77);
+        train_on_tokens(&mut rng, &mut cow, &tokens, &cfg, &NegativeSampler::Uniform).unwrap();
+        let got = journal.take_delta(&base);
+
+        assert!(!got.is_empty());
+        assert_eq!(got, want, "journal delta must equal clone-and-diff delta");
+    }
+
+    #[test]
+    fn reset_recovers_a_dirty_journal() {
+        let base = base_params();
+        let mut journal = RowJournal::new();
+        let mut cow = CowParams::new(&base, &mut journal);
+        cow.embedding_row_mut(0)[0] = 5.0;
+        cow.context_row_mut(1)[1] = 6.0;
+        *cow.bias_at_mut(2) = 7.0;
+        assert!(!journal.is_clean());
+        journal.reset();
+        assert!(journal.is_clean());
+        assert_eq!(journal.pool_len(), 2, "row buffers are recycled");
+        // A fresh view over the same journal sees pristine base values.
+        let cow = CowParams::new(&base, &mut journal);
+        assert_eq!(cow.embedding_row(0), base.embedding.row(0));
+        assert_eq!(cow.bias_at(2), base.bias[2]);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`loss`] — sampled-softmax and sigmoid-SGNS forward/backward with
 //!   hand-derived gradients (verified against finite differences),
 //! * [`grad`] — sparse per-batch/per-bucket gradient accumulators,
+//! * [`journal`] — the copy-on-write row journal behind the clone-free
+//!   bucket-delta path,
 //! * [`clip`] — per-layer ℓ2 clipping (McMahan & Andrew: each tensor to
 //!   `C/√|θ|`),
 //! * [`train`] — mini-batch local SGD over a token array (Algorithm 1,
@@ -28,6 +30,7 @@
 pub mod clip;
 pub mod error;
 pub mod grad;
+pub mod journal;
 pub mod loss;
 pub mod markov;
 pub mod metrics;
@@ -41,5 +44,5 @@ pub mod train;
 pub use error::ModelError;
 pub use loss::Loss;
 pub use negative::NegativeSampler;
-pub use params::ModelParams;
+pub use params::{ModelParams, ParamsView, ParamsViewMut};
 pub use recommender::Recommender;

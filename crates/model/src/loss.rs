@@ -27,7 +27,7 @@ use plp_linalg::ops;
 
 use crate::error::ModelError;
 use crate::grad::SparseGrad;
-use crate::params::ModelParams;
+use crate::params::ParamsView;
 
 /// Which training objective to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -70,11 +70,15 @@ fn check_token(t: usize, vocab: usize) -> Result<(), ModelError> {
 /// duplicates among negatives are tolerated mathematically but reduce the
 /// effective sample size.
 ///
+/// Generic over [`ParamsView`], so the same pass runs against dense
+/// parameters and the copy-on-write bucket overlay without code or
+/// numerical divergence.
+///
 /// # Errors
 /// Tokens must be within the vocabulary.
 #[allow(clippy::too_many_arguments)]
-pub fn forward_backward(
-    params: &ModelParams,
+pub fn forward_backward<P: ParamsView + ?Sized>(
+    params: &P,
     loss: Loss,
     target: usize,
     context: usize,
@@ -90,17 +94,17 @@ pub fn forward_backward(
         check_token(n, vocab)?;
     }
 
-    let u = params.embedding.row(target);
+    let u = params.embedding_row(target);
     let k = negatives.len() + 1;
     scratch.logits.clear();
     scratch.logits.reserve(k);
     scratch
         .logits
-        .push(ops::dot_unchecked(u, params.context.row(context)) + params.bias[context]);
+        .push(ops::dot_unchecked(u, params.context_row(context)) + params.bias_at(context));
     for &n in negatives {
         scratch
             .logits
-            .push(ops::dot_unchecked(u, params.context.row(n)) + params.bias[n]);
+            .push(ops::dot_unchecked(u, params.context_row(n)) + params.bias_at(n));
     }
 
     scratch.grad_u.clear();
@@ -119,7 +123,7 @@ pub fn forward_backward(
                 grad.add_context_row(c, scale * coef, u);
                 grad.add_bias(c, scale * coef);
                 // grad_u += coef · W′[c].
-                ops::axpy(coef, params.context.row(c), &mut scratch.grad_u)?;
+                ops::axpy(coef, params.context_row(c), &mut scratch.grad_u)?;
             }
             l
         }
@@ -129,14 +133,14 @@ pub fn forward_backward(
             let coef0 = ops::sigmoid(s0) - 1.0;
             grad.add_context_row(context, scale * coef0, u);
             grad.add_bias(context, scale * coef0);
-            ops::axpy(coef0, params.context.row(context), &mut scratch.grad_u)?;
+            ops::axpy(coef0, params.context_row(context), &mut scratch.grad_u)?;
             for (j, &n) in negatives.iter().enumerate() {
                 let s = scratch.logits[j + 1];
                 l -= ln_sigmoid(-s);
                 let coef = ops::sigmoid(s);
                 grad.add_context_row(n, scale * coef, u);
                 grad.add_bias(n, scale * coef);
-                ops::axpy(coef, params.context.row(n), &mut scratch.grad_u)?;
+                ops::axpy(coef, params.context_row(n), &mut scratch.grad_u)?;
             }
             l
         }
@@ -153,8 +157,8 @@ pub fn forward_backward(
 ///
 /// # Errors
 /// Tokens must be within the vocabulary.
-pub fn example_loss(
-    params: &ModelParams,
+pub fn example_loss<P: ParamsView + ?Sized>(
+    params: &P,
     loss: Loss,
     target: usize,
     context: usize,
@@ -179,6 +183,7 @@ fn ln_sigmoid(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::ModelParams;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -41,16 +41,43 @@ impl HitRate {
 
 /// Extracts leave-one-out trials from the held-out users: for every session
 /// with at least two visits, `(input = all but last, target = last)`.
-pub fn leave_one_out_trials(test: &TokenizedDataset) -> Vec<(Vec<usize>, usize)> {
+///
+/// Inputs borrow directly from the dataset's sessions — no per-trial copy.
+pub fn leave_one_out_trials(test: &TokenizedDataset) -> Vec<(&[usize], usize)> {
     let mut trials = Vec::new();
     for u in &test.users {
         for s in &u.sessions {
             if s.len() >= 2 {
-                trials.push((s[..s.len() - 1].to_vec(), s[s.len() - 1]));
+                trials.push((&s[..s.len() - 1], s[s.len() - 1]));
             }
         }
     }
     trials
+}
+
+/// Counts hits per cutoff over the strided trial subset
+/// `{i : i ≡ offset (mod stride)}` — the shared work kernel of the
+/// sequential and threaded evaluators. The strided partition matches the
+/// training loop's worker assignment, and since per-`k` hit counts are
+/// integers, any recombination of the per-worker partials is exact.
+fn hit_counts<R: RankLocations + ?Sized>(
+    recommender: &R,
+    trials: &[(&[usize], usize)],
+    ks: &[usize],
+    max_k: usize,
+    offset: usize,
+    stride: usize,
+) -> Result<Vec<usize>, ModelError> {
+    let mut hits = vec![0usize; ks.len()];
+    for (input, target) in trials.iter().skip(offset).step_by(stride.max(1)) {
+        let top = recommender.top_k(input, max_k)?;
+        for (i, &k) in ks.iter().enumerate() {
+            if top.iter().take(k).any(|&t| t == *target) {
+                hits[i] += 1;
+            }
+        }
+    }
+    Ok(hits)
 }
 
 /// Evaluates HR@k for every `k` in `ks` over the held-out users.
@@ -68,24 +95,62 @@ pub fn evaluate_hit_rate<R: RankLocations + ?Sized>(
 ) -> Result<Vec<HitRate>, ModelError> {
     let trials = leave_one_out_trials(test);
     let max_k = ks.iter().copied().max().unwrap_or(0);
+    let hits = hit_counts(recommender, &trials, ks, max_k, 0, 1)?;
+    Ok(assemble(ks, hits, trials.len()))
+}
+
+/// [`evaluate_hit_rate`] parallelised over trials with `threads` workers.
+///
+/// Worker `w` evaluates trials `{i : i ≡ w (mod threads)}` and the partial
+/// per-`k` hit counts are reduced in worker order. Hit counts are integer
+/// sums, so the result is *identical* to the sequential evaluator for every
+/// thread count — the companion regression test pins threads=1 against
+/// threads=4. `threads ≤ 1` (or fewer trials than workers would need)
+/// falls back to the sequential path without spawning.
+///
+/// # Errors
+/// Propagates token-range errors from the recommender; the first failing
+/// worker (in worker order) wins.
+pub fn evaluate_hit_rate_threaded<R: RankLocations + Sync + ?Sized>(
+    recommender: &R,
+    test: &TokenizedDataset,
+    ks: &[usize],
+    threads: usize,
+) -> Result<Vec<HitRate>, ModelError> {
+    let trials = leave_one_out_trials(test);
+    let max_k = ks.iter().copied().max().unwrap_or(0);
+    let workers = threads.max(1).min(trials.len().max(1));
+    if workers <= 1 {
+        let hits = hit_counts(recommender, &trials, ks, max_k, 0, 1)?;
+        return Ok(assemble(ks, hits, trials.len()));
+    }
+    let partials: Vec<Result<Vec<usize>, ModelError>> = crossbeam::thread::scope(|scope| {
+        let trials = &trials;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| scope.spawn(move |_| hit_counts(recommender, trials, ks, max_k, w, workers)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .collect()
+    })
+    .expect("eval thread scope");
+    // Deterministic ordered reduction: worker 0 first, then 1, … (exact for
+    // integer counts, and the order every future float reduction must keep).
     let mut hits = vec![0usize; ks.len()];
-    for (input, target) in &trials {
-        let top = recommender.top_k(input, max_k)?;
-        for (i, &k) in ks.iter().enumerate() {
-            if top.iter().take(k).any(|&t| t == *target) {
-                hits[i] += 1;
-            }
+    for partial in partials {
+        for (total, h) in hits.iter_mut().zip(partial?) {
+            *total += h;
         }
     }
-    Ok(ks
-        .iter()
+    Ok(assemble(ks, hits, trials.len()))
+}
+
+fn assemble(ks: &[usize], hits: Vec<usize>, trials: usize) -> Vec<HitRate> {
+    ks.iter()
         .zip(hits)
-        .map(|(&k, h)| HitRate {
-            k,
-            hits: h,
-            trials: trials.len(),
-        })
-        .collect())
+        .map(|(&k, h)| HitRate { k, hits: h, trials })
+        .collect()
 }
 
 /// HR@k of a popularity recommender that always returns the globally
@@ -169,10 +234,11 @@ mod tests {
 
     #[test]
     fn trials_skip_short_sessions() {
-        let t = leave_one_out_trials(&test_set(vec![vec![1], vec![1, 2], vec![3, 4, 5]]));
+        let ds = test_set(vec![vec![1], vec![1, 2], vec![3, 4, 5]]);
+        let t = leave_one_out_trials(&ds);
         assert_eq!(t.len(), 2);
-        assert_eq!(t[0], (vec![1], 2));
-        assert_eq!(t[1], (vec![3, 4], 5));
+        assert_eq!(t[0], (&[1][..], 2));
+        assert_eq!(t[1], (&[3, 4][..], 5));
     }
 
     #[test]
@@ -230,5 +296,40 @@ mod tests {
         let ds = test_set(vec![vec![1, 1, 2], vec![2]]);
         let c = token_counts(&ds);
         assert_eq!(c, vec![0, 2, 2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn threaded_eval_is_identical_across_thread_counts() {
+        // Regression for the deterministic ordered reduction: threads=1 and
+        // threads=4 must report identical metrics, and both must match the
+        // sequential evaluator.
+        let sessions: Vec<Vec<usize>> = (0..23)
+            .map(|i| vec![i % 6, (i + 1) % 6, (i * 3 + 2) % 6])
+            .collect();
+        let ds = test_set(sessions);
+        let r = perfect_recommender();
+        let ks = [1usize, 3, 5];
+        let sequential = evaluate_hit_rate(&r, &ds, &ks).unwrap();
+        let one = evaluate_hit_rate_threaded(&r, &ds, &ks, 1).unwrap();
+        let four = evaluate_hit_rate_threaded(&r, &ds, &ks, 4).unwrap();
+        let many = evaluate_hit_rate_threaded(&r, &ds, &ks, 64).unwrap();
+        assert_eq!(one, sequential);
+        assert_eq!(four, sequential);
+        assert_eq!(many, sequential, "more workers than trials still exact");
+    }
+
+    #[test]
+    fn threaded_eval_propagates_worker_errors() {
+        // Token 9 is out of range for the dim-6 recommender: every worker
+        // partition contains failing trials and the error must surface.
+        let ds = TokenizedDataset {
+            users: vec![UserSequences {
+                user: UserId(0),
+                sessions: vec![vec![9, 1], vec![9, 2], vec![9, 3]],
+            }],
+            vocab_size: 10,
+        };
+        let r = perfect_recommender();
+        assert!(evaluate_hit_rate_threaded(&r, &ds, &[1], 2).is_err());
     }
 }

@@ -9,7 +9,7 @@
 
 use rand::{Rng, RngExt};
 
-use plp_linalg::sample::sample_distinct_excluding;
+use plp_linalg::sample::{sample_distinct_excluding, sample_distinct_excluding_into};
 
 use crate::error::ModelError;
 
@@ -76,6 +76,26 @@ impl NegativeSampler {
         neg: usize,
         exclude: usize,
     ) -> Result<Vec<usize>, ModelError> {
+        let mut out = Vec::with_capacity(neg);
+        self.sample_into(rng, vocab, neg, exclude, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`NegativeSampler::sample`] into a caller-provided buffer, cleared
+    /// first; its capacity is retained, so the local-SGD inner loop reuses
+    /// one candidate vector across examples without allocating in steady
+    /// state. Draws the same RNG sequence as the allocating wrapper.
+    ///
+    /// # Errors
+    /// `vocab` must be ≥ 2 so at least one negative exists.
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        vocab: usize,
+        neg: usize,
+        exclude: usize,
+        out: &mut Vec<usize>,
+    ) -> Result<(), ModelError> {
         if vocab < 2 {
             return Err(ModelError::BadConfig {
                 name: "vocab",
@@ -83,15 +103,18 @@ impl NegativeSampler {
             });
         }
         match self {
-            NegativeSampler::Uniform => Ok(sample_distinct_excluding(rng, vocab, neg, exclude)),
+            NegativeSampler::Uniform => {
+                sample_distinct_excluding_into(rng, vocab, neg, exclude, out);
+                Ok(())
+            }
             NegativeSampler::Unigram { cdf } => {
                 if cdf.len() != vocab {
                     return Err(ModelError::ShapeMismatch {
                         what: "unigram cdf vs vocab",
                     });
                 }
+                out.clear();
                 let want = neg.min(vocab - 1);
-                let mut out = Vec::with_capacity(want);
                 let mut guard = 0usize;
                 while out.len() < want {
                     let u: f64 = rng.random();
@@ -114,7 +137,7 @@ impl NegativeSampler {
                         }
                     }
                 }
-                Ok(out)
+                Ok(())
             }
         }
     }

@@ -135,6 +135,74 @@ impl ModelParams {
     }
 }
 
+/// Read access to the three model tensors by row, abstracting over *where*
+/// the rows live: a dense [`ModelParams`], or a copy-on-write overlay
+/// ([`crate::journal::CowParams`]) that materialises rows lazily so the
+/// per-bucket delta path never clones the full parameter set.
+///
+/// Out-of-range rows panic (mirroring `Matrix::row`); bounds are the
+/// caller's contract, exactly as with the dense accessors.
+pub trait ParamsView {
+    /// Vocabulary size `L`.
+    fn vocab_size(&self) -> usize;
+    /// Embedding dimension.
+    fn dim(&self) -> usize;
+    /// Row `r` of the input embedding matrix `W`.
+    fn embedding_row(&self, r: usize) -> &[f64];
+    /// Row `r` of the output/context matrix `W′`.
+    fn context_row(&self, r: usize) -> &[f64];
+    /// Element `r` of the output bias vector `B′`.
+    fn bias_at(&self, r: usize) -> f64;
+}
+
+/// Mutable row access on top of [`ParamsView`]. For a copy-on-write view,
+/// the first mutable touch of a row snapshots it into the overlay; dense
+/// parameters hand out their storage directly.
+pub trait ParamsViewMut: ParamsView {
+    /// Mutable row `r` of `W`.
+    fn embedding_row_mut(&mut self, r: usize) -> &mut [f64];
+    /// Mutable row `r` of `W′`.
+    fn context_row_mut(&mut self, r: usize) -> &mut [f64];
+    /// Mutable element `r` of `B′`.
+    fn bias_at_mut(&mut self, r: usize) -> &mut f64;
+}
+
+impl ParamsView for ModelParams {
+    fn vocab_size(&self) -> usize {
+        ModelParams::vocab_size(self)
+    }
+
+    fn dim(&self) -> usize {
+        ModelParams::dim(self)
+    }
+
+    fn embedding_row(&self, r: usize) -> &[f64] {
+        self.embedding.row(r)
+    }
+
+    fn context_row(&self, r: usize) -> &[f64] {
+        self.context.row(r)
+    }
+
+    fn bias_at(&self, r: usize) -> f64 {
+        self.bias[r]
+    }
+}
+
+impl ParamsViewMut for ModelParams {
+    fn embedding_row_mut(&mut self, r: usize) -> &mut [f64] {
+        self.embedding.row_mut(r)
+    }
+
+    fn context_row_mut(&mut self, r: usize) -> &mut [f64] {
+        self.context.row_mut(r)
+    }
+
+    fn bias_at_mut(&mut self, r: usize) -> &mut f64 {
+        &mut self.bias[r]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

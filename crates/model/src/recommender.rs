@@ -9,10 +9,31 @@
 //! location … We rank all locations by their scores and select the top-K
 //! locations as the potential recommendations."
 
+use plp_linalg::matrix::matmul_block_into;
+use plp_linalg::topk::TopKScratch;
 use plp_linalg::{ops, topk, Matrix};
 
 use crate::error::ModelError;
 use crate::params::ModelParams;
+
+/// Reusable buffers for the sequential recommendation path: the profile
+/// `F(ζ)`, the dense score vector, and top-k selection storage. Buffers
+/// grow on first use and are retained, so steady-state calls through
+/// [`Recommender::recommend_excluding_into`] are allocation-free.
+#[derive(Debug, Default)]
+pub struct RecommendScratch {
+    profile: Vec<f64>,
+    scores: Vec<f64>,
+    topk: TopKScratch,
+    ranked: Vec<(usize, f64)>,
+}
+
+impl RecommendScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        RecommendScratch::default()
+    }
+}
 
 /// A deployed recommender: the unit-normalised embedding matrix (the only
 /// tensor shipped to devices — §3.3 footnote 1).
@@ -112,14 +133,35 @@ impl Recommender {
         Ok(self.embedding.matvec(profile)?)
     }
 
+    /// [`Recommender::scores`] into a caller-provided buffer of length
+    /// [`Recommender::vocab_size`]. Runs the same blocked micro-kernel as
+    /// `Matrix::matvec` (both route every inner product through the fixed
+    /// four-lane reduction), so the two paths are bit-identical.
+    ///
+    /// # Errors
+    /// `profile` must be `dim` long and `out` `vocab_size` long.
+    pub fn scores_into(&self, profile: &[f64], out: &mut [f64]) -> Result<(), ModelError> {
+        if profile.len() != self.dim() {
+            return Err(ModelError::ShapeMismatch {
+                what: "profile vs embedding dim",
+            });
+        }
+        if out.len() != self.vocab_size() {
+            return Err(ModelError::ShapeMismatch {
+                what: "score buffer vs vocab size",
+            });
+        }
+        matmul_block_into(profile, 1, self.dim(), &self.embedding, out)?;
+        Ok(())
+    }
+
     /// Top-`k` recommended locations for the recent check-ins `ζ`.
     ///
     /// # Errors
     /// Propagates profile errors.
     pub fn recommend(&self, recent: &[usize], k: usize) -> Result<Vec<usize>, ModelError> {
-        let p = self.profile(recent)?;
-        let s = self.scores(&p)?;
-        Ok(topk::top_k_indices(&s, k))
+        let mut scratch = RecommendScratch::new();
+        self.recommend_excluding_into(recent, k, &[], &mut scratch)
     }
 
     /// Top-`k` recommendations excluding the given locations (e.g. the ones
@@ -139,10 +181,33 @@ impl Recommender {
         k: usize,
         exclude: &[usize],
     ) -> Result<Vec<usize>, ModelError> {
-        let p = self.profile(recent)?;
-        let mut s = self.scores(&p)?;
-        mask_excluded(&mut s, exclude);
-        Ok(topk::top_k_indices(&s, k))
+        let mut scratch = RecommendScratch::new();
+        self.recommend_excluding_into(recent, k, exclude, &mut scratch)
+    }
+
+    /// [`Recommender::recommend_excluding`] with caller-owned scratch:
+    /// profile, score and selection buffers are reused across calls, so
+    /// repeated queries (the leave-one-out evaluation loop, serving
+    /// workers) stay allocation-free in steady state. Results are
+    /// bit-identical to the allocating wrappers, which route through this
+    /// method.
+    ///
+    /// # Errors
+    /// Propagates profile errors.
+    pub fn recommend_excluding_into(
+        &self,
+        recent: &[usize],
+        k: usize,
+        exclude: &[usize],
+        scratch: &mut RecommendScratch,
+    ) -> Result<Vec<usize>, ModelError> {
+        scratch.profile.resize(self.dim(), 0.0);
+        self.profile_into(recent, &mut scratch.profile)?;
+        scratch.scores.resize(self.vocab_size(), 0.0);
+        self.scores_into(&scratch.profile, &mut scratch.scores)?;
+        mask_excluded(&mut scratch.scores, exclude);
+        topk::top_k_with_scores_into(&scratch.scores, k, &mut scratch.topk, &mut scratch.ranked);
+        Ok(scratch.ranked.iter().map(|&(i, _)| i).collect())
     }
 }
 

@@ -7,15 +7,15 @@
 
 use std::collections::BTreeSet;
 
-use rand::Rng;
+use rand::{seq::SliceRandom, Rng};
 
 use crate::error::ModelError;
 use crate::grad::SparseGrad;
 use crate::loss::{forward_backward, Loss, Scratch};
 use crate::negative::NegativeSampler;
-use crate::params::ModelParams;
+use crate::params::{ParamsView, ParamsViewMut};
 
-use plp_data::window::generate_batches;
+use plp_data::window::{pairs_from_sequence_into, Pair};
 
 /// Hyper-parameters of a local SGD pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,67 +90,146 @@ pub struct TrainStats {
     pub touched: TouchedRows,
 }
 
+/// Reusable buffers for [`train_on_tokens_with_scratch`]: the pair list,
+/// the per-batch gradient (with its row pool), the forward/backward
+/// scratch, and the negative-sample candidates. Every buffer is cleared at
+/// its point of use and retains capacity, so a worker that reuses one
+/// `TrainScratch` across buckets performs no heap allocation in steady
+/// state — once each buffer has grown to its bucket-working-set size.
+///
+/// Scratch contents never influence results: training with a warm scratch
+/// is bit-identical to training with a fresh one.
+#[derive(Debug, Default)]
+pub struct TrainScratch {
+    pairs: Vec<Pair>,
+    grad: SparseGrad,
+    scratch: Scratch,
+    negatives: Vec<usize>,
+}
+
+impl TrainScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        TrainScratch::default()
+    }
+
+    /// Number of pooled gradient-row buffers available for reuse (a
+    /// diagnostic hook for allocation-freedom tests).
+    pub fn grad_pool_len(&self) -> usize {
+        self.grad.pool_len()
+    }
+}
+
 /// Runs one pass of mini-batch SGD over `tokens`, mutating `params` in
 /// place: for each batch `b`, `Φ ← Φ − η · (1/|b|) Σ ∇J` (Algorithm 1,
 /// line 19). Gradients within a batch are all evaluated at the same Φ.
 ///
+/// Allocating convenience wrapper over [`train_on_tokens_with_scratch`];
+/// both draw the same RNG sequence and produce bit-identical parameters.
+///
 /// # Errors
 /// Propagates configuration, token-range and non-finite errors; on error
 /// `params` may be partially updated and should be discarded by the caller.
-pub fn train_on_tokens<R: Rng + ?Sized>(
+pub fn train_on_tokens<R: Rng + ?Sized, P: ParamsViewMut + ?Sized>(
     rng: &mut R,
-    params: &mut ModelParams,
+    params: &mut P,
     tokens: &[usize],
     config: &LocalSgdConfig,
     sampler: &NegativeSampler,
 ) -> Result<TrainStats, ModelError> {
+    let mut scratch = TrainScratch::new();
+    let mut touched = TouchedRows::default();
+    let stats = train_on_tokens_with_scratch(
+        rng,
+        params,
+        tokens,
+        config,
+        sampler,
+        &mut scratch,
+        Some(&mut touched),
+    )?;
+    Ok(TrainStats { touched, ..stats })
+}
+
+/// The scratch-reusing core of [`train_on_tokens`]. `params` may be a dense
+/// [`crate::params::ModelParams`] or the copy-on-write overlay
+/// ([`crate::journal::CowParams`]) of the clone-free bucket-delta path.
+///
+/// `touched` is an optional out-parameter: pass `Some` to record which rows
+/// were updated (the clone-and-diff delta path needs it), `None` to skip
+/// the bookkeeping entirely (the row journal already knows its touched
+/// rows). The returned stats carry an empty `touched` set; the wrapper
+/// fills it in.
+///
+/// # Errors
+/// Same contract as [`train_on_tokens`].
+pub fn train_on_tokens_with_scratch<R: Rng + ?Sized, P: ParamsViewMut + ?Sized>(
+    rng: &mut R,
+    params: &mut P,
+    tokens: &[usize],
+    config: &LocalSgdConfig,
+    sampler: &NegativeSampler,
+    scratch: &mut TrainScratch,
+    mut touched: Option<&mut TouchedRows>,
+) -> Result<TrainStats, ModelError> {
     config.validate()?;
     let vocab = params.vocab_size();
-    let mut scratch = Scratch::new();
-    let mut touched = TouchedRows::default();
-    let mut total_loss = 0.0;
-    let mut pairs = 0usize;
-    let mut batches = 0usize;
+    let TrainScratch {
+        pairs,
+        grad,
+        scratch: fb_scratch,
+        negatives,
+    } = scratch;
 
-    for batch in generate_batches(rng, tokens, config.window, config.batch_size) {
+    // Same draw sequence as the paper's `generateBatches`: window, then one
+    // shuffle, then fixed-size chunks (`validate` guarantees batch_size ≥ 1).
+    pairs_from_sequence_into(tokens, config.window, pairs);
+    pairs.shuffle(rng);
+
+    let mut total_loss = 0.0;
+    let mut trained_pairs = 0usize;
+    let mut batches = 0usize;
+    for batch in pairs.chunks(config.batch_size) {
         let scale = 1.0 / batch.len() as f64;
-        let mut grad = SparseGrad::new();
-        for (target, context) in &batch {
-            let negatives = sampler.sample(rng, vocab, config.negatives, *context)?;
+        grad.recycle();
+        for &(target, context) in batch {
+            sampler.sample_into(rng, vocab, config.negatives, context, negatives)?;
             let l = forward_backward(
                 params,
                 config.loss,
-                *target,
-                *context,
-                &negatives,
+                target,
+                context,
+                negatives,
                 scale,
-                &mut grad,
-                &mut scratch,
+                grad,
+                fb_scratch,
             )?;
             total_loss += l;
-            pairs += 1;
+            trained_pairs += 1;
         }
         if !grad.all_finite() {
             return Err(ModelError::NonFinite {
                 at: "batch gradient",
             });
         }
-        touched.embedding.extend(grad.embedding.keys().copied());
-        touched.context.extend(grad.context.keys().copied());
-        touched.bias.extend(grad.bias.keys().copied());
+        if let Some(t) = touched.as_deref_mut() {
+            t.embedding.extend(grad.embedding.keys().copied());
+            t.context.extend(grad.context.keys().copied());
+            t.bias.extend(grad.bias.keys().copied());
+        }
         grad.apply_to(params, -config.learning_rate)?;
         batches += 1;
     }
 
     Ok(TrainStats {
-        mean_loss: if pairs == 0 {
+        mean_loss: if trained_pairs == 0 {
             0.0
         } else {
-            total_loss / pairs as f64
+            total_loss / trained_pairs as f64
         },
-        pairs,
+        pairs: trained_pairs,
         batches,
-        touched,
+        touched: TouchedRows::default(),
     })
 }
 
@@ -159,9 +238,9 @@ pub fn train_on_tokens<R: Rng + ?Sized>(
 ///
 /// # Errors
 /// Propagates token-range errors.
-pub fn validation_loss<R: Rng + ?Sized>(
+pub fn validation_loss<R: Rng + ?Sized, P: ParamsView + ?Sized>(
     rng: &mut R,
-    params: &ModelParams,
+    params: &P,
     tokens: &[usize],
     config: &LocalSgdConfig,
     sampler: &NegativeSampler,
@@ -191,6 +270,7 @@ pub fn validation_loss<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::ModelParams;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -317,5 +397,46 @@ mod tests {
             p
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn warm_scratch_is_bit_identical_and_reuses_buffers() {
+        let tokens = corpus();
+        let cfg = config();
+        let mut scratch = TrainScratch::new();
+
+        let run = |scratch: &mut TrainScratch| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut p = ModelParams::init(&mut rng, 20, 4).unwrap();
+            train_on_tokens_with_scratch(
+                &mut rng,
+                &mut p,
+                &tokens,
+                &cfg,
+                &NegativeSampler::Uniform,
+                scratch,
+                None,
+            )
+            .unwrap();
+            p
+        };
+
+        let cold = run(&mut scratch);
+        let pool_after_first = scratch.grad_pool_len();
+        let warm = run(&mut scratch);
+        assert_eq!(cold, warm, "scratch state must not influence results");
+        assert_eq!(
+            scratch.grad_pool_len(),
+            pool_after_first,
+            "identical passes reuse pooled rows instead of growing the pool"
+        );
+
+        // And the scratch path matches the allocating wrapper bit for bit.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = ModelParams::init(&mut rng, 20, 4).unwrap();
+        let stats =
+            train_on_tokens(&mut rng, &mut p, &tokens, &cfg, &NegativeSampler::Uniform).unwrap();
+        assert_eq!(p, warm);
+        assert!(stats.pairs > 0);
     }
 }

@@ -54,13 +54,13 @@ fn main() {
     println!("\nrecent check-ins zeta (tokens): {input:?}");
     println!("ground-truth next location: token {target}");
 
-    let top = recommender.recommend(&input, 10).expect("recommendation");
+    let top = recommender.recommend(input, 10).expect("recommendation");
     println!("top-10 recommendations: {top:?}");
     println!("hit: {}", top.contains(&target));
 
     // Same query, but suppress places the user is standing in right now.
     let fresh = recommender
-        .recommend_excluding(&input, 10, &input)
+        .recommend_excluding(input, 10, input)
         .expect("recommendation");
     println!("top-10 excluding already-visited: {fresh:?}");
 

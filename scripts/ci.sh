@@ -26,6 +26,10 @@ cargo run --release -p plp-bench --bin chaos
 echo "== serve load-generator smoke (batched == sequential) =="
 cargo run --release -p plp-bench --bin serve_load -- --smoke --out target/BENCH_serve_smoke.json
 
+echo "== training-throughput smoke (thread-count invariance) =="
+cargo run --release -p plp-bench --bin train_throughput -- --smoke \
+  --out target/BENCH_train_smoke.json
+
 echo "== observability smoke (phase spans, budget gauge, JSONL log) =="
 cargo run --release -p plp-bench --bin obs_report -- --smoke \
   --out target/BENCH_obs_smoke.json --log target/BENCH_obs_events.jsonl
