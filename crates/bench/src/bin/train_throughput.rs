@@ -3,8 +3,19 @@
 //! `plp_train_pairs_total` counter) and the `plp_train_phase_ms` phase
 //! breakdown per thread count, and **asserts thread-count invariance**:
 //! the trained parameters must be bit-identical at every thread count —
-//! the determinism contract of the unrolled kernels and the strided
-//! bucket/eval partitions (see DESIGN.md §11).
+//! the determinism contract of the unrolled kernels, the strided
+//! bucket/eval partitions (DESIGN.md §11) and the counter-based per-row
+//! noise streams (DESIGN.md §12).
+//!
+//! The workload is `Scale::Bench` data with a deliberately enlarged model
+//! (more locations, wider embedding) so the dense noise + server-update
+//! phases are a measurable slice of each step; on full (non-smoke) runs
+//! the benchmark additionally **fails unless the noise + server_update
+//! wall-clock share shrinks at threads=4 vs threads=1** — the regression
+//! gate for the threaded dense phases. (On a host with one hardware
+//! thread a parallel speedup is impossible, so there the gate instead
+//! bounds the threading overhead; the report records
+//! `available_parallelism` so a reader can tell which form applied.)
 //!
 //! Usage:
 //!   cargo run --release -p plp-bench --bin train_throughput            # full run
@@ -49,9 +60,12 @@ fn check(ok: bool, what: &str) -> bool {
     ok
 }
 
+/// `(phase, count, p50, p95, total_ms)` rows of one run's breakdown.
+type PhaseRows = Vec<(String, u64, f64, f64, f64)>;
+
 /// Snapshots every phase of `plp_train_phase_ms{phase=…}` and prints a
 /// breakdown table; returns `(phase, count, p50, p95, total_ms)` rows.
-fn phase_breakdown(obs: &Observer) -> Vec<(String, u64, f64, f64, f64)> {
+fn phase_breakdown(obs: &Observer) -> PhaseRows {
     let registry = obs.registry().expect("enabled observer");
     let mut rows = Vec::new();
     println!("  plp_train_phase_ms breakdown:");
@@ -137,11 +151,26 @@ fn main() -> ExitCode {
     let opts = parse_opts();
     let mut ok = true;
 
-    let config = Scale::Bench.experiment_config(SEED);
+    // Scale::Bench data, but with a deliberately enlarged model: more
+    // locations and a wider embedding put real weight behind the dense
+    // noise / server_update phases this benchmark gates (the default
+    // bench model is so small their wall-clock share is pure jitter).
+    // Local overrides only — Scale::Bench itself stays tiny because the
+    // chaos drill, the serve benches and the criterion targets use it.
+    let mut config = Scale::Bench.experiment_config(SEED);
+    config.generator.num_locations = 1_600;
+    config.generator.target_checkins = 24_000;
+    config.generator.num_clusters = 16;
     let mut hp = Scale::Bench.hyperparameters();
+    hp.embedding_dim = 32;
     hp.max_steps = if opts.smoke { 6 } else { 30 };
     hp.eval_every = 3;
     let prep = PreparedData::generate(&config).expect("prepare data");
+    println!(
+        "train_throughput: vocab={} embedding_dim={}",
+        prep.vocab_size(),
+        hp.embedding_dim
+    );
 
     let runs: Vec<Measured> = THREAD_COUNTS
         .iter()
@@ -192,10 +221,82 @@ fn main() -> ExitCode {
         );
     }
 
-    let per_run: Vec<serde_json::Value> = runs
+    // Phase breakdowns and the dense-phase (noise + server_update) share
+    // of wall-clock per run — the quantity the threaded noise streams and
+    // server update exist to shrink.
+    let breakdowns: Vec<PhaseRows> = runs
         .iter()
         .map(|r| {
-            let rows = phase_breakdown(&r.observer);
+            println!("threads={}:", r.threads);
+            phase_breakdown(&r.observer)
+        })
+        .collect();
+    let noise_server_ms: Vec<f64> = breakdowns
+        .iter()
+        .map(|rows| {
+            rows.iter()
+                .filter(|(phase, ..)| phase == "noise" || phase == "server_update")
+                .map(|(.., total)| *total)
+                .sum()
+        })
+        .collect();
+    let shares: Vec<f64> = runs
+        .iter()
+        .zip(&noise_server_ms)
+        .map(|(r, ms)| ms / r.outcome.summary.total_wall_ms.max(1e-9))
+        .collect();
+    for (r, (ms, share)) in runs.iter().zip(noise_server_ms.iter().zip(&shares)) {
+        println!(
+            "  threads={}: noise+server_update {:.2}ms of {:.1}ms wall (share {:.1}%)",
+            r.threads,
+            ms,
+            r.outcome.summary.total_wall_ms,
+            share * 100.0
+        );
+    }
+    // The regression gate: at threads=4 the dense phases must take a
+    // *smaller* slice of the run than at threads=1. Full runs only —
+    // smoke's 6 steps are too few for stable timing shares. On a host
+    // with a single hardware thread a parallel speedup is physically
+    // impossible (every run serialises onto one core), so there the gate
+    // degrades to an overhead bound: the threaded dense phases may not
+    // cost more than a sliver over their sequential share.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if !opts.smoke {
+        for (run, share) in runs.iter().zip(&shares).skip(1) {
+            if cores >= 2 {
+                ok &= check(
+                    *share < shares[0],
+                    &format!(
+                        "noise+server share at threads={} ({:.2}%) below threads={} ({:.2}%)",
+                        run.threads,
+                        share * 100.0,
+                        reference.threads,
+                        shares[0] * 100.0
+                    ),
+                );
+            } else {
+                ok &= check(
+                    *share <= shares[0] * 1.25 + 0.02,
+                    &format!(
+                        "noise+server share at threads={} ({:.2}%) within the \
+                         single-core overhead bound of threads={} ({:.2}%)",
+                        run.threads,
+                        share * 100.0,
+                        reference.threads,
+                        shares[0] * 100.0
+                    ),
+                );
+            }
+        }
+    }
+
+    let per_run: Vec<serde_json::Value> = runs
+        .iter()
+        .zip(breakdowns.iter().zip(noise_server_ms.iter().zip(&shares)))
+        .map(|(r, (rows, (ns_ms, share)))| {
             serde_json::json!({
                 "threads": r.threads,
                 "steps": r.outcome.summary.steps,
@@ -204,6 +305,8 @@ fn main() -> ExitCode {
                 "pairs": r.pairs,
                 "examples_per_sec": r.examples_per_sec,
                 "epsilon_spent": r.outcome.summary.epsilon_spent,
+                "noise_server_total_ms": *ns_ms,
+                "noise_server_share": *share,
                 "phases": serde_json::Value::Array(
                     rows.iter()
                         .map(|(phase, n, p50, p95, total)| {
@@ -227,6 +330,8 @@ fn main() -> ExitCode {
         "smoke": opts.smoke,
         "max_steps": hp.max_steps,
         "embedding_dim": hp.embedding_dim,
+        "vocab": prep.vocab_size(),
+        "available_parallelism": cores,
         "runs": serde_json::Value::Array(per_run),
         "thread_invariant": ok,
         "all_checks_passed": ok,

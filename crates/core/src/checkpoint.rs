@@ -39,7 +39,17 @@ use crate::config::Hyperparameters;
 use crate::error::CoreError;
 
 const MAGIC: &[u8; 4] = b"PLPC";
-const VERSION: u8 = 1;
+/// Format version 2: the trainer draws its Gaussian noise from
+/// counter-based per-row streams (see `crate::noise`) instead of version
+/// 1's single sequential sampler. A v1 checkpoint's remaining steps would
+/// replay under different noise, so resuming one is refused outright.
+const VERSION: u8 = 2;
+
+/// Version of the noise-RNG scheme, folded into [`config_fingerprint`]:
+/// any future change to how per-step noise is derived (stream seeding,
+/// domains, bias chunking) must bump this so old checkpoints cannot
+/// silently resume onto a different noise trajectory.
+pub const RNG_SCHEME_VERSION: u64 = 2;
 
 /// Server-optimizer state as stored in a checkpoint.
 // A checkpoint holds exactly one of these, so the Sgd/Adam size gap is
@@ -114,14 +124,23 @@ pub struct TrainingCheckpoint {
 }
 
 /// Fingerprints a training configuration: FNV-1a 64 over the canonical
-/// JSON encoding of the hyper-parameters plus the vocabulary size. Any
-/// change to either yields a different fingerprint, so checkpoints cannot
-/// silently resume under mismatched settings.
+/// JSON encoding of the hyper-parameters plus the vocabulary size and the
+/// noise-RNG scheme version. Any change to one of these yields a different
+/// fingerprint, so checkpoints cannot silently resume under mismatched
+/// settings.
+///
+/// `threads` is deliberately normalised out: every phase of the trainer is
+/// bit-identical across thread counts (strided partitions with ordered
+/// reductions, counter-based noise streams, element-wise server updates),
+/// so a run checkpointed at one thread count may resume at another and
+/// stay on the exact same trajectory.
 ///
 /// # Errors
 /// Propagates (theoretical) serialization failures as [`CoreError::Io`].
 pub fn config_fingerprint(hp: &Hyperparameters, vocab_size: usize) -> Result<u64, CoreError> {
-    let canonical = serde_json::to_string(hp).map_err(|e| CoreError::Io {
+    let mut canonical_hp = hp.clone();
+    canonical_hp.threads = 1;
+    let canonical = serde_json::to_string(&canonical_hp).map_err(|e| CoreError::Io {
         message: e.to_string(),
     })?;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -133,6 +152,7 @@ pub fn config_fingerprint(hp: &Hyperparameters, vocab_size: usize) -> Result<u64
     };
     eat(canonical.as_bytes());
     eat(&(vocab_size as u64).to_le_bytes());
+    eat(&RNG_SCHEME_VERSION.to_le_bytes());
     Ok(h)
 }
 
@@ -258,10 +278,23 @@ pub fn decode_checkpoint(data: Bytes) -> Result<TrainingCheckpoint, CoreError> {
     if &magic != MAGIC {
         return Err(CoreError::CheckpointCorrupt { what: "bad magic" });
     }
-    if data.get_u8() != VERSION {
-        return Err(CoreError::CheckpointCorrupt {
-            what: "unsupported version",
-        });
+    match data.get_u8() {
+        VERSION => {}
+        1 => {
+            // A v1 file is structurally readable but semantically dead: its
+            // remaining steps were destined for the sequential-noise RNG
+            // scheme, which the counter-based streams replaced. Resuming it
+            // would fork the noise trajectory, so it gets a distinct error.
+            return Err(CoreError::CheckpointCorrupt {
+                what: "version 1 checkpoint (sequential-noise RNG scheme) cannot resume \
+                       under counter-based noise streams; restart the run from scratch",
+            });
+        }
+        _ => {
+            return Err(CoreError::CheckpointCorrupt {
+                what: "unsupported version",
+            });
+        }
     }
     let fingerprint = data.get_u64_le();
     let run_seed = data.get_u64_le();
@@ -498,6 +531,16 @@ mod tests {
                 what: "unsupported version"
             })
         ));
+        // A v1 file (pre counter-based noise streams) gets its own message
+        // explaining *why* it cannot resume, not a generic version error.
+        let v1 = reseal(&|raw| raw[4] = 1);
+        match v1 {
+            Err(CoreError::CheckpointCorrupt { what }) => {
+                assert!(what.contains("version 1"), "got: {what}");
+                assert!(what.contains("counter-based"), "got: {what}");
+            }
+            other => panic!("v1 checkpoint must be refused, got {other:?}"),
+        }
         // Step count disagreeing with the ledger is rejected too.
         assert!(matches!(
             reseal(&|raw| raw[21] = 200),
@@ -523,6 +566,24 @@ mod tests {
         let mut hp3 = hp;
         hp3.grouping_factor += 1;
         assert_ne!(a, config_fingerprint(&hp3, 100).unwrap(), "λ matters");
+    }
+
+    #[test]
+    fn fingerprint_ignores_thread_count() {
+        // Every trainer phase is bit-identical across thread counts, so a
+        // checkpoint taken at threads=1 must resume at threads=8 (and vice
+        // versa) without tripping the configuration check.
+        let hp = Hyperparameters::default();
+        let a = config_fingerprint(&hp, 100).unwrap();
+        for threads in [1usize, 2, 4, 8, 32] {
+            let mut hp2 = hp.clone();
+            hp2.threads = threads;
+            assert_eq!(
+                a,
+                config_fingerprint(&hp2, 100).unwrap(),
+                "threads={threads} must not change the fingerprint"
+            );
+        }
     }
 
     #[test]

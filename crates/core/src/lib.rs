@@ -52,6 +52,7 @@ pub mod dpsgd;
 pub mod error;
 pub mod experiment;
 pub mod faults;
+pub mod noise;
 pub mod nonprivate;
 pub mod plp;
 pub mod telemetry;

@@ -46,8 +46,7 @@ use plp_data::dataset::TokenizedDataset;
 use plp_data::grouping::{group_data, group_data_split, realized_split_factor, Bucket};
 use plp_data::sampling::sample_users;
 use plp_data::DataError;
-use plp_linalg::ops;
-use plp_linalg::sample::NormalSampler;
+use plp_linalg::sample::mix64;
 use plp_model::clip::clip_per_layer;
 use plp_model::grad::SparseGrad;
 use plp_model::journal::{CowParams, RowJournal};
@@ -59,6 +58,7 @@ use plp_model::train::{train_on_tokens_with_scratch, TrainScratch};
 use plp_model::Recommender;
 use plp_obs::{Counter, HistogramHandle, Observer};
 use plp_privacy::accountant::MomentsAccountant;
+use plp_privacy::mechanism::GaussianMechanism;
 use plp_privacy::PrivacyLedger;
 use serde_json::json;
 
@@ -68,6 +68,7 @@ use crate::checkpoint::{
 use crate::config::{Hyperparameters, ServerOptimizer};
 use crate::error::CoreError;
 use crate::faults::FaultInjector;
+use crate::noise::{perturb_and_scale_threaded, step_noise_seed};
 use crate::telemetry::{RunSummary, StepTelemetry, StopReason};
 
 /// Result of a private training run.
@@ -132,14 +133,6 @@ pub fn fixed_denominator(sampling_prob: f64, num_users: usize, lambda: usize) ->
     } else {
         1.0
     }
-}
-
-/// SplitMix64 finalizer, used to derive independent per-step seeds.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// The RNG driving step `step` (step 0 is parameter initialization).
@@ -356,12 +349,6 @@ fn compute_bucket_updates(
     Ok((updates, skipped))
 }
 
-fn scale_params(p: &mut ModelParams, alpha: f64) {
-    ops::scale(alpha, p.embedding.as_mut_slice());
-    ops::scale(alpha, p.context.as_mut_slice());
-    ops::scale(alpha, &mut p.bias);
-}
-
 enum Server {
     Sgd(ServerSgd),
     Adam(Box<ServerAdam>),
@@ -415,10 +402,18 @@ impl Server {
         }
     }
 
-    fn step(&mut self, params: &mut ModelParams, update: &ModelParams) -> Result<(), CoreError> {
+    /// Applies the server update over `threads` workers; both optimisers'
+    /// threaded steps are bit-identical to their sequential ones for every
+    /// thread count (the update is element-wise).
+    fn step_threaded(
+        &mut self,
+        params: &mut ModelParams,
+        update: &ModelParams,
+        threads: usize,
+    ) -> Result<(), CoreError> {
         match self {
-            Server::Sgd(s) => s.step(params, update)?,
-            Server::Adam(a) => a.step(params, update)?,
+            Server::Sgd(s) => s.step_threaded(params, update, threads)?,
+            Server::Adam(a) => a.step_threaded(params, update, threads)?,
         }
         Ok(())
     }
@@ -589,7 +584,9 @@ fn run_loop(
 ) -> Result<PlpOutcome, CoreError> {
     let num_users = train.num_users();
     let omega = hp.split_factor;
-    let noise_std = hp.noise_multiplier * hp.clip_norm * omega as f64;
+    // The Gaussian sum query's mechanism: noise std σ·(Cω) — sensitivity
+    // grows to ωC when a user's data may span ω buckets (§4.2, Case 2).
+    let mechanism = GaussianMechanism::new(hp.noise_multiplier, hp.clip_norm * omega as f64)?;
     // Fixed-denominator estimator scale: constant for the whole run, paid
     // even by steps whose Poisson draw comes back empty.
     let denom = fixed_denominator(hp.sampling_prob, num_users, hp.grouping_factor);
@@ -643,7 +640,6 @@ fn run_loop(
         let step = state.step + 1;
         let step_start = std::time::Instant::now();
         let mut rng = step_rng(state.run_seed, step);
-        let mut noise = NormalSampler::new();
 
         // Line 5: Poisson user sampling.
         let sample_span = ph_sample.start_span();
@@ -728,22 +724,31 @@ fn run_loop(
         }
 
         // Line 9: Gaussian sum query over the *whole* parameter vector.
+        // Counter-based per-row noise streams (see `crate::noise`): seeded
+        // from `(run_seed, step)` and fanned over `hp.threads` workers,
+        // bit-identical for every thread count. The fixed-denominator
+        // average by the expected bucket count q·W/λ — never the realised
+        // (sample-dependent) |H_t| — rides the same row pass.
         let noise_span = ph_noise.start_span();
         let mut aggregate = ModelParams::zeros(state.params.vocab_size(), state.params.dim());
         for u in &updates {
             u.grad.accumulate_into(&mut aggregate)?;
         }
-        noise.perturb(&mut rng, noise_std, aggregate.embedding.as_mut_slice());
-        noise.perturb(&mut rng, noise_std, aggregate.context.as_mut_slice());
-        noise.perturb(&mut rng, noise_std, &mut aggregate.bias);
-        // Fixed-denominator average by the expected bucket count q·W/λ —
-        // never by the realised (sample-dependent) |H_t|.
-        scale_params(&mut aggregate, 1.0 / denom);
+        let noise_seed = step_noise_seed(state.run_seed, step);
+        perturb_and_scale_threaded(
+            &mut aggregate,
+            &mechanism,
+            noise_seed,
+            1.0 / denom,
+            hp.threads,
+        );
         noise_span.finish();
 
-        // Line 10: model update.
+        // Line 10: model update, fanned over the same worker count.
         let server_span = ph_server.start_span();
-        state.server.step(&mut state.params, &aggregate)?;
+        state
+            .server
+            .step_threaded(&mut state.params, &aggregate, hp.threads)?;
         server_span.finish();
 
         // Line 11: ledger tracking. The effective noise multiplier stays σ
@@ -1131,6 +1136,53 @@ mod tests {
             resumed.telemetry.len(),
             3,
             "resumed run re-executes steps 3..=5"
+        );
+    }
+
+    #[test]
+    fn resume_at_different_thread_count_is_bit_identical() {
+        // The counter-based noise streams and element-wise server updates
+        // make the whole trajectory thread-count invariant, and the config
+        // fingerprint normalises `threads` out — so a run checkpointed at
+        // one thread count may resume at another on identical bits.
+        let ds = tiny_dataset(24);
+        let dir = scratch_dir("thread_resume");
+        let path = dir.join("run.plpc");
+        let seed = 77u64;
+
+        // Uninterrupted reference run at threads=4.
+        let mut hp4 = fast_hp();
+        hp4.threads = 4;
+        let full = train_plp_resumable(seed, &ds, None, &hp4, &TrainOptions::default()).unwrap();
+        assert_eq!(full.summary.stop_reason, StopReason::MaxSteps);
+
+        // Crash a single-threaded run mid-training...
+        let mut hp1 = fast_hp();
+        hp1.threads = 1;
+        let crash_opts = TrainOptions {
+            checkpoint: Some(CheckpointPolicy {
+                path: path.clone(),
+                every: 2,
+            }),
+            halt_after: Some(3),
+            ..TrainOptions::default()
+        };
+        let interrupted = train_plp_resumable(seed, &ds, None, &hp1, &crash_opts).unwrap();
+        assert_eq!(interrupted.summary.stop_reason, StopReason::Interrupted);
+
+        // ...and resume it at threads=4.
+        let ckpt = load_checkpoint(&path).unwrap();
+        assert_eq!(ckpt.step, 2);
+        let resumed = resume_plp(ckpt, &ds, None, &hp4, &TrainOptions::default()).unwrap();
+
+        assert_eq!(
+            resumed.params, full.params,
+            "resume at a different thread count must stay on the same bits"
+        );
+        assert_eq!(resumed.ledger.entries(), full.ledger.entries());
+        assert_eq!(
+            resumed.summary.epsilon_spent.to_bits(),
+            full.summary.epsilon_spent.to_bits()
         );
     }
 

@@ -5,18 +5,63 @@
 //!
 //! * [`NormalSampler`] — standard Gaussian via the Box–Muller transform,
 //!   used by the Gaussian mechanism of differential privacy,
+//! * [`GaussianStream`] — a deterministic *counter-based* Gaussian stream:
+//!   seeded per (step, domain, row), so noise for any row of a parameter
+//!   matrix can be generated independently on any worker thread and still
+//!   come out bit-identical to a sequential pass,
 //! * [`Zipf`] — bounded Zipf via an inverse-CDF table, used by the synthetic
 //!   check-in generator (location popularity follows Zipf's law, paper §4.1),
 //! * [`poisson_subsample`] — independent Bernoulli(q) selection over an index
 //!   range, the user-sampling step of Algorithm 1 (line 5).
+//!
+//! # Stream contract
+//!
+//! Box–Muller produces Gaussians in pairs, so every sampler here carries a
+//! cached *spare* variate. That makes a sampler a **stream**: consecutive
+//! draws from one sampler are one coupled sequence, and the spare must never
+//! leak across logically independent streams (training phases, steps, rows,
+//! slices). Two ways to honour the contract:
+//!
+//! * call [`NormalSampler::reset`] at every stream boundary, or
+//! * use a fresh, independently seeded sampler per stream — which is exactly
+//!   what [`GaussianStream`] does for per-row noise.
+//!
+//! Discarding a spare at a stream boundary does not bias anything: every
+//! emitted variate is exactly N(0, 1) whether or not its pair twin is used.
 
 use rand::{Rng, RngExt};
+
+use crate::ops;
+
+/// SplitMix64 finalizer: a cheap, high-quality bijective mixer used to
+/// derive independent seeds (per step, per stream, per row) from a base
+/// seed by domain separation.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of stream `index` within `domain` under a per-step
+/// `noise_seed`: chained [`mix64`] applications, so two streams collide only
+/// if their `(domain, index)` pairs do.
+#[inline]
+pub fn stream_seed(noise_seed: u64, domain: u64, index: u64) -> u64 {
+    mix64(mix64(mix64(noise_seed) ^ domain) ^ index)
+}
 
 /// Standard-normal sampler using the Box–Muller transform with a cached
 /// spare variate.
 ///
 /// Box–Muller produces two independent N(0, 1) values per two uniforms; the
 /// second is cached so consecutive calls cost one transform each on average.
+///
+/// One `NormalSampler` instance is one **stream** (see the module docs):
+/// reuse it only for draws that belong to the same logical stream, and call
+/// [`NormalSampler::reset`] at stream boundaries so a cached spare cannot
+/// couple independent phases.
 #[derive(Debug, Default, Clone)]
 pub struct NormalSampler {
     spare: Option<f64>,
@@ -26,6 +71,16 @@ impl NormalSampler {
     /// Creates a sampler with an empty cache.
     pub fn new() -> Self {
         NormalSampler { spare: None }
+    }
+
+    /// Drops the cached Box–Muller spare, ending the current stream.
+    ///
+    /// After a reset the next draw depends only on the RNG state, exactly
+    /// as for a freshly constructed sampler — call this at every stream
+    /// boundary (new phase, new step, new slice) so a spare generated in
+    /// one stream can never be emitted into another.
+    pub fn reset(&mut self) {
+        self.spare = None;
     }
 
     /// Draws one standard-normal variate.
@@ -63,6 +118,110 @@ impl NormalSampler {
         for x in v {
             *x += sigma * self.sample(rng);
         }
+    }
+}
+
+/// A self-contained, counter-seeded standard-normal stream.
+///
+/// The generator is SplitMix64 (a 64-bit counter advanced by the golden-ratio
+/// increment and passed through [`mix64`]'s finalizer) feeding Box–Muller.
+/// Every stream owns its full state — counter *and* Box–Muller spare — so a
+/// stream's output depends only on its seed, never on which thread runs it or
+/// what other streams ran before it. Seeding one stream per parameter row via
+/// [`stream_seed`] therefore makes noise generation partition-invariant:
+/// any split of the rows across workers produces bit-identical output.
+#[derive(Debug, Clone)]
+pub struct GaussianStream {
+    state: u64,
+    spare: Option<f64>,
+}
+
+impl GaussianStream {
+    /// Creates a stream whose entire future output is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        GaussianStream {
+            state: seed,
+            spare: None,
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1) with 53 bits of precision — the same conversion the
+    /// workspace `rand` stub uses, so stream and RNG-backed samplers share
+    /// one uniform-to-float convention.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draws one standard-normal variate (Box–Muller, cached spare).
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // u1 in (0, 1]: guard against ln(0), as in `NormalSampler`.
+        let mut u1 = self.next_f64();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.next_f64();
+        }
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Fills `out` with independent N(0, 1) variates.
+    pub fn fill(&mut self, out: &mut [f64]) {
+        for o in out {
+            *o = self.sample();
+        }
+    }
+}
+
+/// Adds independent N(0, sigma²) noise to `data`, treated as consecutive
+/// rows of length `row_len` (the final row may be shorter), with one
+/// [`GaussianStream`] per row seeded by
+/// `stream_seed(noise_seed, domain, first_row + k)`.
+///
+/// Because each row's noise comes from its own stream, the result for a row
+/// depends only on `(noise_seed, domain, absolute row index)`: callers may
+/// split a matrix into arbitrary contiguous row ranges (passing each range's
+/// `first_row`) and process the ranges on any threads in any order, and the
+/// combined output is bit-identical to one sequential pass over the whole
+/// matrix. An odd `row_len` simply discards each row-stream's final spare,
+/// which leaves every emitted variate exactly N(0, 1).
+///
+/// `scratch` must hold at least `row_len` elements (one row of standard
+/// normals); the noise is applied through the unrolled [`ops::axpy_unchecked`]
+/// kernel as `row += sigma * scratch`.
+pub fn perturb_rows(
+    noise_seed: u64,
+    domain: u64,
+    sigma: f64,
+    row_len: usize,
+    first_row: u64,
+    data: &mut [f64],
+    scratch: &mut [f64],
+) {
+    assert!(row_len > 0, "perturb_rows requires row_len > 0");
+    assert!(
+        scratch.len() >= row_len,
+        "perturb_rows scratch shorter than row_len"
+    );
+    for (k, row) in data.chunks_mut(row_len).enumerate() {
+        let mut stream = GaussianStream::new(stream_seed(noise_seed, domain, first_row + k as u64));
+        let s = &mut scratch[..row.len()];
+        stream.fill(s);
+        ops::axpy_unchecked(sigma, s, row);
     }
 }
 
@@ -223,6 +382,114 @@ mod tests {
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         assert!((mean - 1.0).abs() < 0.01);
         assert!(v.iter().any(|&x| (x - 1.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn normal_sampler_reset_ends_the_stream() {
+        // Drawing one variate caches a Box–Muller spare; without a reset the
+        // next draw emits that spare instead of consuming fresh RNG state.
+        // `reset` must make the next draw identical to a fresh sampler's.
+        let mut warm_rng = StdRng::seed_from_u64(31);
+        let mut warm = NormalSampler::new();
+        let _ = warm.sample(&mut warm_rng);
+
+        let mut leaky = warm.clone();
+        let mut leaky_rng = warm_rng.clone();
+        let leaked = leaky.sample(&mut leaky_rng);
+
+        let mut fresh_rng = warm_rng.clone();
+        warm.reset();
+        let after_reset = warm.sample(&mut warm_rng);
+
+        let mut fresh = NormalSampler::new();
+        let fresh_next = fresh.sample(&mut fresh_rng);
+
+        assert_eq!(
+            after_reset.to_bits(),
+            fresh_next.to_bits(),
+            "after reset the sampler must behave like a fresh one"
+        );
+        assert_ne!(
+            leaked.to_bits(),
+            after_reset.to_bits(),
+            "without reset the cached spare leaks into the next stream"
+        );
+    }
+
+    #[test]
+    fn gaussian_stream_is_deterministic_and_seed_sensitive() {
+        let mut a = GaussianStream::new(42);
+        let mut b = GaussianStream::new(42);
+        let mut c = GaussianStream::new(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.sample().to_bits()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.sample().to_bits()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.sample().to_bits()).collect();
+        assert_eq!(xs, ys, "same seed, same stream");
+        assert_ne!(xs, zs, "different seed, different stream");
+    }
+
+    #[test]
+    fn gaussian_stream_moments() {
+        let mut s = GaussianStream::new(7);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.sample()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn stream_seed_separates_domains_and_indices() {
+        let base = 0xDEAD_BEEF;
+        assert_ne!(stream_seed(base, 0, 5), stream_seed(base, 1, 5));
+        assert_ne!(stream_seed(base, 0, 5), stream_seed(base, 0, 6));
+        assert_ne!(stream_seed(base, 0, 5), stream_seed(base ^ 1, 0, 5));
+    }
+
+    #[test]
+    fn perturb_rows_is_partition_invariant() {
+        // One sequential pass over all rows vs. the same matrix split into
+        // contiguous row ranges: bit-identical output is the whole point of
+        // per-row streams.
+        let row_len = 7;
+        let rows = 12;
+        let base: Vec<f64> = (0..rows * row_len).map(|i| i as f64 * 0.25).collect();
+        let sigma = 1.75;
+        let seed = 0xABCD_EF01_2345_6789;
+        let domain = 3;
+
+        let mut want = base.clone();
+        let mut scratch = vec![0.0; row_len];
+        perturb_rows(seed, domain, sigma, row_len, 0, &mut want, &mut scratch);
+
+        for split in [1, 3, 5, 8, 11] {
+            let mut got = base.clone();
+            let (lo, hi) = got.split_at_mut(split * row_len);
+            perturb_rows(seed, domain, sigma, row_len, 0, lo, &mut scratch);
+            perturb_rows(seed, domain, sigma, row_len, split as u64, hi, &mut scratch);
+            let same = got
+                .iter()
+                .zip(&want)
+                .all(|(g, w)| g.to_bits() == w.to_bits());
+            assert!(same, "split at row {split} changed bits");
+        }
+    }
+
+    #[test]
+    fn perturb_rows_handles_short_final_row() {
+        // 3 full rows of 4 plus a trailing row of 2 (the bias tail case).
+        let mut v = vec![0.0; 14];
+        let mut scratch = vec![0.0; 4];
+        perturb_rows(99, 2, 1.0, 4, 10, &mut v, &mut scratch);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!(v.iter().any(|&x| x != 0.0));
+        // The tail row must match the head of the same stream's full row.
+        let mut full = vec![0.0; 4];
+        let mut stream = GaussianStream::new(stream_seed(99, 2, 13));
+        stream.fill(&mut full);
+        assert_eq!(v[12].to_bits(), full[0].to_bits());
+        assert_eq!(v[13].to_bits(), full[1].to_bits());
     }
 
     #[test]

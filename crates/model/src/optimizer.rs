@@ -10,8 +10,108 @@
 
 use serde::{Deserialize, Serialize};
 
+use plp_linalg::ops;
+
 use crate::error::ModelError;
 use crate::params::ModelParams;
+
+/// One chunk of an Adam update: `(params, m, v, update)` slices of equal
+/// length.
+type AdamJob<'a> = (&'a mut [f64], &'a mut [f64], &'a mut [f64], &'a [f64]);
+
+/// The element-wise Adam recurrence over one slab chunk. Shared by the
+/// sequential and threaded steps so the two paths cannot drift: the update
+/// is per-element, so any chunking of the slabs produces bit-identical
+/// parameters.
+#[allow(clippy::too_many_arguments)]
+fn adam_apply(
+    p: &mut [f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    u: &[f64],
+    b1: f64,
+    b2: f64,
+    bc1: f64,
+    bc2: f64,
+    lr: f64,
+    eps: f64,
+) {
+    for i in 0..p.len() {
+        m[i] = b1 * m[i] + (1.0 - b1) * u[i];
+        v[i] = b2 * v[i] + (1.0 - b2) * u[i] * u[i];
+        let mhat = m[i] / bc1;
+        let vhat = v[i] / bc2;
+        p[i] += lr * mhat / (vhat.sqrt() + eps);
+    }
+}
+
+/// Splits `(y, x)` into up to `parts` equal-length chunk pairs.
+fn push_chunks2<'a>(
+    y: &'a mut [f64],
+    x: &'a [f64],
+    parts: usize,
+    out: &mut Vec<(&'a mut [f64], &'a [f64])>,
+) {
+    let chunk = y.len().div_ceil(parts.max(1)).max(1);
+    for (yc, xc) in y.chunks_mut(chunk).zip(x.chunks(chunk)) {
+        out.push((yc, xc));
+    }
+}
+
+/// Splits an Adam slab quadruple into up to `parts` aligned chunk jobs.
+fn push_chunks4<'a>(
+    p: &'a mut [f64],
+    m: &'a mut [f64],
+    v: &'a mut [f64],
+    u: &'a [f64],
+    parts: usize,
+    out: &mut Vec<AdamJob<'a>>,
+) {
+    let chunk = p.len().div_ceil(parts.max(1)).max(1);
+    let iter = p
+        .chunks_mut(chunk)
+        .zip(m.chunks_mut(chunk))
+        .zip(v.chunks_mut(chunk))
+        .zip(u.chunks(chunk));
+    for (((pc, mc), vc), uc) in iter {
+        out.push((pc, mc, vc, uc));
+    }
+}
+
+/// Runs `f` over every job, fanning the jobs round-robin across `threads`
+/// crossbeam-scoped workers (sequentially when `threads ≤ 1` or there is at
+/// most one job). The jobs are element-wise and disjoint, so execution
+/// order cannot affect the result.
+fn run_chunk_jobs<J: Send, F: Fn(J) + Sync>(threads: usize, jobs: Vec<J>, f: F) {
+    if threads <= 1 || jobs.len() <= 1 {
+        for j in jobs {
+            f(j);
+        }
+        return;
+    }
+    let workers = threads.min(jobs.len());
+    let mut buckets: Vec<Vec<J>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, j) in jobs.into_iter().enumerate() {
+        buckets[i % workers].push(j);
+    }
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move |_| {
+                    for j in bucket {
+                        f(j);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("server update worker panicked");
+        }
+    })
+    .expect("server update thread scope");
+}
 
 /// Plain averaging server update: `θ ← θ + lr · ĝ` (lr = 1 reproduces
 /// Algorithm 1 literally).
@@ -42,6 +142,51 @@ impl ServerSgd {
     /// Shapes must match and the result must stay finite.
     pub fn step(&self, params: &mut ModelParams, update: &ModelParams) -> Result<(), ModelError> {
         params.axpy(self.learning_rate, update)?;
+        if !params.all_finite() {
+            return Err(ModelError::NonFinite {
+                at: "parameters after server sgd",
+            });
+        }
+        Ok(())
+    }
+
+    /// [`ServerSgd::step`] with the element-wise axpy fanned over `threads`
+    /// workers. The update is per-element, so the result is bit-identical
+    /// to the sequential step for every thread count; `threads ≤ 1` falls
+    /// back to the sequential path without spawning.
+    ///
+    /// # Errors
+    /// Shapes must match and the result must stay finite.
+    pub fn step_threaded(
+        &self,
+        params: &mut ModelParams,
+        update: &ModelParams,
+        threads: usize,
+    ) -> Result<(), ModelError> {
+        if threads <= 1 {
+            return self.step(params, update);
+        }
+        if !params.same_shape(update) {
+            return Err(ModelError::ShapeMismatch {
+                what: "ServerSgd step",
+            });
+        }
+        let lr = self.learning_rate;
+        let mut jobs: Vec<(&mut [f64], &[f64])> = Vec::new();
+        push_chunks2(
+            params.embedding.as_mut_slice(),
+            update.embedding.as_slice(),
+            threads,
+            &mut jobs,
+        );
+        push_chunks2(
+            params.context.as_mut_slice(),
+            update.context.as_slice(),
+            threads,
+            &mut jobs,
+        );
+        push_chunks2(&mut params.bias, &update.bias, threads, &mut jobs);
+        run_chunk_jobs(threads, jobs, |(y, x)| ops::axpy_unchecked(lr, x, y));
         if !params.all_finite() {
             return Err(ModelError::NonFinite {
                 at: "parameters after server sgd",
@@ -180,33 +325,107 @@ impl ServerAdam {
         let lr = self.learning_rate;
         let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
 
-        let apply = |p: &mut [f64], m: &mut [f64], v: &mut [f64], u: &[f64]| {
-            for i in 0..p.len() {
-                m[i] = b1 * m[i] + (1.0 - b1) * u[i];
-                v[i] = b2 * v[i] + (1.0 - b2) * u[i] * u[i];
-                let mhat = m[i] / bc1;
-                let vhat = v[i] / bc2;
-                p[i] += lr * mhat / (vhat.sqrt() + eps);
-            }
-        };
-        apply(
+        adam_apply(
             params.embedding.as_mut_slice(),
             self.m.embedding.as_mut_slice(),
             self.v.embedding.as_mut_slice(),
             update.embedding.as_slice(),
+            b1,
+            b2,
+            bc1,
+            bc2,
+            lr,
+            eps,
         );
-        apply(
+        adam_apply(
             params.context.as_mut_slice(),
             self.m.context.as_mut_slice(),
             self.v.context.as_mut_slice(),
             update.context.as_slice(),
+            b1,
+            b2,
+            bc1,
+            bc2,
+            lr,
+            eps,
         );
-        apply(
+        adam_apply(
             &mut params.bias,
             &mut self.m.bias,
             &mut self.v.bias,
             &update.bias,
+            b1,
+            b2,
+            bc1,
+            bc2,
+            lr,
+            eps,
         );
+
+        if !params.all_finite() {
+            return Err(ModelError::NonFinite {
+                at: "parameters after adam step",
+            });
+        }
+        Ok(())
+    }
+
+    /// [`ServerAdam::step`] with the element-wise recurrence fanned over
+    /// `threads` workers via the shared [`adam_apply`] kernel, so the
+    /// sequential and threaded paths run the exact same per-element float
+    /// operations and the result is bit-identical for every thread count.
+    /// `threads ≤ 1` falls back to the sequential step without spawning.
+    ///
+    /// # Errors
+    /// Shapes must match; the result must stay finite.
+    pub fn step_threaded(
+        &mut self,
+        params: &mut ModelParams,
+        update: &ModelParams,
+        threads: usize,
+    ) -> Result<(), ModelError> {
+        if threads <= 1 {
+            return self.step(params, update);
+        }
+        if !params.same_shape(update) || !params.same_shape(&self.m) {
+            return Err(ModelError::ShapeMismatch {
+                what: "ServerAdam step",
+            });
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let lr = self.learning_rate;
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+
+        let mut jobs: Vec<AdamJob> = Vec::new();
+        push_chunks4(
+            params.embedding.as_mut_slice(),
+            self.m.embedding.as_mut_slice(),
+            self.v.embedding.as_mut_slice(),
+            update.embedding.as_slice(),
+            threads,
+            &mut jobs,
+        );
+        push_chunks4(
+            params.context.as_mut_slice(),
+            self.m.context.as_mut_slice(),
+            self.v.context.as_mut_slice(),
+            update.context.as_slice(),
+            threads,
+            &mut jobs,
+        );
+        push_chunks4(
+            &mut params.bias,
+            &mut self.m.bias,
+            &mut self.v.bias,
+            &update.bias,
+            threads,
+            &mut jobs,
+        );
+        run_chunk_jobs(threads, jobs, |(p, m, v, u)| {
+            adam_apply(p, m, v, u, b1, b2, bc1, bc2, lr, eps)
+        });
 
         if !params.all_finite() {
             return Err(ModelError::NonFinite {
@@ -317,6 +536,75 @@ mod tests {
         restored.step(&mut p2, &u).unwrap();
         assert_eq!(p, p2, "restored optimizer must continue bit-identically");
         assert_eq!(adam.steps(), restored.steps());
+    }
+
+    fn ragged_delta(vocab: usize, dim: usize) -> ModelParams {
+        // Non-uniform values so a chunking bug cannot hide behind symmetry.
+        let mut d = ModelParams::zeros(vocab, dim);
+        for (i, x) in d.embedding.as_mut_slice().iter_mut().enumerate() {
+            *x = (i as f64 * 0.37).sin();
+        }
+        for (i, x) in d.context.as_mut_slice().iter_mut().enumerate() {
+            *x = (i as f64 * 0.11).cos();
+        }
+        for (i, x) in d.bias.iter_mut().enumerate() {
+            *x = i as f64 * 0.01 - 0.3;
+        }
+        d
+    }
+
+    #[test]
+    fn sgd_step_threaded_is_bit_identical_across_thread_counts() {
+        let sgd = ServerSgd::new(0.7).unwrap();
+        let u = ragged_delta(13, 5);
+        let mut want = ragged_delta(13, 5);
+        sgd.step(&mut want, &u).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let mut got = ragged_delta(13, 5);
+            sgd.step_threaded(&mut got, &u, threads).unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn adam_step_threaded_is_bit_identical_across_thread_counts() {
+        // Multi-step: any drift in (t, m, v) state would compound.
+        let u = ragged_delta(13, 5);
+        let mut ref_params = ModelParams::zeros(13, 5);
+        let mut ref_adam = ServerAdam::new(&ref_params, 0.05).unwrap();
+        for _ in 0..6 {
+            ref_adam.step(&mut ref_params, &u).unwrap();
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let mut p = ModelParams::zeros(13, 5);
+            let mut adam = ServerAdam::new(&p, 0.05).unwrap();
+            for _ in 0..6 {
+                adam.step_threaded(&mut p, &u, threads).unwrap();
+            }
+            assert_eq!(p, ref_params, "params, threads={threads}");
+            assert_eq!(adam.steps(), ref_adam.steps());
+            let (_, m, v) = adam.state();
+            let (_, rm, rv) = ref_adam.state();
+            assert_eq!(m, rm, "m state, threads={threads}");
+            assert_eq!(v, rv, "v state, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn step_threaded_validates_like_sequential() {
+        let mut p = ModelParams::zeros(2, 2);
+        let wrong = ModelParams::zeros(3, 2);
+        let sgd = ServerSgd::new(1.0).unwrap();
+        assert!(sgd.step_threaded(&mut p, &wrong, 4).is_err());
+        let mut adam = ServerAdam::new(&p, 0.1).unwrap();
+        assert!(adam.step_threaded(&mut p, &wrong, 4).is_err());
+        assert_eq!(adam.steps(), 0, "failed step must not be counted");
+        let mut u = ModelParams::zeros(2, 2);
+        u.bias[0] = f64::NAN;
+        assert!(matches!(
+            sgd.step_threaded(&mut p, &u, 4),
+            Err(ModelError::NonFinite { .. })
+        ));
     }
 
     #[test]

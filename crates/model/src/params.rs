@@ -126,6 +126,31 @@ impl ModelParams {
         self.embedding.all_finite() && self.context.all_finite() && ops::all_finite(&self.bias)
     }
 
+    /// The three tensors as flat mutable slabs with their row lengths:
+    /// `[(W, dim), (W′, dim), (B′, bias_chunk)]`.
+    ///
+    /// This is the row-range view the threaded noise phase partitions over:
+    /// each slab is a sequence of rows (the bias vector is chunked into
+    /// pseudo-rows of `bias_chunk` elements, the last possibly shorter) that
+    /// can be split at any row boundary and handed to different workers.
+    ///
+    /// # Panics
+    /// `bias_chunk` must be ≥ 1.
+    pub fn row_slabs_mut(&mut self, bias_chunk: usize) -> [(&mut [f64], usize); 3] {
+        assert!(bias_chunk >= 1, "bias_chunk must be >= 1");
+        let dim = self.dim();
+        let ModelParams {
+            embedding,
+            context,
+            bias,
+        } = self;
+        [
+            (embedding.as_mut_slice(), dim),
+            (context.as_mut_slice(), dim),
+            (bias.as_mut_slice(), bias_chunk),
+        ]
+    }
+
     /// A copy of the embedding matrix with rows normalised to unit length —
     /// what gets deployed to devices (§3.2: "the embedded vectors are
     /// normalized to unit length"; §3.3 footnote: "only the embedding matrix

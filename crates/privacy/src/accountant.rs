@@ -218,9 +218,10 @@ impl MomentsAccountant {
             // One compose per step (not one scaled compose per entry) so a
             // restored accountant's floating-point state exactly matches an
             // uninterrupted run's.
-            let curve = acc.step_curve(e.q, e.noise_multiplier)?;
+            acc.refresh_step_curve(e.q, e.noise_multiplier)?;
+            let (_, _, curve) = acc.cached_step.as_ref().expect("cache just refreshed");
             for _ in 0..e.steps {
-                acc.total.compose(&curve)?;
+                acc.total.compose(curve)?;
             }
             acc.steps += e.steps;
         }
@@ -243,15 +244,20 @@ impl MomentsAccountant {
         &self.ledger
     }
 
-    fn step_curve(&mut self, q: f64, sigma: f64) -> Result<RdpCurve, PrivacyError> {
-        if let Some((cq, cs, curve)) = &self.cached_step {
-            if *cq == q && *cs == sigma {
-                return Ok(curve.clone());
-            }
+    /// Ensures `cached_step` holds the per-step RDP curve for `(q, sigma)`.
+    ///
+    /// Recomputing the subsampled-Gaussian log-moments is O(max_order²)
+    /// log-space work; a training loop calls the accountant with the same
+    /// `(q, σ)` every step, so after the first step both the budget peek and
+    /// the step itself reduce to O(max_order) vector passes over the cached
+    /// curve — no recompute and no clone.
+    fn refresh_step_curve(&mut self, q: f64, sigma: f64) -> Result<(), PrivacyError> {
+        if matches!(&self.cached_step, Some((cq, cs, _)) if *cq == q && *cs == sigma) {
+            return Ok(());
         }
         let curve = RdpCurve::subsampled_gaussian_step(q, sigma, self.max_order)?;
-        self.cached_step = Some((q, sigma, curve.clone()));
-        Ok(curve)
+        self.cached_step = Some((q, sigma, curve));
+        Ok(())
     }
 
     /// Accounts one subsampled-Gaussian step.
@@ -259,8 +265,9 @@ impl MomentsAccountant {
     /// # Errors
     /// `q` must lie in `[0, 1]`; `sigma` must be finite and positive.
     pub fn step(&mut self, q: f64, sigma: f64) -> Result<(), PrivacyError> {
-        let curve = self.step_curve(q, sigma)?;
-        self.total.compose(&curve)?;
+        self.refresh_step_curve(q, sigma)?;
+        let (_, _, curve) = self.cached_step.as_ref().expect("cache just refreshed");
+        self.total.compose(curve)?;
         self.steps += 1;
         self.ledger.track(q, sigma)?;
         Ok(())
@@ -278,6 +285,9 @@ impl MomentsAccountant {
     /// ε after a *hypothetical* additional step — lets a trainer decide
     /// whether the next step would overshoot the budget before taking it.
     ///
+    /// Clone-free: evaluated via [`RdpCurve::epsilon_composed_with`], which
+    /// is bit-identical to materialising the composed curve.
+    ///
     /// # Errors
     /// Same parameter requirements as [`MomentsAccountant::step`].
     pub fn epsilon_after_hypothetical_step(
@@ -285,10 +295,9 @@ impl MomentsAccountant {
         q: f64,
         sigma: f64,
     ) -> Result<f64, PrivacyError> {
-        let curve = self.step_curve(q, sigma)?;
-        let mut peek = self.total.clone();
-        peek.compose(&curve)?;
-        peek.epsilon(self.delta)
+        self.refresh_step_curve(q, sigma)?;
+        let (_, _, curve) = self.cached_step.as_ref().expect("cache just refreshed");
+        self.total.epsilon_composed_with(curve, self.delta)
     }
 
     /// Returns an error if the accumulated ε has reached `budget.epsilon`
@@ -382,6 +391,40 @@ mod tests {
         // Taking the real step lands exactly on the peeked value.
         acc.step(0.06, 2.5).unwrap();
         assert!((acc.epsilon().unwrap() - peek).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_fast_path_matches_uncached_reference_over_500_steps() {
+        // The accountant memoises the per-(q, σ) step curve; the reference
+        // below recomputes it from scratch every step and materialises the
+        // hypothetical composition. Both the budget peek and the post-step ε
+        // must agree bit-for-bit on every one of 500 steps, across a (q, σ)
+        // change that invalidates the cache mid-run.
+        let delta = 2e-4;
+        let max_order = 64; // smaller grid keeps the uncached reference fast
+        let mut acc = MomentsAccountant::with_max_order(delta, max_order).unwrap();
+        let mut ref_total = RdpCurve::zero(max_order).unwrap();
+        for step in 0..500u64 {
+            let (q, sigma) = if step < 250 { (0.06, 2.5) } else { (0.10, 1.5) };
+
+            let ref_curve = RdpCurve::subsampled_gaussian_step(q, sigma, max_order).unwrap();
+            let ref_peek = {
+                let mut peek = ref_total.clone();
+                peek.compose(&ref_curve).unwrap();
+                peek.epsilon(delta).unwrap()
+            };
+            let peek = acc.epsilon_after_hypothetical_step(q, sigma).unwrap();
+            assert_eq!(peek.to_bits(), ref_peek.to_bits(), "peek at step {step}");
+
+            acc.step(q, sigma).unwrap();
+            ref_total.compose(&ref_curve).unwrap();
+            assert_eq!(
+                acc.epsilon().unwrap().to_bits(),
+                ref_total.epsilon(delta).unwrap().to_bits(),
+                "epsilon at step {step}"
+            );
+        }
+        assert_eq!(acc.steps(), 500);
     }
 
     #[test]

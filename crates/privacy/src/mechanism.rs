@@ -9,7 +9,7 @@
 
 use rand::{Rng, RngExt};
 
-use plp_linalg::sample::NormalSampler;
+use plp_linalg::sample::{self, NormalSampler};
 
 use crate::budget::PrivacyBudget;
 use crate::error::PrivacyError;
@@ -92,6 +92,13 @@ impl GaussianMechanism {
     /// Adds `N(0, (σC)²)` noise to every coordinate of `v` in place —
     /// the vector Gaussian mechanism. Every coordinate is perturbed,
     /// including zeros: DP requires noise on the whole output vector.
+    ///
+    /// The internal Box–Muller sampler is one stream across consecutive
+    /// `perturb`/`perturb_scalar` calls (see the stream contract in
+    /// `plp_linalg::sample`); call [`GaussianMechanism::reset_stream`] at
+    /// phase/step boundaries so a cached spare cannot couple logically
+    /// independent releases. [`GaussianMechanism::perturb_rows`] needs no
+    /// reset — every row there has its own counter-seeded stream.
     pub fn perturb<R: Rng + ?Sized>(&mut self, rng: &mut R, v: &mut [f64]) {
         let std = self.noise_std();
         self.sampler.perturb(rng, std, v);
@@ -100,6 +107,44 @@ impl GaussianMechanism {
     /// Returns a noisy copy of the scalar `x`.
     pub fn perturb_scalar<R: Rng + ?Sized>(&mut self, rng: &mut R, x: f64) -> f64 {
         x + self.sampler.sample_scaled(rng, self.noise_std())
+    }
+
+    /// Ends the internal sampler's current stream, dropping any cached
+    /// Box–Muller spare — call at every stream boundary when using the
+    /// RNG-backed [`GaussianMechanism::perturb`] path.
+    pub fn reset_stream(&mut self) {
+        self.sampler.reset();
+    }
+
+    /// Adds `N(0, (σC)²)` noise to `data` — consecutive rows of length
+    /// `row_len`, the first of which has absolute index `first_row` within
+    /// `domain` — using one counter-seeded Gaussian stream per row (see
+    /// `plp_linalg::sample::perturb_rows`).
+    ///
+    /// Because every row's noise depends only on
+    /// `(noise_seed, domain, row index)`, callers may partition a parameter
+    /// matrix into arbitrary contiguous row ranges and perturb the ranges on
+    /// any threads in any order: the output is bit-identical to a sequential
+    /// pass. Takes `&self` — no sampler state is shared between rows, calls,
+    /// or threads. `scratch` must hold at least `row_len` elements.
+    pub fn perturb_rows(
+        &self,
+        noise_seed: u64,
+        domain: u64,
+        row_len: usize,
+        first_row: u64,
+        data: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        sample::perturb_rows(
+            noise_seed,
+            domain,
+            self.noise_std(),
+            row_len,
+            first_row,
+            data,
+            scratch,
+        );
     }
 }
 
@@ -203,6 +248,63 @@ mod tests {
         assert!(v.iter().all(|&x| x != 0.0), "zeros must also receive noise");
         let y = m.perturb_scalar(&mut rng, 10.0);
         assert!(y != 10.0);
+    }
+
+    #[test]
+    fn reset_stream_drops_cached_spare() {
+        // One scalar release caches a Box–Muller spare. Without a reset the
+        // next release consumes it; after a reset the mechanism draws fresh
+        // uniforms exactly like a new mechanism over the same RNG state.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = GaussianMechanism::new(1.0, 1.0).unwrap();
+        let _ = m.perturb_scalar(&mut rng, 0.0);
+
+        let mut leaky = m.clone();
+        let leaked = leaky.perturb_scalar(&mut rng.clone(), 0.0);
+
+        let mut fresh_rng = rng.clone();
+        m.reset_stream();
+        let after_reset = m.perturb_scalar(&mut rng, 0.0);
+        let mut fresh = GaussianMechanism::new(1.0, 1.0).unwrap();
+        let fresh_next = fresh.perturb_scalar(&mut fresh_rng, 0.0);
+
+        assert_eq!(after_reset.to_bits(), fresh_next.to_bits());
+        assert_ne!(leaked.to_bits(), after_reset.to_bits());
+    }
+
+    #[test]
+    fn perturb_rows_is_partition_invariant_and_scaled() {
+        let m = GaussianMechanism::new(2.0, 0.5).unwrap();
+        let row_len = 5;
+        let rows = 8;
+        let base = vec![1.0; rows * row_len];
+        let mut scratch = vec![0.0; row_len];
+
+        let mut want = base.clone();
+        m.perturb_rows(77, 1, row_len, 0, &mut want, &mut scratch);
+
+        // Split into three ranges, perturbed out of order.
+        let mut got = base.clone();
+        let (head, rest) = got.split_at_mut(2 * row_len);
+        let (mid, tail) = rest.split_at_mut(3 * row_len);
+        m.perturb_rows(77, 1, row_len, 5, tail, &mut scratch);
+        m.perturb_rows(77, 1, row_len, 0, head, &mut scratch);
+        m.perturb_rows(77, 1, row_len, 2, mid, &mut scratch);
+        assert!(got
+            .iter()
+            .zip(&want)
+            .all(|(g, w)| g.to_bits() == w.to_bits()));
+
+        // Noise std is σ·C: check the empirical variance on a larger slab.
+        let mut big = vec![0.0; 100_000];
+        let mut s = vec![0.0; 64];
+        m.perturb_rows(123, 0, 64, 0, &mut big, &mut s);
+        let var = big.iter().map(|x| x * x).sum::<f64>() / big.len() as f64;
+        let expected = m.noise_std() * m.noise_std();
+        assert!(
+            (var - expected).abs() < 0.05 * expected,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

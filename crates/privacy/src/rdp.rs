@@ -200,6 +200,42 @@ impl RdpCurve {
         Ok(eps)
     }
 
+    /// ε of `self` composed with one more `extra` curve, without
+    /// materialising the composed curve.
+    ///
+    /// Bit-identical to `clone` + [`RdpCurve::compose`] + [`RdpCurve::epsilon`]:
+    /// each order contributes `((a + b) + log(1/δ)) / λ`, the exact
+    /// floating-point operation order of the three-call sequence, so the
+    /// training loop's per-step budget peek can use this clone-free path
+    /// while staying bitwise on the slow path's ε trajectory.
+    ///
+    /// # Errors
+    /// The curves must track the same orders and `delta` must lie in
+    /// `(0, 1)`.
+    pub fn epsilon_composed_with(&self, extra: &RdpCurve, delta: f64) -> Result<f64, PrivacyError> {
+        if self.log_moments.len() != extra.log_moments.len() {
+            return Err(PrivacyError::Unsatisfiable {
+                reason: "cannot compose RDP curves over different order grids",
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                expected: "in (0, 1)",
+            });
+        }
+        let log_inv_delta = (1.0 / delta).ln();
+        let eps = self
+            .log_moments
+            .iter()
+            .zip(&extra.log_moments)
+            .enumerate()
+            .map(|(i, (&a, &b))| ((a + b) + log_inv_delta) / (i + 1) as f64)
+            .fold(f64::INFINITY, f64::min);
+        Ok(eps)
+    }
+
     /// The moment order achieving the minimum in [`RdpCurve::epsilon`].
     ///
     /// Useful diagnostics: if the optimal order sits at the grid edge, the
@@ -320,6 +356,31 @@ mod tests {
             assert!(eps > eps_prev, "eps must grow with steps");
             eps_prev = eps;
         }
+    }
+
+    #[test]
+    fn epsilon_composed_with_is_bitwise_equal_to_clone_compose_epsilon() {
+        let step = RdpCurve::subsampled_gaussian_step(0.06, 2.5, 255).unwrap();
+        let mut total = RdpCurve::zero(255).unwrap();
+        for _ in 0..300 {
+            let want = {
+                let mut peek = total.clone();
+                peek.compose(&step).unwrap();
+                peek.epsilon(2e-4).unwrap()
+            };
+            let got = total.epsilon_composed_with(&step, 2e-4).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits());
+            total.compose(&step).unwrap();
+        }
+    }
+
+    #[test]
+    fn epsilon_composed_with_validates_inputs() {
+        let a = RdpCurve::zero(8).unwrap();
+        let b = RdpCurve::zero(16).unwrap();
+        assert!(a.epsilon_composed_with(&b, 1e-5).is_err());
+        assert!(a.epsilon_composed_with(&a, 0.0).is_err());
+        assert!(a.epsilon_composed_with(&a, 1.0).is_err());
     }
 
     #[test]

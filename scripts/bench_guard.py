@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Bench regression guard for the training-throughput report.
+
+Reads a BENCH_train*.json produced by the `train_throughput` binary and
+fails (exit 1) if:
+
+  * the benchmark itself recorded a failed check (`all_checks_passed`), or
+  * any run's noise + server_update wall-clock share exceeds the
+    threshold — the dense phases regressing back towards the
+    single-stream sampler would show up here first.
+
+Usage: bench_guard.py REPORT.json [MAX_SHARE]
+
+MAX_SHARE is a fraction (default 0.35). It is deliberately generous:
+smoke runs time only a handful of steps, so this guards against the
+dense phases swallowing the step, not against millisecond jitter. The
+threads=4-beats-threads=1 share comparison is enforced by
+train_throughput itself on full runs.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(f"usage: {sys.argv[0]} REPORT.json [MAX_SHARE]", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    max_share = float(sys.argv[2]) if len(sys.argv) > 2 else 0.35
+
+    with open(path) as f:
+        report = json.load(f)
+
+    ok = True
+    if not report.get("all_checks_passed", False):
+        print(f"FAIL {path}: benchmark reported all_checks_passed=false")
+        ok = False
+
+    runs = report.get("runs", [])
+    if not runs:
+        print(f"FAIL {path}: no runs recorded")
+        ok = False
+    for run in runs:
+        threads = run.get("threads")
+        share = run.get("noise_server_share")
+        if share is None:
+            print(f"FAIL threads={threads}: report has no noise_server_share")
+            ok = False
+            continue
+        verdict = "PASS" if share <= max_share else "FAIL"
+        print(
+            f"{verdict} threads={threads}: noise+server share "
+            f"{share * 100.0:.2f}% (limit {max_share * 100.0:.0f}%)"
+        )
+        ok &= share <= max_share
+
+    print("bench_guard:", "ok" if ok else "REGRESSION")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

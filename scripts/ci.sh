@@ -30,6 +30,9 @@ echo "== training-throughput smoke (thread-count invariance) =="
 cargo run --release -p plp-bench --bin train_throughput -- --smoke \
   --out target/BENCH_train_smoke.json
 
+echo "== bench guard (noise+server_update share threshold) =="
+python3 scripts/bench_guard.py target/BENCH_train_smoke.json 0.35
+
 echo "== observability smoke (phase spans, budget gauge, JSONL log) =="
 cargo run --release -p plp-bench --bin obs_report -- --smoke \
   --out target/BENCH_obs_smoke.json --log target/BENCH_obs_events.jsonl
