@@ -29,6 +29,7 @@ use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use plp_data::frame::{checked_frame_len, crc32};
 use plp_model::optimizer::{ServerAdam, ServerSgd};
 use plp_model::params::ModelParams;
 use plp_model::snapshot;
@@ -156,22 +157,6 @@ pub fn config_fingerprint(hp: &Hyperparameters, vocab_size: usize) -> Result<u64
     Ok(h)
 }
 
-/// CRC-32 (IEEE 802.3, reflected) over `data`.
-fn crc32(data: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in data {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let lsb = crc & 1;
-            crc >>= 1;
-            if lsb == 1 {
-                crc ^= 0xEDB8_8320;
-            }
-        }
-    }
-    !crc
-}
-
 fn put_blob(buf: &mut BytesMut, blob: &Bytes) {
     buf.put_u64_le(blob.len() as u64);
     buf.put_slice(blob.as_ref());
@@ -184,8 +169,10 @@ fn get_blob(data: &mut Bytes) -> Result<Bytes, CoreError> {
         });
     }
     let len = data.get_u64_le();
-    let len = usize::try_from(len).map_err(|_| CoreError::CheckpointCorrupt {
-        what: "blob length overflow",
+    // Shared frame ceiling: a garbled blob length fails explicitly instead
+    // of driving a huge slice request.
+    let len = checked_frame_len(len).ok_or(CoreError::CheckpointCorrupt {
+        what: "blob length over max frame size",
     })?;
     if data.remaining() < len {
         return Err(CoreError::CheckpointCorrupt {

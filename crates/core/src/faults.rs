@@ -5,14 +5,22 @@
 //! [`FaultPlan`] is installed. Decisions are pure functions of
 //! `(plan seed, fault kind, step, index)`, so a faulty run is exactly
 //! reproducible: re-running with the same plan poisons the same buckets
-//! and corrupts the same checkpoint writes.
+//! and corrupts the same checkpoint writes — and a federated cohort
+//! replays the same worker stalls, exits and garbled frames no matter how
+//! buckets are partitioned across workers (see the purity property tests).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
 
 /// Which faults to inject, and how often.
 ///
 /// All rates are probabilities in `[0, 1]` evaluated independently per
 /// decision point (per bucket for delta/panic faults, per checkpoint write
-/// for storage faults).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// for storage faults, per worker incarnation or reply for the federated
+/// worker faults). Install a plan with [`FaultInjector::try_with_plan`],
+/// which validates every rate up front.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed of the injector's deterministic decision stream.
     pub seed: u64,
@@ -25,6 +33,22 @@ pub struct FaultPlan {
     /// Probability a checkpoint write has one bit flipped (silent
     /// corruption).
     pub bitflip_write_rate: f64,
+    /// Probability a federated worker stalls (sleeps) before answering a
+    /// round, evaluated per `(step, worker incarnation)`.
+    pub worker_stall_rate: f64,
+    /// How long a stalling worker sleeps, in milliseconds. Drills set this
+    /// beyond the coordinator's round deadline so the straggler path fires
+    /// deterministically.
+    pub worker_stall_ms: u64,
+    /// Probability a federated worker exits mid-round (simulated crash),
+    /// evaluated per `(step, worker incarnation)`.
+    pub worker_exit_rate: f64,
+    /// Probability a federated worker corrupts one byte of a reply frame
+    /// (after sealing its CRC), evaluated per `(step, reply sequence)`.
+    pub corrupt_frame_rate: f64,
+    /// Probability a federated worker sends a reply frame twice,
+    /// evaluated per `(step, reply sequence)`.
+    pub duplicate_reply_rate: f64,
 }
 
 impl FaultPlan {
@@ -36,7 +60,46 @@ impl FaultPlan {
             panic_rate: 0.0,
             truncate_write_rate: 0.0,
             bitflip_write_rate: 0.0,
+            worker_stall_rate: 0.0,
+            worker_stall_ms: 0,
+            worker_exit_rate: 0.0,
+            corrupt_frame_rate: 0.0,
+            duplicate_reply_rate: 0.0,
         }
+    }
+
+    /// Every `(name, value)` rate field, for validation and diagnostics.
+    fn rates(&self) -> [(&'static str, f64); 8] {
+        [
+            ("nan_delta_rate", self.nan_delta_rate),
+            ("panic_rate", self.panic_rate),
+            ("truncate_write_rate", self.truncate_write_rate),
+            ("bitflip_write_rate", self.bitflip_write_rate),
+            ("worker_stall_rate", self.worker_stall_rate),
+            ("worker_exit_rate", self.worker_exit_rate),
+            ("corrupt_frame_rate", self.corrupt_frame_rate),
+            ("duplicate_reply_rate", self.duplicate_reply_rate),
+        ]
+    }
+
+    /// Validates that every rate is finite and in `[0, 1]`.
+    ///
+    /// A NaN rate would make every Bernoulli comparison false (silently
+    /// inert), and a rate above 1 or below 0 misrepresents what the drill
+    /// exercises — both are configuration bugs, caught at install time.
+    ///
+    /// # Errors
+    /// [`CoreError::BadConfig`] naming the first out-of-domain rate.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (name, rate) in self.rates() {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(CoreError::BadConfig {
+                    name,
+                    expected: "a finite probability in [0, 1]",
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -74,6 +137,10 @@ const KIND_NAN: u64 = 1;
 const KIND_PANIC: u64 = 2;
 const KIND_TRUNCATE: u64 = 3;
 const KIND_BITFLIP: u64 = 4;
+const KIND_STALL: u64 = 5;
+const KIND_EXIT: u64 = 6;
+const KIND_FRAME: u64 = 7;
+const KIND_DUP: u64 = 8;
 
 impl FaultInjector {
     /// The default injector: never injects anything.
@@ -82,20 +149,36 @@ impl FaultInjector {
     }
 
     /// An injector following `plan`.
+    ///
+    /// # Panics
+    /// Panics if the plan fails [`FaultPlan::validate`]; use
+    /// [`FaultInjector::try_with_plan`] to handle invalid plans as a typed
+    /// error instead.
     pub fn with_plan(plan: FaultPlan) -> Self {
-        FaultInjector { plan: Some(plan) }
+        FaultInjector::try_with_plan(plan).expect("invalid FaultPlan")
+    }
+
+    /// An injector following `plan`, validating it at install time.
+    ///
+    /// # Errors
+    /// [`CoreError::BadConfig`] naming the first rate that is not a finite
+    /// probability in `[0, 1]`.
+    pub fn try_with_plan(plan: FaultPlan) -> Result<Self, CoreError> {
+        plan.validate()?;
+        Ok(FaultInjector { plan: Some(plan) })
+    }
+
+    /// The installed plan, if any (federated coordinators forward it to
+    /// worker processes so both sides draw from the same decision stream).
+    pub fn plan(&self) -> Option<FaultPlan> {
+        self.plan
     }
 
     /// `true` iff this injector can never fire.
     pub fn is_inert(&self) -> bool {
         match self.plan {
             None => true,
-            Some(p) => {
-                p.nan_delta_rate <= 0.0
-                    && p.panic_rate <= 0.0
-                    && p.truncate_write_rate <= 0.0
-                    && p.bitflip_write_rate <= 0.0
-            }
+            Some(p) => p.rates().iter().all(|&(_, r)| r <= 0.0),
         }
     }
 
@@ -143,6 +226,43 @@ impl FaultInjector {
             });
         }
         None
+    }
+
+    /// Should the worker incarnation answering `step` stall before
+    /// replying? Returns the stall duration in milliseconds when it fires.
+    ///
+    /// Keyed on the *incarnation* (a coordinator-wide counter bumped on
+    /// every spawn), not the worker slot: a respawned replacement draws a
+    /// fresh decision, so a stall can never wedge a slot forever.
+    pub fn stall_worker(&self, step: u64, incarnation: u64) -> Option<u64> {
+        let plan = self.plan?;
+        self.draw(KIND_STALL, step, incarnation, plan.worker_stall_rate)
+            .map(|_| plan.worker_stall_ms)
+    }
+
+    /// Should the worker incarnation answering `step` exit mid-round
+    /// (simulated `kill -9`)? Keyed on the incarnation like
+    /// [`FaultInjector::stall_worker`], so the respawned replacement
+    /// survives to answer the retry.
+    pub fn exit_worker(&self, step: u64, incarnation: u64) -> bool {
+        let rate = self.plan.map_or(0.0, |p| p.worker_exit_rate);
+        self.draw(KIND_EXIT, step, incarnation, rate).is_some()
+    }
+
+    /// Should reply number `seq` of `step` be corrupted after its CRC was
+    /// sealed? Returns a hash the worker maps to a byte offset. Keyed on
+    /// the worker's monotone reply sequence number, so the re-requested
+    /// reply draws a fresh decision instead of corrupting forever.
+    pub fn corrupt_reply_frame(&self, step: u64, seq: u64) -> Option<u64> {
+        let rate = self.plan.map_or(0.0, |p| p.corrupt_frame_rate);
+        self.draw(KIND_FRAME, step, seq, rate)
+    }
+
+    /// Should reply number `seq` of `step` be sent twice? The coordinator
+    /// must treat the duplicate as idempotent.
+    pub fn duplicate_reply(&self, step: u64, seq: u64) -> bool {
+        let rate = self.plan.map_or(0.0, |p| p.duplicate_reply_rate);
+        self.draw(KIND_DUP, step, seq, rate).is_some()
     }
 
     /// Applies [`FaultInjector::checkpoint_write_fault`] to a serialized
@@ -223,6 +343,84 @@ mod tests {
     }
 
     #[test]
+    fn install_time_validation_rejects_bad_rates() {
+        let bad_values = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1, 1.1];
+        type Setter = fn(&mut FaultPlan, f64);
+        let setters: [(&str, Setter); 8] = [
+            ("nan_delta_rate", |p, v| p.nan_delta_rate = v),
+            ("panic_rate", |p, v| p.panic_rate = v),
+            ("truncate_write_rate", |p, v| p.truncate_write_rate = v),
+            ("bitflip_write_rate", |p, v| p.bitflip_write_rate = v),
+            ("worker_stall_rate", |p, v| p.worker_stall_rate = v),
+            ("worker_exit_rate", |p, v| p.worker_exit_rate = v),
+            ("corrupt_frame_rate", |p, v| p.corrupt_frame_rate = v),
+            ("duplicate_reply_rate", |p, v| p.duplicate_reply_rate = v),
+        ];
+        for (name, set) in setters {
+            for v in bad_values {
+                let mut plan = FaultPlan::quiet(1);
+                set(&mut plan, v);
+                match FaultInjector::try_with_plan(plan) {
+                    Err(crate::error::CoreError::BadConfig { name: got, .. }) => {
+                        assert_eq!(got, name, "wrong field blamed for {v}");
+                    }
+                    other => panic!("{name}={v} must be rejected, got {other:?}"),
+                }
+            }
+        }
+        // Boundary values are legal, and a valid plan installs.
+        let mut plan = FaultPlan::quiet(1);
+        plan.nan_delta_rate = 1.0;
+        plan.worker_stall_rate = 0.0;
+        assert!(FaultInjector::try_with_plan(plan).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FaultPlan")]
+    fn with_plan_panics_on_invalid_rates() {
+        let _ = FaultInjector::with_plan(FaultPlan {
+            panic_rate: f64::NAN,
+            ..FaultPlan::quiet(2)
+        });
+    }
+
+    #[test]
+    fn worker_faults_fire_deterministically_and_independently() {
+        let plan = FaultPlan {
+            worker_stall_rate: 0.5,
+            worker_stall_ms: 750,
+            worker_exit_rate: 0.5,
+            corrupt_frame_rate: 0.5,
+            duplicate_reply_rate: 0.5,
+            ..FaultPlan::quiet(21)
+        };
+        let inj = FaultInjector::with_plan(plan);
+        assert!(!inj.is_inert());
+        let stalls: Vec<bool> = (0..128).map(|i| inj.stall_worker(3, i).is_some()).collect();
+        let exits: Vec<bool> = (0..128).map(|i| inj.exit_worker(3, i)).collect();
+        let frames: Vec<bool> = (0..128)
+            .map(|i| inj.corrupt_reply_frame(3, i).is_some())
+            .collect();
+        let dups: Vec<bool> = (0..128).map(|i| inj.duplicate_reply(3, i)).collect();
+        assert_ne!(stalls, exits, "kinds must not share one decision stream");
+        assert_ne!(exits, frames);
+        assert_ne!(frames, dups);
+        for v in [&stalls, &exits, &frames, &dups] {
+            let fired = v.iter().filter(|&&x| x).count();
+            assert!((30..100).contains(&fired), "rate 0.5 of 128, got {fired}");
+        }
+        // The stall carries the configured duration, and replays exactly.
+        let first_stall = (0..128).find(|&i| stalls[i as usize]).unwrap();
+        assert_eq!(inj.stall_worker(3, first_stall), Some(750));
+        // A quiet plan never fires a worker fault.
+        let quiet = FaultInjector::with_plan(FaultPlan::quiet(21));
+        assert!((0..64).all(|i| quiet.stall_worker(3, i).is_none()
+            && !quiet.exit_worker(3, i)
+            && quiet.corrupt_reply_frame(3, i).is_none()
+            && !quiet.duplicate_reply(3, i)));
+    }
+
+    #[test]
     fn write_faults_stay_in_bounds() {
         let plan = FaultPlan {
             truncate_write_rate: 0.5,
@@ -246,5 +444,112 @@ mod tests {
             inj.checkpoint_write_fault(1, 0).is_none(),
             "empty write has no fault"
         );
+    }
+}
+
+#[cfg(test)]
+mod purity_props {
+    //! Property tests: every injector decision is a pure function of
+    //! `(plan seed, fault kind, step, index)`. Purity is what makes fault
+    //! schedules replayable across runs *and* invariant to how work is
+    //! partitioned across federated workers — a bucket keeps its fault no
+    //! matter which worker (or how many workers) ends up computing it.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn plan_from(seed: u64, a: f64, b: f64, c: f64) -> FaultPlan {
+        FaultPlan {
+            nan_delta_rate: a,
+            panic_rate: b,
+            worker_stall_rate: c,
+            worker_stall_ms: 100,
+            worker_exit_rate: a,
+            corrupt_frame_rate: b,
+            duplicate_reply_rate: c,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// Every decision the injector can make for one `(step, index)` point,
+    /// flattened into a comparable vector.
+    fn decisions_at(inj: &FaultInjector, step: u64, index: u64) -> Vec<bool> {
+        vec![
+            inj.poison_delta(step, index as usize),
+            inj.panic_bucket(step, index as usize),
+            inj.stall_worker(step, index).is_some(),
+            inj.exit_worker(step, index),
+            inj.corrupt_reply_frame(step, index).is_some(),
+            inj.duplicate_reply(step, index),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn same_plan_replays_identical_schedules(
+            seed in 0u64..u64::MAX,
+            ra in 0.0f64..=1.0,
+            rb in 0.0f64..=1.0,
+            rc in 0.0f64..=1.0,
+            step in 0u64..1000,
+            index in 0u64..256,
+        ) {
+            let plan = plan_from(seed, ra, rb, rc);
+            let a = FaultInjector::try_with_plan(plan).unwrap();
+            let b = FaultInjector::try_with_plan(plan).unwrap();
+            // Two independent injectors agree, and repeated queries of one
+            // injector agree with themselves (no hidden mutable state).
+            prop_assert_eq!(decisions_at(&a, step, index), decisions_at(&b, step, index));
+            prop_assert_eq!(decisions_at(&a, step, index), decisions_at(&a, step, index));
+        }
+
+        #[test]
+        fn schedules_are_invariant_to_worker_partitioning(
+            seed in 0u64..u64::MAX,
+            ra in 0.0f64..=1.0,
+            rb in 0.0f64..=1.0,
+            rc in 0.0f64..=1.0,
+            step in 0u64..100,
+            workers in 1usize..8,
+        ) {
+            let inj = FaultInjector::try_with_plan(plan_from(seed, ra, rb, rc)).unwrap();
+            // Reference schedule: evaluate 64 decision points in order.
+            let reference: Vec<Vec<bool>> =
+                (0..64).map(|i| decisions_at(&inj, step, i)).collect();
+            // Partitioned schedule: each "worker" evaluates only its strided
+            // share, interleaved worker-by-worker (a different call order and
+            // grouping than the reference). The union must match exactly.
+            let mut partitioned: Vec<Option<Vec<bool>>> = vec![None; 64];
+            for w in 0..workers {
+                for i in (0..64u64).filter(|i| *i as usize % workers == w) {
+                    partitioned[i as usize] = Some(decisions_at(&inj, step, i));
+                }
+            }
+            for (i, got) in partitioned.into_iter().enumerate() {
+                prop_assert_eq!(got.unwrap(), reference[i].clone());
+            }
+        }
+
+        #[test]
+        fn distinct_seeds_or_steps_decorrelate(
+            seed in 0u64..u64::MAX - 1,
+            step in 0u64..1000,
+        ) {
+            let plan = FaultPlan {
+                nan_delta_rate: 0.5,
+                ..FaultPlan::quiet(seed)
+            };
+            let a = FaultInjector::try_with_plan(plan).unwrap();
+            let b = FaultInjector::try_with_plan(FaultPlan { seed: seed + 1, ..plan }).unwrap();
+            let at = |inj: &FaultInjector, s: u64| -> Vec<bool> {
+                (0..256).map(|i| inj.poison_delta(s, i)).collect()
+            };
+            // Not a hard guarantee per draw, but over 256 draws two streams
+            // colliding bit-for-bit would indicate a broken mix.
+            prop_assert!(at(&a, step) != at(&b, step), "seed must steer the stream");
+            prop_assert!(at(&a, step) != at(&a, step + 1), "step must steer the stream");
+        }
     }
 }

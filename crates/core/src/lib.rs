@@ -60,5 +60,7 @@ pub mod telemetry;
 pub use config::{Hyperparameters, ServerOptimizer};
 pub use error::CoreError;
 pub use plp::{
-    resume_plp, train_plp, train_plp_resumable, CheckpointPolicy, PlpOutcome, TrainOptions,
+    resume_plp, resume_plp_with_executor, train_plp, train_plp_resumable, train_plp_with_executor,
+    BucketExecutor, BucketRunner, BucketUpdate, CheckpointPolicy, LocalExecutor, PlpOutcome,
+    TrainOptions,
 };

@@ -144,11 +144,22 @@ fn step_rng(run_seed: u64, step: u64) -> StdRng {
 }
 
 /// One bucket's contribution to the Gaussian sum query.
-struct BucketUpdate {
-    index: usize,
-    grad: SparseGrad,
-    mean_loss: f64,
-    clipped: bool,
+///
+/// Public so alternative [`BucketExecutor`]s (the federated coordinator)
+/// can reconstruct updates computed in another process; the fields are
+/// exactly what crosses the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketUpdate {
+    /// The bucket's position in the step's bucket list. Updates are
+    /// aggregated in ascending index order, which is what makes the
+    /// floating-point sum independent of who computed each bucket.
+    pub index: usize,
+    /// The clipped local-SGD delta Φ − θ.
+    pub grad: SparseGrad,
+    /// Mean local training loss over the bucket's pairs (telemetry only).
+    pub mean_loss: f64,
+    /// Whether per-layer clipping actually rescaled the delta.
+    pub clipped: bool,
 }
 
 /// Per-bucket phase histograms, resolved once per step and shared by all
@@ -349,6 +360,105 @@ fn compute_bucket_updates(
     Ok((updates, skipped))
 }
 
+/// Computes single bucket updates outside the training loop — the worker
+/// side of the federated protocol. Wraps the same scratch buffers and
+/// panic barrier as the in-process path, so a bucket computed through a
+/// runner in another process is bit-identical to one computed inline: the
+/// result is a pure function of `(θ, bucket, step_seed, index)`.
+#[derive(Default)]
+pub struct BucketRunner {
+    scratch: BucketScratch,
+}
+
+impl BucketRunner {
+    /// A runner with fresh scratch buffers (they grow on first use and are
+    /// reused across buckets).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the update for the bucket at global position `index` in
+    /// step `step`'s bucket list. `Ok(None)` means the bucket was dropped
+    /// (injected panic or non-finite delta) — the caller must fold it into
+    /// the DP-safe skipped count, exactly like the in-process path.
+    ///
+    /// # Errors
+    /// Systematic errors (bad config, shape mismatch) propagate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_bucket(
+        &mut self,
+        theta: &ModelParams,
+        bucket: &Bucket,
+        hp: &Hyperparameters,
+        step: u64,
+        step_seed: u64,
+        index: usize,
+        faults: &FaultInjector,
+        obs: &Observer,
+    ) -> Result<Option<BucketUpdate>, CoreError> {
+        let ctx = BucketCtx {
+            step,
+            step_seed,
+            faults,
+            phases: BucketPhases::resolve(obs),
+        };
+        guarded_bucket_update(theta, bucket, hp, index, &ctx, &mut self.scratch)
+    }
+}
+
+/// The seam between the training loop and whoever computes bucket updates.
+///
+/// [`run_loop`]-based trainers own everything *around* the buckets —
+/// sampling, grouping, noise, the server update, accounting and
+/// checkpointing — and delegate only lines 7–8 of Algorithm 1 through this
+/// trait. An executor must return, for the given `(θ, buckets, step_seed,
+/// step)`, updates sorted by ascending bucket index plus the number of
+/// dropped buckets; because each bucket's result is a pure function of
+/// `(θ, bucket, step_seed, index)`, any executor that computes the same
+/// buckets — in process, on threads, or across worker processes — yields a
+/// bit-identical training trajectory. Dropping extra buckets (e.g. a
+/// worker that died past its retry budget) is DP-safe but changes the
+/// trained bits, exactly like an in-process poisoned bucket.
+pub trait BucketExecutor {
+    /// Computes the surviving bucket updates for one step.
+    ///
+    /// # Errors
+    /// Systematic failures (config, shape, I/O in distributed
+    /// implementations) propagate and abort training.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_step(
+        &mut self,
+        theta: &ModelParams,
+        buckets: &[Bucket],
+        hp: &Hyperparameters,
+        step_seed: u64,
+        step: u64,
+        faults: &FaultInjector,
+        obs: &Observer,
+    ) -> Result<(Vec<BucketUpdate>, usize), CoreError>;
+}
+
+/// The in-process executor: buckets run on `hp.threads` worker threads in
+/// this process. This is the reference implementation every alternative
+/// executor must match bit-for-bit.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalExecutor;
+
+impl BucketExecutor for LocalExecutor {
+    fn execute_step(
+        &mut self,
+        theta: &ModelParams,
+        buckets: &[Bucket],
+        hp: &Hyperparameters,
+        step_seed: u64,
+        step: u64,
+        faults: &FaultInjector,
+        obs: &Observer,
+    ) -> Result<(Vec<BucketUpdate>, usize), CoreError> {
+        compute_bucket_updates(theta, buckets, hp, step_seed, step, faults, obs)
+    }
+}
+
 enum Server {
     Sgd(ServerSgd),
     Adam(Box<ServerAdam>),
@@ -535,10 +645,27 @@ pub fn train_plp_resumable(
     hp: &Hyperparameters,
     opts: &TrainOptions,
 ) -> Result<PlpOutcome, CoreError> {
+    train_plp_with_executor(run_seed, train, validation, hp, opts, &mut LocalExecutor)
+}
+
+/// [`train_plp_resumable`] with an explicit [`BucketExecutor`] — the entry
+/// point distributed trainers build on. With [`LocalExecutor`] this *is*
+/// `train_plp_resumable`.
+///
+/// # Errors
+/// As [`train_plp_resumable`], plus whatever the executor surfaces.
+pub fn train_plp_with_executor(
+    run_seed: u64,
+    train: &TokenizedDataset,
+    validation: Option<&TokenizedDataset>,
+    hp: &Hyperparameters,
+    opts: &TrainOptions,
+    executor: &mut dyn BucketExecutor,
+) -> Result<PlpOutcome, CoreError> {
     hp.validate()?;
     check_dataset(train)?;
     let state = TrainerState::fresh(run_seed, train, hp)?;
-    run_loop(state, train, validation, hp, opts)
+    run_loop(state, train, validation, hp, opts, executor)
 }
 
 /// Resumes a run from a decoded checkpoint. The result (parameters,
@@ -555,6 +682,23 @@ pub fn resume_plp(
     hp: &Hyperparameters,
     opts: &TrainOptions,
 ) -> Result<PlpOutcome, CoreError> {
+    resume_plp_with_executor(ckpt, train, validation, hp, opts, &mut LocalExecutor)
+}
+
+/// [`resume_plp`] with an explicit [`BucketExecutor`]: a coordinator that
+/// crashed mid-run restores the v2 checkpoint and continues distributing
+/// buckets, bit-identical to the uninterrupted run.
+///
+/// # Errors
+/// As [`resume_plp`], plus whatever the executor surfaces.
+pub fn resume_plp_with_executor(
+    ckpt: TrainingCheckpoint,
+    train: &TokenizedDataset,
+    validation: Option<&TokenizedDataset>,
+    hp: &Hyperparameters,
+    opts: &TrainOptions,
+    executor: &mut dyn BucketExecutor,
+) -> Result<PlpOutcome, CoreError> {
     hp.validate()?;
     check_dataset(train)?;
     let state = TrainerState::from_checkpoint(ckpt, train, hp)?;
@@ -562,7 +706,7 @@ pub fn resume_plp(
         "checkpoint_resumed",
         json!({ "step": state.step, "run_seed": state.run_seed }),
     );
-    run_loop(state, train, validation, hp, opts)
+    run_loop(state, train, validation, hp, opts, executor)
 }
 
 fn check_dataset(train: &TokenizedDataset) -> Result<(), CoreError> {
@@ -581,6 +725,7 @@ fn run_loop(
     validation: Option<&TokenizedDataset>,
     hp: &Hyperparameters,
     opts: &TrainOptions,
+    executor: &mut dyn BucketExecutor,
 ) -> Result<PlpOutcome, CoreError> {
     let num_users = train.num_users();
     let omega = hp.split_factor;
@@ -678,7 +823,7 @@ fn run_loop(
         // Lines 7-8, 15-22: per-bucket clipped deltas, each behind a panic
         // barrier; poisoned buckets are dropped (DP-safe, see module docs).
         let step_seed: u64 = rng.random();
-        let (updates, skipped) = compute_bucket_updates(
+        let (updates, skipped) = executor.execute_step(
             &state.params,
             &buckets,
             hp,

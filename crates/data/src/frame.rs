@@ -1,0 +1,76 @@
+//! Shared length-prefixed frame discipline.
+//!
+//! Every binary surface of the workspace — dataset snapshots
+//! ([`crate::io`]), model snapshots (`plp-model`), the `PLPC` training
+//! checkpoint (`plp-core`) and the federated coordinator/worker IPC
+//! (`plp-fed`) — reads length-prefixed payloads from untrusted bytes. Two
+//! rules apply everywhere:
+//!
+//! 1. **No unbounded allocation from a length prefix.** A garbled length
+//!    must fail with an explicit oversize error *before* any allocation is
+//!    attempted; [`MAX_FRAME_BYTES`] is the single shared ceiling.
+//! 2. **Integrity before trust.** Frames that cross a process boundary
+//!    carry a [`crc32`] footer checked before any field is decoded.
+
+/// Hard ceiling on any single length-prefixed allocation (1 GiB).
+///
+/// Far above any legitimate payload this workspace produces (the largest
+/// is a full-parameter checkpoint of a 10⁷-location model, ≈ 100 MB), yet
+/// small enough that a corrupted length prefix fails fast with a typed
+/// error instead of attempting an absurd allocation and aborting.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Checks a claimed payload length against [`MAX_FRAME_BYTES`].
+///
+/// Returns the length as `usize` when acceptable; `None` when the claim
+/// exceeds the ceiling (or does not fit in `usize`). Callers convert
+/// `None` into their own typed error naming the decoder.
+pub fn checked_frame_len(claimed: u64) -> Option<usize> {
+    let len = usize::try_from(claimed).ok()?;
+    (len <= MAX_FRAME_BYTES).then_some(len)
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+///
+/// The one CRC used by every framed format in the workspace: the `PLPC`
+/// checkpoint footer and the federated IPC frames share this exact
+/// polynomial, so a frame sealed by one layer can be verified by another.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb == 1 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn frame_len_ceiling_is_enforced() {
+        assert_eq!(checked_frame_len(0), Some(0));
+        assert_eq!(checked_frame_len(1024), Some(1024));
+        assert_eq!(
+            checked_frame_len(MAX_FRAME_BYTES as u64),
+            Some(MAX_FRAME_BYTES)
+        );
+        assert_eq!(checked_frame_len(MAX_FRAME_BYTES as u64 + 1), None);
+        assert_eq!(checked_frame_len(u64::MAX), None);
+    }
+}

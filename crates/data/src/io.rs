@@ -153,6 +153,16 @@ pub fn decode_binary(mut data: Bytes) -> Result<CheckInDataset, DataError> {
         .ok_or_else(|| DataError::Invalid {
             what: "binary snapshot count overflow".into(),
         })?;
+    // A garbled count claiming a body beyond the shared frame ceiling
+    // fails here explicitly instead of attempting a huge allocation.
+    if crate::frame::checked_frame_len(body as u64).is_none() {
+        return Err(DataError::Invalid {
+            what: format!(
+                "binary snapshot claims {body} bytes, over the {} max frame size",
+                crate::frame::MAX_FRAME_BYTES
+            ),
+        });
+    }
     if data.remaining() < body {
         return Err(DataError::Invalid {
             what: "binary snapshot truncated body".into(),
@@ -260,6 +270,22 @@ mod tests {
         let mut raw = bytes.to_vec();
         raw[4] = 99;
         assert!(decode_binary(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn oversized_length_claim_fails_with_max_frame_error() {
+        let ds = sample();
+        let bytes = encode_binary(&ds);
+        let mut raw = bytes.to_vec();
+        // Claim ~u64::MAX check-ins: the count survives usize conversion on
+        // 64-bit hosts, so only the frame ceiling stands between the claim
+        // and a monster allocation.
+        raw[9..17].copy_from_slice(&(u64::MAX >> 8).to_le_bytes());
+        let err = decode_binary(Bytes::from(raw)).unwrap_err();
+        assert!(
+            err.to_string().contains("max frame size"),
+            "expected a max-frame-size diagnostic, got: {err}"
+        );
     }
 
     #[test]

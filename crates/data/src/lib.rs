@@ -28,6 +28,7 @@
 pub mod checkin;
 pub mod dataset;
 pub mod error;
+pub mod frame;
 pub mod generator;
 pub mod grouping;
 pub mod io;

@@ -1,0 +1,16 @@
+//! Dedicated federated worker binary.
+//!
+//! Speaks the `plp-fed` frame protocol on stdin/stdout and nothing else.
+//! The coordinator sets `PLP_FED_WORKER=1` when spawning; running this
+//! binary by hand without it prints a hint instead of blocking on a
+//! protocol nobody is speaking.
+
+fn main() {
+    plp_fed::maybe_run_worker();
+    eprintln!(
+        "plp_fed_worker: not spawned by a coordinator (set {}=1 and speak \
+         the frame protocol on stdin/stdout)",
+        plp_fed::WORKER_ENV
+    );
+    std::process::exit(2);
+}

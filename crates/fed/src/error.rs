@@ -1,0 +1,95 @@
+//! Error type of the federated layer.
+
+use std::fmt;
+
+use plp_core::CoreError;
+
+/// Errors surfaced by the federated coordinator and worker codecs.
+///
+/// Recoverable conditions (a torn frame, a dead worker) are handled
+/// *inside* the coordinator's retry machinery and never reach this type;
+/// what escapes here is systemic: malformed protocol state, spawn
+/// failures, or training errors from the core layer.
+#[derive(Debug)]
+pub enum FedError {
+    /// A core training error (configuration, model, privacy, ...).
+    Core(CoreError),
+    /// An operating-system level failure (spawn, pipe write).
+    Io(std::io::Error),
+    /// A well-framed message whose payload does not decode.
+    Decode {
+        /// What failed to decode.
+        what: String,
+    },
+    /// The peer violated the round protocol.
+    Protocol {
+        /// The violation.
+        what: String,
+    },
+}
+
+impl fmt::Display for FedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedError::Core(e) => write!(f, "core error: {e}"),
+            FedError::Io(e) => write!(f, "io error: {e}"),
+            FedError::Decode { what } => write!(f, "decode error: {what}"),
+            FedError::Protocol { what } => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {}
+
+impl From<CoreError> for FedError {
+    fn from(e: CoreError) -> Self {
+        FedError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for FedError {
+    fn from(e: std::io::Error) -> Self {
+        FedError::Io(e)
+    }
+}
+
+impl From<FedError> for CoreError {
+    /// Collapses a federated failure into the core error space so a
+    /// [`plp_core::plp::BucketExecutor`] implementation can surface it
+    /// through the training loop.
+    fn from(e: FedError) -> Self {
+        match e {
+            FedError::Core(c) => c,
+            other => CoreError::Io {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FedError = CoreError::BadConfig {
+            name: "workers",
+            expected: ">= 1",
+        }
+        .into();
+        assert!(e.to_string().contains("workers"));
+        let back: CoreError = e.into();
+        assert!(matches!(back, CoreError::BadConfig { .. }));
+
+        let io: FedError = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone").into();
+        let core: CoreError = io.into();
+        assert!(matches!(core, CoreError::Io { .. }));
+        assert!(core.to_string().contains("gone"));
+
+        let d = FedError::Decode {
+            what: "reply header".into(),
+        };
+        assert!(d.to_string().contains("reply header"));
+    }
+}

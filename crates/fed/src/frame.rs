@@ -1,0 +1,211 @@
+//! Length-prefixed, CRC-guarded frames over byte streams.
+//!
+//! Wire layout, little-endian throughout:
+//!
+//! ```text
+//! [u32 len] [u8 kind] [payload ...] [u32 crc32(kind ‖ payload)]
+//! ```
+//!
+//! `len` counts everything after itself (kind + payload + CRC), so a
+//! reader always knows how many bytes to consume and stays aligned even
+//! when a frame's *content* is garbled: a payload bit-flip fails the CRC
+//! check but leaves the stream decodable, which is what lets the
+//! coordinator re-request a corrupted reply instead of tearing the
+//! connection down. The length ceiling and CRC polynomial are shared with
+//! the dataset/snapshot codecs ([`plp_data::frame`]) — one frame
+//! discipline across every byte boundary in the system.
+
+use std::io::{ErrorKind, Read, Write};
+
+use plp_data::frame::{checked_frame_len, crc32, MAX_FRAME_BYTES};
+
+/// Smallest legal `len` value: a kind byte plus the CRC footer.
+const MIN_BODY: usize = 5;
+
+/// One read attempt's outcome, classified by how the coordinator must
+/// react.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A frame that passed its integrity checks.
+    Frame {
+        /// Message kind byte.
+        kind: u8,
+        /// Message payload.
+        payload: Vec<u8>,
+    },
+    /// A well-delimited frame whose CRC failed: the stream is still
+    /// aligned, the content is garbage. Recoverable by re-request.
+    Corrupt {
+        /// The failed check.
+        what: String,
+    },
+    /// End of stream — the peer closed the pipe (clean exit or crash) or
+    /// the framing itself became unrecoverable (impossible length claim).
+    Closed,
+}
+
+/// Encodes one frame into a standalone byte vector.
+///
+/// # Panics
+/// Panics if the payload would exceed [`MAX_FRAME_BYTES`]; callers
+/// (model snapshots, bucket lists) are bounded far below the ceiling.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let body = 1 + payload.len() + 4;
+    assert!(
+        checked_frame_len(body as u64).is_some(),
+        "frame body of {body} bytes exceeds the {MAX_FRAME_BYTES}-byte ceiling"
+    );
+    let mut out = Vec::with_capacity(4 + body);
+    out.extend_from_slice(&(body as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Writes one frame and flushes, so the peer never waits on a buffered
+/// partial message.
+///
+/// # Errors
+/// Propagates pipe write failures.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_frame(kind, payload))?;
+    w.flush()
+}
+
+/// Reads exactly `buf.len()` bytes; `Ok(false)` means the stream ended
+/// before the first byte (a clean boundary), errors mean it ended inside.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, classifying every failure mode a hostile pipe can
+/// produce. Never panics and never over-allocates: a length claim beyond
+/// [`MAX_FRAME_BYTES`] is rejected before any buffer is sized from it.
+pub fn read_frame_event(r: &mut impl Read) -> FrameEvent {
+    let mut len_bytes = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_bytes) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return FrameEvent::Closed,
+    }
+    let body = u32::from_le_bytes(len_bytes) as usize;
+    if body < MIN_BODY || checked_frame_len(body as u64).is_none() {
+        // An insane length means the stream itself is desynchronised;
+        // there is no way to find the next frame boundary, so this pipe
+        // is done (the coordinator responds by respawning the worker).
+        return FrameEvent::Closed;
+    }
+    let mut frame = vec![0u8; body];
+    match read_exact_or_eof(r, &mut frame) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return FrameEvent::Closed,
+    }
+    let (content, crc_bytes) = frame.split_at(body - 4);
+    let claimed = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    let actual = crc32(content);
+    if claimed != actual {
+        return FrameEvent::Corrupt {
+            what: format!("crc mismatch: stored {claimed:#010x}, computed {actual:#010x}"),
+        };
+    }
+    FrameEvent::Frame {
+        kind: content[0],
+        payload: content[1..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_preserves_kind_and_payload() {
+        let payload = vec![7u8, 0, 255, 42];
+        let bytes = encode_frame(3, &payload);
+        let mut cur = Cursor::new(bytes);
+        match read_frame_event(&mut cur) {
+            FrameEvent::Frame { kind, payload: p } => {
+                assert_eq!(kind, 3);
+                assert_eq!(p, payload);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert_eq!(read_frame_event(&mut cur), FrameEvent::Closed);
+    }
+
+    #[test]
+    fn empty_payload_frames_are_legal() {
+        let bytes = encode_frame(9, &[]);
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(
+            read_frame_event(&mut cur),
+            FrameEvent::Frame {
+                kind: 9,
+                payload: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn payload_bitflip_is_detected_and_stream_stays_aligned() {
+        let mut stream = encode_frame(1, b"first");
+        let first_len = stream.len();
+        stream.extend_from_slice(&encode_frame(2, b"second"));
+        // Flip a payload byte of the first frame only.
+        stream[6] ^= 0x10;
+        let mut cur = Cursor::new(stream);
+        assert!(matches!(
+            read_frame_event(&mut cur),
+            FrameEvent::Corrupt { .. }
+        ));
+        assert_eq!(cur.position() as usize, first_len, "aligned to next frame");
+        // The second frame still decodes — the pipe survives the garbling.
+        match read_frame_event(&mut cur) {
+            FrameEvent::Frame { kind, payload } => {
+                assert_eq!(kind, 2);
+                assert_eq!(payload, b"second");
+            }
+            other => panic!("expected second frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_insane_lengths_close_the_stream() {
+        let bytes = encode_frame(1, b"payload");
+        // Torn mid-frame.
+        let mut cur = Cursor::new(bytes[..bytes.len() - 3].to_vec());
+        assert_eq!(read_frame_event(&mut cur), FrameEvent::Closed);
+        // Torn mid-length-prefix.
+        let mut cur = Cursor::new(bytes[..2].to_vec());
+        assert_eq!(read_frame_event(&mut cur), FrameEvent::Closed);
+        // A length claim over the shared ceiling must not allocate.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&[0u8; 16]);
+        let mut cur = Cursor::new(huge);
+        assert_eq!(read_frame_event(&mut cur), FrameEvent::Closed);
+        // A length below the minimum body is equally unrecoverable.
+        let mut tiny = Vec::new();
+        tiny.extend_from_slice(&2u32.to_le_bytes());
+        tiny.extend_from_slice(&[0u8; 8]);
+        let mut cur = Cursor::new(tiny);
+        assert_eq!(read_frame_event(&mut cur), FrameEvent::Closed);
+    }
+}

@@ -1,0 +1,43 @@
+//! Fault-tolerant multi-process federated training.
+//!
+//! `plp-fed` runs the paper's federated-averaging loop across worker
+//! *processes*: a coordinator implements the trainer's
+//! [`BucketExecutor`](plp_core::BucketExecutor) seam, fans each step's
+//! sampled buckets out to N workers over length-prefixed, CRC-guarded
+//! pipes, and reduces the per-bucket deltas in fixed order. Because the
+//! loop around the seam is the very same code the single-process trainer
+//! runs and bucket updates are pure functions of `(θ, bucket, step_seed,
+//! index)`, the distributed run is **bit-identical** — parameters, RDP
+//! ledger and ε — to `train_plp` on one process.
+//!
+//! Robustness is the point, not an afterthought:
+//!
+//! - per-round worker deadlines with straggler kills ([`retry`]),
+//! - bounded retry/respawn with exponential backoff,
+//! - CRC-rejected garbled frames re-requested over the still-aligned
+//!   pipe ([`frame`]),
+//! - duplicate and stale replies de-duplicated by
+//!   `(incarnation, step, attempt)` keys,
+//! - workers that exhaust their retry budget dropped into the trainer's
+//!   DP-safe skipped-bucket semantics — fixed `q·W/λ` denominator,
+//!   unchanged σ and RDP charge ([`coordinator`]),
+//! - coordinator crash recovery via the ordinary `PLPC` checkpoint
+//!   (resume with a `FedExecutor` and the run continues bit-exact).
+//!
+//! Worker-level fault injection (stalls, mid-round exits, corrupted and
+//! duplicated reply frames) lives in `plp_core::faults` and is hosted by
+//! [`worker`]; the `fed_chaos` drill binary in `plp-bench` proves the
+//! recovery paths end-to-end.
+
+pub mod coordinator;
+pub mod error;
+pub mod frame;
+pub mod protocol;
+pub mod retry;
+pub mod worker;
+
+pub use coordinator::{FedConfig, FedExecutor, RoundStats};
+pub use error::FedError;
+pub use frame::{encode_frame, read_frame_event, write_frame, FrameEvent};
+pub use retry::RetryPolicy;
+pub use worker::{maybe_run_worker, worker_main, WORKER_ENV};

@@ -1,0 +1,127 @@
+//! The coordinator's deadline/retry state machine, as pure functions.
+//!
+//! Every scheduling decision — how long to wait for a worker, how long to
+//! back off before a respawn, whether a slot still has retry budget — is
+//! computed here from plain integers, with no clocks or I/O, so the state
+//! machine is unit-testable and its behaviour documentable:
+//!
+//! ```text
+//!            ┌────────────── reply ok ──────────────► DONE
+//!            │
+//!  SENT ─────┤─ crc-corrupt reply ──► re-request (same process, retry+1)
+//!            │
+//!            ├─ deadline expired ──► kill, backoff, respawn, resend
+//!            │                        (straggler, retry+1)
+//!            ├─ pipe closed ───────► backoff, respawn, resend (retry+1)
+//!            │
+//!            └─ retries exhausted ─► DROPPED: the slot's buckets join the
+//!                                    DP-safe skipped set for this step
+//! ```
+//!
+//! Deadlines stretch and backoff grows exponentially with the retry
+//! count (both capped), so a struggling machine gets progressively more
+//! slack before its work is abandoned.
+
+/// Retry/deadline knobs for one coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Base per-round deadline for a worker's reply, in milliseconds.
+    pub deadline_ms: u64,
+    /// Retries per worker per round (respawns and re-requests both
+    /// count). `0` means a single attempt with no second chances.
+    pub max_retries: u32,
+    /// Base backoff before a respawn, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// Growth factors are capped at 2⁶ so a misconfigured retry count can
+/// never push a deadline or backoff into the hours.
+const MAX_GROWTH_SHIFT: u32 = 6;
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline_ms: 10_000,
+            max_retries: 3,
+            backoff_ms: 20,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deadline for the attempt after `retries` failures: the base
+    /// deadline, doubled per retry (capped), so stragglers that were
+    /// killed once get more slack on their second chance.
+    pub fn deadline_for(&self, retries: u32) -> u64 {
+        self.deadline_ms
+            .saturating_mul(1u64 << retries.min(MAX_GROWTH_SHIFT))
+    }
+
+    /// Backoff to sleep before respawning after `retries` failures:
+    /// exponential from the base (capped). The first failure retries
+    /// immediately-ish; repeat offenders wait longer.
+    pub fn backoff_for(&self, retries: u32) -> u64 {
+        self.backoff_ms
+            .saturating_mul(1u64 << retries.min(MAX_GROWTH_SHIFT))
+    }
+
+    /// Whether a slot that has already failed `retries` times may try
+    /// again, or must drop its buckets.
+    pub fn may_retry(&self, retries: u32) -> bool {
+        retries < self.max_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_grow_exponentially_and_cap() {
+        let p = RetryPolicy {
+            deadline_ms: 100,
+            max_retries: 50,
+            backoff_ms: 10,
+        };
+        assert_eq!(p.deadline_for(0), 100);
+        assert_eq!(p.deadline_for(1), 200);
+        assert_eq!(p.deadline_for(3), 800);
+        assert_eq!(p.deadline_for(6), 6_400);
+        assert_eq!(p.deadline_for(7), 6_400, "growth caps at 2^6");
+        assert_eq!(p.deadline_for(u32::MAX), 6_400);
+    }
+
+    #[test]
+    fn backoff_grows_and_never_overflows() {
+        let p = RetryPolicy {
+            deadline_ms: 1,
+            max_retries: 3,
+            backoff_ms: u64::MAX / 2,
+        };
+        assert_eq!(p.backoff_for(0), u64::MAX / 2);
+        assert_eq!(p.backoff_for(5), u64::MAX, "saturates, never panics");
+        let q = RetryPolicy {
+            backoff_ms: 20,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(q.backoff_for(0), 20);
+        assert_eq!(q.backoff_for(2), 80);
+    }
+
+    #[test]
+    fn retry_budget_is_exact() {
+        let p = RetryPolicy {
+            deadline_ms: 1,
+            max_retries: 2,
+            backoff_ms: 1,
+        };
+        assert!(p.may_retry(0));
+        assert!(p.may_retry(1));
+        assert!(!p.may_retry(2), "the budget is max_retries attempts");
+        let none = RetryPolicy {
+            max_retries: 0,
+            ..p
+        };
+        assert!(!none.may_retry(0), "zero budget means one shot only");
+    }
+}

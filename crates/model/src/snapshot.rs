@@ -42,6 +42,13 @@ fn get_matrix(data: &mut Bytes) -> Result<Matrix, ModelError> {
         .ok_or(ModelError::ShapeMismatch {
             what: "snapshot matrix dims overflow",
         })?;
+    // Shared frame ceiling: a garbled dimension pair claiming a tensor
+    // beyond MAX_FRAME_BYTES is rejected before any allocation.
+    if plp_data::frame::checked_frame_len((len as u64).saturating_mul(8)).is_none() {
+        return Err(ModelError::ShapeMismatch {
+            what: "snapshot matrix over max frame size",
+        });
+    }
     if data.remaining() < len * 8 {
         return Err(ModelError::ShapeMismatch {
             what: "snapshot truncated (matrix body)",
@@ -101,6 +108,11 @@ pub fn decode_params(mut data: Bytes) -> Result<ModelParams, ModelError> {
         });
     }
     let blen = data.get_u32_le() as usize;
+    if plp_data::frame::checked_frame_len((blen as u64).saturating_mul(8)).is_none() {
+        return Err(ModelError::ShapeMismatch {
+            what: "snapshot bias over max frame size",
+        });
+    }
     if data.remaining() < blen * 8 {
         return Err(ModelError::ShapeMismatch {
             what: "snapshot truncated (bias body)",
@@ -232,6 +244,27 @@ mod tests {
         // Full snapshot is not a deployment bundle and vice versa.
         assert!(decode_deployable(encode_params(&p)).is_err());
         assert!(decode_params(encode_deployable(&p)).is_err());
+    }
+
+    #[test]
+    fn oversized_dim_claims_hit_the_frame_ceiling() {
+        let p = params();
+        let bytes = encode_params(&p);
+        // Rewrite the embedding dims to claim a ~2^31-element matrix whose
+        // byte size clears MAX_FRAME_BYTES without overflowing usize.
+        let mut raw = bytes.to_vec();
+        raw[5..9].copy_from_slice(&0x0001_0000u32.to_le_bytes());
+        raw[9..13].copy_from_slice(&0x0001_0000u32.to_le_bytes());
+        let err = decode_params(Bytes::from(raw)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ModelError::ShapeMismatch {
+                    what: "snapshot matrix over max frame size"
+                }
+            ),
+            "got: {err:?}"
+        );
     }
 
     #[test]

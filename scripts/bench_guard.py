@@ -4,12 +4,18 @@
 Reads a BENCH_train*.json produced by the `train_throughput` binary and
 fails (exit 1) if:
 
+  * the report is missing, unreadable, malformed JSON, or structurally
+    wrong (not an object, runs not a list, shares not numbers) — a
+    broken report must never pass silently, or
   * the benchmark itself recorded a failed check (`all_checks_passed`), or
   * any run's noise + server_update wall-clock share exceeds the
     threshold — the dense phases regressing back towards the
     single-stream sampler would show up here first.
 
 Usage: bench_guard.py REPORT.json [MAX_SHARE]
+
+Exit codes: 0 all checks pass, 1 regression or malformed report,
+2 usage error.
 
 MAX_SHARE is a fraction (default 0.35). It is deliberately generous:
 smoke runs time only a handful of steps, so this guards against the
@@ -22,30 +28,66 @@ import json
 import sys
 
 
+def fail(path: str, why: str) -> int:
+    print(f"FAIL {path}: {why}", file=sys.stderr)
+    print("bench_guard: MALFORMED REPORT", file=sys.stderr)
+    return 1
+
+
 def main() -> int:
     if len(sys.argv) < 2:
         print(f"usage: {sys.argv[0]} REPORT.json [MAX_SHARE]", file=sys.stderr)
         return 2
     path = sys.argv[1]
-    max_share = float(sys.argv[2]) if len(sys.argv) > 2 else 0.35
+    try:
+        max_share = float(sys.argv[2]) if len(sys.argv) > 2 else 0.35
+    except ValueError:
+        print(f"usage: MAX_SHARE must be a number, got {sys.argv[2]!r}", file=sys.stderr)
+        return 2
+    if not 0.0 < max_share <= 1.0:
+        print(f"usage: MAX_SHARE must be in (0, 1], got {max_share}", file=sys.stderr)
+        return 2
 
-    with open(path) as f:
-        report = json.load(f)
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        return fail(path, f"cannot read report: {e}")
+    except json.JSONDecodeError as e:
+        return fail(path, f"not valid JSON (line {e.lineno}, column {e.colno}): {e.msg}")
+
+    if not isinstance(report, dict):
+        return fail(path, f"report must be a JSON object, got {type(report).__name__}")
 
     ok = True
+    if "all_checks_passed" not in report:
+        return fail(path, "missing required key 'all_checks_passed'")
     if not report.get("all_checks_passed", False):
         print(f"FAIL {path}: benchmark reported all_checks_passed=false")
         ok = False
 
-    runs = report.get("runs", [])
+    if "runs" not in report:
+        return fail(path, "missing required key 'runs'")
+    runs = report["runs"]
+    if not isinstance(runs, list):
+        return fail(path, f"'runs' must be a list, got {type(runs).__name__}")
     if not runs:
         print(f"FAIL {path}: no runs recorded")
         ok = False
-    for run in runs:
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            return fail(path, f"runs[{i}] must be an object, got {type(run).__name__}")
         threads = run.get("threads")
         share = run.get("noise_server_share")
         if share is None:
-            print(f"FAIL threads={threads}: report has no noise_server_share")
+            print(f"FAIL runs[{i}] (threads={threads}): missing key 'noise_server_share'")
+            ok = False
+            continue
+        if not isinstance(share, (int, float)) or isinstance(share, bool):
+            print(
+                f"FAIL runs[{i}] (threads={threads}): noise_server_share must be "
+                f"a number, got {share!r}"
+            )
             ok = False
             continue
         verdict = "PASS" if share <= max_share else "FAIL"

@@ -23,6 +23,9 @@ cargo test --workspace -q
 echo "== chaos drill (crash-safety smoke) =="
 cargo run --release -p plp-bench --bin chaos
 
+echo "== fed_chaos drill (multi-process federated smoke) =="
+cargo run --release -p plp-bench --bin fed_chaos -- --smoke
+
 echo "== serve load-generator smoke (batched == sequential) =="
 cargo run --release -p plp-bench --bin serve_load -- --smoke --out target/BENCH_serve_smoke.json
 
