@@ -234,6 +234,7 @@ fn main() -> ExitCode {
             max_batch: 32,
             workers: 4,
             cache_capacity: 1024,
+            ann: None,
         },
         observer.clone(),
     )

@@ -1,34 +1,50 @@
 //! Serving load generator: replays held-out test sequences through the
 //! batched `plp-serve` engine, asserts the batched results are
 //! bit-identical to the sequential `Recommender` path, and reports
-//! throughput/latency/cache telemetry per batch size.
+//! throughput/latency/cache telemetry per batch size. A second section
+//! scales the vocabulary to a generated 100k-location city and
+//! cross-checks the IVF ANN path against the exhaustive scan: recall@10,
+//! speedup, worker invariance, and `nprobe = cells` bit-identity.
 //!
 //! Usage:
 //!   cargo run --release -p plp-bench --bin serve_load            # full run
 //!   cargo run --release -p plp-bench --bin serve_load -- --smoke # CI smoke
 //!   ... -- --out path.json                                       # output path
+//!   ... -- --ann-cells 512 --ann-nprobe 16                       # ANN knobs
 //!
 //! Writes `BENCH_serve.json` (or `--out`) and exits non-zero if any
-//! batched result diverges from the sequential reference.
+//! batched result diverges from the sequential reference, ANN recall@10
+//! drops below 0.95, the ANN speedup drops below 5×, or the full-probe
+//! ANN pass is not bit-identical to the exhaustive scan.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use plp_core::experiment::{ExperimentConfig, PreparedData};
+use plp_data::generator::{GeneratorConfig, SyntheticGenerator};
+use plp_linalg::sample::{stream_seed, GaussianStream};
+use plp_linalg::Matrix;
 use plp_model::metrics::leave_one_out_trials;
 use plp_model::params::ModelParams;
 use plp_model::Recommender;
-use plp_serve::{BatchEngine, Query, ServeConfig};
+use plp_serve::{AnnConfig, BatchEngine, Query, ServeConfig};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 const SEED: u64 = 42;
 const EMBEDDING_DIM: usize = 32;
 const TOP_K: usize = 10;
 const WAVE: usize = 512;
 
+/// Floors enforced by the ANN section (mirrored by `scripts/bench_guard.py`).
+const MIN_RECALL_AT_10: f64 = 0.95;
+const MIN_SPEEDUP: f64 = 5.0;
+
 struct Opts {
     smoke: bool,
     out: String,
+    ann_cells: usize,
+    ann_nprobe: usize,
 }
 
 fn parse_opts() -> Opts {
@@ -39,7 +55,19 @@ fn parse_opts() -> Opts {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
-    Opts { smoke, out }
+    let flag = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {name}: {v}")))
+            .unwrap_or(default)
+    };
+    Opts {
+        smoke,
+        out,
+        ann_cells: flag("--ann-cells", 512),
+        ann_nprobe: flag("--ann-nprobe", 8),
+    }
 }
 
 /// Builds the query stream: leave-one-out test prefixes, alternating
@@ -74,6 +102,239 @@ fn sequential_reference(rec: &Recommender, queries: &[Query]) -> Vec<Vec<usize>>
             }
         })
         .collect()
+}
+
+/// A serving-shaped embedding over the generated city: each neighbourhood
+/// cluster gets a unit direction in R^dim (counter-seeded Gaussian
+/// stream), each POI that direction plus jitter, rows normalised. This is
+/// the structure skip-gram training produces — geographically close POIs
+/// get similar vectors — which is what gives an IVF coarse quantiser real
+/// cells to find. Fully deterministic in `seed`; no RNG object threads
+/// through, so POI rows can be generated in any order.
+fn city_embedding(world: &SyntheticGenerator, dim: usize, seed: u64) -> Matrix {
+    const DOMAIN_CLUSTER: u64 = 0xC1;
+    const DOMAIN_POI: u64 = 0xB0;
+    let num_clusters = (0..world.pois().len())
+        .map(|p| world.cluster_of(p).expect("poi has a cluster"))
+        .max()
+        .expect("city has pois")
+        + 1;
+    let mut cluster_dirs = vec![0.0; num_clusters * dim];
+    for c in 0..num_clusters {
+        let mut stream = GaussianStream::new(stream_seed(seed, DOMAIN_CLUSTER, c as u64));
+        stream.fill(&mut cluster_dirs[c * dim..(c + 1) * dim]);
+    }
+    let mut m = Matrix::zeros(world.pois().len(), dim);
+    let mut jitter = vec![0.0; dim];
+    for p in 0..world.pois().len() {
+        let c = world.cluster_of(p).expect("poi has a cluster");
+        let mut stream = GaussianStream::new(stream_seed(seed, DOMAIN_POI, p as u64));
+        stream.fill(&mut jitter);
+        let row = m.row_mut(p);
+        for (d, slot) in row.iter_mut().enumerate() {
+            *slot = cluster_dirs[c * dim + d] + 0.25 * jitter[d];
+        }
+    }
+    m.normalize_rows();
+    m
+}
+
+/// City query stream: cluster-local recent histories (2–5 POIs of one
+/// cluster), alternating plain and excluding queries — the same shape as
+/// the leave-one-out stream, at city scale.
+fn city_queries(world: &SyntheticGenerator, n: usize, seed: u64) -> Vec<Query> {
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for p in 0..world.pois().len() {
+        let c = world.cluster_of(p).expect("poi has a cluster");
+        if c >= members.len() {
+            members.resize(c + 1, Vec::new());
+        }
+        members[c].push(p);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let cluster = loop {
+                let c = rng.random_range(0..members.len());
+                if !members[c].is_empty() {
+                    break c;
+                }
+            };
+            let len = rng.random_range(2usize..=5);
+            let recent: Vec<usize> = (0..len)
+                .map(|_| members[cluster][rng.random_range(0..members[cluster].len())])
+                .collect();
+            if i % 2 == 0 {
+                Query::new(recent, TOP_K)
+            } else {
+                let exclude = recent.clone();
+                Query::with_exclusions(recent, TOP_K, exclude)
+            }
+        })
+        .collect()
+}
+
+fn serve_all(engine: &BatchEngine, queries: &[Query]) -> (Vec<Vec<usize>>, f64) {
+    let start = Instant::now();
+    let mut got = Vec::with_capacity(queries.len());
+    for wave in queries.chunks(WAVE) {
+        got.extend(engine.serve(wave).expect("serve wave"));
+    }
+    (got, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// Mean recall@k of `approx` against the exhaustive `exact` results.
+fn recall_at_k(exact: &[Vec<usize>], approx: &[Vec<usize>]) -> f64 {
+    assert_eq!(exact.len(), approx.len());
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (e, a) in exact.iter().zip(approx) {
+        if e.is_empty() {
+            continue;
+        }
+        let hit = e.iter().filter(|t| a.contains(t)).count();
+        total += hit as f64 / e.len() as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// The ANN-vs-exhaustive cross-check on the 100k-location generated city.
+/// Returns the JSON report and whether every floor held.
+fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
+    let city = GeneratorConfig::city();
+    println!(
+        "serve_load: building {}-location city world ({} clusters)",
+        city.num_locations, city.num_clusters
+    );
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xC17F);
+    let world = SyntheticGenerator::new(&mut rng, city).expect("city world");
+    let embedding = city_embedding(&world, EMBEDDING_DIM, SEED);
+    let rec = Recommender::from_embedding(embedding).expect("finite embedding");
+
+    let num_queries = if opts.smoke { 1024 } else { 4096 };
+    let queries = city_queries(&world, num_queries, SEED ^ 0x9E8);
+    // Dense scratch is sized lazily now, but keep the exhaustive batches
+    // small so one batch's score rows stay modest at vocab 100k.
+    let base = ServeConfig {
+        max_batch: 16,
+        workers: 4,
+        cache_capacity: 0,
+        ann: None,
+    };
+    let ann = AnnConfig {
+        cells: opts.ann_cells,
+        nprobe: opts.ann_nprobe,
+        kmeans_iters: 4,
+        kmeans_sample: 25_000,
+        seed: SEED ^ 0x1F,
+        build_threads: 4,
+    };
+
+    let exhaustive_engine = BatchEngine::new(rec.clone(), base).expect("exhaustive engine");
+    let (exact, exhaustive_wall_ms) = serve_all(&exhaustive_engine, &queries);
+    println!(
+        "  exhaustive: {num_queries} queries in {exhaustive_wall_ms:.0}ms ({:.0} qps)",
+        num_queries as f64 / (exhaustive_wall_ms / 1000.0)
+    );
+
+    let build_start = Instant::now();
+    let ann_engine = BatchEngine::new(
+        rec.clone(),
+        ServeConfig {
+            ann: Some(ann),
+            ..base
+        },
+    )
+    .expect("ann engine");
+    let build_ms = build_start.elapsed().as_secs_f64() * 1000.0;
+    let (approx, ann_wall_ms) = serve_all(&ann_engine, &queries);
+    let recall = recall_at_k(&exact, &approx);
+    let speedup = exhaustive_wall_ms / ann_wall_ms.max(1e-9);
+    println!(
+        "  ann(cells={} nprobe={}): build {build_ms:.0}ms, {num_queries} queries in {ann_wall_ms:.0}ms — recall@{TOP_K} {recall:.4}, speedup {speedup:.1}x",
+        ann.cells, ann.nprobe
+    );
+
+    // Determinism across worker counts: the same ANN config on one worker
+    // must return exactly the same recommendations.
+    let single = BatchEngine::new(
+        rec.clone(),
+        ServeConfig {
+            workers: 1,
+            ann: Some(ann),
+            ..base
+        },
+    )
+    .expect("single-worker ann engine");
+    let (approx_single, _) = serve_all(&single, &queries);
+    let worker_invariant = approx_single == approx;
+
+    // nprobe = cells covers every cell, so the shortlist is the whole
+    // vocabulary and results must be bit-identical to the exhaustive
+    // scan. A subset of the stream keeps the full-coverage pass cheap.
+    let probe_all = BatchEngine::new(
+        rec,
+        ServeConfig {
+            ann: Some(AnnConfig {
+                nprobe: ann.cells,
+                ..ann
+            }),
+            ..base
+        },
+    )
+    .expect("full-probe engine");
+    let subset = &queries[..queries.len().min(128)];
+    let (full_probe, _) = serve_all(&probe_all, subset);
+    let full_probe_bit_identical = full_probe == exact[..subset.len()];
+
+    let recall_ok = recall >= MIN_RECALL_AT_10;
+    let speedup_ok = speedup >= MIN_SPEEDUP;
+    println!(
+        "{} ann recall@{TOP_K} {recall:.4} (floor {MIN_RECALL_AT_10})",
+        if recall_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "{} ann speedup {speedup:.1}x (floor {MIN_SPEEDUP}x)",
+        if speedup_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "{} ann results worker-invariant",
+        if worker_invariant { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "{} nprobe=cells bit-identical to exhaustive ({} queries)",
+        if full_probe_bit_identical {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        subset.len()
+    );
+
+    let report = serde_json::json!({
+        "vocab": world.pois().len(),
+        "cells": ann.cells,
+        "nprobe": ann.nprobe,
+        "kmeans_iters": ann.kmeans_iters,
+        "kmeans_sample": ann.kmeans_sample,
+        "queries": num_queries,
+        "build_ms": build_ms,
+        "exhaustive_wall_ms": exhaustive_wall_ms,
+        "ann_wall_ms": ann_wall_ms,
+        "recall_at_10": recall,
+        "speedup": speedup,
+        "worker_invariant": worker_invariant,
+        "full_probe_bit_identical": full_probe_bit_identical,
+    });
+    (
+        report,
+        recall_ok && speedup_ok && worker_invariant && full_probe_bit_identical,
+    )
 }
 
 fn main() -> ExitCode {
@@ -118,6 +379,7 @@ fn main() -> ExitCode {
                 max_batch,
                 workers: 4,
                 cache_capacity: 4096,
+                ann: None,
             },
         )
         .expect("engine config");
@@ -178,6 +440,10 @@ fn main() -> ExitCode {
         }));
     }
 
+    // Section 2: the 100k-location city, ANN vs exhaustive.
+    let (ann_report, ann_ok) = run_ann_city_bench(&opts);
+    ok &= ann_ok;
+
     let payload = serde_json::json!({
         "bench": "serve",
         "seed": SEED,
@@ -187,6 +453,7 @@ fn main() -> ExitCode {
         "top_k": TOP_K,
         "queries_per_pass": queries.len(),
         "batch_sizes": rows,
+        "ann": ann_report,
     });
     let text = serde_json::to_string_pretty(&payload).expect("serialise payload");
     std::fs::write(&opts.out, text).expect("write output");

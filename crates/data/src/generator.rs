@@ -125,6 +125,23 @@ impl GeneratorConfig {
         }
     }
 
+    /// A production-scale profile: a ~100k-location city across 400
+    /// neighbourhood clusters. This is the vocabulary regime the
+    /// million-location serving work targets — big enough that an
+    /// exhaustive per-query scan over all locations is the bottleneck
+    /// and the IVF index has real cell structure to exploit, while the
+    /// user count stays modest so *world* construction (POIs, clusters)
+    /// dominates and check-in synthesis remains bench-friendly.
+    pub fn city() -> Self {
+        GeneratorConfig {
+            num_users: 2000,
+            num_locations: 100_000,
+            target_checkins: 200_000,
+            num_clusters: 400,
+            ..GeneratorConfig::default()
+        }
+    }
+
     /// Validates parameter domains.
     ///
     /// # Errors
@@ -193,6 +210,12 @@ pub struct SyntheticGenerator {
     poi_cluster: Vec<usize>,
     /// POIs of each cluster, ordered by within-cluster popularity rank.
     cluster_pois: Vec<Vec<usize>>,
+    /// Within-cluster POI popularity distribution, one per cluster,
+    /// precomputed so sampling a check-in is O(log cluster) instead of
+    /// rebuilding the O(cluster) Zipf CDF per visit. Construction draws
+    /// nothing from the RNG, so datasets are byte-identical to the
+    /// rebuild-per-call behaviour.
+    cluster_poi_dist: Vec<Zipf>,
     /// POI coordinates.
     pois: Vec<Poi>,
     /// Cluster attractiveness distribution.
@@ -253,10 +276,22 @@ impl SyntheticGenerator {
             });
         }
 
+        let cluster_poi_dist = cluster_pois
+            .iter()
+            .map(|members| {
+                debug_assert!(!members.is_empty(), "every cluster owns at least one POI");
+                Zipf::new(members.len(), config.zipf_exponent).ok_or(DataError::BadConfig {
+                    name: "zipf_exponent",
+                    expected: ">= 0",
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
         Ok(SyntheticGenerator {
             config,
             poi_cluster,
             cluster_pois,
+            cluster_poi_dist,
             pois,
             cluster_dist,
         })
@@ -368,11 +403,9 @@ impl SyntheticGenerator {
     }
 
     fn sample_poi_in_cluster<R: Rng + ?Sized>(&self, rng: &mut R, cluster: usize) -> usize {
-        let pois = &self.cluster_pois[cluster];
-        debug_assert!(!pois.is_empty(), "every cluster owns at least one POI");
-        // Zipf over the cluster's POIs by rank.
-        let z = Zipf::new(pois.len(), self.config.zipf_exponent).expect("pois non-empty");
-        pois[z.sample(rng)]
+        // Zipf over the cluster's POIs by rank, from the table built at
+        // construction (same distribution, same RNG draw sequence).
+        self.cluster_pois[cluster][self.cluster_poi_dist[cluster].sample(rng)]
     }
 
     /// Convenience: build the world and generate in one call from a seed.
@@ -486,6 +519,33 @@ mod tests {
             s.max_checkins_per_user,
             s.median_checkins_per_user
         );
+    }
+
+    #[test]
+    fn city_profile_builds_a_100k_location_world() {
+        let cfg = GeneratorConfig::city();
+        cfg.validate().unwrap();
+        assert!(cfg.num_locations >= 100_000);
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = SyntheticGenerator::new(&mut rng, cfg.clone()).unwrap();
+        assert_eq!(g.pois().len(), cfg.num_locations);
+        assert!(cfg.bbox.contains(&g.pois()[cfg.num_locations - 1].point));
+        // Every POI belongs to a cluster and every cluster is non-empty.
+        let mut counts = vec![0usize; cfg.num_clusters];
+        for p in 0..cfg.num_locations {
+            counts[g.cluster_of(p).unwrap()] += 1;
+        }
+        assert!(counts.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn world_build_is_seed_deterministic_at_city_scale() {
+        let mut a_rng = StdRng::seed_from_u64(31);
+        let mut b_rng = StdRng::seed_from_u64(31);
+        let a = SyntheticGenerator::new(&mut a_rng, GeneratorConfig::city()).unwrap();
+        let b = SyntheticGenerator::new(&mut b_rng, GeneratorConfig::city()).unwrap();
+        assert_eq!(a.pois(), b.pois());
+        assert!((0..100_000).all(|p| a.cluster_of(p) == b.cluster_of(p)));
     }
 
     #[test]

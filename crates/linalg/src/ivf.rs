@@ -1,0 +1,737 @@
+//! Deterministic IVF (inverted-file) index for sublinear cosine top-k.
+//!
+//! The recommender's model-utilisation step ranks every location by the
+//! dot product of a query profile against the unit-normalised embedding
+//! rows (paper §3.3). That exhaustive scan is O(L·dim) per query — fine at
+//! the paper's L ≈ 5k, a wall at a production vocabulary of 10⁵–10⁷. This
+//! module trades it for a two-stage search:
+//!
+//! 1. **coarse quantiser** — the rows are partitioned into `cells` by a
+//!    seeded *spherical k-means* (assignment by maximal dot product,
+//!    centroids renormalised each iteration, so the geometry matches the
+//!    cosine scoring it serves);
+//! 2. **exact re-rank** — a query scores the `cells` centroids, probes the
+//!    `nprobe` best, and re-scores every row of the probed cells with the
+//!    *same* [`ops::dot_unchecked`] kernel the exhaustive path uses, then
+//!    selects through the same top-k heap ([`topk::top_k_indexed_into`]).
+//!
+//! Shortlisted rows therefore carry their real cosine scores and inherit
+//! the NaN-exclusion contract unchanged; the approximation is only in
+//! *which* rows are considered, never in how a considered row is scored or
+//! ranked.
+//!
+//! # Determinism contract
+//!
+//! Like the PR 4/5 kernels, everything here is bit-identical across thread
+//! counts:
+//!
+//! * **build** — each row's cell assignment is a pure function of the row
+//!   and the centroids (computed with the fixed-reduction-order dot
+//!   kernel), so the assignment pass can be split across any number of
+//!   threads; centroid updates then accumulate sequentially in ascending
+//!   row order. Initial centroids come from [`sample::mix64`] counters on
+//!   the build seed. Same `(embedding, params)` → same index, bit for bit,
+//!   at any `threads`.
+//! * **search** — candidate scores are exact dot products, and the final
+//!   selection's "(score desc, index asc)" order is strict over distinct
+//!   rows, so the result depends only on the candidate *set*. With
+//!   `nprobe == cells` the candidate set is every row and the search is
+//!   bit-identical to the exhaustive scan.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::ops;
+use crate::sample::mix64;
+use crate::topk::{top_k_indexed_into, top_k_with_scores_into, TopKScratch};
+
+/// Build-time knobs of an [`IvfIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfBuildParams {
+    /// Number of coarse-quantiser cells (k-means clusters). Must be in
+    /// `[1, rows]`.
+    pub cells: usize,
+    /// Lloyd iterations of the spherical k-means.
+    pub iters: usize,
+    /// Rows used to *train* the centroids: `0` trains on every row, any
+    /// other value trains on an evenly-strided sample of (at least) that
+    /// many rows. The final assignment always covers every row.
+    pub sample: usize,
+    /// Seed for the initial centroid choice (mixed through [`mix64`]).
+    pub seed: u64,
+    /// Threads for the assignment passes. Any value produces the same
+    /// index bit-for-bit; this only changes build latency.
+    pub threads: usize,
+}
+
+impl Default for IvfBuildParams {
+    fn default() -> Self {
+        IvfBuildParams {
+            cells: 256,
+            iters: 4,
+            sample: 0,
+            seed: 0xA55_C0DE,
+            threads: 1,
+        }
+    }
+}
+
+/// Reusable buffers for [`IvfIndex::search_into`], so serving workers run
+/// the probe + re-rank without allocating in steady state.
+#[derive(Debug, Default)]
+pub struct IvfScratch {
+    centroid_scores: Vec<f64>,
+    probes: Vec<(usize, f64)>,
+    topk: TopKScratch,
+    candidate_ids: Vec<usize>,
+    candidate_scores: Vec<f64>,
+    exclude_sorted: Vec<usize>,
+}
+
+impl IvfScratch {
+    /// Empty scratch; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        IvfScratch::default()
+    }
+}
+
+/// A coarse-quantiser index over the rows of an embedding matrix: unit
+/// centroids plus, per cell, the ascending list of member row ids. The
+/// index does not own the embedding — searches take it as an argument and
+/// validate its shape, so one frozen matrix can back both the exhaustive
+/// and the indexed path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvfIndex {
+    /// `cells × dim` unit-normalised centroids.
+    centroids: Matrix,
+    /// Member row ids per cell, each list ascending.
+    lists: Vec<Vec<u32>>,
+    /// Row count of the matrix the index was built over.
+    rows: usize,
+}
+
+impl IvfIndex {
+    /// Builds the index over `embedding`'s rows with spherical k-means.
+    /// See the module docs for the determinism contract.
+    ///
+    /// # Errors
+    /// `InvalidArgument` when `cells` is not in `[1, rows]`, `iters` or
+    /// `threads` is zero; `NonFinite` when the embedding contains a
+    /// non-finite value (a corrupt matrix must fail at build, not skew
+    /// centroids silently).
+    pub fn build(embedding: &Matrix, params: &IvfBuildParams) -> Result<Self, LinalgError> {
+        let rows = embedding.rows();
+        if params.cells == 0 || params.cells > rows {
+            return Err(LinalgError::InvalidArgument {
+                what: "ivf cells must be in [1, rows]",
+            });
+        }
+        if params.iters == 0 {
+            return Err(LinalgError::InvalidArgument {
+                what: "ivf iters must be >= 1",
+            });
+        }
+        if params.threads == 0 {
+            return Err(LinalgError::InvalidArgument {
+                what: "ivf threads must be >= 1",
+            });
+        }
+        if !embedding.all_finite() {
+            return Err(LinalgError::NonFinite { op: "ivf build" });
+        }
+        let dim = embedding.cols();
+        let cells = params.cells;
+
+        // Training subset: evenly strided over the row space (ids are not
+        // geography — upstream layouts scatter similar rows), clamped so
+        // there is at least one training row per cell.
+        let train: Vec<usize> = if params.sample == 0 || params.sample >= rows {
+            (0..rows).collect()
+        } else {
+            let want = params.sample.max(cells).min(rows);
+            (0..want)
+                .map(|i| ((i as u128 * rows as u128) / want as u128) as usize)
+                .collect()
+        };
+
+        // Initial centroids: `cells` distinct training rows chosen by a
+        // counter-mixed hash of the seed (deterministic, no RNG state).
+        let mut centroids = Matrix::zeros(cells, dim);
+        {
+            let mut taken = vec![false; train.len()];
+            for c in 0..cells {
+                let mut at = (mix64(params.seed ^ c as u64) % train.len() as u64) as usize;
+                while taken[at] {
+                    at = (at + 1) % train.len();
+                }
+                taken[at] = true;
+                centroids
+                    .row_mut(c)
+                    .copy_from_slice(embedding.row(train[at]));
+                ops::normalize(centroids.row_mut(c));
+            }
+        }
+
+        // Lloyd iterations: threaded assignment (each row independent),
+        // sequential centroid update in ascending row order.
+        let mut assign = vec![0u32; train.len()];
+        let mut sums = Matrix::zeros(cells, dim);
+        for _ in 0..params.iters {
+            assign_rows(embedding, &centroids, &train, &mut assign, params.threads);
+            sums.fill(0.0);
+            let mut counts = vec![0u64; cells];
+            for (slot, &row_id) in train.iter().enumerate() {
+                let c = assign[slot] as usize;
+                ops::axpy_unchecked(1.0, embedding.row(row_id), sums.row_mut(c));
+                counts[c] += 1;
+            }
+            for (c, &count) in counts.iter().enumerate() {
+                // Empty cells keep their previous centroid rather than
+                // collapsing to zero and swallowing every later tie.
+                if count > 0 {
+                    centroids.row_mut(c).copy_from_slice(sums.row(c));
+                    ops::normalize(centroids.row_mut(c));
+                }
+            }
+        }
+
+        // Final assignment covers every row; lists stay ascending because
+        // rows are appended in index order.
+        let all: Vec<usize> = (0..rows).collect();
+        let mut final_assign = vec![0u32; rows];
+        assign_rows(
+            embedding,
+            &centroids,
+            &all,
+            &mut final_assign,
+            params.threads,
+        );
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); cells];
+        for (row_id, &c) in final_assign.iter().enumerate() {
+            lists[c as usize].push(row_id as u32);
+        }
+
+        Ok(IvfIndex {
+            centroids,
+            lists,
+            rows,
+        })
+    }
+
+    /// Number of coarse cells.
+    pub fn cells(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Embedding dimension the index was built for.
+    pub fn dim(&self) -> usize {
+        self.centroids.cols()
+    }
+
+    /// Row count of the matrix the index was built over.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Member row ids of cell `c`, ascending.
+    ///
+    /// # Panics
+    /// Panics if `c >= cells` (cell ids come from this index).
+    pub fn list(&self, c: usize) -> &[u32] {
+        &self.lists[c]
+    }
+
+    /// Approximate top-`k`: probes the `nprobe` cells whose centroids best
+    /// match `profile`, re-scores every member row exactly, masks excluded
+    /// rows `NaN` (the shared exclusion sentinel) and selects through the
+    /// shared top-k heap. `out` receives `(row, score)` pairs, best first;
+    /// scores are bit-identical to what the exhaustive scan computes for
+    /// those rows. With `nprobe >= cells` the result equals the exhaustive
+    /// scan exactly.
+    ///
+    /// # Errors
+    /// `ShapeMismatch` when `embedding` does not match the build shape or
+    /// `profile` is not `dim` long; `InvalidArgument` when `nprobe` is 0.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_into(
+        &self,
+        embedding: &Matrix,
+        profile: &[f64],
+        k: usize,
+        nprobe: usize,
+        exclude: &[usize],
+        scratch: &mut IvfScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) -> Result<(), LinalgError> {
+        if embedding.rows() != self.rows || embedding.cols() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "ivf search embedding",
+                left: embedding.rows(),
+                right: self.rows,
+            });
+        }
+        if profile.len() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "ivf search profile",
+                left: profile.len(),
+                right: self.dim(),
+            });
+        }
+        if nprobe == 0 {
+            return Err(LinalgError::InvalidArgument {
+                what: "ivf nprobe must be >= 1",
+            });
+        }
+        let nprobe = nprobe.min(self.cells());
+
+        // Stage 1: rank centroids (ties by lower cell id, like every
+        // selection in this workspace).
+        scratch.centroid_scores.resize(self.cells(), 0.0);
+        for (c, score) in scratch.centroid_scores.iter_mut().enumerate() {
+            *score = ops::dot_unchecked(profile, self.centroids.row(c));
+        }
+        top_k_with_scores_into(
+            &scratch.centroid_scores,
+            nprobe,
+            &mut scratch.topk,
+            &mut scratch.probes,
+        );
+
+        // Stage 2: gather + exact re-rank. Excluded rows keep the NaN
+        // sentinel so the selection's exclusion contract is untouched.
+        scratch.exclude_sorted.clear();
+        scratch.exclude_sorted.extend_from_slice(exclude);
+        scratch.exclude_sorted.sort_unstable();
+        scratch.exclude_sorted.dedup();
+        scratch.candidate_ids.clear();
+        scratch.candidate_scores.clear();
+        for &(cell, _) in &scratch.probes {
+            for &row_id in &self.lists[cell] {
+                let row_id = row_id as usize;
+                let score = if scratch.exclude_sorted.binary_search(&row_id).is_ok() {
+                    f64::NAN
+                } else {
+                    ops::dot_unchecked(profile, embedding.row(row_id))
+                };
+                scratch.candidate_ids.push(row_id);
+                scratch.candidate_scores.push(score);
+            }
+        }
+        top_k_indexed_into(
+            &scratch.candidate_ids,
+            &scratch.candidate_scores,
+            k,
+            &mut scratch.topk,
+            out,
+        );
+        Ok(())
+    }
+}
+
+/// Writes each row's nearest-centroid cell (maximal dot product, ties to
+/// the lower cell id) into `out`, split across `threads` contiguous
+/// chunks. Every row's answer is a pure function of `(row, centroids)`
+/// computed with the fixed-reduction-order dot kernel, so the partition
+/// cannot change any assignment — `threads` affects latency only.
+fn assign_rows(
+    embedding: &Matrix,
+    centroids: &Matrix,
+    ids: &[usize],
+    out: &mut [u32],
+    threads: usize,
+) {
+    debug_assert_eq!(ids.len(), out.len());
+    let threads = threads.min(ids.len()).max(1);
+    if threads == 1 {
+        for (slot, &row_id) in ids.iter().enumerate() {
+            out[slot] = nearest_cell(embedding.row(row_id), centroids);
+        }
+        return;
+    }
+    let chunk = ids.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ids_chunk, out_chunk) in ids.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, &row_id) in ids_chunk.iter().enumerate() {
+                    out_chunk[slot] = nearest_cell(embedding.row(row_id), centroids);
+                }
+            });
+        }
+    });
+}
+
+fn nearest_cell(row: &[f64], centroids: &Matrix) -> u32 {
+    let mut best = 0u32;
+    let mut best_score = f64::NEG_INFINITY;
+    for c in 0..centroids.rows() {
+        let score = ops::dot_unchecked(row, centroids.row(c));
+        if score > best_score {
+            best_score = score;
+            best = c as u32;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Random unit-normalised embedding, the shape every caller feeds in.
+    fn random_embedding(rows: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::from_fn(rows, dim, |_, _| rng.random::<f64>() * 2.0 - 1.0);
+        m.normalize_rows();
+        m
+    }
+
+    /// Two tight clusters along +x and +y so cell structure is predictable.
+    fn clustered_embedding(per_cluster: usize) -> Matrix {
+        let mut m = Matrix::zeros(2 * per_cluster, 2);
+        for i in 0..per_cluster {
+            m.set(i, 0, 1.0);
+            m.set(i, 1, 0.01 * i as f64);
+            m.set(per_cluster + i, 1, 1.0);
+            m.set(per_cluster + i, 0, 0.01 * i as f64);
+        }
+        m.normalize_rows();
+        m
+    }
+
+    fn exhaustive(
+        embedding: &Matrix,
+        profile: &[f64],
+        k: usize,
+        exclude: &[usize],
+    ) -> Vec<(usize, f64)> {
+        let mut scores = embedding.matvec(profile).unwrap();
+        for &e in exclude {
+            if e < scores.len() {
+                scores[e] = f64::NAN;
+            }
+        }
+        crate::topk::top_k_with_scores(&scores, k)
+    }
+
+    #[test]
+    fn build_validates_params() {
+        let emb = random_embedding(10, 3, 1);
+        let bad = |p: IvfBuildParams| IvfIndex::build(&emb, &p).is_err();
+        assert!(bad(IvfBuildParams {
+            cells: 0,
+            ..Default::default()
+        }));
+        assert!(bad(IvfBuildParams {
+            cells: 11,
+            ..Default::default()
+        }));
+        assert!(bad(IvfBuildParams {
+            cells: 4,
+            iters: 0,
+            ..Default::default()
+        }));
+        assert!(bad(IvfBuildParams {
+            cells: 4,
+            threads: 0,
+            ..Default::default()
+        }));
+        let mut poisoned = emb.clone();
+        poisoned.set(3, 1, f64::NAN);
+        assert!(matches!(
+            IvfIndex::build(
+                &poisoned,
+                &IvfBuildParams {
+                    cells: 4,
+                    ..Default::default()
+                }
+            ),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn every_row_lands_in_exactly_one_cell() {
+        let emb = random_embedding(57, 4, 2);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut seen = vec![0u32; 57];
+        for c in 0..idx.cells() {
+            let list = idx.list(c);
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "lists ascending");
+            for &r in list {
+                seen[r as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "partition of the rows");
+        assert_eq!(idx.rows(), 57);
+        assert_eq!(idx.dim(), 4);
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_thread_counts() {
+        let emb = random_embedding(83, 5, 3);
+        let reference = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 9,
+                iters: 5,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for threads in [2, 3, 4, 8] {
+            let idx = IvfIndex::build(
+                &emb,
+                &IvfBuildParams {
+                    cells: 9,
+                    iters: 5,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                idx, reference,
+                "threads={threads} must not change the index"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_training_still_partitions_all_rows() {
+        let emb = random_embedding(120, 4, 4);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 8,
+                sample: 30,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let total: usize = (0..idx.cells()).map(|c| idx.list(c).len()).sum();
+        assert_eq!(total, 120, "final assignment covers every row");
+    }
+
+    #[test]
+    fn full_probe_matches_exhaustive_scan_bitwise() {
+        let emb = random_embedding(71, 6, 5);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut scratch = IvfScratch::new();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let profile: Vec<f64> = (0..6).map(|_| rng.random::<f64>() - 0.5).collect();
+            let k = rng.random_range(0usize..12);
+            let exclude: Vec<usize> = (0..rng.random_range(0usize..5))
+                .map(|_| rng.random_range(0..80))
+                .collect();
+            idx.search_into(
+                &emb,
+                &profile,
+                k,
+                idx.cells(),
+                &exclude,
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+            let expected = exhaustive(&emb, &profile, k, &exclude);
+            assert_eq!(out.len(), expected.len());
+            for (got, want) in out.iter().zip(&expected) {
+                assert_eq!(got.0, want.0);
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "scores bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn probing_a_cluster_finds_its_members() {
+        let emb = clustered_embedding(20);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut scratch = IvfScratch::new();
+        let mut out = Vec::new();
+        // A query along +x with one probe must return only x-cluster rows.
+        idx.search_into(&emb, &[1.0, 0.0], 5, 1, &[], &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|&(r, _)| r < 20), "{out:?}");
+        // Exclusion inside the shortlist is honoured.
+        let banned: Vec<usize> = out.iter().map(|&(r, _)| r).collect();
+        idx.search_into(&emb, &[1.0, 0.0], 5, 1, &banned, &mut scratch, &mut out)
+            .unwrap();
+        assert!(out.iter().all(|&(r, _)| !banned.contains(&r)));
+    }
+
+    #[test]
+    fn duplicate_scores_straddling_the_cell_cutoff_keep_index_ties() {
+        // Rows 0 and 21 are exact duplicates placed in different clusters'
+        // index ranges; with both cells probed the tie must break to the
+        // lower row id, exactly as the dense scan does.
+        let mut emb = clustered_embedding(20);
+        let dup: Vec<f64> = emb.row(0).to_vec();
+        emb.row_mut(21).copy_from_slice(&dup);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut scratch = IvfScratch::new();
+        let mut out = Vec::new();
+        idx.search_into(&emb, &dup, 2, idx.cells(), &[], &mut scratch, &mut out)
+            .unwrap();
+        let expected = exhaustive(&emb, &dup, 2, &[]);
+        assert_eq!(out, expected);
+        assert_eq!(out[0].0, 0, "tie breaks to the lower row id");
+        assert_eq!(out[1].0, 21);
+    }
+
+    #[test]
+    fn search_validates_shapes_and_nprobe() {
+        let emb = random_embedding(12, 3, 7);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut scratch = IvfScratch::new();
+        let mut out = Vec::new();
+        let wrong_rows = random_embedding(13, 3, 8);
+        assert!(idx
+            .search_into(&wrong_rows, &[0.0; 3], 2, 1, &[], &mut scratch, &mut out)
+            .is_err());
+        assert!(idx
+            .search_into(&emb, &[0.0; 4], 2, 1, &[], &mut scratch, &mut out)
+            .is_err());
+        assert!(idx
+            .search_into(&emb, &[0.0; 3], 2, 0, &[], &mut scratch, &mut out)
+            .is_err());
+        // nprobe beyond cells clamps instead of failing.
+        idx.search_into(&emb, &[0.0; 3], 2, 99, &[], &mut scratch, &mut out)
+            .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod determinism_props {
+    //! Property tests pinning the module's two contracts: thread-count
+    //! invariance of the build and exhaustive equivalence at full probe.
+
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn embedding_from(values: &[f64], rows: usize, dim: usize) -> Matrix {
+        let mut m = Matrix::from_fn(rows, dim, |r, c| values[(r * dim + c) % values.len()]);
+        m.normalize_rows();
+        m
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn build_is_thread_invariant(
+            values in vec(-1.0f64..1.0, 8..64),
+            rows in 4usize..40,
+            dim in 1usize..6,
+            cells in 1usize..5,
+            seed in 0u64..1000,
+            threads in 2usize..8,
+        ) {
+            let cells = cells.min(rows);
+            let emb = embedding_from(&values, rows, dim);
+            let base = IvfBuildParams { cells, iters: 3, sample: 0, seed, threads: 1 };
+            let sequential = IvfIndex::build(&emb, &base).unwrap();
+            let threaded = IvfIndex::build(&emb, &IvfBuildParams { threads, ..base }).unwrap();
+            prop_assert_eq!(&threaded, &sequential);
+            // And rebuilding with the same seed reproduces the index.
+            let again = IvfIndex::build(&emb, &base).unwrap();
+            prop_assert_eq!(&again, &sequential);
+        }
+
+        #[test]
+        fn full_probe_equals_dense_topk(
+            values in vec(-1.0f64..1.0, 8..64),
+            rows in 4usize..40,
+            dim in 1usize..6,
+            cells in 1usize..5,
+            k in 0usize..12,
+            exclude in vec(0usize..48, 0..6),
+            pseed in 0u64..1000,
+        ) {
+            let cells = cells.min(rows);
+            let emb = embedding_from(&values, rows, dim);
+            let idx = IvfIndex::build(&emb, &IvfBuildParams {
+                cells, iters: 2, sample: 0, seed: 7, threads: 2,
+            }).unwrap();
+            let profile: Vec<f64> = (0..dim)
+                .map(|i| (mix64(pseed ^ i as u64) % 2000) as f64 / 1000.0 - 1.0)
+                .collect();
+            let mut scratch = IvfScratch::new();
+            let mut out = Vec::new();
+            idx.search_into(&emb, &profile, k, cells, &exclude, &mut scratch, &mut out)
+                .unwrap();
+            let mut scores = emb.matvec(&profile).unwrap();
+            for &e in &exclude {
+                if e < scores.len() {
+                    scores[e] = f64::NAN;
+                }
+            }
+            let expected = crate::topk::top_k_with_scores(&scores, k);
+            prop_assert_eq!(out.len(), expected.len());
+            for (got, want) in out.iter().zip(&expected) {
+                prop_assert_eq!(got.0, want.0);
+                prop_assert_eq!(got.1.to_bits(), want.1.to_bits());
+            }
+        }
+
+        #[test]
+        fn search_results_are_identical_across_build_threads(
+            values in vec(-1.0f64..1.0, 8..64),
+            rows in 6usize..40,
+            dim in 2usize..6,
+            nprobe in 1usize..4,
+        ) {
+            let emb = embedding_from(&values, rows, dim);
+            let cells = 4.min(rows);
+            let params = IvfBuildParams { cells, iters: 3, sample: 0, seed: 11, threads: 1 };
+            let a = IvfIndex::build(&emb, &params).unwrap();
+            let b = IvfIndex::build(&emb, &IvfBuildParams { threads: 4, ..params }).unwrap();
+            let profile: Vec<f64> = (0..dim).map(|i| 0.3 * (i as f64 + 1.0)).collect();
+            let mut scratch = IvfScratch::new();
+            let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+            a.search_into(&emb, &profile, 5, nprobe, &[], &mut scratch, &mut out_a).unwrap();
+            b.search_into(&emb, &profile, 5, nprobe, &[], &mut scratch, &mut out_b).unwrap();
+            prop_assert_eq!(out_a, out_b);
+        }
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`matrix`] — a row-major dense [`Matrix`](matrix::Matrix) used for the
 //!   embedding and context tensors,
 //! * [`topk`] — partial selection of the `k` best-scoring indices,
+//! * [`ivf`] — a deterministic IVF coarse-quantiser index for sublinear
+//!   top-k over the embedding rows (exact re-rank of probed cells),
 //! * [`sample`] — hand-written samplers (standard normal via Box–Muller,
 //!   bounded Zipf, Poisson subsampling) so that no distribution crate beyond
 //!   `rand` is required,
@@ -19,6 +21,7 @@
 //! rely on for reproducible experiments.
 
 pub mod error;
+pub mod ivf;
 pub mod matrix;
 pub mod ops;
 pub mod sample;

@@ -56,15 +56,18 @@ impl TopKScratch {
     }
 }
 
-/// Writes the `(index, score)` pairs of the `k` largest scores into `out`,
-/// best first, in a single selection pass (no second indexing pass).
+/// The shared single-pass selection core: every top-k entry point routes
+/// through this loop, so dense scans and gathered shortlists make byte-for-
+/// byte identical heap decisions.
 ///
-/// `NaN` scores are skipped (unrankable); `±∞` are ranked like any other
-/// value. Ties break by smaller index first, making the output
-/// deterministic. `out` is cleared first; `scratch` is reused and never
-/// shrinks, so steady-state calls are allocation-free.
-pub fn top_k_with_scores_into(
-    scores: &[f64],
+/// The retained set is the top `k` under the strict total order
+/// "(score descending, index ascending)". As long as all indices in `pairs`
+/// are distinct, that order has no ties, so the output depends only on the
+/// *set* of pairs — not on their iteration order. This is what lets an
+/// IVF shortlist that covers every row reproduce the exhaustive scan
+/// bit-for-bit even though its candidates arrive cell by cell.
+fn select_top_k(
+    pairs: impl Iterator<Item = (usize, f64)>,
     k: usize,
     scratch: &mut TopKScratch,
     out: &mut Vec<(usize, f64)>,
@@ -72,10 +75,10 @@ pub fn top_k_with_scores_into(
     out.clear();
     let heap = &mut scratch.heap;
     heap.clear();
-    if k == 0 || scores.is_empty() {
+    if k == 0 {
         return;
     }
-    for (index, &score) in scores.iter().enumerate() {
+    for (index, score) in pairs {
         if score.is_nan() {
             continue;
         }
@@ -95,6 +98,52 @@ pub fn top_k_with_scores_into(
         out.push((e.index, e.score));
     }
     out.reverse();
+}
+
+/// Writes the `(index, score)` pairs of the `k` largest scores into `out`,
+/// best first, in a single selection pass (no second indexing pass).
+///
+/// `NaN` scores are skipped (unrankable); `±∞` are ranked like any other
+/// value. Ties break by smaller index first, making the output
+/// deterministic. `out` is cleared first; `scratch` is reused and never
+/// shrinks, so steady-state calls are allocation-free.
+pub fn top_k_with_scores_into(
+    scores: &[f64],
+    k: usize,
+    scratch: &mut TopKScratch,
+    out: &mut Vec<(usize, f64)>,
+) {
+    select_top_k(scores.iter().copied().enumerate(), k, scratch, out);
+}
+
+/// [`top_k_with_scores_into`] over a gathered shortlist: `indices[i]` names
+/// the candidate whose score is `scores[i]`, and the selection runs the
+/// same heap with the same "(score desc, index asc)" total order. Because
+/// that order is strict over distinct indices, the result depends only on
+/// the candidate *set*: a shortlist covering every index returns exactly
+/// what the dense scan returns, bit for bit, regardless of gather order.
+///
+/// # Panics
+/// Panics if `indices` and `scores` differ in length (a shortlist is built
+/// by one gather loop; mismatched halves are a programming error).
+pub fn top_k_indexed_into(
+    indices: &[usize],
+    scores: &[f64],
+    k: usize,
+    scratch: &mut TopKScratch,
+    out: &mut Vec<(usize, f64)>,
+) {
+    assert_eq!(
+        indices.len(),
+        scores.len(),
+        "shortlist indices and scores must pair up"
+    );
+    select_top_k(
+        indices.iter().copied().zip(scores.iter().copied()),
+        k,
+        scratch,
+        out,
+    );
 }
 
 /// Returns `(index, score)` pairs of the `k` largest scores, best first.
@@ -199,6 +248,38 @@ mod tests {
         assert_eq!(out, vec![(2, 0.9), (0, 0.3)]);
         top_k_with_scores_into(&[], 2, &mut scratch, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn indexed_variant_matches_dense_on_full_cover() {
+        let scores = [0.3, f64::NAN, 0.9, 0.9, -0.2];
+        let mut scratch = TopKScratch::new();
+        let mut dense = Vec::new();
+        top_k_with_scores_into(&scores, 3, &mut scratch, &mut dense);
+        // Same candidates, gathered out of order: result must not change.
+        let indices = [3usize, 0, 4, 2, 1];
+        let gathered: Vec<f64> = indices.iter().map(|&i| scores[i]).collect();
+        let mut out = Vec::new();
+        top_k_indexed_into(&indices, &gathered, 3, &mut scratch, &mut out);
+        assert_eq!(out, dense, "gather order must not change the selection");
+    }
+
+    #[test]
+    fn indexed_variant_selects_subset() {
+        let indices = [10usize, 4, 7];
+        let scores = [0.5, 0.9, f64::NAN];
+        let mut scratch = TopKScratch::new();
+        let mut out = Vec::new();
+        top_k_indexed_into(&indices, &scores, 5, &mut scratch, &mut out);
+        assert_eq!(out, vec![(4, 0.9), (10, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must pair up")]
+    fn indexed_variant_rejects_mismatched_halves() {
+        let mut scratch = TopKScratch::new();
+        let mut out = Vec::new();
+        top_k_indexed_into(&[1, 2], &[0.5], 1, &mut scratch, &mut out);
     }
 
     #[test]

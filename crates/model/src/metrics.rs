@@ -229,7 +229,7 @@ mod tests {
     fn perfect_recommender() -> Recommender {
         // Identity-ish embedding: token i points along axis i (dim 6).
         let m = Matrix::from_fn(6, 6, |r, c| if r == c { 1.0 } else { 0.0 });
-        Recommender::from_embedding(m)
+        Recommender::from_embedding(m).unwrap()
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! location … We rank all locations by their scores and select the top-K
 //! locations as the potential recommendations."
 
+use plp_linalg::ivf::{IvfBuildParams, IvfIndex, IvfScratch};
 use plp_linalg::matrix::matmul_block_into;
 use plp_linalg::topk::TopKScratch;
 use plp_linalg::{ops, topk, Matrix};
@@ -26,6 +27,7 @@ pub struct RecommendScratch {
     scores: Vec<f64>,
     topk: TopKScratch,
     ranked: Vec<(usize, f64)>,
+    ivf: IvfScratch,
 }
 
 impl RecommendScratch {
@@ -53,10 +55,19 @@ impl Recommender {
 
     /// Builds a recommender from a raw embedding matrix (rows are
     /// normalised).
-    pub fn from_embedding(embedding: Matrix) -> Self {
-        Recommender {
-            embedding: embedding.normalized_rows(),
+    ///
+    /// # Errors
+    /// Rejects non-finite embeddings with [`ModelError::NonFinite`]. A NaN
+    /// row would otherwise vanish silently from every result (top-k skips
+    /// NaN scores), so a corrupt matrix must fail here, at load, not
+    /// quietly at serve.
+    pub fn from_embedding(embedding: Matrix) -> Result<Self, ModelError> {
+        if !embedding.all_finite() {
+            return Err(ModelError::NonFinite { at: "embedding" });
         }
+        Ok(Recommender {
+            embedding: embedding.normalized_rows(),
+        })
     }
 
     /// Vocabulary size.
@@ -209,6 +220,52 @@ impl Recommender {
         topk::top_k_with_scores_into(&scratch.scores, k, &mut scratch.topk, &mut scratch.ranked);
         Ok(scratch.ranked.iter().map(|&(i, _)| i).collect())
     }
+
+    /// Builds an IVF coarse-quantiser index over this recommender's frozen
+    /// embedding rows, for use with
+    /// [`Recommender::recommend_indexed_into`]. The index is bit-identical
+    /// across build thread counts (see `plp_linalg::ivf`).
+    ///
+    /// # Errors
+    /// Propagates `InvalidArgument` for bad params (e.g. more cells than
+    /// locations).
+    pub fn build_index(&self, params: &IvfBuildParams) -> Result<IvfIndex, ModelError> {
+        Ok(IvfIndex::build(&self.embedding, params)?)
+    }
+
+    /// Approximate top-`k` via an IVF index built by
+    /// [`Recommender::build_index`]: probes the `nprobe` best cells and
+    /// re-scores their members with the exact cosine kernel, so every
+    /// returned location carries the same score the exhaustive path would
+    /// compute and exclusion keeps the NaN-sentinel semantics. With
+    /// `nprobe >= index.cells()` the result equals
+    /// [`Recommender::recommend_excluding_into`] exactly.
+    ///
+    /// # Errors
+    /// Propagates profile errors and index shape mismatches (an index built
+    /// over a different embedding is rejected).
+    pub fn recommend_indexed_into(
+        &self,
+        index: &IvfIndex,
+        recent: &[usize],
+        k: usize,
+        exclude: &[usize],
+        nprobe: usize,
+        scratch: &mut RecommendScratch,
+    ) -> Result<Vec<usize>, ModelError> {
+        scratch.profile.resize(self.dim(), 0.0);
+        self.profile_into(recent, &mut scratch.profile)?;
+        index.search_into(
+            &self.embedding,
+            &scratch.profile,
+            k,
+            nprobe,
+            exclude,
+            &mut scratch.ivf,
+            &mut scratch.ranked,
+        )?;
+        Ok(scratch.ranked.iter().map(|&(i, _)| i).collect())
+    }
 }
 
 /// Marks every in-range excluded index `NaN` so the top-k selection skips
@@ -238,7 +295,7 @@ mod tests {
             m.set(t, 1, 1.0);
             m.set(t, 0, 0.05 * (t - 3) as f64);
         }
-        Recommender::from_embedding(m)
+        Recommender::from_embedding(m).unwrap()
     }
 
     #[test]
@@ -258,7 +315,7 @@ mod tests {
         let mut m = Matrix::zeros(2, 2);
         m.set(0, 0, 1.0);
         m.set(1, 1, 1.0);
-        let r = Recommender::from_embedding(m);
+        let r = Recommender::from_embedding(m).unwrap();
         let p = r.profile(&[0, 1]).unwrap();
         assert_eq!(p, vec![0.5, 0.5]);
     }
@@ -314,6 +371,76 @@ mod tests {
         assert!(r.scores(&[1.0]).is_err());
         assert_eq!(r.vocab_size(), 6);
         assert_eq!(r.dim(), 2);
+    }
+
+    #[test]
+    fn from_embedding_rejects_non_finite() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set(1, 0, f64::NAN);
+        assert!(matches!(
+            Recommender::from_embedding(m),
+            Err(ModelError::NonFinite { .. })
+        ));
+        let mut inf = Matrix::zeros(3, 2);
+        inf.set(2, 1, f64::INFINITY);
+        assert!(Recommender::from_embedding(inf).is_err());
+    }
+
+    #[test]
+    fn indexed_full_probe_matches_exhaustive_recommendations() {
+        let r = clustered();
+        let index = r
+            .build_index(&IvfBuildParams {
+                cells: 2,
+                ..Default::default()
+            })
+            .unwrap();
+        let mut scratch = RecommendScratch::new();
+        for (recent, exclude) in [
+            (vec![0usize, 1], vec![]),
+            (vec![3, 4], vec![3usize, 4]),
+            (vec![0, 5], vec![999]),
+        ] {
+            let dense = r
+                .recommend_excluding_into(&recent, 4, &exclude, &mut scratch)
+                .unwrap();
+            let indexed = r
+                .recommend_indexed_into(&index, &recent, 4, &exclude, index.cells(), &mut scratch)
+                .unwrap();
+            assert_eq!(indexed, dense, "full probe must equal exhaustive");
+        }
+    }
+
+    #[test]
+    fn indexed_narrow_probe_stays_in_cluster() {
+        let r = clustered();
+        let index = r
+            .build_index(&IvfBuildParams {
+                cells: 2,
+                ..Default::default()
+            })
+            .unwrap();
+        let mut scratch = RecommendScratch::new();
+        let top = r
+            .recommend_indexed_into(&index, &[0, 1], 2, &[], 1, &mut scratch)
+            .unwrap();
+        assert!(top.iter().all(|&t| t < 3), "x-cluster only: {top:?}");
+    }
+
+    #[test]
+    fn indexed_path_rejects_foreign_index() {
+        let r = clustered();
+        let other = Recommender::from_embedding(Matrix::zeros(4, 2)).unwrap();
+        let index = other
+            .build_index(&IvfBuildParams {
+                cells: 2,
+                ..Default::default()
+            })
+            .unwrap();
+        let mut scratch = RecommendScratch::new();
+        assert!(r
+            .recommend_indexed_into(&index, &[0], 2, &[], 1, &mut scratch)
+            .is_err());
     }
 
     #[test]

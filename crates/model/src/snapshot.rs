@@ -150,7 +150,10 @@ pub fn encode_deployable(params: &ModelParams) -> Bytes {
 /// Decodes a deployment bundle into the embedding matrix.
 ///
 /// # Errors
-/// Returns [`ModelError::ShapeMismatch`] on a malformed bundle.
+/// Returns [`ModelError::ShapeMismatch`] on a malformed bundle and
+/// [`ModelError::NonFinite`] if the payload carries NaN/∞ values — a NaN
+/// embedding row would silently vanish from every recommendation (top-k
+/// skips NaN scores), so a corrupt bundle must fail at load, not at serve.
 pub fn decode_deployable(mut data: Bytes) -> Result<Matrix, ModelError> {
     if data.remaining() < 5 {
         return Err(ModelError::ShapeMismatch {
@@ -169,7 +172,11 @@ pub fn decode_deployable(mut data: Bytes) -> Result<Matrix, ModelError> {
             what: "unsupported bundle version",
         });
     }
-    get_matrix(&mut data)
+    let embedding = get_matrix(&mut data)?;
+    if !embedding.all_finite() {
+        return Err(ModelError::NonFinite { at: "embedding" });
+    }
+    Ok(embedding)
 }
 
 /// Writes a full snapshot to disk.
@@ -244,6 +251,25 @@ mod tests {
         // Full snapshot is not a deployment bundle and vice versa.
         assert!(decode_deployable(encode_params(&p)).is_err());
         assert!(decode_params(encode_deployable(&p)).is_err());
+    }
+
+    #[test]
+    fn non_finite_bundle_payload_is_rejected_at_load() {
+        let p = params();
+        let bytes = encode_deployable(&p);
+        let mut raw = bytes.to_vec();
+        // Overwrite the first payload f64 (after 4B magic + 1B version +
+        // 8B dims) with NaN: a silent-row corruption the old decoder let
+        // straight through to serving.
+        raw[13..21].copy_from_slice(&f64::NAN.to_le_bytes());
+        let err = decode_deployable(Bytes::from(raw)).unwrap_err();
+        assert!(
+            matches!(err, ModelError::NonFinite { at: "embedding" }),
+            "got: {err:?}"
+        );
+        let mut raw = bytes.to_vec();
+        raw[13..21].copy_from_slice(&f64::NEG_INFINITY.to_le_bytes());
+        assert!(decode_deployable(Bytes::from(raw)).is_err());
     }
 
     #[test]

@@ -36,11 +36,14 @@ pub struct LruCache<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
-    /// An empty cache holding at most `capacity` entries.
+    /// An empty cache holding at most `capacity` entries. The initial
+    /// reservation is capped (like the node slab) so a large configured
+    /// capacity does not commit memory it may never use — both the map
+    /// and the slab grow on demand up to `capacity`.
     pub fn new(capacity: usize) -> Self {
         LruCache {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity.min(1024)),
             nodes: Vec::with_capacity(capacity.min(1024)),
             head: NIL,
             tail: NIL,

@@ -14,6 +14,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use plp_core::telemetry::ServeTelemetry;
+use plp_linalg::ivf::{IvfBuildParams, IvfIndex, IvfScratch};
 use plp_linalg::matrix::matmul_block_into;
 use plp_linalg::topk::{top_k_with_scores_into, TopKScratch};
 use plp_model::recommender::mask_excluded;
@@ -24,6 +25,47 @@ use crate::cache::LruCache;
 use crate::error::ServeError;
 use crate::query::{Query, QueryKey};
 
+/// ANN serving knobs: when set on [`ServeConfig::ann`], the engine builds
+/// a deterministic IVF index over the embedding rows at construction and
+/// batch workers score per-query *shortlists* (the members of the
+/// `nprobe` best cells, re-ranked with the exact cosine kernel) instead
+/// of all `vocab` rows. With `nprobe >= cells` results are bit-identical
+/// to the exhaustive engine; below that, results are approximate but
+/// deterministic — fixed by `(embedding, cells, seed, nprobe)`, never by
+/// worker count or batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnConfig {
+    /// Coarse-quantiser cells (k-means clusters); must be `>= 1` and at
+    /// most the vocabulary size.
+    pub cells: usize,
+    /// Cells probed per query, in `[1, cells]`. Larger probes raise
+    /// recall and cost; `nprobe == cells` reproduces the exhaustive scan.
+    pub nprobe: usize,
+    /// Lloyd iterations of the index build.
+    pub kmeans_iters: usize,
+    /// Rows used to train the centroids (`0` = all rows); the final
+    /// assignment always covers the full vocabulary.
+    pub kmeans_sample: usize,
+    /// Seed of the k-means initialisation.
+    pub seed: u64,
+    /// Threads used for the one-off index build (bit-identical at any
+    /// value; affects construction latency only).
+    pub build_threads: usize,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        AnnConfig {
+            cells: 256,
+            nprobe: 16,
+            kmeans_iters: 4,
+            kmeans_sample: 0,
+            seed: 0xA55_C0DE,
+            build_threads: 4,
+        }
+    }
+}
+
 /// Tuning knobs of a [`BatchEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -33,6 +75,9 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Result-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Optional IVF approximate-scoring configuration; `None` keeps the
+    /// exhaustive dense scan.
+    pub ann: Option<AnnConfig>,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +86,7 @@ impl Default for ServeConfig {
             max_batch: 64,
             workers: 4,
             cache_capacity: 4096,
+            ann: None,
         }
     }
 }
@@ -59,31 +105,61 @@ impl ServeConfig {
                 expected: ">= 1",
             });
         }
+        if let Some(ann) = &self.ann {
+            if ann.cells == 0 {
+                return Err(ServeError::BadConfig {
+                    name: "ann.cells",
+                    expected: ">= 1",
+                });
+            }
+            if ann.nprobe == 0 || ann.nprobe > ann.cells {
+                return Err(ServeError::BadConfig {
+                    name: "ann.nprobe",
+                    expected: "in [1, cells]",
+                });
+            }
+            if ann.kmeans_iters == 0 {
+                return Err(ServeError::BadConfig {
+                    name: "ann.kmeans_iters",
+                    expected: ">= 1",
+                });
+            }
+            if ann.build_threads == 0 {
+                return Err(ServeError::BadConfig {
+                    name: "ann.build_threads",
+                    expected: ">= 1",
+                });
+            }
+        }
         Ok(())
     }
 }
 
-/// Per-worker reusable buffers: one profile row and one score row per
-/// batch slot, plus the top-k selection heap. Pooled across `serve`
-/// calls, so the steady state performs no scoring allocations.
+/// Per-worker reusable buffers: stacked profile rows, dense score rows
+/// (exhaustive path) or the IVF shortlist buffers (ANN path), plus the
+/// top-k selection heap. All buffers start empty and are sized lazily to
+/// what a batch actually scores — at a million-location vocabulary the
+/// old eager `max_batch × vocab` reservation was ~512 MB *per worker*
+/// before the first query arrived, and the ANN path never needs dense
+/// rows at all. Grow-only, pooled across `serve` calls, so the steady
+/// state still performs no scoring allocations.
+#[derive(Default)]
 struct Scratch {
-    /// `max_batch × dim` stacked profile rows (prefix used for short
-    /// batches).
+    /// `rows × dim` stacked profile rows of the current batch.
     profiles: Vec<f64>,
-    /// `max_batch × vocab` stacked score rows.
+    /// `rows × vocab` stacked score rows (exhaustive path only).
     scores: Vec<f64>,
     topk: TopKScratch,
     ranked: Vec<(usize, f64)>,
+    ivf: IvfScratch,
 }
 
-impl Scratch {
-    fn new(max_batch: usize, dim: usize, vocab: usize) -> Self {
-        Scratch {
-            profiles: vec![0.0; max_batch * dim],
-            scores: vec![0.0; max_batch * vocab],
-            topk: TopKScratch::new(),
-            ranked: Vec::new(),
-        }
+/// Grows `buf` to at least `len` (grow-only, values overwritten by the
+/// caller); never shrinks, so pooled scratch reaches a high-water mark
+/// and stays allocation-free from then on.
+fn ensure(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
     }
 }
 
@@ -135,6 +211,9 @@ struct BatchResult {
 pub struct BatchEngine {
     rec: Recommender,
     cfg: ServeConfig,
+    /// The IVF coarse quantiser, built once at construction when
+    /// [`ServeConfig::ann`] is set.
+    index: Option<IvfIndex>,
     obs: Observer,
     phases: ServePhases,
     state: Mutex<EngineState>,
@@ -158,13 +237,29 @@ impl BatchEngine {
     /// store, so the engine always keeps one.
     ///
     /// # Errors
-    /// `BadConfig` when `max_batch` or `workers` is zero.
+    /// `BadConfig` when `max_batch`, `workers` or an ANN knob is out of
+    /// domain; a `Linalg` error when the index build rejects the
+    /// configuration against this vocabulary (e.g. more cells than
+    /// locations).
     pub fn with_observer(
         rec: Recommender,
         cfg: ServeConfig,
         obs: Observer,
     ) -> Result<Self, ServeError> {
         cfg.validate()?;
+        let index = match &cfg.ann {
+            Some(ann) => Some(IvfIndex::build(
+                rec.embedding(),
+                &IvfBuildParams {
+                    cells: ann.cells,
+                    iters: ann.kmeans_iters,
+                    sample: ann.kmeans_sample,
+                    seed: ann.seed,
+                    threads: ann.build_threads,
+                },
+            )?),
+            None => None,
+        };
         let obs = if obs.is_enabled() {
             obs
         } else {
@@ -174,6 +269,7 @@ impl BatchEngine {
         Ok(BatchEngine {
             rec,
             cfg,
+            index,
             obs,
             phases,
             state: Mutex::new(EngineState {
@@ -194,6 +290,12 @@ impl BatchEngine {
     /// The engine configuration.
     pub fn config(&self) -> ServeConfig {
         self.cfg
+    }
+
+    /// The IVF index, when the engine was configured with
+    /// [`ServeConfig::ann`].
+    pub fn ann_index(&self) -> Option<&IvfIndex> {
+        self.index.as_ref()
     }
 
     /// The observer this engine records into (always enabled).
@@ -382,10 +484,13 @@ impl BatchEngine {
         Ok(out)
     }
 
-    /// Scores one batch: stack profiles, run the blocked kernel, then
-    /// exclude and select per query. Every step reuses the sequential
-    /// path's kernels in the sequential path's order, keeping the result
-    /// bit-identical to `Recommender::recommend_excluding`.
+    /// Scores one batch. Both paths stack the batch's profiles first;
+    /// then the exhaustive path runs the blocked kernel over all `vocab`
+    /// rows while the ANN path searches the IVF shortlist per query. The
+    /// exhaustive path reuses the sequential path's kernels in the
+    /// sequential path's order, keeping it bit-identical to
+    /// `Recommender::recommend_excluding`; the ANN path is exact over the
+    /// probed cells and equals the exhaustive path when `nprobe = cells`.
     fn score_batch(
         &self,
         queries: &[Query],
@@ -394,15 +499,41 @@ impl BatchEngine {
     ) -> Result<BatchResult, ServeError> {
         let start = Instant::now();
         let dim = self.rec.dim();
-        let vocab = self.rec.vocab_size();
         let rows = batch.len();
         let matmul_span = self.phases.batch_matmul.start_span();
+        ensure(&mut scratch.profiles, rows * dim);
         for (slot, &qi) in batch.iter().enumerate() {
             self.rec.profile_into(
                 &queries[qi].recent,
                 &mut scratch.profiles[slot * dim..(slot + 1) * dim],
             )?;
         }
+        if let Some(index) = &self.index {
+            matmul_span.finish();
+            let nprobe = self.cfg.ann.expect("index implies ann config").nprobe;
+            let topk_span = self.phases.topk.start_span();
+            let mut ranked = Vec::with_capacity(rows);
+            for (slot, &qi) in batch.iter().enumerate() {
+                let q = &queries[qi];
+                index.search_into(
+                    self.rec.embedding(),
+                    &scratch.profiles[slot * dim..(slot + 1) * dim],
+                    q.k,
+                    nprobe,
+                    &q.exclude,
+                    &mut scratch.ivf,
+                    &mut scratch.ranked,
+                )?;
+                ranked.push((qi, scratch.ranked.iter().map(|&(i, _)| i).collect()));
+            }
+            topk_span.finish();
+            return Ok(BatchResult {
+                ranked,
+                elapsed_ms: ms_since(start),
+            });
+        }
+        let vocab = self.rec.vocab_size();
+        ensure(&mut scratch.scores, rows * vocab);
         matmul_block_into(
             &scratch.profiles[..rows * dim],
             rows,
@@ -428,14 +559,11 @@ impl BatchEngine {
     }
 
     fn take_scratch(&self) -> Scratch {
-        let pooled = self
-            .scratch_pool
+        self.scratch_pool
             .lock()
             .expect("scratch pool poisoned")
-            .pop();
-        pooled.unwrap_or_else(|| {
-            Scratch::new(self.cfg.max_batch, self.rec.dim(), self.rec.vocab_size())
-        })
+            .pop()
+            .unwrap_or_default()
     }
 
     fn return_scratch(&self, scratch: Scratch) {
@@ -464,7 +592,7 @@ mod tests {
                 m.set(r, c, rng.random::<f64>() * 2.0 - 1.0);
             }
         }
-        Recommender::from_embedding(m)
+        Recommender::from_embedding(m).unwrap()
     }
 
     fn mixed_queries(vocab: usize, n: usize, seed: u64) -> Vec<Query> {
@@ -505,6 +633,7 @@ mod tests {
                     max_batch,
                     workers,
                     cache_capacity: 0,
+                    ann: None,
                 },
             )
             .unwrap();
@@ -594,6 +723,7 @@ mod tests {
                 max_batch: 2,
                 workers: 2,
                 cache_capacity: 0,
+                ann: None,
             },
         )
         .unwrap();
@@ -616,6 +746,7 @@ mod tests {
                 max_batch: 4,
                 workers: 2,
                 cache_capacity: 0,
+                ann: None,
             },
         )
         .unwrap();
@@ -643,6 +774,7 @@ mod tests {
                 max_batch: 4,
                 workers: 3,
                 cache_capacity: 8,
+                ann: None,
             },
             obs.clone(),
         )
@@ -669,6 +801,7 @@ mod tests {
                 max_batch: 8,
                 workers: 2,
                 cache_capacity: 16,
+                ann: None,
             },
         )
         .unwrap();
@@ -733,5 +866,149 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    fn ann_cfg(cells: usize, nprobe: usize) -> ServeConfig {
+        ServeConfig {
+            max_batch: 4,
+            workers: 2,
+            cache_capacity: 0,
+            ann: Some(AnnConfig {
+                cells,
+                nprobe,
+                ..AnnConfig::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn ann_full_probe_is_bit_identical_to_dense_engine() {
+        let rec = random_recommender(61, 6, 50);
+        let queries = mixed_queries(61, 40, 51);
+        let dense = BatchEngine::new(
+            rec.clone(),
+            ServeConfig {
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let expected = dense.serve(&queries).unwrap();
+        for workers in [1, 3] {
+            let engine = BatchEngine::new(
+                rec.clone(),
+                ServeConfig {
+                    workers,
+                    ..ann_cfg(8, 8)
+                },
+            )
+            .unwrap();
+            let got = engine.serve(&queries).unwrap();
+            assert_eq!(
+                got, expected,
+                "nprobe = cells must reproduce the dense engine (workers={workers})"
+            );
+        }
+    }
+
+    #[test]
+    fn ann_results_are_worker_and_batch_invariant() {
+        let rec = random_recommender(61, 6, 52);
+        let queries = mixed_queries(61, 40, 53);
+        let reference = BatchEngine::new(rec.clone(), ann_cfg(8, 2))
+            .unwrap()
+            .serve(&queries)
+            .unwrap();
+        for (max_batch, workers) in [(1, 1), (7, 3), (64, 5)] {
+            let engine = BatchEngine::new(
+                rec.clone(),
+                ServeConfig {
+                    max_batch,
+                    workers,
+                    ..ann_cfg(8, 2)
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                engine.serve(&queries).unwrap(),
+                reference,
+                "ANN results fixed by (embedding, ann config), not by max_batch={max_batch}/workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn ann_config_is_validated() {
+        let rec = random_recommender(10, 3, 54);
+        for (cfg, knob) in [
+            (ann_cfg(0, 1), "ann.cells"),
+            (ann_cfg(4, 0), "ann.nprobe"),
+            (ann_cfg(4, 5), "ann.nprobe"),
+        ] {
+            assert!(
+                matches!(
+                    BatchEngine::new(rec.clone(), cfg),
+                    Err(ServeError::BadConfig { name, .. }) if name == knob
+                ),
+                "expected BadConfig for {knob}"
+            );
+        }
+        let mut bad_iters = ann_cfg(4, 2);
+        bad_iters.ann.as_mut().unwrap().kmeans_iters = 0;
+        assert!(BatchEngine::new(rec.clone(), bad_iters).is_err());
+        let mut bad_threads = ann_cfg(4, 2);
+        bad_threads.ann.as_mut().unwrap().build_threads = 0;
+        assert!(BatchEngine::new(rec.clone(), bad_threads).is_err());
+        // More cells than locations is rejected by the index build.
+        assert!(matches!(
+            BatchEngine::new(rec, ann_cfg(11, 1)),
+            Err(ServeError::Linalg(_))
+        ));
+    }
+
+    #[test]
+    fn scratch_is_sized_lazily_to_what_was_scored() {
+        // Satellite regression: the old Scratch eagerly reserved
+        // max_batch × vocab score rows per worker at construction — at
+        // vocab 10⁶ and max_batch 64 that is ~512 MB per worker before
+        // the first query. Scratch must now grow to the scored batch.
+        let vocab = 12;
+        let rec = random_recommender(vocab, 3, 55);
+        let engine = BatchEngine::new(
+            rec,
+            ServeConfig {
+                max_batch: 64,
+                workers: 1,
+                cache_capacity: 0,
+                ann: None,
+            },
+        )
+        .unwrap();
+        let queries = mixed_queries(vocab, 3, 56);
+        engine.serve(&queries).unwrap();
+        let pool = engine.scratch_pool.lock().unwrap();
+        assert_eq!(pool.len(), 1);
+        assert_eq!(
+            pool[0].scores.len(),
+            3 * vocab,
+            "score scratch sized to the largest batch actually scored, not max_batch"
+        );
+    }
+
+    #[test]
+    fn ann_scratch_never_allocates_dense_score_rows() {
+        let rec = random_recommender(40, 4, 57);
+        let engine = BatchEngine::new(rec, ann_cfg(5, 2)).unwrap();
+        assert_eq!(engine.ann_index().unwrap().cells(), 5);
+        let queries = mixed_queries(40, 12, 58);
+        engine.serve(&queries).unwrap();
+        let pool = engine.scratch_pool.lock().unwrap();
+        assert!(!pool.is_empty());
+        for scratch in pool.iter() {
+            assert!(
+                scratch.scores.is_empty(),
+                "ANN workers score shortlists; the vocab-wide dense rows must never exist"
+            );
+        }
     }
 }

@@ -16,6 +16,12 @@
 //!   allocations,
 //! * [`cache::LruCache`] — an LRU result cache keyed by the normalised
 //!   `(recent, k, exclude)` query with hit/miss counters,
+//! * optional sublinear scoring — [`engine::AnnConfig`] builds a
+//!   deterministic IVF coarse-quantiser index
+//!   ([`plp_linalg::ivf::IvfIndex`]) at construction, and workers then
+//!   score per-query shortlists (the `nprobe` best cells, re-ranked with
+//!   the exact cosine kernel) instead of all `vocab` rows; `nprobe =
+//!   cells` is bit-identical to the exhaustive scan,
 //! * serving telemetry — QPS, p50/p95/p99 latency and cache hit rate —
 //!   reported as [`plp_core::telemetry::ServeTelemetry`], with per-query
 //!   latencies held in a bounded `plp_obs` log-linear histogram
@@ -36,6 +42,6 @@ pub mod error;
 pub mod query;
 
 pub use cache::LruCache;
-pub use engine::{BatchEngine, ServeConfig};
+pub use engine::{AnnConfig, BatchEngine, ServeConfig};
 pub use error::ServeError;
 pub use query::{Query, QueryKey};

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Bench regression guard for the training-throughput report.
+"""Bench regression guards for the training and serving reports.
 
-Reads a BENCH_train*.json produced by the `train_throughput` binary and
-fails (exit 1) if:
+Training mode reads a BENCH_train*.json produced by the
+`train_throughput` binary and fails (exit 1) if:
 
   * the report is missing, unreadable, malformed JSON, or structurally
     wrong (not an object, runs not a list, shares not numbers) — a
@@ -12,7 +12,18 @@ fails (exit 1) if:
     threshold — the dense phases regressing back towards the
     single-stream sampler would show up here first.
 
+Serving mode (`--serve`) reads a BENCH_serve*.json produced by the
+`serve_load` binary and fails (exit 1) if:
+
+  * the report is malformed or missing the `ann` section, or
+  * ANN recall@10 on the 100k-location city drops below the floor
+    (default 0.95) — an index regression fails CI like a perf
+    regression does, or
+  * the `nprobe = cells` full-probe pass was not bit-identical to the
+    exhaustive scan, or ANN results were not worker-invariant.
+
 Usage: bench_guard.py REPORT.json [MAX_SHARE]
+       bench_guard.py --serve REPORT.json [MIN_RECALL]
 
 Exit codes: 0 all checks pass, 1 regression or malformed report,
 2 usage error.
@@ -21,7 +32,9 @@ MAX_SHARE is a fraction (default 0.35). It is deliberately generous:
 smoke runs time only a handful of steps, so this guards against the
 dense phases swallowing the step, not against millisecond jitter. The
 threads=4-beats-threads=1 share comparison is enforced by
-train_throughput itself on full runs.
+train_throughput itself on full runs. MIN_RECALL defaults to 0.95; the
+ANN speedup floor is enforced by serve_load itself (its exit code),
+because wall-clock ratios are too noisy to re-judge from the report.
 """
 
 import json
@@ -34,9 +47,77 @@ def fail(path: str, why: str) -> int:
     return 1
 
 
+def load_report(path: str):
+    """Returns (report, None) or (None, exit_code)."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        return None, fail(path, f"cannot read report: {e}")
+    except json.JSONDecodeError as e:
+        return None, fail(path, f"not valid JSON (line {e.lineno}, column {e.colno}): {e.msg}")
+    if not isinstance(report, dict):
+        return None, fail(path, f"report must be a JSON object, got {type(report).__name__}")
+    return report, None
+
+
+def serve_guard(path: str, min_recall: float) -> int:
+    report, err = load_report(path)
+    if err is not None:
+        return err
+
+    if "ann" not in report:
+        return fail(path, "missing required key 'ann'")
+    ann = report["ann"]
+    if not isinstance(ann, dict):
+        return fail(path, f"'ann' must be an object, got {type(ann).__name__}")
+
+    recall = ann.get("recall_at_10")
+    if not isinstance(recall, (int, float)) or isinstance(recall, bool):
+        return fail(path, f"ann.recall_at_10 must be a number, got {recall!r}")
+
+    ok = True
+    verdict = "PASS" if recall >= min_recall else "FAIL"
+    print(f"{verdict} ann recall@10 {recall:.4f} (floor {min_recall})")
+    ok &= recall >= min_recall
+
+    for key in ("full_probe_bit_identical", "worker_invariant"):
+        value = ann.get(key)
+        if value is not True:
+            print(f"FAIL ann.{key} is {value!r}, expected true")
+            ok = False
+        else:
+            print(f"PASS ann.{key}")
+
+    speedup = ann.get("speedup")
+    if isinstance(speedup, (int, float)) and not isinstance(speedup, bool):
+        print(f"info ann speedup {speedup:.1f}x (floor enforced by serve_load)")
+
+    print("bench_guard:", "ok" if ok else "REGRESSION")
+    return 0 if ok else 1
+
+
 def main() -> int:
+    usage = f"usage: {sys.argv[0]} REPORT.json [MAX_SHARE] | --serve REPORT.json [MIN_RECALL]"
+    if len(sys.argv) >= 2 and sys.argv[1] == "--serve":
+        if len(sys.argv) < 3:
+            print(usage, file=sys.stderr)
+            return 2
+        try:
+            min_recall = float(sys.argv[3]) if len(sys.argv) > 3 else 0.95
+        except ValueError:
+            print(
+                f"usage: MIN_RECALL must be a number, got {sys.argv[3]!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if not 0.0 < min_recall <= 1.0:
+            print(f"usage: MIN_RECALL must be in (0, 1], got {min_recall}", file=sys.stderr)
+            return 2
+        return serve_guard(sys.argv[2], min_recall)
+
     if len(sys.argv) < 2:
-        print(f"usage: {sys.argv[0]} REPORT.json [MAX_SHARE]", file=sys.stderr)
+        print(usage, file=sys.stderr)
         return 2
     path = sys.argv[1]
     try:
@@ -48,16 +129,9 @@ def main() -> int:
         print(f"usage: MAX_SHARE must be in (0, 1], got {max_share}", file=sys.stderr)
         return 2
 
-    try:
-        with open(path) as f:
-            report = json.load(f)
-    except OSError as e:
-        return fail(path, f"cannot read report: {e}")
-    except json.JSONDecodeError as e:
-        return fail(path, f"not valid JSON (line {e.lineno}, column {e.colno}): {e.msg}")
-
-    if not isinstance(report, dict):
-        return fail(path, f"report must be a JSON object, got {type(report).__name__}")
+    report, err = load_report(path)
+    if err is not None:
+        return err
 
     ok = True
     if "all_checks_passed" not in report:

@@ -26,8 +26,11 @@ cargo run --release -p plp-bench --bin chaos
 echo "== fed_chaos drill (multi-process federated smoke) =="
 cargo run --release -p plp-bench --bin fed_chaos -- --smoke
 
-echo "== serve load-generator smoke (batched == sequential) =="
+echo "== serve load-generator smoke (batched == sequential, ANN cross-check) =="
 cargo run --release -p plp-bench --bin serve_load -- --smoke --out target/BENCH_serve_smoke.json
+
+echo "== bench guard (ANN recall@10 floor) =="
+python3 scripts/bench_guard.py --serve target/BENCH_serve_smoke.json 0.95
 
 echo "== training-throughput smoke (thread-count invariance) =="
 cargo run --release -p plp-bench --bin train_throughput -- --smoke \
