@@ -21,6 +21,8 @@ use plp_core::plp::{
 };
 use plp_core::CoreError;
 use plp_fed::{FedConfig, FedExecutor, RetryPolicy};
+use plp_obs::trace::{parse_dump_jsonl, stitch_chrome_trace, TraceConfig, TraceDump};
+use plp_obs::Observer;
 use plp_privacy::PrivacyBudget;
 
 fn check(name: &str, ok: bool, detail: &str) -> bool {
@@ -252,6 +254,112 @@ fn main() -> ExitCode {
             ),
         );
     }
+
+    // Drill 6 (runs in smoke too): tracing across the pipe. A traced
+    // fed run must (a) stay bit-identical to the untraced reference,
+    // and (b) leave flight-recorder dumps from the coordinator and every
+    // worker that stitch into one Perfetto/Chrome trace with worker
+    // round spans parented under coordinator send spans.
+    println!("== drill 6: deterministic tracing across the pipe ==");
+    let trace_out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "target/BENCH_fed_trace.json".to_string())
+    };
+    // Raw dumps land in a stable dir (not a temp dir) so operators and CI
+    // can re-stitch them with scripts/trace_stitch.py after the run.
+    let trace_dir = std::path::PathBuf::from("target/fed_trace_dumps");
+    std::fs::remove_dir_all(&trace_dir).ok();
+    std::fs::create_dir_all(&trace_dir).expect("trace dir");
+    let traced_opts = TrainOptions {
+        observer: Observer::new("fed-chaos"),
+        ..TrainOptions::default()
+    };
+    let tracer = traced_opts
+        .observer
+        .attach_tracer(
+            TraceConfig::named("coordinator").dump_to(trace_dir.join("trace_coordinator.jsonl")),
+        )
+        .expect("attach tracer");
+    let traced = {
+        let mut exec = fed_exec(2, RetryPolicy::default());
+        train_plp_with_executor(seed, &prep.train, None, &hp, &traced_opts, &mut exec)
+            .expect("traced fed run")
+        // exec drops here: workers get the shutdown, dump, and exit.
+    };
+    all_ok &= check(
+        "tracing-invisibility",
+        bit_identical(&traced, &reference),
+        &format!(
+            "traced ε={:.6} vs untraced ε={:.6} — params/ledger/ε must not move",
+            traced.summary.epsilon_spent, reference.summary.epsilon_spent
+        ),
+    );
+    tracer
+        .dump_to(
+            tracer.dump_path().expect("configured above"),
+            "drill_complete",
+        )
+        .expect("coordinator dump");
+
+    let mut dumps: Vec<TraceDump> = Vec::new();
+    let coordinator_dump =
+        std::fs::read_to_string(trace_dir.join("trace_coordinator.jsonl")).expect("read dump");
+    dumps.push(parse_dump_jsonl(&coordinator_dump).expect("parse coordinator dump"));
+    for entry in std::fs::read_dir(&trace_dir).expect("list trace dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        if name.starts_with("trace_worker_") {
+            let text = std::fs::read_to_string(&path).expect("read worker dump");
+            dumps.push(parse_dump_jsonl(&text).expect("parse worker dump"));
+        }
+    }
+    let processes: std::collections::BTreeSet<(String, u64)> =
+        dumps.iter().map(|d| (d.process.clone(), d.pid)).collect();
+    all_ok &= check(
+        "trace-processes",
+        processes.len() >= 3,
+        &format!(
+            "flight recorders from {} processes (need coordinator + 2 workers)",
+            processes.len()
+        ),
+    );
+    let send_spans: std::collections::BTreeSet<u64> = dumps[0]
+        .records
+        .iter()
+        .filter(|r| r.name == "fed_send")
+        .map(|r| r.span_id)
+        .collect();
+    let cross_parented = dumps[1..].iter().any(|d| {
+        d.records
+            .iter()
+            .any(|r| r.name == "fed_worker_round" && send_spans.contains(&r.parent_id))
+    });
+    all_ok &= check(
+        "trace-cross-pipe-parenting",
+        cross_parented,
+        &format!(
+            "{} coordinator send spans; worker rounds parented under them across the pipe",
+            send_spans.len()
+        ),
+    );
+
+    let stitched = stitch_chrome_trace(&dumps);
+    if let Some(parent) = std::path::Path::new(&trace_out).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&trace_out, &stitched).expect("write stitched trace");
+    all_ok &= check(
+        "trace-stitched",
+        stitched.contains("\"traceEvents\"") && stitched.contains("fed_pipe"),
+        &format!("stitched Perfetto JSON with flow events written to {trace_out}"),
+    );
+    println!(
+        "fed_chaos: raw flight-recorder dumps kept in {}",
+        trace_dir.display()
+    );
 
     if all_ok {
         println!("fed_chaos: all drills passed");

@@ -214,6 +214,56 @@ fn main() -> ExitCode {
         "step counter matches executed steps",
     );
 
+    // Privacy burn telemetry: one event per step, burn-rate gauge live.
+    ok &= check(
+        observer.gauge("plp_privacy_epsilon_burn_rate").get() > 0.0,
+        "privacy burn-rate gauge is live",
+    );
+
+    // --- Tracing overhead: time the same training run with and without a
+    // tracer attached. Min-of-repeats per mode de-flakes scheduler noise;
+    // the bench guard holds overhead_frac to its ceiling.
+    let timing_repeats = if opts.smoke { 3 } else { 5 };
+    println!("obs_report: timing traced vs untraced training ({timing_repeats} repeats each)");
+    let run_once = |traced: bool| {
+        let obs = Observer::new("obs_timing");
+        if traced {
+            obs.attach_tracer(plp_obs::trace::TraceConfig::named("obs_report"));
+        }
+        let topts = TrainOptions {
+            observer: obs,
+            ..TrainOptions::default()
+        };
+        let start = std::time::Instant::now();
+        let out = train_plp_resumable(SEED, &prep.train, None, &hp, &topts).expect("timing run");
+        let per_step_ms = start.elapsed().as_secs_f64() * 1e3 / out.summary.steps as f64;
+        (per_step_ms, out)
+    };
+    let mut untraced_step_ms = f64::INFINITY;
+    let mut traced_step_ms = f64::INFINITY;
+    let (mut untraced_run, mut traced_run) = (None, None);
+    for _ in 0..timing_repeats {
+        let (ms, out) = run_once(false);
+        untraced_step_ms = untraced_step_ms.min(ms);
+        untraced_run = Some(out);
+        let (ms, out) = run_once(true);
+        traced_step_ms = traced_step_ms.min(ms);
+        traced_run = Some(out);
+    }
+    let (untraced_run, traced_run) = (untraced_run.unwrap(), traced_run.unwrap());
+    let overhead_frac = (traced_step_ms - untraced_step_ms) / untraced_step_ms;
+    println!(
+        "  untraced={untraced_step_ms:.3}ms/step traced={traced_step_ms:.3}ms/step overhead={:.2}%",
+        overhead_frac * 100.0
+    );
+    ok &= check(
+        traced_run.params == untraced_run.params
+            && traced_run.ledger == untraced_run.ledger
+            && traced_run.summary.epsilon_spent.to_bits()
+                == untraced_run.summary.epsilon_spent.to_bits(),
+        "traced training bit-identical to untraced",
+    );
+
     // --- Serving leg: same observer, so both stacks land in one registry.
     let rec = Recommender::new(&outcome.params);
     let trials = leave_one_out_trials(&prep.test);
@@ -344,6 +394,12 @@ fn main() -> ExitCode {
         "epsilon_budget": hp.budget.epsilon,
         "delta": hp.budget.delta,
         "train_phases": phase_json(&train_rows),
+        "trace": serde_json::json!({
+            "repeats": timing_repeats,
+            "untraced_step_ms": untraced_step_ms,
+            "traced_step_ms": traced_step_ms,
+            "overhead_frac": overhead_frac,
+        }),
         "serve_phases": phase_json(&serve_rows),
         "serve_qps": t.qps,
         "serve_p99_ms": t.p99_ms,

@@ -11,6 +11,7 @@
 //!   cargo run --release -p plp-bench --bin serve_load -- --smoke # CI smoke
 //!   ... -- --out path.json                                       # output path
 //!   ... -- --ann-cells 512 --ann-nprobe 16                       # ANN knobs
+//!   ... -- --trace trace.json       # dump a Chrome/Perfetto serve trace
 //!
 //! Writes `BENCH_serve.json` (or `--out`) and exits non-zero if any
 //! batched result diverges from the sequential reference, ANN recall@10
@@ -43,6 +44,7 @@ const MIN_SPEEDUP: f64 = 5.0;
 struct Opts {
     smoke: bool,
     out: String,
+    trace: Option<String>,
     ann_cells: usize,
     ann_nprobe: usize,
 }
@@ -50,11 +52,12 @@ struct Opts {
 fn parse_opts() -> Opts {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let named = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out = named("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let flag = |name: &str, default: usize| {
         args.iter()
             .position(|a| a == name)
@@ -65,6 +68,7 @@ fn parse_opts() -> Opts {
     Opts {
         smoke,
         out,
+        trace: named("--trace"),
         ann_cells: flag("--ann-cells", 512),
         ann_nprobe: flag("--ann-nprobe", 8),
     }
@@ -438,6 +442,46 @@ fn main() -> ExitCode {
             "cache_hit_rate": t.cache_hit_rate(),
             "bit_identical": identical && warm_identical,
         }));
+    }
+
+    // Optional trace export (`--trace FILE`): one traced serve pass over a
+    // wave, dumped as a Chrome/Perfetto trace for ad-hoc inspection. The
+    // traced results must stay bit-identical to the sequential reference.
+    if let Some(trace_out) = &opts.trace {
+        let obs = plp_obs::Observer::new("serve_load");
+        let tracer = obs
+            .attach_tracer(plp_obs::trace::TraceConfig::named("serve_load"))
+            .expect("attach tracer");
+        let engine = BatchEngine::with_observer(
+            rec.clone(),
+            ServeConfig {
+                max_batch: 32,
+                workers: 4,
+                cache_capacity: 4096,
+                ann: None,
+            },
+            obs,
+        )
+        .expect("traced engine");
+        let subset = &queries[..queries.len().min(WAVE)];
+        let traced = engine.serve(subset).expect("traced serve");
+        let identical = traced == expected[..subset.len()];
+        ok &= identical;
+        let spans = tracer.snapshot().len();
+        println!(
+            "{} traced serve pass bit-identical ({} queries, {spans} spans)",
+            if identical { "PASS" } else { "FAIL" },
+            subset.len()
+        );
+        let tmp = std::env::temp_dir().join(format!("serve_trace_{}.jsonl", std::process::id()));
+        tracer.dump_to(&tmp, "serve_load").expect("dump trace");
+        let dump =
+            plp_obs::trace::parse_dump_jsonl(&std::fs::read_to_string(&tmp).expect("read dump"))
+                .expect("parse dump");
+        std::fs::remove_file(&tmp).ok();
+        std::fs::write(trace_out, plp_obs::trace::stitch_chrome_trace(&[dump]))
+            .expect("write trace");
+        println!("serve_load: wrote trace {trace_out}");
     }
 
     // Section 2: the 100k-location city, ANN vs exhaustive.

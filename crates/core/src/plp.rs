@@ -56,7 +56,8 @@ use plp_model::optimizer::{ServerAdam, ServerSgd};
 use plp_model::params::ModelParams;
 use plp_model::train::{train_on_tokens_with_scratch, TrainScratch};
 use plp_model::Recommender;
-use plp_obs::{Counter, HistogramHandle, Observer};
+use plp_obs::trace::{derive_span_id, derive_trace_id, TraceContext, DOMAIN_TRAIN_STEP};
+use plp_obs::{Counter, Gauge, HistogramHandle, Observer};
 use plp_privacy::accountant::MomentsAccountant;
 use plp_privacy::mechanism::GaussianMechanism;
 use plp_privacy::PrivacyLedger;
@@ -719,6 +720,37 @@ fn check_dataset(train: &TokenizedDataset) -> Result<(), CoreError> {
     Ok(())
 }
 
+/// Per-step privacy-budget burn telemetry: ε after the step, the step's
+/// marginal ε (the burn rate), and the active RDP order, as both gauges
+/// and a `privacy_burn` event. Reads the same accountant that feeds
+/// [`RunSummary::epsilon_spent`], so the final event is bit-identical to
+/// the summary.
+fn emit_privacy_burn(
+    obs: &Observer,
+    g_burn: &Gauge,
+    g_order: &Gauge,
+    step: u64,
+    prev_eps: &mut f64,
+    accountant: &MomentsAccountant,
+) -> Result<(), CoreError> {
+    let eps = accountant.epsilon()?;
+    let order = accountant.optimal_order()?;
+    let burn = eps - *prev_eps;
+    *prev_eps = eps;
+    g_burn.set(burn);
+    g_order.set(order as f64);
+    obs.emit(
+        "privacy_burn",
+        json!({
+            "step": step,
+            "epsilon_spent": eps,
+            "epsilon_step": burn,
+            "rdp_order": order,
+        }),
+    );
+    Ok(())
+}
+
 fn run_loop(
     mut state: TrainerState,
     train: &TokenizedDataset,
@@ -756,8 +788,16 @@ fn run_loop(
     let g_eps_budget = obs.gauge("plp_epsilon_budget");
     let g_delta = obs.gauge("plp_delta");
     let g_step = obs.gauge("plp_train_step");
+    let g_burn = obs.gauge("plp_privacy_epsilon_burn_rate");
+    let g_order = obs.gauge("plp_privacy_rdp_order");
     let c_steps = obs.counter("plp_train_steps_total");
     let c_skipped = obs.counter("plp_train_skipped_buckets_total");
+    // Tracing (optional, deterministic): every id below is a pure
+    // function of `(run_seed, step)` via the same mix64 discipline as
+    // the noise streams — never the clock, never `rand` — so attaching a
+    // tracer cannot perturb a single trained bit.
+    let tracer = obs.tracer();
+    let mut prev_eps = state.accountant.epsilon()?;
     g_eps_budget.set(hp.budget.epsilon);
     g_delta.set(hp.budget.delta);
     g_step.set(state.step as f64);
@@ -786,12 +826,39 @@ fn run_loop(
         let step_start = std::time::Instant::now();
         let mut rng = step_rng(state.run_seed, step);
 
+        // `(&tracer, trace_id, step span id)` for this step, or None.
+        let step_trace = tracer.as_ref().map(|t| {
+            let trace_id = derive_trace_id(state.run_seed, DOMAIN_TRAIN_STEP, step);
+            (t, trace_id, derive_span_id(trace_id, "step", step))
+        });
+        let t_step =
+            step_trace.map(|(t, tid, sid)| t.span("step", "train", tid, sid, 0).arg("step", step));
+
         // Line 5: Poisson user sampling.
         let sample_span = ph_sample.start_span();
+        let t_sample = step_trace.map(|(t, tid, sid)| {
+            t.span(
+                "sample",
+                "train",
+                tid,
+                derive_span_id(tid, "sample", step),
+                sid,
+            )
+        });
         let sampled = sample_users(&mut rng, num_users, hp.sampling_prob)?;
+        drop(t_sample);
         sample_span.finish();
         // Line 6: data grouping.
         let group_span = ph_group.start_span();
+        let t_group = step_trace.map(|(t, tid, sid)| {
+            t.span(
+                "group",
+                "train",
+                tid,
+                derive_span_id(tid, "group", step),
+                sid,
+            )
+        });
         let buckets = if omega == 1 {
             group_data(
                 &mut rng,
@@ -817,12 +884,26 @@ fn run_loop(
                 Err(e) => return Err(e.into()),
             }
         };
+        drop(t_group);
         group_span.finish();
         debug_assert!(realized_split_factor(&buckets) <= omega);
 
         // Lines 7-8, 15-22: per-bucket clipped deltas, each behind a panic
         // barrier; poisoned buckets are dropped (DP-safe, see module docs).
+        // The local_sgd span is published as the trace *scope* so a
+        // multi-process executor can parent its round under it — the
+        // step_seed is drawn after sampling, so the executor could not
+        // re-derive this step's trace id on its own.
         let step_seed: u64 = rng.random();
+        let t_local = step_trace.map(|(t, tid, sid)| {
+            let local_id = derive_span_id(tid, "local_sgd", step);
+            obs.set_trace_scope(Some(TraceContext {
+                trace_id: tid,
+                parent_span: local_id,
+            }));
+            t.span("local_sgd", "train", tid, local_id, sid)
+                .arg("buckets", buckets.len() as u64)
+        });
         let (updates, skipped) = executor.execute_step(
             &state.params,
             &buckets,
@@ -832,6 +913,10 @@ fn run_loop(
             &opts.faults,
             obs,
         )?;
+        if t_local.is_some() {
+            obs.set_trace_scope(None);
+        }
+        drop(t_local);
 
         if !buckets.is_empty() && updates.is_empty() && skipped > 0 {
             // Every formed bucket was poisoned: no signal survives, so the
@@ -841,6 +926,14 @@ fn run_loop(
             state
                 .accountant
                 .step(hp.sampling_prob, hp.noise_multiplier)?;
+            emit_privacy_burn(
+                obs,
+                &g_burn,
+                &g_order,
+                step,
+                &mut prev_eps,
+                &state.accountant,
+            )?;
             state.step = step;
             telemetry.push(StepTelemetry {
                 step,
@@ -865,6 +958,10 @@ fn run_loop(
                 obs.emit("step", serde_json::to_value_of(t));
             }
             stop_reason = StopReason::Diverged;
+            // A Diverged stop is a fault event: keep the flight recorder.
+            if let Some(t) = &tracer {
+                t.dump_on_fault("diverged");
+            }
             break;
         }
 
@@ -875,6 +972,15 @@ fn run_loop(
         // average by the expected bucket count q·W/λ — never the realised
         // (sample-dependent) |H_t| — rides the same row pass.
         let noise_span = ph_noise.start_span();
+        let t_noise = step_trace.map(|(t, tid, sid)| {
+            t.span(
+                "noise",
+                "train",
+                tid,
+                derive_span_id(tid, "noise", step),
+                sid,
+            )
+        });
         let mut aggregate = ModelParams::zeros(state.params.vocab_size(), state.params.dim());
         for u in &updates {
             u.grad.accumulate_into(&mut aggregate)?;
@@ -887,32 +993,65 @@ fn run_loop(
             1.0 / denom,
             hp.threads,
         );
+        drop(t_noise);
         noise_span.finish();
 
         // Line 10: model update, fanned over the same worker count.
         let server_span = ph_server.start_span();
+        let t_server = step_trace.map(|(t, tid, sid)| {
+            t.span(
+                "server_update",
+                "train",
+                tid,
+                derive_span_id(tid, "server_update", step),
+                sid,
+            )
+        });
         state
             .server
             .step_threaded(&mut state.params, &aggregate, hp.threads)?;
+        drop(t_server);
         server_span.finish();
 
         // Line 11: ledger tracking. The effective noise multiplier stays σ
         // for any ω: noise std σCω over sensitivity ωC.
         let accountant_span = ph_accountant.start_span();
+        let t_acct = step_trace.map(|(t, tid, sid)| {
+            t.span(
+                "accountant",
+                "train",
+                tid,
+                derive_span_id(tid, "accountant", step),
+                sid,
+            )
+        });
         state
             .accountant
             .step(hp.sampling_prob, hp.noise_multiplier)?;
+        drop(t_acct);
         accountant_span.finish();
+        emit_privacy_burn(
+            obs,
+            &g_burn,
+            &g_order,
+            step,
+            &mut prev_eps,
+            &state.accountant,
+        )?;
         state.step = step;
 
         let validation_hr10 = match validation {
             Some(v) if hp.eval_every > 0 && step.is_multiple_of(hp.eval_every as u64) => {
                 let eval_span = ph_eval.start_span();
+                let t_eval = step_trace.map(|(t, tid, sid)| {
+                    t.span("eval", "train", tid, derive_span_id(tid, "eval", step), sid)
+                });
                 let rec = Recommender::new(&state.params);
                 // Leave-one-out trials fan out over `hp.threads` workers;
                 // the ordered integer-count reduction makes the metric
                 // identical for any thread count.
                 let hr = evaluate_hit_rate_threaded(&rec, v, &[10], hp.threads)?;
+                drop(t_eval);
                 eval_span.finish();
                 Some(hr[0].rate())
             }
@@ -956,11 +1095,22 @@ fn run_loop(
         if let Some(policy) = &opts.checkpoint {
             if policy.every > 0 && step.is_multiple_of(policy.every) {
                 let ckpt_span = ph_checkpoint.start_span();
+                let t_ckpt = step_trace.map(|(t, tid, sid)| {
+                    t.span(
+                        "checkpoint",
+                        "train",
+                        tid,
+                        derive_span_id(tid, "checkpoint", step),
+                        sid,
+                    )
+                });
                 state.persist(policy, &opts.faults)?;
+                drop(t_ckpt);
                 ckpt_span.finish();
                 obs.emit("checkpoint_saved", json!({ "step": step }));
             }
         }
+        drop(t_step);
         if opts.halt_after.is_some_and(|k| step >= k) {
             stop_reason = StopReason::Interrupted;
             break;
@@ -1666,5 +1816,109 @@ mod tests {
             1
         );
         assert!(kinds.iter().any(|k| k == "checkpoint_saved"));
+    }
+
+    #[test]
+    fn privacy_burn_events_track_the_accountant_exactly() {
+        let ds = tiny_dataset(24);
+        let hp = fast_hp();
+        let opts = TrainOptions {
+            observer: Observer::with_memory_sink("burn"),
+            ..TrainOptions::default()
+        };
+        let out = train_plp_resumable(11, &ds, None, &hp, &opts).unwrap();
+
+        let mut burns = Vec::new();
+        for line in opts.observer.captured_events() {
+            let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+            let obj = v.as_object().unwrap().clone();
+            if matches!(&obj["kind"], serde_json::Value::Str(k) if k == "privacy_burn") {
+                burns.push(obj["payload"].as_object().unwrap().clone());
+            }
+        }
+        assert_eq!(
+            burns.len() as u64,
+            out.summary.steps,
+            "one privacy_burn event per accounted step"
+        );
+        let last = burns.last().unwrap();
+        assert_eq!(
+            last["epsilon_spent"].as_f64().unwrap().to_bits(),
+            out.summary.epsilon_spent.to_bits(),
+            "the final burn event must agree with the run summary bit-for-bit"
+        );
+        assert!(last["rdp_order"].as_f64().unwrap() >= 1.0);
+
+        // The burn events partition the total spend: per-step deltas sum
+        // back to the final ε (up to float addition error), and every
+        // delta is positive.
+        let mut acc = 0.0;
+        for b in &burns {
+            let d = b["epsilon_step"].as_f64().unwrap();
+            assert!(d > 0.0, "every private step burns budget");
+            acc += d;
+        }
+        assert!((acc - out.summary.epsilon_spent).abs() < 1e-9);
+
+        // The gauge holds the last step's burn rate.
+        assert_eq!(
+            opts.observer
+                .gauge("plp_privacy_epsilon_burn_rate")
+                .get()
+                .to_bits(),
+            last["epsilon_step"].as_f64().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn tracing_is_invisible_to_the_trained_bits_and_deterministic() {
+        use plp_obs::trace::TraceConfig;
+
+        let ds = tiny_dataset(24);
+        let hp = fast_hp();
+        let plain = train_plp_resumable(33, &ds, None, &hp, &TrainOptions::default()).unwrap();
+
+        let opts = TrainOptions {
+            observer: Observer::new("traced"),
+            ..TrainOptions::default()
+        };
+        let tracer = opts
+            .observer
+            .attach_tracer(TraceConfig::named("trainer"))
+            .unwrap();
+        let traced = train_plp_resumable(33, &ds, None, &hp, &opts).unwrap();
+
+        assert_eq!(
+            plain.params, traced.params,
+            "an attached tracer must be invisible to the math"
+        );
+        assert_eq!(
+            plain.summary.epsilon_spent.to_bits(),
+            traced.summary.epsilon_spent.to_bits()
+        );
+        assert_eq!(plain.ledger, traced.ledger);
+
+        // Span ids are pure functions of (run_seed, step): recompute the
+        // first step's ids independently and find them in the recorder.
+        let spans = tracer.snapshot();
+        let tid = derive_trace_id(33, DOMAIN_TRAIN_STEP, 1);
+        let step_span = derive_span_id(tid, "step", 1);
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "step" && s.trace_id == tid && s.span_id == step_span));
+        for phase in ["sample", "group", "local_sgd", "noise", "server_update"] {
+            assert!(
+                spans.iter().any(|s| s.name == phase
+                    && s.trace_id == tid
+                    && s.span_id == derive_span_id(tid, phase, 1)
+                    && s.parent_id == step_span),
+                "missing phase span {phase} for step 1"
+            );
+        }
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "step").count() as u64,
+            traced.summary.steps,
+            "one step span per executed step"
+        );
     }
 }

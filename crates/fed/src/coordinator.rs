@@ -34,6 +34,7 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use plp_core::config::Hyperparameters;
@@ -42,16 +43,18 @@ use plp_core::plp::{BucketExecutor, BucketUpdate};
 use plp_core::CoreError;
 use plp_data::grouping::Bucket;
 use plp_model::params::ModelParams;
+use plp_obs::trace::{derive_span_id, derive_trace_id, TraceContext, Tracer, DOMAIN_FED_ROUND};
 use plp_obs::Observer;
 use serde_json::json;
 
 use crate::error::FedError;
-use crate::frame::{read_frame_event, write_frame, FrameEvent};
+use crate::frame::{read_frame_event, write_frame, write_frame_traced, FrameEvent};
 use crate::protocol::{
     RoundReply, RoundRequest, Setup, MSG_REPLY, MSG_ROUND, MSG_SETUP, MSG_SHUTDOWN,
+    PROTOCOL_VERSION,
 };
 use crate::retry::RetryPolicy;
-use crate::worker::WORKER_ENV;
+use crate::worker::{TRACE_DIR_ENV, WORKER_ENV};
 
 /// Static configuration of a coordinator.
 #[derive(Debug, Clone)]
@@ -151,6 +154,11 @@ pub struct FedExecutor {
     next_attempt: u64,
     /// The setup payload workers were spawned with, to detect drift.
     active_setup_json: Option<String>,
+    /// Directory workers dump their flight recorders into, exported as
+    /// [`TRACE_DIR_ENV`] at spawn. Resolved per step from the observer's
+    /// tracer; deliberately *not* part of the setup drift check, so
+    /// toggling tracing never tears a fleet down.
+    trace_dir: Option<PathBuf>,
     /// Cumulative stats across all steps (drill assertions read these).
     pub total_stats: RoundStats,
 }
@@ -178,6 +186,7 @@ impl FedExecutor {
             next_incarnation: 0,
             next_attempt: 0,
             active_setup_json: None,
+            trace_dir: None,
             total_stats: RoundStats::default(),
         })
     }
@@ -185,12 +194,16 @@ impl FedExecutor {
     fn spawn_worker(&mut self, slot: usize, setup_json: &str) -> Result<(), FedError> {
         self.next_incarnation += 1;
         let incarnation = self.next_incarnation;
-        let mut child = Command::new(&self.cfg.worker_program)
+        let mut command = Command::new(&self.cfg.worker_program);
+        command
             .args(&self.cfg.worker_args)
             .env(WORKER_ENV, "1")
             .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()?;
+            .stdout(Stdio::piped());
+        if let Some(dir) = &self.trace_dir {
+            command.env(TRACE_DIR_ENV, dir);
+        }
+        let mut child = command.spawn()?;
         let mut stdin = child.stdin.take().ok_or_else(|| FedError::Protocol {
             what: "spawned worker has no stdin".into(),
         })?;
@@ -206,7 +219,10 @@ impl FedExecutor {
             let mut stdout = stdout;
             loop {
                 match read_frame_event(&mut stdout) {
-                    FrameEvent::Frame { kind, payload } => {
+                    // Replies never carry trace context (the worker's
+                    // spans live in its own flight recorder), so any ctx
+                    // here is ignored rather than trusted.
+                    FrameEvent::Frame { kind, payload, .. } => {
                         if tx
                             .send(WorkerEvent::Frame {
                                 slot,
@@ -265,6 +281,7 @@ impl FedExecutor {
         faults: &FaultInjector,
     ) -> Result<(), FedError> {
         let template = Setup {
+            protocol_version: PROTOCOL_VERSION,
             hp: hp.clone(),
             plan: faults.plan(),
             slot: 0,
@@ -287,9 +304,41 @@ impl FedExecutor {
         Ok(())
     }
 
+    /// The (tracer, round trace identity) for one step, or `None` when
+    /// tracing is off. The trace id comes from the training loop's scope
+    /// when one is published (parenting fed spans under the step span);
+    /// standalone executors fall back to deriving it from
+    /// `(step_seed, step)` — deterministic either way, so coordinator and
+    /// stitcher agree on every id without a side channel.
+    /// Third element: the round span's own parent (the training loop's
+    /// step span, or 0 standalone).
+    fn round_trace(
+        &self,
+        obs: &Observer,
+        step: u64,
+        step_seed: u64,
+    ) -> Option<(Arc<Tracer>, TraceContext, u64)> {
+        let tracer = obs.tracer()?;
+        let (trace_id, parent) = match obs.trace_scope() {
+            Some(scope) => (scope.trace_id, scope.parent_span),
+            None => (derive_trace_id(step_seed, DOMAIN_FED_ROUND, step), 0),
+        };
+        Some((
+            tracer,
+            TraceContext {
+                trace_id,
+                parent_span: derive_span_id(trace_id, "fed_round", step),
+            },
+            parent,
+        ))
+    }
+
     /// Sends one round request to a slot, consuming a fresh attempt
     /// number. Pipe errors surface so the caller can route them through
-    /// the retry machinery.
+    /// the retry machinery. When tracing is on, the frame carries a
+    /// [`TraceContext`] whose parent is this send's `fed_send` span, so
+    /// worker-side spans stitch under the exact dispatch that caused
+    /// them — retries included.
     fn send_round(
         &mut self,
         slot: usize,
@@ -297,6 +346,7 @@ impl FedExecutor {
         step_seed: u64,
         theta: &ModelParams,
         assignments: &[(u64, Bucket)],
+        obs: &Observer,
     ) -> Result<u64, FedError> {
         self.next_attempt += 1;
         let attempt = self.next_attempt;
@@ -307,12 +357,29 @@ impl FedExecutor {
             params: theta.clone(),
             assignments: assignments.to_vec(),
         };
+        let trace = self.round_trace(obs, step, step_seed);
+        let wire_ctx = trace.as_ref().map(|(_, round, _)| TraceContext {
+            trace_id: round.trace_id,
+            parent_span: derive_span_id(round.trace_id, "fed_send", attempt),
+        });
+        let send_span = trace.as_ref().zip(wire_ctx).map(|((t, round, _), ctx)| {
+            t.span(
+                "fed_send",
+                "fed",
+                round.trace_id,
+                ctx.parent_span,
+                round.parent_span,
+            )
+            .arg("slot", slot as u64)
+            .arg("attempt", attempt)
+        });
         let handle = self.workers[slot]
             .as_mut()
             .ok_or_else(|| FedError::Protocol {
                 what: format!("send_round to empty slot {slot}"),
             })?;
-        write_frame(&mut handle.stdin, MSG_ROUND, &req.encode())?;
+        write_frame_traced(&mut handle.stdin, MSG_ROUND, wire_ctx, &req.encode())?;
+        drop(send_span);
         Ok(attempt)
     }
 
@@ -353,6 +420,11 @@ impl FedExecutor {
                         "retries": p.retries,
                     }),
                 );
+                // A permanent drop is a fault worth a post-mortem: keep
+                // the trace that led up to it.
+                if let Some(tracer) = obs.tracer() {
+                    tracer.dump_on_fault("fed_worker_dropped");
+                }
                 return Ok(p.assignments);
             }
             p.retries += 1;
@@ -374,7 +446,7 @@ impl FedExecutor {
                     json!({ "step": step, "slot": slot, "retries": p.retries }),
                 );
             }
-            match self.send_round(slot, step, step_seed, theta, &p.assignments) {
+            match self.send_round(slot, step, step_seed, theta, &p.assignments, obs) {
                 Ok(attempt) => {
                     p.attempt = attempt;
                     p.deadline = Instant::now()
@@ -410,6 +482,27 @@ impl BucketExecutor for FedExecutor {
             return Ok((Vec::new(), 0));
         }
         let round_span = obs.histogram("plp_fed_round_ms").start_span();
+
+        // Resolve tracing once per round; workers spawned this round
+        // inherit the dump directory so their flight recorders land next
+        // to the coordinator's.
+        let trace = self.round_trace(obs, step, step_seed);
+        self.trace_dir = trace.as_ref().and_then(|(t, _, _)| {
+            t.dump_path()
+                .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        });
+        let fed_span = trace.as_ref().map(|(t, round, parent)| {
+            t.span(
+                "fed_round",
+                "fed",
+                round.trace_id,
+                round.parent_span,
+                *parent,
+            )
+            .arg("step", step)
+            .arg("buckets", buckets.len() as u64)
+        });
+
         self.ensure_workers(hp, faults)?;
 
         // Round-robin partition by global index. The partition shape is
@@ -429,7 +522,7 @@ impl BucketExecutor for FedExecutor {
             if assignments.is_empty() {
                 continue;
             }
-            match self.send_round(slot, step, step_seed, theta, &assignments) {
+            match self.send_round(slot, step, step_seed, theta, &assignments, obs) {
                 Ok(attempt) => {
                     pending.insert(
                         slot,
@@ -484,6 +577,16 @@ impl BucketExecutor for FedExecutor {
                 any_expired = true;
                 stats.stragglers += 1;
                 obs.emit("fed_straggler", json!({ "step": step, "slot": slot }));
+                if let Some((t, round, _)) = &trace {
+                    t.instant(
+                        "fed_straggler",
+                        "fed",
+                        round.trace_id,
+                        round.parent_span,
+                        [("step", step), ("slot", slot as u64)],
+                    );
+                    t.dump_on_fault("fed_straggler");
+                }
                 self.kill_worker(slot);
                 let dropped = self.retry_or_drop(
                     slot,
@@ -638,6 +741,7 @@ impl BucketExecutor for FedExecutor {
         // Fixed reduction order: ascending global bucket index, exactly
         // like the in-process executor.
         updates.sort_by_key(|u| u.index);
+        drop(fed_span);
         round_span.finish();
 
         obs.counter("plp_fed_rounds_total").inc();
@@ -677,12 +781,27 @@ impl BucketExecutor for FedExecutor {
 
 impl Drop for FedExecutor {
     fn drop(&mut self) {
+        // Broadcast the shutdown first so every worker winds down
+        // concurrently...
         for slot in 0..self.workers.len() {
             if let Some(h) = self.workers[slot].as_mut() {
-                // Best-effort clean shutdown, then make sure the process
-                // is gone (a stalled worker would ignore the request).
                 let _ = write_frame(&mut h.stdin, MSG_SHUTDOWN, &[]);
                 let _ = h.stdin.flush();
+            }
+        }
+        // ...then grant a short grace period before the hard kill: a
+        // clean exit lets the worker write its flight-recorder dump. A
+        // stalled worker ignores the request and eats the full grace —
+        // the deadline keeps shutdown bounded either way.
+        let deadline = Instant::now() + Duration::from_millis(500);
+        for slot in 0..self.workers.len() {
+            if let Some(h) = self.workers[slot].as_mut() {
+                while Instant::now() < deadline {
+                    if matches!(h.child.try_wait(), Ok(Some(_))) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
             }
             self.kill_worker(slot);
         }

@@ -18,9 +18,21 @@
 use std::io::{ErrorKind, Read, Write};
 
 use plp_data::frame::{checked_frame_len, crc32, MAX_FRAME_BYTES};
+use plp_obs::trace::TraceContext;
 
 /// Smallest legal `len` value: a kind byte plus the CRC footer.
 const MIN_BODY: usize = 5;
+
+/// Flag bit on the kind byte marking an optional trace-context header
+/// ([`TraceContext::WIRE_BYTES`] bytes between kind and payload, covered
+/// by the CRC like everything else after `len`).
+///
+/// Real kinds stay below this bit, so a *pre-tracing* peer that receives
+/// a traced frame sees an unknown kind (`0x80 | kind`) and rejects the
+/// session cleanly through its ordinary unknown-kind path — the flag
+/// doubles as the wire-level version gate, backed by the explicit
+/// `protocol_version` check in the Setup handshake.
+pub const KIND_TRACED: u8 = 0x80;
 
 /// One read attempt's outcome, classified by how the coordinator must
 /// react.
@@ -28,8 +40,10 @@ const MIN_BODY: usize = 5;
 pub enum FrameEvent {
     /// A frame that passed its integrity checks.
     Frame {
-        /// Message kind byte.
+        /// Message kind byte (flag bits stripped).
         kind: u8,
+        /// Trace context carried in the frame header, if any.
+        ctx: Option<TraceContext>,
         /// Message payload.
         payload: Vec<u8>,
     },
@@ -50,14 +64,40 @@ pub enum FrameEvent {
 /// Panics if the payload would exceed [`MAX_FRAME_BYTES`]; callers
 /// (model snapshots, bucket lists) are bounded far below the ceiling.
 pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
-    let body = 1 + payload.len() + 4;
+    encode_frame_traced(kind, None, payload)
+}
+
+/// Encodes one frame, optionally carrying a [`TraceContext`] header
+/// (marked by the [`KIND_TRACED`] flag bit on the kind byte).
+///
+/// # Panics
+/// Panics if `kind` already has the flag bit set (real kinds live below
+/// it) or the payload would exceed [`MAX_FRAME_BYTES`].
+pub fn encode_frame_traced(kind: u8, ctx: Option<TraceContext>, payload: &[u8]) -> Vec<u8> {
+    assert_eq!(
+        kind & KIND_TRACED,
+        0,
+        "kind {kind:#04x} collides with the trace flag"
+    );
+    let ctx_len = if ctx.is_some() {
+        TraceContext::WIRE_BYTES
+    } else {
+        0
+    };
+    let body = 1 + ctx_len + payload.len() + 4;
     assert!(
         checked_frame_len(body as u64).is_some(),
         "frame body of {body} bytes exceeds the {MAX_FRAME_BYTES}-byte ceiling"
     );
     let mut out = Vec::with_capacity(4 + body);
     out.extend_from_slice(&(body as u32).to_le_bytes());
-    out.push(kind);
+    match ctx {
+        Some(ctx) => {
+            out.push(kind | KIND_TRACED);
+            out.extend_from_slice(&ctx.to_bytes());
+        }
+        None => out.push(kind),
+    }
     out.extend_from_slice(payload);
     let crc = crc32(&out[4..]);
     out.extend_from_slice(&crc.to_le_bytes());
@@ -71,6 +111,20 @@ pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
 /// Propagates pipe write failures.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
     w.write_all(&encode_frame(kind, payload))?;
+    w.flush()
+}
+
+/// [`write_frame`] with an optional trace-context header.
+///
+/// # Errors
+/// Propagates pipe write failures.
+pub fn write_frame_traced(
+    w: &mut impl Write,
+    kind: u8,
+    ctx: Option<TraceContext>,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    w.write_all(&encode_frame_traced(kind, ctx, payload))?;
     w.flush()
 }
 
@@ -124,9 +178,33 @@ pub fn read_frame_event(r: &mut impl Read) -> FrameEvent {
             what: format!("crc mismatch: stored {claimed:#010x}, computed {actual:#010x}"),
         };
     }
+    let flagged = content[0];
+    if flagged & KIND_TRACED == 0 {
+        return FrameEvent::Frame {
+            kind: flagged,
+            ctx: None,
+            payload: content[1..].to_vec(),
+        };
+    }
+    // Traced frame: the header must fit. The whole frame was consumed
+    // either way, so a short claim is content damage (Corrupt, stream
+    // still aligned), not a framing failure.
+    let rest = &content[1..];
+    if rest.len() < TraceContext::WIRE_BYTES {
+        return FrameEvent::Corrupt {
+            what: format!(
+                "traced frame too short for its context header: {} bytes",
+                rest.len()
+            ),
+        };
+    }
+    let (ctx_bytes, payload) = rest.split_at(TraceContext::WIRE_BYTES);
+    let mut raw = [0u8; TraceContext::WIRE_BYTES];
+    raw.copy_from_slice(ctx_bytes);
     FrameEvent::Frame {
-        kind: content[0],
-        payload: content[1..].to_vec(),
+        kind: flagged & !KIND_TRACED,
+        ctx: Some(TraceContext::from_bytes(&raw)),
+        payload: payload.to_vec(),
     }
 }
 
@@ -141,8 +219,13 @@ mod tests {
         let bytes = encode_frame(3, &payload);
         let mut cur = Cursor::new(bytes);
         match read_frame_event(&mut cur) {
-            FrameEvent::Frame { kind, payload: p } => {
+            FrameEvent::Frame {
+                kind,
+                ctx,
+                payload: p,
+            } => {
                 assert_eq!(kind, 3);
+                assert_eq!(ctx, None);
                 assert_eq!(p, payload);
             }
             other => panic!("expected frame, got {other:?}"),
@@ -158,9 +241,69 @@ mod tests {
             read_frame_event(&mut cur),
             FrameEvent::Frame {
                 kind: 9,
+                ctx: None,
                 payload: vec![]
             }
         );
+    }
+
+    #[test]
+    fn traced_frames_round_trip_context_and_payload() {
+        let ctx = TraceContext {
+            trace_id: 0xfeed_beef_dead_cafe,
+            parent_span: 0x0123_4567_89ab_cdef,
+        };
+        let bytes = encode_frame_traced(2, Some(ctx), b"round");
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(
+            read_frame_event(&mut cur),
+            FrameEvent::Frame {
+                kind: 2,
+                ctx: Some(ctx),
+                payload: b"round".to_vec()
+            }
+        );
+        // An untraced frame from the same encoder carries no context.
+        let mut cur = Cursor::new(encode_frame_traced(2, None, b"round"));
+        assert!(matches!(
+            read_frame_event(&mut cur),
+            FrameEvent::Frame { ctx: None, .. }
+        ));
+    }
+
+    #[test]
+    fn traced_flag_survives_crc_and_header_damage_is_corrupt_not_closed() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span: 2,
+        };
+        // Build a traced frame whose length claim covers only part of
+        // the context header: decodable as a frame, rejected as content.
+        let bytes = encode_frame_traced(2, Some(ctx), b"");
+        let mut truncated = Vec::new();
+        let body = 1 + 4 + 4; // kind + 4 "context" bytes + crc
+        truncated.extend_from_slice(&(body as u32).to_le_bytes());
+        truncated.push(2 | KIND_TRACED);
+        truncated.extend_from_slice(&bytes[5..9]);
+        let crc = plp_data::frame::crc32(&truncated[4..]);
+        truncated.extend_from_slice(&crc.to_le_bytes());
+        truncated.extend_from_slice(&encode_frame(4, b"next"));
+        let mut cur = Cursor::new(truncated);
+        assert!(matches!(
+            read_frame_event(&mut cur),
+            FrameEvent::Corrupt { .. }
+        ));
+        // Stream stays aligned: the following frame decodes.
+        assert!(matches!(
+            read_frame_event(&mut cur),
+            FrameEvent::Frame { kind: 4, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with the trace flag")]
+    fn encoding_a_kind_with_the_flag_bit_panics() {
+        let _ = encode_frame_traced(0x81, None, b"");
     }
 
     #[test]
@@ -178,8 +321,9 @@ mod tests {
         assert_eq!(cur.position() as usize, first_len, "aligned to next frame");
         // The second frame still decodes — the pipe survives the garbling.
         match read_frame_event(&mut cur) {
-            FrameEvent::Frame { kind, payload } => {
+            FrameEvent::Frame { kind, ctx, payload } => {
                 assert_eq!(kind, 2);
+                assert_eq!(ctx, None);
                 assert_eq!(payload, b"second");
             }
             other => panic!("expected second frame, got {other:?}"),

@@ -38,6 +38,26 @@ pub mod worker;
 
 pub use coordinator::{FedConfig, FedExecutor, RoundStats};
 pub use error::FedError;
-pub use frame::{encode_frame, read_frame_event, write_frame, FrameEvent};
+pub use frame::{
+    encode_frame, encode_frame_traced, read_frame_event, write_frame, write_frame_traced,
+    FrameEvent, KIND_TRACED,
+};
+pub use protocol::PROTOCOL_VERSION;
 pub use retry::RetryPolicy;
-pub use worker::{maybe_run_worker, worker_main, WORKER_ENV};
+pub use worker::{
+    maybe_run_worker, worker_main, worker_main_with_observer, TRACE_DIR_ENV, WORKER_ENV,
+};
+
+#[cfg(test)]
+mod trace_determinism {
+    /// `plp_obs::trace::mix64` is a deliberate copy of
+    /// `plp_linalg::sample::mix64` (`plp-obs` must not depend on the math
+    /// stack). This pins the two implementations to each other so trace
+    /// ids keep following the run's counter discipline.
+    #[test]
+    fn obs_mix64_matches_linalg_mix64() {
+        for x in [0u64, 1, 42, 0x9e37_79b9_7f4a_7c15, u64::MAX] {
+            assert_eq!(plp_obs::trace::mix64(x), plp_linalg::sample::mix64(x));
+        }
+    }
+}

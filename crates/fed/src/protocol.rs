@@ -31,6 +31,16 @@ use plp_model::snapshot::{decode_params, encode_params};
 
 use crate::error::FedError;
 
+/// The coordinator↔worker protocol version, checked at Setup.
+///
+/// Version 2 added the optional trace-context frame header (the
+/// [`crate::frame::KIND_TRACED`] flag bit). A version-1 worker that
+/// receives a traced frame sees an unknown kind byte and exits through
+/// its protocol-error path; a version-2 worker handed a mismatched
+/// `protocol_version` in Setup rejects the session *before* any round
+/// traffic — old workers are refused cleanly either way.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Frame kind: coordinator → worker session setup (JSON payload).
 pub const MSG_SETUP: u8 = 1;
 /// Frame kind: coordinator → worker round work order (binary payload).
@@ -44,6 +54,9 @@ pub const MSG_SHUTDOWN: u8 = 4;
 /// round. JSON because it is sent once and debuggability beats bytes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Setup {
+    /// The sender's [`PROTOCOL_VERSION`]; the worker refuses the session
+    /// on any mismatch (exit code [`crate::worker::exit_code::VERSION`]).
+    pub protocol_version: u32,
     /// The run's hyper-parameters (identical on every worker).
     pub hp: Hyperparameters,
     /// Fault plan to replay, if the run injects faults. The *same* plan
@@ -432,6 +445,7 @@ mod tests {
     #[test]
     fn setup_round_trips_via_json() {
         let setup = Setup {
+            protocol_version: PROTOCOL_VERSION,
             hp: Hyperparameters::default(),
             plan: Some(FaultPlan {
                 worker_stall_rate: 0.25,

@@ -16,14 +16,17 @@
 //! coordinator expects, so drills replay identically at any worker count.
 
 use std::io::{Read, Write};
+use std::path::PathBuf;
 
 use plp_core::faults::FaultInjector;
 use plp_core::plp::BucketRunner;
+use plp_obs::trace::{derive_span_id, TraceConfig, TraceContext};
 use plp_obs::Observer;
 
 use crate::frame::{encode_frame, read_frame_event, FrameEvent};
 use crate::protocol::{
     RoundReply, RoundRequest, Setup, WireUpdate, MSG_REPLY, MSG_ROUND, MSG_SETUP, MSG_SHUTDOWN,
+    PROTOCOL_VERSION,
 };
 
 /// Environment variable that re-routes a binary into [`worker_main`].
@@ -31,6 +34,12 @@ use crate::protocol::{
 /// [`maybe_run_worker`] first thing in `main` can serve as its own worker
 /// executable.
 pub const WORKER_ENV: &str = "PLP_FED_WORKER";
+
+/// Environment variable naming the directory worker flight recorders
+/// dump into. The coordinator sets it when spawning iff its own tracer
+/// has a dump directory; each worker writes
+/// `trace_worker_<pid>.jsonl` there at session end and on fault exits.
+pub const TRACE_DIR_ENV: &str = "PLP_FED_TRACE_DIR";
 
 /// Worker exit codes (coordinator-side diagnostics; any non-zero exit is
 /// handled the same way — respawn or drop).
@@ -45,6 +54,8 @@ pub mod exit_code {
     pub const DECODE: i32 = 12;
     /// A systemic training error (bad config, shape mismatch).
     pub const TRAIN: i32 = 13;
+    /// The coordinator speaks a different protocol version.
+    pub const VERSION: i32 = 14;
     /// An injected mid-round exit fault fired.
     pub const INJECTED_EXIT: i32 = 17;
 }
@@ -61,6 +72,25 @@ pub fn maybe_run_worker() {
     }
 }
 
+/// The observer a spawned worker runs under: traced iff the coordinator
+/// exported [`TRACE_DIR_ENV`], inert otherwise — so tracing is decided
+/// by exactly one knob on the coordinator side.
+fn observer_from_env() -> Observer {
+    match std::env::var(TRACE_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => {
+            let obs = Observer::new("fed_worker");
+            let pid = std::process::id();
+            obs.attach_tracer(TraceConfig {
+                process: format!("worker-{pid}"),
+                capacity: 4096,
+                dump_path: Some(PathBuf::from(dir).join(format!("trace_worker_{pid}.jsonl"))),
+            });
+            obs
+        }
+        _ => Observer::disabled(),
+    }
+}
+
 struct WorkerState {
     setup: Setup,
     faults: FaultInjector,
@@ -69,9 +99,34 @@ struct WorkerState {
 
 /// Runs the worker loop over explicit streams until the coordinator hangs
 /// up, returning the process exit code. Testable without a real process
-/// boundary by handing it in-memory buffers.
+/// boundary by handing it in-memory buffers. Tracing is enabled iff the
+/// coordinator exported [`TRACE_DIR_ENV`].
 pub fn worker_main(input: &mut impl Read, output: &mut impl Write) -> i32 {
+    worker_main_with_observer(input, output, &observer_from_env())
+}
+
+/// [`worker_main`] under an explicit observer (tests and embedders hand
+/// in a traced or memory-sink observer directly). The flight recorder,
+/// if attached, is dumped before returning so a session's trace survives
+/// the process.
+pub fn worker_main_with_observer(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    obs: &Observer,
+) -> i32 {
     silence_injected_panics();
+    let code = worker_loop(input, output, obs);
+    if let Some(tracer) = obs.tracer() {
+        tracer.dump_on_fault(if code == exit_code::CLEAN {
+            "worker_session_end"
+        } else {
+            "worker_error_exit"
+        });
+    }
+    code
+}
+
+fn worker_loop(input: &mut impl Read, output: &mut impl Write, obs: &Observer) -> i32 {
     let mut state: Option<WorkerState> = None;
     loop {
         match read_frame_event(input) {
@@ -80,10 +135,17 @@ pub fn worker_main(input: &mut impl Read, output: &mut impl Write) -> i32 {
                 eprintln!("plp-fed worker: corrupt request frame: {what}");
                 return exit_code::BAD_FRAME;
             }
-            FrameEvent::Frame { kind, payload } => match kind {
+            FrameEvent::Frame { kind, ctx, payload } => match kind {
                 MSG_SHUTDOWN => return exit_code::CLEAN,
                 MSG_SETUP => match Setup::decode(&payload) {
                     Ok(setup) => {
+                        if setup.protocol_version != PROTOCOL_VERSION {
+                            eprintln!(
+                                "plp-fed worker: protocol version {} != {}",
+                                setup.protocol_version, PROTOCOL_VERSION
+                            );
+                            return exit_code::VERSION;
+                        }
                         let faults = match setup.plan {
                             Some(plan) => match FaultInjector::try_with_plan(plan) {
                                 Ok(f) => f,
@@ -110,7 +172,7 @@ pub fn worker_main(input: &mut impl Read, output: &mut impl Write) -> i32 {
                         eprintln!("plp-fed worker: round before setup");
                         return exit_code::PROTOCOL;
                     };
-                    match handle_round(st, &payload, output) {
+                    match handle_round(st, ctx, &payload, output, obs) {
                         Ok(()) => {}
                         Err(code) => return code,
                     }
@@ -124,23 +186,75 @@ pub fn worker_main(input: &mut impl Read, output: &mut impl Write) -> i32 {
     }
 }
 
-fn handle_round(st: &mut WorkerState, payload: &[u8], output: &mut impl Write) -> Result<(), i32> {
+fn handle_round(
+    st: &mut WorkerState,
+    ctx: Option<TraceContext>,
+    payload: &[u8],
+    output: &mut impl Write,
+    obs: &Observer,
+) -> Result<(), i32> {
     let req = RoundRequest::decode(payload).map_err(|e| {
         eprintln!("plp-fed worker: {e}");
         exit_code::DECODE
     })?;
     let incarnation = st.setup.incarnation;
+    let tracer = obs.tracer();
 
     // Injected mid-round death: disappear without a reply, like a real
     // OOM-kill. Keyed on (step, incarnation), so the respawned worker
-    // draws a fresh decision and recovery converges.
+    // draws a fresh decision and recovery converges. The flight recorder
+    // is dumped first — a chaos-drill kill is exactly the moment the
+    // trace is worth keeping.
     if st.faults.exit_worker(req.step, incarnation) {
+        if let Some(t) = &tracer {
+            if let Some(c) = ctx {
+                t.instant(
+                    "fed_injected_exit",
+                    "fed",
+                    c.trace_id,
+                    c.parent_span,
+                    [("step", req.step), ("incarnation", incarnation)],
+                );
+            }
+            t.dump_on_fault("injected_exit");
+        }
         std::process::exit(exit_code::INJECTED_EXIT);
     }
 
-    let obs = Observer::disabled();
+    // The worker-side round span parents under the coordinator's send
+    // span via the frame-header context; its id is a pure function of
+    // (trace_id, attempt), so the coordinator-side stitcher can predict
+    // it without a return channel.
+    let round_span = match (&tracer, ctx) {
+        (Some(t), Some(c)) => Some(
+            t.span(
+                "fed_worker_round",
+                "fed",
+                c.trace_id,
+                derive_span_id(c.trace_id, "fed_worker_round", req.attempt),
+                c.parent_span,
+            )
+            .arg("step", req.step)
+            .arg("incarnation", incarnation),
+        ),
+        _ => None,
+    };
+
     let mut results = Vec::with_capacity(req.assignments.len());
     for (index, bucket) in &req.assignments {
+        let _bucket_span = match (&tracer, ctx, &round_span) {
+            (Some(t), Some(c), Some(rs)) => Some(
+                t.span(
+                    "fed_bucket",
+                    "fed",
+                    c.trace_id,
+                    derive_span_id(c.trace_id, "fed_bucket", *index),
+                    rs.span_id(),
+                )
+                .arg("bucket", *index),
+            ),
+            _ => None,
+        };
         let update = st
             .runner
             .run_bucket(
@@ -151,7 +265,7 @@ fn handle_round(st: &mut WorkerState, payload: &[u8], output: &mut impl Write) -
                 req.step_seed,
                 *index as usize,
                 &st.faults,
-                &obs,
+                obs,
             )
             .map_err(|e| {
                 eprintln!("plp-fed worker: bucket {index} failed: {e}");
@@ -164,8 +278,18 @@ fn handle_round(st: &mut WorkerState, payload: &[u8], output: &mut impl Write) -
     // time. The coordinator's deadline machinery decides whether to wait
     // it out or kill and reassign.
     if let Some(ms) = st.faults.stall_worker(req.step, incarnation) {
+        if let (Some(t), Some(c)) = (&tracer, ctx) {
+            t.instant(
+                "fed_stall",
+                "fed",
+                c.trace_id,
+                c.parent_span,
+                [("step", req.step), ("stall_ms", ms)],
+            );
+        }
         std::thread::sleep(std::time::Duration::from_millis(ms));
     }
+    drop(round_span);
 
     let reply = RoundReply {
         step: req.step,
@@ -226,6 +350,7 @@ mod tests {
 
     fn tiny_setup(plan: Option<FaultPlan>) -> Setup {
         Setup {
+            protocol_version: PROTOCOL_VERSION,
             hp: Hyperparameters {
                 embedding_dim: 4,
                 negative_samples: 2,
@@ -277,7 +402,7 @@ mod tests {
         ]);
         assert_eq!(code, exit_code::CLEAN);
         let mut cur = std::io::Cursor::new(output);
-        let FrameEvent::Frame { kind, payload } = read_frame_event(&mut cur) else {
+        let FrameEvent::Frame { kind, payload, .. } = read_frame_event(&mut cur) else {
             panic!("expected one reply frame");
         };
         assert_eq!(kind, MSG_REPLY);
@@ -367,12 +492,98 @@ mod tests {
     fn protocol_violations_exit_with_distinct_codes() {
         let (code, _) = run_session(&[(MSG_ROUND, tiny_round(1, 0).encode())]);
         assert_eq!(code, exit_code::PROTOCOL, "round before setup");
-        let (code, _) = run_session(&[(200, vec![])]);
+        // 0x7f: unknown but without the KIND_TRACED flag bit (a flagged
+        // unknown kind is indistinguishable from a traced message to a
+        // newer peer, and encode_frame refuses to build one).
+        let (code, _) = run_session(&[(0x7f, vec![])]);
         assert_eq!(code, exit_code::PROTOCOL, "unknown kind");
         let (code, _) = run_session(&[(MSG_SETUP, b"junk".to_vec())]);
         assert_eq!(code, exit_code::DECODE, "bad setup payload");
         let setup = tiny_setup(None).encode().unwrap();
         let (code, _) = run_session(&[(MSG_SETUP, setup), (MSG_ROUND, vec![1, 2])]);
         assert_eq!(code, exit_code::DECODE, "bad round payload");
+    }
+
+    #[test]
+    fn protocol_version_mismatch_is_rejected_cleanly() {
+        let mut setup = tiny_setup(None);
+        setup.protocol_version = PROTOCOL_VERSION + 1;
+        let (code, output) = run_session(&[
+            (MSG_SETUP, setup.encode().unwrap()),
+            (MSG_ROUND, tiny_round(1, 0).encode()),
+        ]);
+        assert_eq!(code, exit_code::VERSION);
+        assert!(output.is_empty(), "no reply from a version-rejected worker");
+    }
+
+    #[test]
+    fn traced_round_parents_worker_spans_under_the_wire_context() {
+        use crate::frame::encode_frame_traced;
+        use plp_obs::trace::{derive_trace_id, DOMAIN_FED_ROUND};
+
+        let ctx = TraceContext {
+            trace_id: derive_trace_id(42, DOMAIN_FED_ROUND, 1),
+            parent_span: 0x1234_5678_9abc_def0,
+        };
+        let mut input = Vec::new();
+        input.extend_from_slice(&encode_frame(
+            MSG_SETUP,
+            &tiny_setup(None).encode().unwrap(),
+        ));
+        input.extend_from_slice(&encode_frame_traced(
+            MSG_ROUND,
+            Some(ctx),
+            &tiny_round(1, 3).encode(),
+        ));
+        input.extend_from_slice(&encode_frame(MSG_SHUTDOWN, &[]));
+
+        let obs = Observer::new("fed_worker_test");
+        let tracer = obs
+            .attach_tracer(TraceConfig::named("worker-test"))
+            .unwrap();
+        let mut cursor = std::io::Cursor::new(input);
+        let mut output = Vec::new();
+        let code = worker_main_with_observer(&mut cursor, &mut output, &obs);
+        assert_eq!(code, exit_code::CLEAN);
+
+        let spans = tracer.snapshot();
+        let round = spans
+            .iter()
+            .find(|s| s.name == "fed_worker_round")
+            .expect("round span recorded");
+        assert_eq!(round.trace_id, ctx.trace_id);
+        assert_eq!(round.parent_id, ctx.parent_span);
+        assert_eq!(
+            round.span_id,
+            derive_span_id(ctx.trace_id, "fed_worker_round", 3),
+            "span id is a pure function of (trace_id, attempt)"
+        );
+        let bucket = spans
+            .iter()
+            .find(|s| s.name == "fed_bucket")
+            .expect("bucket span recorded");
+        assert_eq!(bucket.parent_id, round.span_id);
+
+        // An untraced round frame must still be answered — and record no
+        // spans at all.
+        let before = tracer.snapshot().len();
+        let mut input2 = Vec::new();
+        input2.extend_from_slice(&encode_frame(
+            MSG_SETUP,
+            &tiny_setup(None).encode().unwrap(),
+        ));
+        input2.extend_from_slice(&encode_frame(MSG_ROUND, &tiny_round(2, 0).encode()));
+        let mut cursor2 = std::io::Cursor::new(input2);
+        let mut output2 = Vec::new();
+        assert_eq!(
+            worker_main_with_observer(&mut cursor2, &mut output2, &obs),
+            exit_code::CLEAN
+        );
+        assert!(!output2.is_empty(), "untraced round still gets a reply");
+        assert_eq!(
+            tracer.snapshot().len(),
+            before,
+            "no wire context means no spans"
+        );
     }
 }

@@ -18,6 +18,8 @@ use plp_core::{
 use plp_data::checkin::UserId;
 use plp_data::dataset::{TokenizedDataset, UserSequences};
 use plp_fed::{FedConfig, FedExecutor, RetryPolicy};
+use plp_obs::trace::{parse_dump_jsonl, stitch_chrome_trace, TraceConfig, TraceDump};
+use plp_obs::Observer;
 use plp_privacy::PrivacyBudget;
 
 fn worker_exe() -> PathBuf {
@@ -194,6 +196,125 @@ fn exhausted_retries_drop_buckets_with_dp_safe_semantics() {
     let local_skips: Vec<usize> = local.telemetry.iter().map(|t| t.skipped_buckets).collect();
     assert_eq!(fed_skips, local_skips, "drops must account as skips");
     assert!(fed_skips.iter().sum::<usize>() > 0);
+}
+
+/// The acceptance drill for cross-process tracing: a traced 2-worker
+/// federated run must stay bit-identical to the untraced single-process
+/// reference, and the coordinator + worker flight-recorder dumps must
+/// stitch into one Chrome/Perfetto trace in which worker round spans are
+/// parented under coordinator send spans across the pipe.
+#[test]
+fn traced_fed_round_stitches_into_one_perfetto_trace_without_moving_bits() {
+    let ds = tiny_dataset(30);
+    let hp = fast_hp();
+    let reference = train_plp_resumable(45, &ds, None, &hp, &TrainOptions::default()).unwrap();
+
+    let dir = scratch_dir("trace");
+    let opts = TrainOptions {
+        observer: Observer::new("fed-trace-test"),
+        ..TrainOptions::default()
+    };
+    let tracer = opts
+        .observer
+        .attach_tracer(
+            TraceConfig::named("coordinator").dump_to(dir.join("trace_coordinator.jsonl")),
+        )
+        .unwrap();
+    let traced = {
+        let mut exec = FedExecutor::new(fed_config(2, RetryPolicy::default())).unwrap();
+        train_plp_with_executor(45, &ds, None, &hp, &opts, &mut exec).unwrap()
+        // The executor drops here; its shutdown grace period lets both
+        // workers flush their clean-exit flight-recorder dumps.
+    };
+
+    // Tracing must be invisible to the training bits.
+    assert_eq!(traced.params, reference.params, "tracing moved the params");
+    assert_eq!(traced.ledger, reference.ledger, "tracing moved the ledger");
+    assert_eq!(
+        traced.summary.epsilon_spent.to_bits(),
+        reference.summary.epsilon_spent.to_bits(),
+        "tracing moved ε"
+    );
+    assert_eq!(traced.summary.steps, reference.summary.steps);
+
+    // Coordinator dump first: it is the stitch anchor.
+    tracer
+        .dump_to(tracer.dump_path().unwrap(), "test_complete")
+        .unwrap();
+    let mut dumps: Vec<TraceDump> = vec![parse_dump_jsonl(
+        &std::fs::read_to_string(dir.join("trace_coordinator.jsonl")).unwrap(),
+    )
+    .unwrap()];
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .to_string();
+        if name.starts_with("trace_worker_") {
+            dumps.push(parse_dump_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap());
+        }
+    }
+    assert!(
+        dumps.len() >= 3,
+        "need coordinator + 2 worker dumps, found {}",
+        dumps.len()
+    );
+    let pids: std::collections::BTreeSet<u64> = dumps.iter().map(|d| d.pid).collect();
+    assert_eq!(
+        pids.len(),
+        dumps.len(),
+        "each dump must come from its own process"
+    );
+
+    // One full round covered: the coordinator recorded a fed_round span and
+    // a fed_send per worker dispatch; every worker parented its round span
+    // under the matching fed_send span id — across the process boundary.
+    let coord = &dumps[0];
+    assert!(coord.records.iter().any(|r| r.name == "fed_round"));
+    let send_spans: std::collections::BTreeSet<u64> = coord
+        .records
+        .iter()
+        .filter(|r| r.name == "fed_send")
+        .map(|r| r.span_id)
+        .collect();
+    assert!(
+        !send_spans.is_empty(),
+        "coordinator recorded no fed_send spans"
+    );
+    for worker in &dumps[1..] {
+        let rounds: Vec<_> = worker
+            .records
+            .iter()
+            .filter(|r| r.name == "fed_worker_round")
+            .collect();
+        assert!(
+            !rounds.is_empty(),
+            "worker {} recorded no round spans",
+            worker.pid
+        );
+        assert!(
+            rounds.iter().all(|r| send_spans.contains(&r.parent_id)),
+            "worker {} round spans not parented under coordinator sends",
+            worker.pid
+        );
+        assert!(
+            worker.records.iter().any(|r| r.name == "fed_bucket"),
+            "worker {} recorded no bucket spans",
+            worker.pid
+        );
+    }
+
+    // The stitched export is one Chrome/Perfetto JSON with flow events
+    // joining the coordinator sends to the worker rounds.
+    let stitched = stitch_chrome_trace(&dumps);
+    assert!(stitched.contains("\"traceEvents\""));
+    assert!(
+        stitched.contains("fed_pipe"),
+        "missing cross-pipe flow events"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

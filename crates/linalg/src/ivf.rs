@@ -276,15 +276,40 @@ impl IvfIndex {
                 right: self.dim(),
             });
         }
+        self.probe_cells(profile, nprobe, scratch)?;
+        self.rerank_probed(embedding, profile, k, exclude, scratch, out);
+        Ok(())
+    }
+
+    /// Stage 1 of [`IvfIndex::search_into`]: ranks centroids against
+    /// `profile` and selects the top-`nprobe` cells into the scratch
+    /// probe list (ties by lower cell id, like every selection in this
+    /// workspace). Split out so callers can time the probe and re-rank
+    /// stages separately; the composition is byte-for-byte the old
+    /// monolithic search.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `profile` is not `dim`-long,
+    /// [`LinalgError::InvalidArgument`] if `nprobe == 0`.
+    pub fn probe_cells(
+        &self,
+        profile: &[f64],
+        nprobe: usize,
+        scratch: &mut IvfScratch,
+    ) -> Result<(), LinalgError> {
+        if profile.len() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "ivf search profile",
+                left: profile.len(),
+                right: self.dim(),
+            });
+        }
         if nprobe == 0 {
             return Err(LinalgError::InvalidArgument {
                 what: "ivf nprobe must be >= 1",
             });
         }
         let nprobe = nprobe.min(self.cells());
-
-        // Stage 1: rank centroids (ties by lower cell id, like every
-        // selection in this workspace).
         scratch.centroid_scores.resize(self.cells(), 0.0);
         for (c, score) in scratch.centroid_scores.iter_mut().enumerate() {
             *score = ops::dot_unchecked(profile, self.centroids.row(c));
@@ -295,9 +320,23 @@ impl IvfIndex {
             &mut scratch.topk,
             &mut scratch.probes,
         );
+        Ok(())
+    }
 
-        // Stage 2: gather + exact re-rank. Excluded rows keep the NaN
-        // sentinel so the selection's exclusion contract is untouched.
+    /// Stage 2 of [`IvfIndex::search_into`]: gathers the members of the
+    /// cells selected by [`IvfIndex::probe_cells`] and exactly re-ranks
+    /// them with the fixed-reduction-order dot kernel. Excluded rows
+    /// keep the NaN sentinel so the selection's exclusion contract is
+    /// untouched. Requires a prior `probe_cells` on the same scratch.
+    pub fn rerank_probed(
+        &self,
+        embedding: &Matrix,
+        profile: &[f64],
+        k: usize,
+        exclude: &[usize],
+        scratch: &mut IvfScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) {
         scratch.exclude_sorted.clear();
         scratch.exclude_sorted.extend_from_slice(exclude);
         scratch.exclude_sorted.sort_unstable();
@@ -323,7 +362,6 @@ impl IvfIndex {
             &mut scratch.topk,
             out,
         );
-        Ok(())
     }
 }
 

@@ -27,6 +27,7 @@ pub mod events;
 pub mod hist;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,6 +39,7 @@ use events::EventSink;
 pub use hist::Histogram;
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry};
 pub use span::Span;
+pub use trace::{TraceConfig, TraceContext, TraceSpan, Tracer};
 
 /// The shared state behind an enabled [`Observer`].
 #[derive(Debug)]
@@ -47,6 +49,14 @@ struct ObserverCore {
     sink: Option<Mutex<EventSink>>,
     seq: AtomicU64,
     dropped_events: AtomicU64,
+    /// Attached post-construction by [`Observer::attach_tracer`]; shared
+    /// by every clone, like the registry.
+    tracer: Mutex<Option<Arc<Tracer>>>,
+    /// The trace context the *current* unit of work (train step, fed
+    /// round) runs under — set by the driving loop, read by executors so
+    /// their spans parent correctly without threading context through
+    /// every call signature.
+    trace_scope: Mutex<Option<TraceContext>>,
 }
 
 /// One observability context for a run: a metrics registry plus an
@@ -98,8 +108,52 @@ impl Observer {
                 sink: sink.map(Mutex::new),
                 seq: AtomicU64::new(0),
                 dropped_events: AtomicU64::new(0),
+                tracer: Mutex::new(None),
+                trace_scope: Mutex::new(None),
             })),
         }
+    }
+
+    /// Attaches a [`Tracer`] (flight recorder + deterministic span ids)
+    /// to this observer and every clone sharing its core. Returns the
+    /// shared tracer handle, or `None` when the observer is disabled —
+    /// tracing rides on an enabled observer, never the other way round.
+    ///
+    /// Attaching twice replaces the tracer; instrumented code resolves
+    /// [`Observer::tracer`] per unit of work, so a replacement takes
+    /// effect at the next step/round/query.
+    pub fn attach_tracer(&self, cfg: TraceConfig) -> Option<Arc<Tracer>> {
+        let core = self.inner.as_ref()?;
+        let tracer = Arc::new(Tracer::new(cfg));
+        *core.tracer.lock().expect("tracer poisoned") = Some(Arc::clone(&tracer));
+        Some(tracer)
+    }
+
+    /// The attached tracer, if tracing is enabled. Hot paths resolve
+    /// this once per step / round / serve call, not per span.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.inner
+            .as_ref()
+            .and_then(|c| c.tracer.lock().ok().and_then(|t| t.clone()))
+    }
+
+    /// Publishes the trace context the current unit of work (train
+    /// step, fed round) runs under; executors read it with
+    /// [`Observer::trace_scope`] to parent their spans without context
+    /// threading through every call signature. No-op when disabled.
+    pub fn set_trace_scope(&self, ctx: Option<TraceContext>) {
+        if let Some(core) = &self.inner {
+            if let Ok(mut scope) = core.trace_scope.lock() {
+                *scope = ctx;
+            }
+        }
+    }
+
+    /// The trace context published by the driving loop, if any.
+    pub fn trace_scope(&self) -> Option<TraceContext> {
+        self.inner
+            .as_ref()
+            .and_then(|c| c.trace_scope.lock().ok().and_then(|s| *s))
     }
 
     /// `false` for the inert observer.

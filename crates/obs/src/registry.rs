@@ -369,6 +369,53 @@ mod tests {
     }
 
     #[test]
+    fn hostile_label_values_are_escaped_per_exposition_format() {
+        // Regression pin for the exposition escaping rules: a label
+        // value containing `\`, `"` or a newline must render as `\\`,
+        // `\"` and `\n` — otherwise one hostile/odd label (say, a user
+        // agent or a path) corrupts the whole scrape.
+        let reg = MetricsRegistry::new();
+        let hostile = "path\\to\"x\"\nline2";
+        reg.counter_with("odd_total", Some(("label", hostile)))
+            .inc();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("odd_total{label=\"path\\\\to\\\"x\\\"\\nline2\"} 1"),
+            "{text}"
+        );
+        // The rendered output must stay one series per physical line: a
+        // raw newline in a label value would split the series in two.
+        for line in text.lines().filter(|l| l.contains("odd_total{")) {
+            assert!(
+                line.ends_with(" 1"),
+                "series split by unescaped newline: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_in_histogram_bucket_series() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with("odd_ms", Some(("phase", "a\"b\\c\nd")));
+        h.record(1.0);
+        let text = reg.render_prometheus();
+        // Both the bucket series (le merged in) and the sum/count series
+        // go through the escaping path.
+        assert!(
+            text.contains("odd_ms_bucket{phase=\"a\\\"b\\\\c\\nd\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("odd_ms_count{phase=\"a\\\"b\\\\c\\nd\"} 1"),
+            "{text}"
+        );
+        // Escape order matters: backslashes first, or the `\"` from the
+        // quote escape would be double-escaped.
+        assert_eq!(escape_label("\\\""), "\\\\\\\"");
+        assert_eq!(escape_label("\n"), "\\n");
+    }
+
+    #[test]
     fn disconnected_handles_are_no_ops() {
         let c = Counter::default();
         c.inc();

@@ -282,6 +282,17 @@ impl MomentsAccountant {
         self.total.epsilon(self.delta)
     }
 
+    /// The RDP order at which the cumulative ε is achieved — the active
+    /// constraint of the moments bound, useful burn-rate telemetry (a
+    /// shifting order means the dominant regime changed).
+    ///
+    /// # Errors
+    /// Propagates the curve's ε evaluation errors; requires at least one
+    /// accounted step.
+    pub fn optimal_order(&self) -> Result<usize, PrivacyError> {
+        self.total.optimal_order(self.delta)
+    }
+
     /// ε after a *hypothetical* additional step — lets a trainer decide
     /// whether the next step would overshoot the budget before taking it.
     ///

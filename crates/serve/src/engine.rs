@@ -10,7 +10,8 @@
 //! by original query position, so neither the worker count nor the batch
 //! size can change what a query returns — only how fast it returns.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use plp_core::telemetry::ServeTelemetry;
@@ -19,6 +20,7 @@ use plp_linalg::matrix::matmul_block_into;
 use plp_linalg::topk::{top_k_with_scores_into, TopKScratch};
 use plp_model::recommender::mask_excluded;
 use plp_model::{ModelError, Recommender};
+use plp_obs::trace::{derive_span_id, derive_trace_id, fnv1a64, Tracer, DOMAIN_SERVE_QUERY};
 use plp_obs::{HistogramHandle, Observer};
 
 use crate::cache::LruCache;
@@ -216,6 +218,16 @@ pub struct BatchEngine {
     index: Option<IvfIndex>,
     obs: Observer,
     phases: ServePhases,
+    /// The observer's tracer, resolved once at construction. `None`
+    /// keeps the serve path free of any tracing branches beyond one
+    /// `Option` check per call.
+    tracer: Option<Arc<Tracer>>,
+    /// Root of every per-query trace id: `fnv1a64(run_id)`, mixed with
+    /// the query sequence number. Deterministic given the observer.
+    trace_root: u64,
+    /// Monotone query sequence; each serve call claims a contiguous
+    /// range so concurrent calls never share a trace id.
+    trace_seq: AtomicU64,
     state: Mutex<EngineState>,
     scratch_pool: Mutex<Vec<Scratch>>,
 }
@@ -266,12 +278,17 @@ impl BatchEngine {
             Observer::new("serve")
         };
         let phases = ServePhases::resolve(&obs);
+        let tracer = obs.tracer();
+        let trace_root = fnv1a64(obs.run_id().unwrap_or("serve"));
         Ok(BatchEngine {
             rec,
             cfg,
             index,
             obs,
             phases,
+            tracer,
+            trace_root,
+            trace_seq: AtomicU64::new(0),
             state: Mutex::new(EngineState {
                 cache: LruCache::new(cfg.cache_capacity),
                 queries: 0,
@@ -315,6 +332,14 @@ impl BatchEngine {
         let call_start = Instant::now();
         self.validate_queries(queries)?;
 
+        // Claim this call's contiguous query-sequence range. Each query
+        // gets trace id `derive_trace_id(fnv1a64(run_id), QUERY, seq)` —
+        // deterministic given the arrival order, never the clock.
+        let trace_base = self.tracer.as_ref().map(|_| {
+            self.trace_seq
+                .fetch_add(queries.len() as u64, Ordering::Relaxed)
+        });
+
         // Phase 1: cache lookups (single short critical section).
         let lookup_span = self.phases.cache_lookup.start_span();
         let lookup_start = Instant::now();
@@ -332,9 +357,26 @@ impl BatchEngine {
         }
         let lookup_ms = ms_since(lookup_start);
         lookup_span.finish();
+        if let (Some(t), Some(base)) = (&self.tracer, trace_base) {
+            let (tid, root) = self.query_trace(base, 0);
+            let end = t.now_us();
+            t.record_span_at(
+                "cache_lookup",
+                "serve",
+                tid,
+                derive_span_id(tid, "cache_lookup", base),
+                root,
+                end.saturating_sub(elapsed_us(lookup_start)),
+                end,
+                [
+                    ("queries", queries.len() as u64),
+                    ("misses", misses.len() as u64),
+                ],
+            );
+        }
 
         // Phase 2: score the misses in batches, striped across workers.
-        let batch_results = self.score_misses(queries, &misses, call_start)?;
+        let batch_results = self.score_misses(queries, &misses, call_start, trace_base)?;
 
         // Phase 3: reassemble, fill the cache, record telemetry. Per-query
         // latency is the query's batch wall time (scored) or the lookup
@@ -368,6 +410,30 @@ impl BatchEngine {
         self.obs
             .counter("plp_serve_cache_misses_total")
             .add(misses.len() as u64);
+
+        // Per-query root spans, closed at call end. `misses` is sorted
+        // ascending (it was built by a forward scan), so a binary search
+        // tells hit from miss.
+        if let (Some(t), Some(base)) = (&self.tracer, trace_base) {
+            let end = t.now_us();
+            let start = end.saturating_sub(elapsed_us(call_start));
+            for (i, q) in queries.iter().enumerate() {
+                let (tid, root) = self.query_trace(base, i);
+                t.record_span_at(
+                    "serve_query",
+                    "serve",
+                    tid,
+                    root,
+                    0,
+                    start,
+                    end,
+                    [
+                        ("k", q.k as u64),
+                        ("cache_hit", u64::from(misses.binary_search(&i).is_err())),
+                    ],
+                );
+            }
+        }
 
         Ok(results
             .into_iter()
@@ -411,6 +477,16 @@ impl BatchEngine {
         }
     }
 
+    /// `(trace id, root span id)` of the query at position `qi` in a
+    /// serve call whose sequence range starts at `base`. Pure function of
+    /// `(run_id, base + qi)`, so any consumer of the dump can recompute
+    /// the ids.
+    fn query_trace(&self, base: u64, qi: usize) -> (u64, u64) {
+        let idx = base + qi as u64;
+        let tid = derive_trace_id(self.trace_root, DOMAIN_SERVE_QUERY, idx);
+        (tid, derive_span_id(tid, "serve_query", idx))
+    }
+
     fn validate_queries(&self, queries: &[Query]) -> Result<(), ServeError> {
         let vocab = self.rec.vocab_size();
         for (index, q) in queries.iter().enumerate() {
@@ -442,6 +518,7 @@ impl BatchEngine {
         queries: &[Query],
         misses: &[usize],
         enqueued_at: Instant,
+        trace_base: Option<u64>,
     ) -> Result<Vec<BatchResult>, ServeError> {
         if misses.is_empty() {
             return Ok(Vec::new());
@@ -458,7 +535,13 @@ impl BatchEngine {
                             let mut produced = Vec::new();
                             for batch in batches.iter().skip(w).step_by(workers) {
                                 self.phases.queue_wait.record_ms_since(enqueued_at);
-                                match self.score_batch(queries, batch, &mut scratch) {
+                                match self.score_batch(
+                                    queries,
+                                    batch,
+                                    &mut scratch,
+                                    enqueued_at,
+                                    trace_base,
+                                ) {
                                     Ok(br) => produced.push(br),
                                     Err(e) => {
                                         self.return_scratch(scratch);
@@ -491,16 +574,52 @@ impl BatchEngine {
     /// sequential path's order, keeping it bit-identical to
     /// `Recommender::recommend_excluding`; the ANN path is exact over the
     /// probed cells and equals the exhaustive path when `nprobe = cells`.
+    #[allow(clippy::too_many_lines)]
     fn score_batch(
         &self,
         queries: &[Query],
         batch: &[usize],
         scratch: &mut Scratch,
+        enqueued_at: Instant,
+        trace_base: Option<u64>,
     ) -> Result<BatchResult, ServeError> {
         let start = Instant::now();
         let dim = self.rec.dim();
         let rows = batch.len();
+
+        // Batch-level spans parent under the *first* member query's root
+        // span; per-query stage spans (probe/re-rank) are indexed by the
+        // query's own sequence number, so every id in the dump is
+        // recomputable.
+        let trace = self.tracer.as_ref().zip(trace_base).map(|(t, base)| {
+            let (tid, root) = self.query_trace(base, batch[0]);
+            (t, tid, root, base)
+        });
+        if let Some((t, tid, root, base)) = &trace {
+            let end = t.now_us();
+            t.record_span_at(
+                "enqueue",
+                "serve",
+                *tid,
+                derive_span_id(*tid, "enqueue", base + batch[0] as u64),
+                *root,
+                end.saturating_sub(elapsed_us(enqueued_at)),
+                end,
+                [("rows", rows as u64), ("", 0)],
+            );
+        }
+
         let matmul_span = self.phases.batch_matmul.start_span();
+        let t_assembly = trace.as_ref().map(|(t, tid, root, base)| {
+            t.span(
+                "batch_assembly",
+                "serve",
+                *tid,
+                derive_span_id(*tid, "batch_assembly", base + batch[0] as u64),
+                *root,
+            )
+            .arg("rows", rows as u64)
+        });
         ensure(&mut scratch.profiles, rows * dim);
         for (slot, &qi) in batch.iter().enumerate() {
             self.rec.profile_into(
@@ -508,6 +627,7 @@ impl BatchEngine {
                 &mut scratch.profiles[slot * dim..(slot + 1) * dim],
             )?;
         }
+        drop(t_assembly);
         if let Some(index) = &self.index {
             matmul_span.finish();
             let nprobe = self.cfg.ann.expect("index implies ann config").nprobe;
@@ -515,15 +635,41 @@ impl BatchEngine {
             let mut ranked = Vec::with_capacity(rows);
             for (slot, &qi) in batch.iter().enumerate() {
                 let q = &queries[qi];
-                index.search_into(
+                let profile = &scratch.profiles[slot * dim..(slot + 1) * dim];
+                // The probe / re-rank split exists so the two IVF stages
+                // are separately attributable; together they are exactly
+                // `search_into`.
+                let t_probe = trace.as_ref().map(|(t, tid, root, base)| {
+                    t.span(
+                        "ivf_probe",
+                        "serve",
+                        *tid,
+                        derive_span_id(*tid, "ivf_probe", base + qi as u64),
+                        *root,
+                    )
+                    .arg("nprobe", nprobe as u64)
+                });
+                index.probe_cells(profile, nprobe, &mut scratch.ivf)?;
+                drop(t_probe);
+                let t_rerank = trace.as_ref().map(|(t, tid, root, base)| {
+                    t.span(
+                        "re_rank",
+                        "serve",
+                        *tid,
+                        derive_span_id(*tid, "re_rank", base + qi as u64),
+                        *root,
+                    )
+                    .arg("k", q.k as u64)
+                });
+                index.rerank_probed(
                     self.rec.embedding(),
-                    &scratch.profiles[slot * dim..(slot + 1) * dim],
+                    profile,
                     q.k,
-                    nprobe,
                     &q.exclude,
                     &mut scratch.ivf,
                     &mut scratch.ranked,
-                )?;
+                );
+                drop(t_rerank);
                 ranked.push((qi, scratch.ranked.iter().map(|&(i, _)| i).collect()));
             }
             topk_span.finish();
@@ -534,6 +680,17 @@ impl BatchEngine {
         }
         let vocab = self.rec.vocab_size();
         ensure(&mut scratch.scores, rows * vocab);
+        let t_matmul = trace.as_ref().map(|(t, tid, root, base)| {
+            t.span(
+                "batch_matmul",
+                "serve",
+                *tid,
+                derive_span_id(*tid, "batch_matmul", base + batch[0] as u64),
+                *root,
+            )
+            .arg("rows", rows as u64)
+            .arg("vocab", vocab as u64)
+        });
         matmul_block_into(
             &scratch.profiles[..rows * dim],
             rows,
@@ -541,8 +698,19 @@ impl BatchEngine {
             self.rec.embedding(),
             &mut scratch.scores[..rows * vocab],
         )?;
+        drop(t_matmul);
         matmul_span.finish();
         let topk_span = self.phases.topk.start_span();
+        let t_topk = trace.as_ref().map(|(t, tid, root, base)| {
+            t.span(
+                "top_k",
+                "serve",
+                *tid,
+                derive_span_id(*tid, "top_k", base + batch[0] as u64),
+                *root,
+            )
+            .arg("rows", rows as u64)
+        });
         let mut ranked = Vec::with_capacity(rows);
         for (slot, &qi) in batch.iter().enumerate() {
             let q = &queries[qi];
@@ -551,6 +719,7 @@ impl BatchEngine {
             top_k_with_scores_into(row, q.k, &mut scratch.topk, &mut scratch.ranked);
             ranked.push((qi, scratch.ranked.iter().map(|&(i, _)| i).collect()));
         }
+        drop(t_topk);
         topk_span.finish();
         Ok(BatchResult {
             ranked,
@@ -576,6 +745,11 @@ impl BatchEngine {
 
 fn ms_since(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Microseconds elapsed since `start`, saturating at u64.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -993,6 +1167,80 @@ mod tests {
             3 * vocab,
             "score scratch sized to the largest batch actually scored, not max_batch"
         );
+    }
+
+    #[test]
+    fn tracing_keeps_results_bit_identical_and_covers_every_stage() {
+        use plp_obs::trace::TraceConfig;
+
+        let rec = random_recommender(61, 6, 60);
+        let queries = mixed_queries(61, 20, 61);
+
+        for ann in [
+            None,
+            Some(AnnConfig {
+                cells: 8,
+                nprobe: 3,
+                ..AnnConfig::default()
+            }),
+        ] {
+            let cfg = ServeConfig {
+                max_batch: 4,
+                workers: 3,
+                cache_capacity: 8,
+                ann,
+            };
+            let untraced = BatchEngine::new(rec.clone(), cfg).unwrap();
+            let expected = untraced.serve(&queries).unwrap();
+
+            let obs = Observer::new("serve-traced");
+            let tracer = obs.attach_tracer(TraceConfig::named("serve")).unwrap();
+            let engine = BatchEngine::with_observer(rec.clone(), cfg, obs).unwrap();
+            let got = engine.serve(&queries).unwrap();
+            assert_eq!(got, expected, "a tracer must not change what is served");
+            // Second pass: all cache hits, still identical.
+            assert_eq!(engine.serve(&queries).unwrap(), expected);
+
+            let spans = tracer.snapshot();
+            let names: std::collections::BTreeSet<&str> = spans.iter().map(|s| s.name).collect();
+            let mut expected_stages =
+                vec!["serve_query", "cache_lookup", "enqueue", "batch_assembly"];
+            if cfg.ann.is_some() {
+                expected_stages.extend(["ivf_probe", "re_rank"]);
+            } else {
+                expected_stages.extend(["batch_matmul", "top_k"]);
+            }
+            for stage in expected_stages {
+                assert!(
+                    names.contains(stage),
+                    "missing stage span {stage:?} (ann={:?}); got {names:?}",
+                    cfg.ann
+                );
+            }
+            assert_eq!(
+                spans.iter().filter(|s| s.name == "serve_query").count(),
+                2 * queries.len(),
+                "one root span per query per call"
+            );
+            // Root span ids are pure functions of the query sequence.
+            let (tid0, root0) = engine.query_trace(0, 0);
+            assert!(spans
+                .iter()
+                .any(|s| s.name == "serve_query" && s.trace_id == tid0 && s.span_id == root0));
+            // Stage spans parent under a query root, never float free.
+            let roots: std::collections::BTreeSet<u64> = spans
+                .iter()
+                .filter(|s| s.name == "serve_query")
+                .map(|s| s.span_id)
+                .collect();
+            for s in spans.iter().filter(|s| s.name != "serve_query") {
+                assert!(
+                    roots.contains(&s.parent_id),
+                    "span {} has a dangling parent",
+                    s.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,8 +22,20 @@ Serving mode (`--serve`) reads a BENCH_serve*.json produced by the
   * the `nprobe = cells` full-probe pass was not bit-identical to the
     exhaustive scan, or ANN results were not worker-invariant.
 
+Observability mode (`--obs`) reads a BENCH_obs*.json produced by the
+`obs_report` binary and fails (exit 1) if:
+
+  * the report is malformed, missing the `trace` section, or the
+    benchmark itself recorded a failed check (`all_checks_passed`), or
+  * the traced-vs-untraced per-step overhead (`trace.overhead_frac`,
+    min-of-repeats on both sides) exceeds the ceiling (default 0.05) —
+    tracing is supposed to be a handful of atomic writes per span, so a
+    5% step-time regression means instrumentation leaked into the hot
+    path.
+
 Usage: bench_guard.py REPORT.json [MAX_SHARE]
        bench_guard.py --serve REPORT.json [MIN_RECALL]
+       bench_guard.py --obs REPORT.json [MAX_OVERHEAD]
 
 Exit codes: 0 all checks pass, 1 regression or malformed report,
 2 usage error.
@@ -35,6 +47,8 @@ threads=4-beats-threads=1 share comparison is enforced by
 train_throughput itself on full runs. MIN_RECALL defaults to 0.95; the
 ANN speedup floor is enforced by serve_load itself (its exit code),
 because wall-clock ratios are too noisy to re-judge from the report.
+MAX_OVERHEAD is a fraction (default 0.05); negative measured overhead
+(scheduler noise) passes.
 """
 
 import json
@@ -97,8 +111,64 @@ def serve_guard(path: str, min_recall: float) -> int:
     return 0 if ok else 1
 
 
+def obs_guard(path: str, max_overhead: float) -> int:
+    report, err = load_report(path)
+    if err is not None:
+        return err
+
+    ok = True
+    if "all_checks_passed" not in report:
+        return fail(path, "missing required key 'all_checks_passed'")
+    if not report.get("all_checks_passed", False):
+        print(f"FAIL {path}: benchmark reported all_checks_passed=false")
+        ok = False
+
+    if "trace" not in report:
+        return fail(path, "missing required key 'trace'")
+    trace = report["trace"]
+    if not isinstance(trace, dict):
+        return fail(path, f"'trace' must be an object, got {type(trace).__name__}")
+
+    overhead = trace.get("overhead_frac")
+    if not isinstance(overhead, (int, float)) or isinstance(overhead, bool):
+        return fail(path, f"trace.overhead_frac must be a number, got {overhead!r}")
+
+    untraced = trace.get("untraced_step_ms")
+    traced = trace.get("traced_step_ms")
+    if isinstance(untraced, (int, float)) and isinstance(traced, (int, float)):
+        print(f"info untraced {untraced:.3f} ms/step, traced {traced:.3f} ms/step")
+    verdict = "PASS" if overhead <= max_overhead else "FAIL"
+    print(
+        f"{verdict} tracing overhead {overhead * 100.0:+.2f}% "
+        f"(ceiling {max_overhead * 100.0:.0f}%)"
+    )
+    ok &= overhead <= max_overhead
+
+    print("bench_guard:", "ok" if ok else "REGRESSION")
+    return 0 if ok else 1
+
+
 def main() -> int:
-    usage = f"usage: {sys.argv[0]} REPORT.json [MAX_SHARE] | --serve REPORT.json [MIN_RECALL]"
+    usage = (
+        f"usage: {sys.argv[0]} REPORT.json [MAX_SHARE] | --serve REPORT.json "
+        "[MIN_RECALL] | --obs REPORT.json [MAX_OVERHEAD]"
+    )
+    if len(sys.argv) >= 2 and sys.argv[1] == "--obs":
+        if len(sys.argv) < 3:
+            print(usage, file=sys.stderr)
+            return 2
+        try:
+            max_overhead = float(sys.argv[3]) if len(sys.argv) > 3 else 0.05
+        except ValueError:
+            print(
+                f"usage: MAX_OVERHEAD must be a number, got {sys.argv[3]!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if not 0.0 < max_overhead <= 1.0:
+            print(f"usage: MAX_OVERHEAD must be in (0, 1], got {max_overhead}", file=sys.stderr)
+            return 2
+        return obs_guard(sys.argv[2], max_overhead)
     if len(sys.argv) >= 2 and sys.argv[1] == "--serve":
         if len(sys.argv) < 3:
             print(usage, file=sys.stderr)

@@ -23,8 +23,25 @@ cargo test --workspace -q
 echo "== chaos drill (crash-safety smoke) =="
 cargo run --release -p plp-bench --bin chaos
 
-echo "== fed_chaos drill (multi-process federated smoke) =="
-cargo run --release -p plp-bench --bin fed_chaos -- --smoke
+echo "== fed_chaos drill (multi-process federated smoke + traced round) =="
+cargo run --release -p plp-bench --bin fed_chaos -- --smoke \
+  --trace-out target/BENCH_fed_trace.json
+
+echo "== trace stitcher (python mirror over the fed_chaos dumps) =="
+python3 scripts/trace_stitch.py --out target/BENCH_fed_trace_py.json \
+  target/fed_trace_dumps
+# The operator-side stitcher must agree with the in-process one.
+python3 - target/BENCH_fed_trace.json target/BENCH_fed_trace_py.json <<'PY'
+import json, sys
+def sig(path):
+    t = json.load(open(path))
+    return sorted(
+        (e.get("ph"), e.get("name"), e.get("pid"), e.get("ts"), e.get("dur"))
+        for e in t["traceEvents"]
+    )
+assert sig(sys.argv[1]) == sig(sys.argv[2]), "python stitcher diverged from rust"
+print("stitchers agree")
+PY
 
 echo "== serve load-generator smoke (batched == sequential, ANN cross-check) =="
 cargo run --release -p plp-bench --bin serve_load -- --smoke --out target/BENCH_serve_smoke.json
@@ -53,5 +70,8 @@ for i, line in enumerate(lines):
     assert isinstance(event, dict) and "kind" in event, f"line {i}: {line!r}"
 print(f"event log OK ({len(lines)} events)")
 PY
+
+echo "== bench guard (tracing overhead ceiling) =="
+python3 scripts/bench_guard.py --obs target/BENCH_obs_smoke.json 0.05
 
 echo "CI checks passed."

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Stitch per-process flight-recorder dumps into one Chrome/Perfetto trace.
+
+Operator-side mirror of `plp_obs::trace::stitch_chrome_trace`: takes the
+JSONL dumps the coordinator and workers leave behind (`trace_*.jsonl`)
+and merges them into a single trace-event JSON loadable in Perfetto or
+chrome://tracing. The first dump is the clock anchor (by convention the
+coordinator); every other process is offset so its earliest span whose
+parent lives in the anchor starts where that parent starts, falling back
+to min-timestamp alignment when no cross-process edge exists.
+Cross-process parent/child edges get `ph:"s"`/`ph:"f"` flow events named
+`fed_pipe`, keyed by the deterministic span id, so the arrow is drawn
+across the pipe.
+
+Usage: trace_stitch.py --out STITCHED.json DUMP.jsonl [DUMP.jsonl ...]
+       trace_stitch.py --out STITCHED.json TRACE_DIR
+
+With a directory, `trace_coordinator.jsonl` is the anchor and every
+`trace_worker_*.jsonl` follows (sorted). Unparseable record lines are
+skipped and counted — a dump torn by a killed process is expected.
+
+Exit codes: 0 stitched, 1 unusable dump, 2 usage error.
+"""
+
+import json
+import os
+import sys
+
+
+def parse_dump(path: str):
+    """Returns (dump_dict, None) or (None, error_string)."""
+    try:
+        with open(path) as f:
+            lines = [line for line in f.read().splitlines() if line.strip()]
+    except OSError as e:
+        return None, f"cannot read {path}: {e}"
+    if not lines:
+        return None, f"{path}: empty dump"
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        return None, f"{path}: bad meta line: {e.msg}"
+    if not isinstance(meta, dict) or meta.get("record") != "meta":
+        return None, f"{path}: first line is not a meta record"
+    if "process" not in meta or "pid" not in meta:
+        return None, f"{path}: meta missing process/pid"
+
+    records, skipped = [], 0
+    for line in lines[1:]:
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(rec, dict) or rec.get("record") not in ("span", "instant"):
+            skipped += 1
+            continue
+        try:
+            rec["span_id_int"] = int(rec["span_id"], 16)
+            rec["parent_id_int"] = int(rec["parent_id"], 16)
+            rec["ts_us"] = int(rec["ts_us"])
+            rec["dur_us"] = int(rec["dur_us"])
+        except (KeyError, TypeError, ValueError):
+            skipped += 1
+            continue
+        records.append(rec)
+    return {
+        "process": meta["process"],
+        "pid": meta["pid"],
+        "reason": meta.get("reason", ""),
+        "records": records,
+        "skipped": skipped,
+    }, None
+
+
+def stitch(dumps):
+    """Mirror of the Rust stitcher; returns the trace-event object."""
+    anchor = dumps[0]
+    anchor_spans = {
+        r["span_id_int"]: r["ts_us"] for r in anchor["records"] if r["span_id_int"] != 0
+    }
+    anchor_min = min((r["ts_us"] for r in anchor["records"]), default=0)
+
+    events = []
+    offsets = []
+    for i, dump in enumerate(dumps):
+        if i == 0:
+            offset = 0
+        else:
+            linked = [
+                (anchor_spans[r["parent_id_int"]], r["ts_us"])
+                for r in dump["records"]
+                if r["parent_id_int"] in anchor_spans
+            ]
+            if linked:
+                parent_ts, child_ts = min(linked, key=lambda pair: pair[1])
+                offset = parent_ts - child_ts
+            else:
+                child_min = min((r["ts_us"] for r in dump["records"]), default=0)
+                offset = anchor_min - child_min
+        offsets.append(offset)
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": dump["pid"],
+                "tid": 0,
+                "args": {"name": dump["process"]},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "pid": dump["pid"],
+                "tid": 0,
+                "args": {"sort_index": i},
+            }
+        )
+
+    for dump, offset in zip(dumps, offsets):
+        for rec in dump["records"]:
+            ts = max(rec["ts_us"] + offset, 0)
+            args = {
+                "trace_id": rec["trace_id"],
+                "span_id": rec["span_id"],
+                "parent_id": rec["parent_id"],
+            }
+            extra = rec.get("args")
+            if isinstance(extra, dict):
+                args.update(extra)
+            event = {
+                "name": rec["name"],
+                "cat": rec["cat"],
+                "pid": dump["pid"],
+                "tid": 1,
+                "ts": ts,
+                "args": args,
+            }
+            if rec["record"] == "span":
+                event.update({"ph": "X", "dur": rec["dur_us"]})
+            else:
+                event.update({"ph": "i", "s": "p"})
+            events.append(event)
+            if dump["pid"] != anchor["pid"] and rec["parent_id_int"] in anchor_spans:
+                events.append(
+                    {
+                        "ph": "s",
+                        "id": rec["parent_id"],
+                        "name": "fed_pipe",
+                        "cat": "flow",
+                        "pid": anchor["pid"],
+                        "tid": 1,
+                        "ts": anchor_spans[rec["parent_id_int"]],
+                    }
+                )
+                events.append(
+                    {
+                        "ph": "f",
+                        "bp": "e",
+                        "id": rec["parent_id"],
+                        "name": "fed_pipe",
+                        "cat": "flow",
+                        "pid": dump["pid"],
+                        "tid": 1,
+                        "ts": ts,
+                    }
+                )
+
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def expand_inputs(paths):
+    """A single directory argument expands to coordinator-then-workers."""
+    if len(paths) == 1 and os.path.isdir(paths[0]):
+        directory = paths[0]
+        names = sorted(os.listdir(directory))
+        anchor = [n for n in names if n == "trace_coordinator.jsonl"]
+        workers = [n for n in names if n.startswith("trace_worker_") and n.endswith(".jsonl")]
+        if not anchor and not workers:
+            return None, f"{directory}: no trace_*.jsonl dumps found"
+        return [os.path.join(directory, n) for n in anchor + workers], None
+    return paths, None
+
+
+def main() -> int:
+    usage = f"usage: {sys.argv[0]} --out STITCHED.json DUMP.jsonl...|TRACE_DIR"
+    argv = sys.argv[1:]
+    if len(argv) < 3 or argv[0] != "--out":
+        print(usage, file=sys.stderr)
+        return 2
+    out = argv[1]
+    inputs, err = expand_inputs(argv[2:])
+    if err is not None:
+        print(f"FAIL {err}", file=sys.stderr)
+        return 1
+
+    dumps = []
+    for path in inputs:
+        dump, err = parse_dump(path)
+        if err is not None:
+            print(f"FAIL {err}", file=sys.stderr)
+            return 1
+        tag = f" ({dump['skipped']} torn lines skipped)" if dump["skipped"] else ""
+        print(
+            f"  {dump['process']} pid={dump['pid']} reason={dump['reason']!r}: "
+            f"{len(dump['records'])} records{tag}"
+        )
+        dumps.append(dump)
+
+    stitched = stitch(dumps)
+    with open(out, "w") as f:
+        json.dump(stitched, f)
+    flows = sum(1 for e in stitched["traceEvents"] if e.get("name") == "fed_pipe")
+    print(
+        f"trace_stitch: wrote {out} — {len(dumps)} processes, "
+        f"{len(stitched['traceEvents'])} events, {flows} flow endpoints"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
