@@ -384,11 +384,19 @@ fn main() -> ExitCode {
                 .collect(),
         )
     };
+    // Surface the hottest training phase at the top level so report
+    // consumers don't have to dig through the phase array for it.
+    let (local_sgd_count, local_sgd_total_ms) = train_rows
+        .iter()
+        .find(|(phase, ..)| phase == "local_sgd")
+        .map_or((0, 0.0), |&(_, n, _, _, total)| (n, total));
     let payload = serde_json::json!({
         "bench": "obs",
         "seed": SEED,
         "smoke": opts.smoke,
         "steps": outcome.summary.steps,
+        "local_sgd_count": local_sgd_count,
+        "local_sgd_total_ms": local_sgd_total_ms,
         "stop_reason": serde_json::to_value_of(&outcome.summary.stop_reason),
         "epsilon_spent": outcome.summary.epsilon_spent,
         "epsilon_budget": hp.budget.epsilon,

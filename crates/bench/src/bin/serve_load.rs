@@ -4,7 +4,10 @@
 //! throughput/latency/cache telemetry per batch size. A second section
 //! scales the vocabulary to a generated 100k-location city and
 //! cross-checks the IVF ANN path against the exhaustive scan: recall@10,
-//! speedup, worker invariance, and `nprobe = cells` bit-identity.
+//! speedup, worker invariance, and `nprobe = cells` bit-identity. A third
+//! pass turns on the int8-quantized coarse scorer and gates its speedup
+//! over the f64 IVF path, its recall, and its bit-identity to both the
+//! unquantized ANN results and (at full probe) the exhaustive scan.
 //!
 //! Usage:
 //!   cargo run --release -p plp-bench --bin serve_load            # full run
@@ -21,6 +24,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use plp_core::checkpoint::KERNEL_SCHEME_VERSION;
 use plp_core::experiment::{ExperimentConfig, PreparedData};
 use plp_data::generator::{GeneratorConfig, SyntheticGenerator};
 use plp_linalg::sample::{stream_seed, GaussianStream};
@@ -40,6 +44,10 @@ const WAVE: usize = 512;
 /// Floors enforced by the ANN section (mirrored by `scripts/bench_guard.py`).
 const MIN_RECALL_AT_10: f64 = 0.95;
 const MIN_SPEEDUP: f64 = 5.0;
+/// Floors of the quantized pass: recall against the exhaustive scan and
+/// wall-clock speedup over the *f64 IVF* path (same cells/nprobe).
+const MIN_QUANT_RECALL_AT_10: f64 = 0.99;
+const MIN_QUANT_SPEEDUP: f64 = 1.5;
 
 struct Opts {
     smoke: bool,
@@ -237,6 +245,8 @@ fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
         kmeans_sample: 25_000,
         seed: SEED ^ 0x1F,
         build_threads: 4,
+        quantized: false,
+        overfetch: 4,
     };
 
     let exhaustive_engine = BatchEngine::new(rec.clone(), base).expect("exhaustive engine");
@@ -282,7 +292,7 @@ fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
     // vocabulary and results must be bit-identical to the exhaustive
     // scan. A subset of the stream keeps the full-coverage pass cheap.
     let probe_all = BatchEngine::new(
-        rec,
+        rec.clone(),
         ServeConfig {
             ann: Some(AnnConfig {
                 nprobe: ann.cells,
@@ -296,8 +306,60 @@ fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
     let (full_probe, _) = serve_all(&probe_all, subset);
     let full_probe_bit_identical = full_probe == exact[..subset.len()];
 
+    // Quantized pass: same cells/nprobe, int8 coarse scoring in front of
+    // the exact re-rank. Results must be bit-identical to the f64 IVF
+    // engine (the shortlist provably contains its top-k), so the recall
+    // figure can only match — what the pass buys is wall-clock.
+    let quant_cfg = AnnConfig {
+        quantized: true,
+        overfetch: 4,
+        ..ann
+    };
+    let quant_build_start = Instant::now();
+    let quant_engine = BatchEngine::new(
+        rec.clone(),
+        ServeConfig {
+            ann: Some(quant_cfg),
+            ..base
+        },
+    )
+    .expect("quantized ann engine");
+    let quant_build_ms = quant_build_start.elapsed().as_secs_f64() * 1000.0;
+    let (quantized, quant_wall_ms) = serve_all(&quant_engine, &queries);
+    let quant_recall = recall_at_k(&exact, &quantized);
+    let quant_speedup = ann_wall_ms / quant_wall_ms.max(1e-9);
+    let quant_matches_ivf = quantized == approx;
+    let (quant_candidates, quant_shortlisted) = quant_engine.quant_totals();
+    let shortlist_ratio = quant_shortlisted as f64 / quant_candidates.max(1) as f64;
+    println!(
+        "  quant(overfetch={}): build {quant_build_ms:.0}ms, {num_queries} queries in \
+         {quant_wall_ms:.0}ms — recall@{TOP_K} {quant_recall:.4}, {quant_speedup:.2}x over f64 IVF, \
+         shortlist {quant_shortlisted}/{quant_candidates} ({:.1}%)",
+        quant_cfg.overfetch,
+        shortlist_ratio * 100.0
+    );
+
+    // Full-probe quantized pass: every cell probed, so the error-bounded
+    // shortlist must reproduce the exhaustive scan bit for bit.
+    let quant_probe_all = BatchEngine::new(
+        rec,
+        ServeConfig {
+            ann: Some(AnnConfig {
+                nprobe: ann.cells,
+                ..quant_cfg
+            }),
+            ..base
+        },
+    )
+    .expect("full-probe quantized engine");
+    let quant_subset = &queries[..queries.len().min(128)];
+    let (quant_full_probe, _) = serve_all(&quant_probe_all, quant_subset);
+    let quant_full_probe_bit_identical = quant_full_probe == exact[..quant_subset.len()];
+
     let recall_ok = recall >= MIN_RECALL_AT_10;
     let speedup_ok = speedup >= MIN_SPEEDUP;
+    let quant_recall_ok = quant_recall >= MIN_QUANT_RECALL_AT_10;
+    let quant_speedup_ok = quant_speedup >= MIN_QUANT_SPEEDUP;
     println!(
         "{} ann recall@{TOP_K} {recall:.4} (floor {MIN_RECALL_AT_10})",
         if recall_ok { "PASS" } else { "FAIL" }
@@ -319,6 +381,28 @@ fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
         },
         subset.len()
     );
+    println!(
+        "{} quant recall@{TOP_K} {quant_recall:.4} (floor {MIN_QUANT_RECALL_AT_10})",
+        if quant_recall_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "{} quant speedup over f64 IVF {quant_speedup:.2}x (floor {MIN_QUANT_SPEEDUP}x)",
+        if quant_speedup_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "{} quant results bit-identical to f64 IVF at nprobe={}",
+        if quant_matches_ivf { "PASS" } else { "FAIL" },
+        ann.nprobe
+    );
+    println!(
+        "{} quant nprobe=cells bit-identical to exhaustive ({} queries)",
+        if quant_full_probe_bit_identical {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        quant_subset.len()
+    );
 
     let report = serde_json::json!({
         "vocab": world.pois().len(),
@@ -334,10 +418,29 @@ fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
         "speedup": speedup,
         "worker_invariant": worker_invariant,
         "full_probe_bit_identical": full_probe_bit_identical,
+        "quant": {
+            "overfetch": quant_cfg.overfetch,
+            "build_ms": quant_build_ms,
+            "wall_ms": quant_wall_ms,
+            "recall_at_10": quant_recall,
+            "speedup_over_f64_ivf": quant_speedup,
+            "candidates": quant_candidates,
+            "shortlisted": quant_shortlisted,
+            "shortlist_ratio": shortlist_ratio,
+            "matches_f64_ivf": quant_matches_ivf,
+            "full_probe_bit_identical": quant_full_probe_bit_identical,
+        },
     });
     (
         report,
-        recall_ok && speedup_ok && worker_invariant && full_probe_bit_identical,
+        recall_ok
+            && speedup_ok
+            && worker_invariant
+            && full_probe_bit_identical
+            && quant_recall_ok
+            && quant_speedup_ok
+            && quant_matches_ivf
+            && quant_full_probe_bit_identical,
     )
 }
 
@@ -492,6 +595,7 @@ fn main() -> ExitCode {
         "bench": "serve",
         "seed": SEED,
         "smoke": opts.smoke,
+        "kernel_scheme_version": KERNEL_SCHEME_VERSION,
         "vocab": rec.vocab_size(),
         "dim": rec.dim(),
         "top_k": TOP_K,

@@ -1,5 +1,7 @@
 //! Training-throughput benchmark: runs the same seeded private training
-//! run at `threads ∈ {1, 4}`, reports steps/sec, examples/sec (from the
+//! run at `threads ∈ {1, 0 (auto)}` — the auto run clamps to the host's
+//! `available_parallelism`, so CI never oversubscribes a small box —
+//! reports steps/sec, examples/sec (from the
 //! `plp_train_pairs_total` counter) and the `plp_train_phase_ms` phase
 //! breakdown per thread count, and **asserts thread-count invariance**:
 //! the trained parameters must be bit-identical at every thread count —
@@ -28,13 +30,18 @@
 use std::process::ExitCode;
 
 use plp_bench::runner::Scale;
+use plp_core::checkpoint::KERNEL_SCHEME_VERSION;
 use plp_core::config::Hyperparameters;
 use plp_core::experiment::PreparedData;
 use plp_core::plp::{train_plp_resumable, PlpOutcome, TrainOptions};
 use plp_obs::Observer;
 
 const SEED: u64 = 42;
-const THREAD_COUNTS: [usize; 2] = [1, 4];
+/// First run pins the sequential baseline; the second uses `threads: 0`
+/// (auto), which clamps to the host's `available_parallelism` — a fixed
+/// `4` oversubscribed single-core CI hosts (local_sgd took ~2× the
+/// sequential wall there, pure scheduler churn).
+const THREAD_COUNTS: [usize; 2] = [1, 0];
 
 struct Opts {
     smoke: bool,
@@ -104,6 +111,8 @@ fn phase_breakdown(obs: &Observer) -> PhaseRows {
 /// and throughput figures.
 struct Measured {
     threads: usize,
+    /// What `threads` resolved to (`threads: 0` is the auto mode).
+    resolved: usize,
     outcome: PlpOutcome,
     observer: Observer,
     steps_per_sec: f64,
@@ -114,13 +123,14 @@ struct Measured {
 fn run_at(threads: usize, prep: &PreparedData, hp: &Hyperparameters) -> Measured {
     let mut hp = hp.clone();
     hp.threads = threads;
+    let resolved = hp.effective_threads();
     let observer = Observer::new("train_throughput");
     let opts = TrainOptions {
         observer: observer.clone(),
         ..TrainOptions::default()
     };
     println!(
-        "train_throughput: threads={threads}, max_steps={}",
+        "train_throughput: threads={threads} (resolved {resolved}), max_steps={}",
         hp.max_steps
     );
     let outcome = train_plp_resumable(SEED, &prep.train, Some(&prep.validation), &hp, &opts)
@@ -139,6 +149,7 @@ fn run_at(threads: usize, prep: &PreparedData, hp: &Hyperparameters) -> Measured
     );
     Measured {
         threads,
+        resolved,
         outcome,
         observer,
         steps_per_sec,
@@ -231,6 +242,16 @@ fn main() -> ExitCode {
             phase_breakdown(&r.observer)
         })
         .collect();
+    // The local_sgd phase is the single biggest slice of the step loop;
+    // its count and wall total feed the --train bench gate.
+    let local_sgd: Vec<(u64, f64)> = breakdowns
+        .iter()
+        .map(|rows| {
+            rows.iter()
+                .find(|(phase, ..)| phase == "local_sgd")
+                .map_or((0, 0.0), |&(_, n, _, _, total)| (n, total))
+        })
+        .collect();
     let noise_server_ms: Vec<f64> = breakdowns
         .iter()
         .map(|rows| {
@@ -245,13 +266,20 @@ fn main() -> ExitCode {
         .zip(&noise_server_ms)
         .map(|(r, ms)| ms / r.outcome.summary.total_wall_ms.max(1e-9))
         .collect();
-    for (r, (ms, share)) in runs.iter().zip(noise_server_ms.iter().zip(&shares)) {
+    for (r, ((ms, share), (sgd_n, sgd_ms))) in runs
+        .iter()
+        .zip(noise_server_ms.iter().zip(&shares).zip(&local_sgd))
+    {
         println!(
-            "  threads={}: noise+server_update {:.2}ms of {:.1}ms wall (share {:.1}%)",
+            "  threads={}: noise+server_update {:.2}ms of {:.1}ms wall (share {:.1}%), \
+             local_sgd n={} {:.1}ms (share {:.1}%)",
             r.threads,
             ms,
             r.outcome.summary.total_wall_ms,
-            share * 100.0
+            share * 100.0,
+            sgd_n,
+            sgd_ms,
+            sgd_ms / r.outcome.summary.total_wall_ms.max(1e-9) * 100.0
         );
     }
     // The regression gate: at threads=4 the dense phases must take a
@@ -271,9 +299,9 @@ fn main() -> ExitCode {
                     *share < shares[0],
                     &format!(
                         "noise+server share at threads={} ({:.2}%) below threads={} ({:.2}%)",
-                        run.threads,
+                        run.resolved,
                         share * 100.0,
-                        reference.threads,
+                        reference.resolved,
                         shares[0] * 100.0
                     ),
                 );
@@ -283,9 +311,9 @@ fn main() -> ExitCode {
                     &format!(
                         "noise+server share at threads={} ({:.2}%) within the \
                          single-core overhead bound of threads={} ({:.2}%)",
-                        run.threads,
+                        run.resolved,
                         share * 100.0,
-                        reference.threads,
+                        reference.resolved,
                         shares[0] * 100.0
                     ),
                 );
@@ -295,10 +323,15 @@ fn main() -> ExitCode {
 
     let per_run: Vec<serde_json::Value> = runs
         .iter()
-        .zip(breakdowns.iter().zip(noise_server_ms.iter().zip(&shares)))
-        .map(|(r, (rows, (ns_ms, share)))| {
+        .zip(
+            breakdowns
+                .iter()
+                .zip(noise_server_ms.iter().zip(&shares).zip(&local_sgd)),
+        )
+        .map(|(r, (rows, ((ns_ms, share), (sgd_n, sgd_ms))))| {
             serde_json::json!({
                 "threads": r.threads,
+                "resolved_threads": r.resolved,
                 "steps": r.outcome.summary.steps,
                 "wall_ms": r.outcome.summary.total_wall_ms,
                 "steps_per_sec": r.steps_per_sec,
@@ -307,6 +340,9 @@ fn main() -> ExitCode {
                 "epsilon_spent": r.outcome.summary.epsilon_spent,
                 "noise_server_total_ms": *ns_ms,
                 "noise_server_share": *share,
+                "local_sgd_count": *sgd_n,
+                "local_sgd_total_ms": *sgd_ms,
+                "local_sgd_share": *sgd_ms / r.outcome.summary.total_wall_ms.max(1e-9),
                 "phases": serde_json::Value::Array(
                     rows.iter()
                         .map(|(phase, n, p50, p95, total)| {
@@ -332,6 +368,7 @@ fn main() -> ExitCode {
         "embedding_dim": hp.embedding_dim,
         "vocab": prep.vocab_size(),
         "available_parallelism": cores,
+        "kernel_scheme_version": KERNEL_SCHEME_VERSION,
         "runs": serde_json::Value::Array(per_run),
         "thread_invariant": ok,
         "all_checks_passed": ok,

@@ -40,17 +40,29 @@ use crate::config::Hyperparameters;
 use crate::error::CoreError;
 
 const MAGIC: &[u8; 4] = b"PLPC";
-/// Format version 2: the trainer draws its Gaussian noise from
-/// counter-based per-row streams (see `crate::noise`) instead of version
-/// 1's single sequential sampler. A v1 checkpoint's remaining steps would
-/// replay under different noise, so resuming one is refused outright.
-const VERSION: u8 = 2;
+/// Format version 3: the linalg reduction kernels run eight accumulator
+/// lanes (see `plp_linalg::ops`) instead of version 2's four, which changes
+/// the floating-point reduction order and thus every trained bit stream.
+/// Version 2 itself replaced version 1's single sequential noise sampler
+/// with counter-based per-row streams. A checkpoint from either older
+/// version would resume onto a different trajectory, so both are refused
+/// outright with explanatory errors.
+const VERSION: u8 = 3;
 
 /// Version of the noise-RNG scheme, folded into [`config_fingerprint`]:
 /// any future change to how per-step noise is derived (stream seeding,
 /// domains, bias chunking) must bump this so old checkpoints cannot
 /// silently resume onto a different noise trajectory.
 pub const RNG_SCHEME_VERSION: u64 = 2;
+
+/// Version of the dense-kernel reduction scheme, folded into
+/// [`config_fingerprint`] exactly like [`RNG_SCHEME_VERSION`]: the unrolled
+/// lane count of `plp_linalg::ops` fixes the floating-point reduction order
+/// of every dot product and norm, so changing it (scheme 1 = four lanes,
+/// scheme 2 = eight lanes) forks the bit stream of every trained model.
+/// Any future kernel-order change must bump this so old checkpoints cannot
+/// silently resume under a different reduction order.
+pub const KERNEL_SCHEME_VERSION: u64 = 2;
 
 /// Server-optimizer state as stored in a checkpoint.
 // A checkpoint holds exactly one of these, so the Sgd/Adam size gap is
@@ -125,10 +137,10 @@ pub struct TrainingCheckpoint {
 }
 
 /// Fingerprints a training configuration: FNV-1a 64 over the canonical
-/// JSON encoding of the hyper-parameters plus the vocabulary size and the
-/// noise-RNG scheme version. Any change to one of these yields a different
-/// fingerprint, so checkpoints cannot silently resume under mismatched
-/// settings.
+/// JSON encoding of the hyper-parameters plus the vocabulary size, the
+/// noise-RNG scheme version and the dense-kernel scheme version. Any change
+/// to one of these yields a different fingerprint, so checkpoints cannot
+/// silently resume under mismatched settings.
 ///
 /// `threads` is deliberately normalised out: every phase of the trainer is
 /// bit-identical across thread counts (strided partitions with ordered
@@ -154,6 +166,7 @@ pub fn config_fingerprint(hp: &Hyperparameters, vocab_size: usize) -> Result<u64
     eat(canonical.as_bytes());
     eat(&(vocab_size as u64).to_le_bytes());
     eat(&RNG_SCHEME_VERSION.to_le_bytes());
+    eat(&KERNEL_SCHEME_VERSION.to_le_bytes());
     Ok(h)
 }
 
@@ -275,6 +288,16 @@ pub fn decode_checkpoint(data: Bytes) -> Result<TrainingCheckpoint, CoreError> {
             return Err(CoreError::CheckpointCorrupt {
                 what: "version 1 checkpoint (sequential-noise RNG scheme) cannot resume \
                        under counter-based noise streams; restart the run from scratch",
+            });
+        }
+        2 => {
+            // Same situation for v2: its parameters were trained under the
+            // four-lane kernel reduction order, so every dot product of the
+            // remaining steps would round differently under the eight-lane
+            // kernels. Resuming would fork the bit stream.
+            return Err(CoreError::CheckpointCorrupt {
+                what: "version 2 checkpoint (four-lane kernel scheme) cannot resume \
+                       under eight-lane reduction kernels; restart the run from scratch",
             });
         }
         _ => {
@@ -528,6 +551,17 @@ mod tests {
             }
             other => panic!("v1 checkpoint must be refused, got {other:?}"),
         }
+        // Likewise v2 (four-lane kernel reduction order): refused with a
+        // restart-from-scratch explanation, not a generic version error.
+        let v2 = reseal(&|raw| raw[4] = 2);
+        match v2 {
+            Err(CoreError::CheckpointCorrupt { what }) => {
+                assert!(what.contains("version 2"), "got: {what}");
+                assert!(what.contains("four-lane"), "got: {what}");
+                assert!(what.contains("restart"), "got: {what}");
+            }
+            other => panic!("v2 checkpoint must be refused, got {other:?}"),
+        }
         // Step count disagreeing with the ledger is rejected too.
         assert!(matches!(
             reseal(&|raw| raw[21] = 200),
@@ -562,7 +596,9 @@ mod tests {
         // versa) without tripping the configuration check.
         let hp = Hyperparameters::default();
         let a = config_fingerprint(&hp, 100).unwrap();
-        for threads in [1usize, 2, 4, 8, 32] {
+        // 0 is the auto mode (resolve to available_parallelism); it must be
+        // just as fingerprint-neutral as any explicit count.
+        for threads in [0usize, 1, 2, 4, 8, 32] {
             let mut hp2 = hp.clone();
             hp2.threads = threads;
             assert_eq!(

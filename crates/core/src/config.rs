@@ -75,6 +75,15 @@ pub struct Hyperparameters {
     pub eval_every: usize,
     /// Worker threads for bucket updates (1 = sequential; results are
     /// identical either way because bucket RNGs are derived per bucket).
+    ///
+    /// `0` means *auto*: fan out over at most
+    /// `std::thread::available_parallelism()` workers (see
+    /// [`Hyperparameters::effective_threads`]). Oversubscribing a host —
+    /// e.g. `threads: 4` on a single hardware thread — is strictly slower
+    /// than sequential because the workers just time-slice one core, so
+    /// auto is the right setting whenever the core count is unknown. Like
+    /// every explicit thread count, auto is fingerprint-neutral: results
+    /// are bit-identical for any resolved worker count.
     pub threads: usize,
 }
 
@@ -199,12 +208,8 @@ impl Hyperparameters {
                 expected: ">= 1",
             });
         }
-        if self.threads == 0 {
-            return Err(CoreError::BadConfig {
-                name: "threads",
-                expected: ">= 1",
-            });
-        }
+        // threads == 0 is legal: it selects the auto mode resolved by
+        // `effective_threads`, so there is no invalid thread count.
         let lr = match self.server_optimizer {
             ServerOptimizer::Sgd { learning_rate } | ServerOptimizer::Adam { learning_rate } => {
                 learning_rate
@@ -217,6 +222,24 @@ impl Hyperparameters {
             });
         }
         Ok(())
+    }
+
+    /// Resolves the configured thread count to the worker fan-out actually
+    /// used: `0` (auto) clamps to [`std::thread::available_parallelism`]
+    /// (falling back to 1 if the host cannot report it); any explicit
+    /// count is used as-is, oversubscribed or not. Always returns ≥ 1.
+    ///
+    /// The resolved count never appears in the checkpoint fingerprint —
+    /// every trainer phase is bit-identical across thread counts — so the
+    /// same run may resume under a different `available_parallelism`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
     }
 
     /// The local-SGD slice of the configuration.
@@ -275,7 +298,6 @@ mod tests {
             Box::new(|h| h.clip_norm = f64::NAN),
             Box::new(|h| h.split_factor = 0),
             Box::new(|h| h.max_steps = 0),
-            Box::new(|h| h.threads = 0),
             Box::new(|h| h.server_optimizer = ServerOptimizer::Adam { learning_rate: 0.0 }),
         ];
         for (i, mutate) in cases.iter().enumerate() {
@@ -310,6 +332,24 @@ mod tests {
             ..Hyperparameters::default()
         };
         assert!(h.validate().is_ok(), "q = 1 (sample everyone) is legal");
+    }
+
+    #[test]
+    fn threads_zero_is_auto_and_valid() {
+        let mut h = Hyperparameters {
+            threads: 0,
+            ..Hyperparameters::default()
+        };
+        assert!(h.validate().is_ok(), "threads = 0 selects auto mode");
+        let resolved = h.effective_threads();
+        assert!(resolved >= 1, "auto resolves to at least one worker");
+        let avail = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(resolved, avail, "auto clamps to available_parallelism");
+        // Explicit counts pass through untouched, even oversubscribed ones.
+        h.threads = 7;
+        assert_eq!(h.effective_threads(), 7);
     }
 
     #[test]

@@ -312,7 +312,7 @@ fn compute_bucket_updates(
         faults,
         phases: BucketPhases::resolve(obs),
     };
-    let threads = hp.threads.min(buckets.len().max(1));
+    let threads = hp.effective_threads().min(buckets.len().max(1));
     let results: Vec<Option<BucketUpdate>> = if threads <= 1 {
         let mut scratch = BucketScratch::default();
         buckets
@@ -991,7 +991,7 @@ fn run_loop(
             &mechanism,
             noise_seed,
             1.0 / denom,
-            hp.threads,
+            hp.effective_threads(),
         );
         drop(t_noise);
         noise_span.finish();
@@ -1009,7 +1009,7 @@ fn run_loop(
         });
         state
             .server
-            .step_threaded(&mut state.params, &aggregate, hp.threads)?;
+            .step_threaded(&mut state.params, &aggregate, hp.effective_threads())?;
         drop(t_server);
         server_span.finish();
 
@@ -1050,7 +1050,7 @@ fn run_loop(
                 // Leave-one-out trials fan out over `hp.threads` workers;
                 // the ordered integer-count reduction makes the metric
                 // identical for any thread count.
-                let hr = evaluate_hit_rate_threaded(&rec, v, &[10], hp.threads)?;
+                let hr = evaluate_hit_rate_threaded(&rec, v, &[10], hp.effective_threads())?;
                 drop(t_eval);
                 eval_span.finish();
                 Some(hr[0].rate())

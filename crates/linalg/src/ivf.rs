@@ -85,6 +85,12 @@ pub struct IvfScratch {
     candidate_ids: Vec<usize>,
     candidate_scores: Vec<f64>,
     exclude_sorted: Vec<usize>,
+    q_profile: Vec<i8>,
+    coarse_ids: Vec<usize>,
+    coarse_approx: Vec<f64>,
+    coarse_lb: Vec<f64>,
+    coarse_ub: Vec<f64>,
+    quant_sel: Vec<(usize, f64)>,
 }
 
 impl IvfScratch {
@@ -281,6 +287,34 @@ impl IvfIndex {
         Ok(())
     }
 
+    /// [`IvfIndex::search_into`] through the int8 coarse pass: probe, then
+    /// [`IvfIndex::rerank_probed_quantized`]. Returns the shortlist stats.
+    /// For any `nprobe` the output is bit-identical to the unquantized
+    /// search over the same probed cells; at `nprobe >= cells` it equals
+    /// the exhaustive scan exactly.
+    ///
+    /// # Errors
+    /// Same conditions as [`IvfIndex::search_into`], plus `ShapeMismatch`
+    /// when `quant` was built over a different index or embedding shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_quantized_into(
+        &self,
+        quant: &IvfQuant,
+        embedding: &Matrix,
+        profile: &[f64],
+        k: usize,
+        nprobe: usize,
+        overfetch: usize,
+        exclude: &[usize],
+        scratch: &mut IvfScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) -> Result<QuantRerankStats, LinalgError> {
+        self.probe_cells(profile, nprobe, scratch)?;
+        self.rerank_probed_quantized(
+            quant, embedding, profile, k, overfetch, exclude, scratch, out,
+        )
+    }
+
     /// Stage 1 of [`IvfIndex::search_into`]: ranks centroids against
     /// `profile` and selects the top-`nprobe` cells into the scratch
     /// probe list (ties by lower cell id, like every selection in this
@@ -363,6 +397,323 @@ impl IvfIndex {
             out,
         );
     }
+
+    /// Quantized variant of [`IvfIndex::rerank_probed`]: an int8 coarse
+    /// pass over the probed cells' packed rows (see [`IvfQuant`]) selects a
+    /// shortlist, and only the shortlist is re-scored with the exact f64
+    /// kernel and ranked through the shared top-k heap. `overfetch` floors
+    /// the shortlist at `overfetch · k` rows by approximate score (clamped
+    /// to ≥ 1×); independent of the floor, every row whose error-bound
+    /// interval overlaps the k-th best lower bound is kept, which is what
+    /// guarantees the shortlist contains the exact top-k — so at
+    /// `nprobe == cells` the result is bit-identical to the dense scan.
+    ///
+    /// Requires a prior [`IvfIndex::probe_cells`] on the same scratch.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `quant` or `embedding` does not
+    /// match this index's build shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rerank_probed_quantized(
+        &self,
+        quant: &IvfQuant,
+        embedding: &Matrix,
+        profile: &[f64],
+        k: usize,
+        overfetch: usize,
+        exclude: &[usize],
+        scratch: &mut IvfScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) -> Result<QuantRerankStats, LinalgError> {
+        if quant.dim != self.dim()
+            || quant.offsets.len() != self.cells() + 1
+            || quant.scales.len() != self.rows
+        {
+            return Err(LinalgError::ShapeMismatch {
+                op: "ivf quantized rerank",
+                left: quant.scales.len(),
+                right: self.rows,
+            });
+        }
+        if embedding.rows() != self.rows || embedding.cols() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "ivf search embedding",
+                left: embedding.rows(),
+                right: self.rows,
+            });
+        }
+        if k == 0 {
+            out.clear();
+            return Ok(QuantRerankStats::default());
+        }
+
+        scratch.exclude_sorted.clear();
+        scratch.exclude_sorted.extend_from_slice(exclude);
+        scratch.exclude_sorted.sort_unstable();
+        scratch.exclude_sorted.dedup();
+
+        // Coarse pass: integer dots against the packed i8 rows, plus the
+        // per-candidate error interval [approx − bound, approx + bound]
+        // from the Cauchy–Schwarz split (see [`IvfQuant`]): the query-side
+        // residual `‖x − x̂‖₂` is measured against the just-quantized
+        // profile, not worst-cased. `1e-9` relative inflation swallows the
+        // handful of f64 roundings in evaluating the bound itself; the
+        // bound is ~1e-2 of the score scale, so the slack is irrelevant
+        // for the shortlist size.
+        let dim = quant.dim;
+        let s_query = quantize_query(profile, &mut scratch.q_profile);
+        let mut l2q_sq = 0.0_f64;
+        let mut residq_sq = 0.0_f64;
+        for (&x, &qv) in profile.iter().zip(&scratch.q_profile) {
+            l2q_sq += x * x;
+            let e = x - s_query * f64::from(qv);
+            residq_sq += e * e;
+        }
+        let l2_query = l2q_sq.sqrt() * (1.0 + 1e-12);
+        let resid_query = residq_sq.sqrt() * (1.0 + 1e-12);
+        scratch.coarse_ids.clear();
+        scratch.coarse_approx.clear();
+        scratch.coarse_lb.clear();
+        scratch.coarse_ub.clear();
+        for &(cell, _) in &scratch.probes {
+            let base = quant.offsets[cell];
+            for (member, &row_id) in self.lists[cell].iter().enumerate() {
+                let row_id = row_id as usize;
+                if scratch.exclude_sorted.binary_search(&row_id).is_ok() {
+                    continue;
+                }
+                let at = base + member;
+                let qrow = &quant.qdata[at * dim..(at + 1) * dim];
+                let qdot = dot_i8(&scratch.q_profile, qrow);
+                let s_row = quant.scales[at];
+                let approx = (s_query * s_row) * f64::from(qdot);
+                let bound = (l2_query * quant.resid_l2[at]
+                    + resid_query * quant.row_l2[at]
+                    + 1e-15 * approx.abs())
+                    * (1.0 + 1e-9);
+                scratch.coarse_ids.push(row_id);
+                scratch.coarse_approx.push(approx);
+                scratch.coarse_lb.push(approx - bound);
+                scratch.coarse_ub.push(approx + bound);
+            }
+        }
+
+        // k-th best lower bound: any candidate whose upper bound cannot
+        // reach it is provably outside the exact top-k.
+        top_k_with_scores_into(
+            &scratch.coarse_lb,
+            k,
+            &mut scratch.topk,
+            &mut scratch.quant_sel,
+        );
+        let t_bound = scratch
+            .quant_sel
+            .last()
+            .map_or(f64::NEG_INFINITY, |&(_, s)| s);
+        // Over-fetch floor: the (overfetch · k)-th best approximate score.
+        let want = overfetch.max(1).saturating_mul(k);
+        let t_fetch = if want >= scratch.coarse_ids.len() {
+            f64::NEG_INFINITY
+        } else {
+            top_k_with_scores_into(
+                &scratch.coarse_approx,
+                want,
+                &mut scratch.topk,
+                &mut scratch.quant_sel,
+            );
+            scratch
+                .quant_sel
+                .last()
+                .map_or(f64::NEG_INFINITY, |&(_, s)| s)
+        };
+
+        // Exact re-rank of the shortlist with the same fixed-order kernel
+        // and heap as the unquantized path.
+        scratch.candidate_ids.clear();
+        scratch.candidate_scores.clear();
+        for i in 0..scratch.coarse_ids.len() {
+            if scratch.coarse_ub[i] >= t_bound || scratch.coarse_approx[i] >= t_fetch {
+                let row_id = scratch.coarse_ids[i];
+                scratch.candidate_ids.push(row_id);
+                scratch
+                    .candidate_scores
+                    .push(ops::dot_unchecked(profile, embedding.row(row_id)));
+            }
+        }
+        top_k_indexed_into(
+            &scratch.candidate_ids,
+            &scratch.candidate_scores,
+            k,
+            &mut scratch.topk,
+            out,
+        );
+        Ok(QuantRerankStats {
+            candidates: scratch.coarse_ids.len(),
+            shortlisted: scratch.candidate_ids.len(),
+        })
+    }
+}
+
+/// Size of the shortlist the quantized coarse pass handed to the exact
+/// re-rank, for bench reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantRerankStats {
+    /// Candidate rows gathered from the probed cells (after exclusions).
+    pub candidates: usize,
+    /// Rows that survived the int8 coarse filter into the exact re-rank.
+    pub shortlisted: usize,
+}
+
+/// Int8-quantized mirror of an [`IvfIndex`]'s posting lists: every member
+/// row is stored as `dim` signed bytes under a per-row symmetric scale
+/// (`value ≈ q · scale`, `scale = max|row| / 127`), packed cell-major in
+/// posting-list order so the coarse scan streams contiguously.
+///
+/// The coarse pass scores candidates with an i32-accumulated integer dot
+/// product — an 8× smaller memory walk than the f64 rows — and keeps every
+/// row whose score *could* reach the top-k under a per-row error bound.
+/// With `x` the query, `x̂`/`ŷ` the dequantized query/row, splitting the
+/// error as `x·y − x̂·ŷ = x·(y − ŷ) + (x − x̂)·ŷ` and applying
+/// Cauchy–Schwarz to each term gives
+///
+/// ```text
+/// |x·y − x̂·ŷ| ≤ ‖x‖₂·‖y − ŷ‖₂ + ‖x − x̂‖₂·‖ŷ‖₂
+/// ```
+///
+/// where the row-side residual `‖y − ŷ‖₂` is *measured* at build time
+/// (typically ~0.6× of the worst-case ℓ1 bound) and the query-side
+/// residual is measured per search, so the interval tracks the real
+/// quantization error instead of its worst case. A candidate whose upper
+/// bound falls below the k-th best lower bound provably cannot belong to
+/// the exact top-k. The survivors (at least the requested over-fetch,
+/// `overfetch · k` by approximate score) are handed to the *same* exact
+/// f64 re-rank the unquantized path uses, which makes the final ranking
+/// bit-identical to the dense scan whenever every cell is probed — the
+/// shortlist is a superset of the true top-k by the bound above, and exact
+/// re-scoring of a superset selects identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvfQuant {
+    /// Quantized rows, `dim` bytes per member, packed cell-major in
+    /// posting-list order.
+    qdata: Vec<i8>,
+    /// Per-member dequantization scale, same packing as `qdata`.
+    scales: Vec<f64>,
+    /// Per-member `‖ŷ‖₂` (ℓ2 norm of the dequantized row), inflated by
+    /// `1 + 1e-12` to dominate the accumulation rounding.
+    row_l2: Vec<f64>,
+    /// Per-member `‖y − ŷ‖₂` (measured quantization residual), inflated
+    /// by `1 + 1e-12`.
+    resid_l2: Vec<f64>,
+    /// Start offset (in members) of each cell's packed block.
+    offsets: Vec<usize>,
+    /// Embedding dimension.
+    dim: usize,
+}
+
+impl IvfQuant {
+    /// Quantizes every posting-list member of `index` from `embedding`.
+    ///
+    /// # Errors
+    /// `ShapeMismatch` when `embedding` does not match the index's build
+    /// shape; `NonFinite` when the embedding contains a non-finite value.
+    pub fn build(embedding: &Matrix, index: &IvfIndex) -> Result<Self, LinalgError> {
+        if embedding.rows() != index.rows() || embedding.cols() != index.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "ivf quantize embedding",
+                left: embedding.rows(),
+                right: index.rows(),
+            });
+        }
+        if !embedding.all_finite() {
+            return Err(LinalgError::NonFinite { op: "ivf quantize" });
+        }
+        let dim = index.dim();
+        let members: usize = (0..index.cells()).map(|c| index.list(c).len()).sum();
+        let mut q = IvfQuant {
+            qdata: Vec::with_capacity(members * dim),
+            scales: Vec::with_capacity(members),
+            row_l2: Vec::with_capacity(members),
+            resid_l2: Vec::with_capacity(members),
+            offsets: Vec::with_capacity(index.cells() + 1),
+            dim,
+        };
+        for c in 0..index.cells() {
+            q.offsets.push(q.scales.len());
+            for &row_id in index.list(c) {
+                let row = embedding.row(row_id as usize);
+                let max_abs = row.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
+                let scale = max_abs / 127.0;
+                let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+                let mut deq_sq = 0.0_f64;
+                let mut resid_sq = 0.0_f64;
+                for &x in row {
+                    let v = (x * inv).round().clamp(-127.0, 127.0) as i8;
+                    q.qdata.push(v);
+                    let deq = f64::from(v) * scale;
+                    deq_sq += deq * deq;
+                    let e = x - deq;
+                    resid_sq += e * e;
+                }
+                q.scales.push(scale);
+                q.row_l2.push(deq_sq.sqrt() * (1.0 + 1e-12));
+                q.resid_l2.push(resid_sq.sqrt() * (1.0 + 1e-12));
+            }
+        }
+        q.offsets.push(q.scales.len());
+        Ok(q)
+    }
+
+    /// Embedding dimension the quantized rows were built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bytes of quantized row payload (for bench reporting: the coarse
+    /// scan walks this instead of `members · dim · 8` bytes of f64).
+    pub fn payload_bytes(&self) -> usize {
+        self.qdata.len()
+    }
+}
+
+/// Quantizes a query profile to i8 under its own symmetric scale.
+/// Returns the scale (0.0 for an all-zero profile, making every
+/// approximate score and bound collapse to 0 — matching the exact scores).
+fn quantize_query(profile: &[f64], out: &mut Vec<i8>) -> f64 {
+    let max_abs = profile.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
+    let scale = max_abs / 127.0;
+    let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+    out.clear();
+    out.extend(
+        profile
+            .iter()
+            .map(|&x| (x * inv).round().clamp(-127.0, 127.0) as i8),
+    );
+    scale
+}
+
+/// i32-accumulated integer dot product of two `dim`-length i8 rows. With
+/// |q| ≤ 127 the per-element product is ≤ 16129 (fits i16, which lets the
+/// compiler use widening-multiply vector forms), so dimensions into the
+/// hundreds of thousands stay far from i32 overflow. Eight independent
+/// lanes keep the loop free of a serial accumulator chain; integer
+/// addition is associative, so the lane split cannot change the result.
+#[inline]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0i32; 8];
+    let ac = a.chunks_exact(8);
+    let bc = b.chunks_exact(8);
+    let (ar, br) = (ac.remainder(), bc.remainder());
+    for (ca, cb) in ac.zip(bc) {
+        for (lane, (&x, &y)) in lanes.iter_mut().zip(ca.iter().zip(cb)) {
+            *lane += i32::from(i16::from(x) * i16::from(y));
+        }
+    }
+    let mut s: i32 = lanes.iter().sum();
+    for (&x, &y) in ar.iter().zip(br) {
+        s += i32::from(x) * i32::from(y);
+    }
+    s
 }
 
 /// Writes each row's nearest-centroid cell (maximal dot product, ties to
@@ -676,6 +1027,242 @@ mod tests {
         idx.search_into(&emb, &[0.0; 3], 2, 99, &[], &mut scratch, &mut out)
             .unwrap();
     }
+
+    #[test]
+    fn quantized_round_trip_error_is_within_half_scale_per_row() {
+        let emb = random_embedding(40, 8, 9);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let quant = IvfQuant::build(&emb, &idx).unwrap();
+        assert_eq!(quant.dim(), 8);
+        assert!(quant.payload_bytes() >= 40 * 8);
+        let mut at = 0usize;
+        for c in 0..idx.cells() {
+            for &row_id in idx.list(c) {
+                let row = emb.row(row_id as usize);
+                let scale = quant.scales[at];
+                let max_abs = row.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+                assert_eq!(scale.to_bits(), (max_abs / 127.0).to_bits());
+                let q = &quant.qdata[at * 8..(at + 1) * 8];
+                let mut deq_sq = 0.0f64;
+                let mut resid_sq = 0.0f64;
+                for (x, &qv) in row.iter().zip(q) {
+                    // Symmetric rounding: each coordinate lands within
+                    // half a quantisation step of its f64 value.
+                    let deq = f64::from(qv) * scale;
+                    assert!((x - deq).abs() <= 0.5 * scale + 1e-12);
+                    deq_sq += deq * deq;
+                    let e = x - deq;
+                    resid_sq += e * e;
+                }
+                // Stored norms replay the build's accumulation order, so
+                // they are pinned bit-for-bit, inflation included.
+                assert_eq!(
+                    quant.row_l2[at].to_bits(),
+                    (deq_sq.sqrt() * (1.0 + 1e-12)).to_bits()
+                );
+                assert_eq!(
+                    quant.resid_l2[at].to_bits(),
+                    (resid_sq.sqrt() * (1.0 + 1e-12)).to_bits()
+                );
+                at += 1;
+            }
+        }
+        assert_eq!(at, 40, "every row is packed exactly once");
+    }
+
+    #[test]
+    fn quant_build_validates_embedding_shape() {
+        let emb = random_embedding(20, 4, 10);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(IvfQuant::build(&random_embedding(21, 4, 11), &idx).is_err());
+        assert!(IvfQuant::build(&random_embedding(20, 5, 11), &idx).is_err());
+        let mut poisoned = emb.clone();
+        poisoned.set(2, 1, f64::INFINITY);
+        assert!(IvfQuant::build(&poisoned, &idx).is_err());
+        let other = IvfIndex::build(
+            &random_embedding(20, 4, 12),
+            &IvfBuildParams {
+                cells: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let quant = IvfQuant::build(&emb, &idx).unwrap();
+        let mut scratch = IvfScratch::new();
+        let mut out = Vec::new();
+        assert!(other
+            .search_quantized_into(
+                &quant,
+                &emb,
+                &[0.0; 4],
+                2,
+                1,
+                4,
+                &[],
+                &mut scratch,
+                &mut out
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn quantized_search_matches_exact_rerank_at_any_probe_width() {
+        // The error-bound shortlist provably contains the exact top-k of
+        // the probed candidate set, so the quantized search must be
+        // bit-identical to the unquantized one at *every* nprobe, not
+        // just at full probe.
+        let emb = random_embedding(71, 6, 5);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let quant = IvfQuant::build(&emb, &idx).unwrap();
+        let mut scratch = IvfScratch::new();
+        let (mut exact, mut quantized) = (Vec::new(), Vec::new());
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..30 {
+            let profile: Vec<f64> = (0..6).map(|_| rng.random::<f64>() - 0.5).collect();
+            let k = rng.random_range(0usize..12);
+            let nprobe = rng.random_range(1usize..=6);
+            let overfetch = rng.random_range(1usize..5);
+            let exclude: Vec<usize> = (0..rng.random_range(0usize..5))
+                .map(|_| rng.random_range(0..80))
+                .collect();
+            idx.search_into(
+                &emb,
+                &profile,
+                k,
+                nprobe,
+                &exclude,
+                &mut scratch,
+                &mut exact,
+            )
+            .unwrap();
+            let stats = idx
+                .search_quantized_into(
+                    &quant,
+                    &emb,
+                    &profile,
+                    k,
+                    nprobe,
+                    overfetch,
+                    &exclude,
+                    &mut scratch,
+                    &mut quantized,
+                )
+                .unwrap();
+            assert_eq!(quantized.len(), exact.len());
+            for (got, want) in quantized.iter().zip(&exact) {
+                assert_eq!(got.0, want.0);
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "scores bit-identical");
+            }
+            assert!(stats.shortlisted <= stats.candidates);
+            if k > 0 {
+                assert!(stats.shortlisted >= exact.len());
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_recall_at_10_on_city_profiles_is_high() {
+        // City-like geometry: two dense districts of near-duplicate
+        // locations. Quantized shortlist + exact re-rank must keep
+        // recall@10 vs the dense scan at >= 0.99 even with narrow probes.
+        let emb = clustered_embedding(60);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let quant = IvfQuant::build(&emb, &idx).unwrap();
+        let mut scratch = IvfScratch::new();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let (mut hits, mut total) = (0usize, 0usize);
+        for _ in 0..50 {
+            let angle = rng.random::<f64>() * std::f64::consts::FRAC_PI_2;
+            let profile = [angle.cos(), angle.sin()];
+            idx.search_quantized_into(
+                &quant,
+                &emb,
+                &profile,
+                10,
+                idx.cells(),
+                3,
+                &[],
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+            let expected = exhaustive(&emb, &profile, 10, &[]);
+            let want: Vec<usize> = expected.iter().map(|&(r, _)| r).collect();
+            hits += out.iter().filter(|&&(r, _)| want.contains(&r)).count();
+            total += want.len();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.99, "recall@10 {recall} below floor");
+    }
+
+    #[test]
+    fn quantized_shortlist_is_a_strict_subset_on_easy_queries() {
+        // The speedup claim rests on the coarse pass actually pruning:
+        // on well-separated clusters with a decisive query, the exact
+        // re-rank must touch far fewer rows than the probed candidates.
+        let emb = clustered_embedding(200);
+        let idx = IvfIndex::build(
+            &emb,
+            &IvfBuildParams {
+                cells: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let quant = IvfQuant::build(&emb, &idx).unwrap();
+        let mut scratch = IvfScratch::new();
+        let mut out = Vec::new();
+        let stats = idx
+            .search_quantized_into(
+                &quant,
+                &emb,
+                &[1.0, 0.0],
+                10,
+                idx.cells(),
+                2,
+                &[],
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+        assert_eq!(stats.candidates, 400);
+        assert!(
+            stats.shortlisted < stats.candidates / 2,
+            "coarse pass pruned only {} of {} candidates",
+            stats.candidates - stats.shortlisted,
+            stats.candidates
+        );
+        assert_eq!(out, exhaustive(&emb, &[1.0, 0.0], 10, &[]));
+    }
 }
 
 #[cfg(test)]
@@ -738,6 +1325,48 @@ mod determinism_props {
             let mut out = Vec::new();
             idx.search_into(&emb, &profile, k, cells, &exclude, &mut scratch, &mut out)
                 .unwrap();
+            let mut scores = emb.matvec(&profile).unwrap();
+            for &e in &exclude {
+                if e < scores.len() {
+                    scores[e] = f64::NAN;
+                }
+            }
+            let expected = crate::topk::top_k_with_scores(&scores, k);
+            prop_assert_eq!(out.len(), expected.len());
+            for (got, want) in out.iter().zip(&expected) {
+                prop_assert_eq!(got.0, want.0);
+                prop_assert_eq!(got.1.to_bits(), want.1.to_bits());
+            }
+        }
+
+        #[test]
+        fn quantized_full_probe_equals_dense_topk(
+            values in vec(-1.0f64..1.0, 8..64),
+            rows in 4usize..40,
+            dim in 1usize..6,
+            cells in 1usize..5,
+            k in 0usize..12,
+            overfetch in 1usize..5,
+            exclude in vec(0usize..48, 0..6),
+            pseed in 0u64..1000,
+        ) {
+            // The int8 coarse pass must never change the answer when every
+            // cell is probed: the error-bound shortlist contains the exact
+            // top-k, and the re-rank reuses the dense kernel and heap.
+            let cells = cells.min(rows);
+            let emb = embedding_from(&values, rows, dim);
+            let idx = IvfIndex::build(&emb, &IvfBuildParams {
+                cells, iters: 2, sample: 0, seed: 7, threads: 2,
+            }).unwrap();
+            let quant = IvfQuant::build(&emb, &idx).unwrap();
+            let profile: Vec<f64> = (0..dim)
+                .map(|i| (mix64(pseed ^ i as u64) % 2000) as f64 / 1000.0 - 1.0)
+                .collect();
+            let mut scratch = IvfScratch::new();
+            let mut out = Vec::new();
+            idx.search_quantized_into(
+                &quant, &emb, &profile, k, cells, overfetch, &exclude, &mut scratch, &mut out,
+            ).unwrap();
             let mut scores = emb.matvec(&profile).unwrap();
             for &e in &exclude {
                 if e < scores.len() {

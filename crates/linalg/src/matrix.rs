@@ -240,7 +240,7 @@ const MATMUL_BLOCK_COLS: usize = 64;
 /// and `out` receives `a_rows × rhs.rows()` scores.
 ///
 /// Tiling reorders only *which* output element is computed when; each
-/// element's inner product runs [`ops::dot_unchecked`]'s four-lane
+/// element's inner product runs [`ops::dot_unchecked`]'s eight-lane
 /// micro-kernel with its fixed reduction order over the shared dimension,
 /// so results are bit-identical to a per-row [`Matrix::matvec`] (which uses
 /// the same kernel) regardless of tile shape or thread count.

@@ -7,22 +7,32 @@
 //!
 //! # Determinism contract
 //!
-//! The reduction kernels ([`dot_unchecked`], [`l2_norm_sq`]) run four
-//! independent accumulator lanes over `chunks_exact(4)` and combine them in
-//! the *fixed* order `((s0 + s1) + (s2 + s3)) + tail`, where `tail` sums the
-//! `len % 4` remainder sequentially. Element-wise kernels ([`axpy`],
-//! [`scale`], [`sub_into`]) have no cross-element reduction at all. The
-//! result therefore depends only on the input values — never on thread
-//! count, batch shape, or call site — which is what keeps the bit-identical
-//! checkpoint/resume and serve-vs-sequential invariants holding while still
-//! letting the compiler auto-vectorise the four-lane main loop.
+//! The reduction kernels ([`dot_unchecked`], [`l2_norm_sq`]) run eight
+//! independent accumulator lanes over `chunks_exact(8)` — two 4-wide vector
+//! registers' worth, so the loop-carried add latency chain splits in two —
+//! and combine them in the *fixed* order
+//! `(((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail`, where
+//! `tail` sums the `len % 8` remainder sequentially. Element-wise kernels
+//! ([`axpy`], [`scale`], [`sub_into`]) have no cross-element reduction at
+//! all. The result therefore depends only on the input values — never on
+//! thread count, batch shape, or call site — which is what keeps the
+//! bit-identical checkpoint/resume and serve-vs-sequential invariants
+//! holding while still letting the compiler auto-vectorise the eight-lane
+//! main loop into f64 vector pairs.
+//!
+//! The lane count (and thus the reduction order) is versioned on disk:
+//! `plp-core`'s `KERNEL_SCHEME_VERSION` is folded into the checkpoint config
+//! fingerprint, so checkpoints trained under the old four-lane order are
+//! rejected with a restart-from-scratch error instead of silently resuming
+//! onto a different bit stream.
 
 use crate::error::LinalgError;
 
 /// Unroll width of the multi-accumulator kernels. Changing this changes the
 /// floating-point reduction order and thus the bit pattern of every trained
-/// model; treat it as part of the on-disk format.
-const LANES: usize = 4;
+/// model; treat it as part of the on-disk format (see `KERNEL_SCHEME_VERSION`
+/// in `plp-core`, which must be bumped in lock-step).
+const LANES: usize = 8;
 
 /// Dot product of two equal-length slices.
 ///
@@ -41,15 +51,18 @@ pub fn dot(a: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
 
 /// Dot product without a shape check; panics in debug builds on mismatch.
 ///
-/// Four-lane multi-accumulator loop with the fixed reduction order
-/// `((s0 + s1) + (s2 + s3)) + tail` (see the module docs): deterministic,
-/// and independent of everything but the input values.
+/// Eight-lane multi-accumulator loop with the fixed reduction order
+/// `(((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail` (see the
+/// module docs): deterministic, and independent of everything but the input
+/// values. Eight lanes are two 4-wide f64 vectors, which halves the
+/// loop-carried dependency on the accumulator adds.
 #[inline]
 pub fn dot_unchecked(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len().min(b.len());
     let main = n - n % LANES;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+    let (mut s4, mut s5, mut s6, mut s7) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
     for (ca, cb) in a[..main]
         .chunks_exact(LANES)
         .zip(b[..main].chunks_exact(LANES))
@@ -58,17 +71,22 @@ pub fn dot_unchecked(a: &[f64], b: &[f64]) -> f64 {
         s1 += ca[1] * cb[1];
         s2 += ca[2] * cb[2];
         s3 += ca[3] * cb[3];
+        s4 += ca[4] * cb[4];
+        s5 += ca[5] * cb[5];
+        s6 += ca[6] * cb[6];
+        s7 += ca[7] * cb[7];
     }
     let mut tail = 0.0_f64;
     for (x, y) in a[main..n].iter().zip(&b[main..n]) {
         tail += x * y;
     }
-    ((s0 + s1) + (s2 + s3)) + tail
+    (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail
 }
 
 /// `y += alpha * x` without a shape check; panics in debug builds on
-/// mismatch. Element-wise (no reduction), unrolled four wide for
-/// auto-vectorisation; each `y[i]` sees exactly `y[i] + alpha * x[i]`.
+/// mismatch. Element-wise (no reduction), unrolled eight wide (two f64
+/// vector pairs) for auto-vectorisation; each `y[i]` sees exactly
+/// `y[i] + alpha * x[i]`.
 #[inline]
 pub fn axpy_unchecked(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
@@ -82,6 +100,10 @@ pub fn axpy_unchecked(alpha: f64, x: &[f64], y: &mut [f64]) {
         cy[1] += alpha * cx[1];
         cy[2] += alpha * cx[2];
         cy[3] += alpha * cx[3];
+        cy[4] += alpha * cx[4];
+        cy[5] += alpha * cx[5];
+        cy[6] += alpha * cx[6];
+        cy[7] += alpha * cx[7];
     }
     for (yi, xi) in y[main..n].iter_mut().zip(&x[main..n]) {
         *yi += alpha * xi;
@@ -104,7 +126,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
     Ok(())
 }
 
-/// `y *= alpha` in place. Element-wise, unrolled four wide.
+/// `y *= alpha` in place. Element-wise, unrolled eight wide.
 pub fn scale(alpha: f64, y: &mut [f64]) {
     let n = y.len();
     let main = n - n % LANES;
@@ -113,6 +135,10 @@ pub fn scale(alpha: f64, y: &mut [f64]) {
         cy[1] *= alpha;
         cy[2] *= alpha;
         cy[3] *= alpha;
+        cy[4] *= alpha;
+        cy[5] *= alpha;
+        cy[6] *= alpha;
+        cy[7] *= alpha;
     }
     for yi in &mut y[main..] {
         *yi *= alpha;
@@ -150,6 +176,10 @@ pub fn sub_into(a: &[f64], b: &[f64], out: &mut [f64]) -> Result<(), LinalgError
         co[1] = ca[1] - cb[1];
         co[2] = ca[2] - cb[2];
         co[3] = ca[3] - cb[3];
+        co[4] = ca[4] - cb[4];
+        co[5] = ca[5] - cb[5];
+        co[6] = ca[6] - cb[6];
+        co[7] = ca[7] - cb[7];
     }
     for ((o, x), y) in out[main..].iter_mut().zip(&a[main..]).zip(&b[main..]) {
         *o = x - y;
@@ -169,24 +199,29 @@ pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 
 /// Squared ℓ2 norm.
 ///
-/// Same four-lane accumulator structure and fixed reduction order as
+/// Same eight-lane accumulator structure and fixed reduction order as
 /// [`dot_unchecked`] (see the module docs).
 #[inline]
 pub fn l2_norm_sq(v: &[f64]) -> f64 {
     let n = v.len();
     let main = n - n % LANES;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+    let (mut s4, mut s5, mut s6, mut s7) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
     for c in v[..main].chunks_exact(LANES) {
         s0 += c[0] * c[0];
         s1 += c[1] * c[1];
         s2 += c[2] * c[2];
         s3 += c[3] * c[3];
+        s4 += c[4] * c[4];
+        s5 += c[5] * c[5];
+        s6 += c[6] * c[6];
+        s7 += c[7] * c[7];
     }
     let mut tail = 0.0_f64;
     for x in &v[main..] {
         tail += x * x;
     }
-    ((s0 + s1) + (s2 + s3)) + tail
+    (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail
 }
 
 /// ℓ2 (Euclidean) norm.
@@ -324,6 +359,41 @@ pub fn sigmoid(x: f64) -> f64 {
     }
 }
 
+/// Fused `(σ(x), log σ(x))` sharing one exponential.
+///
+/// Both quantities reduce to `z = e^{-|x|}`; computing them together halves
+/// the transcendental count of the SGNS positive-example step. The returned
+/// values are bit-identical to evaluating `sigmoid(x)` and the stable
+/// `log σ(x) = −log(1 + e^{−x})` separately, since the per-branch
+/// expressions are the same.
+#[inline]
+pub fn sigmoid_and_ln_sigmoid(x: f64) -> (f64, f64) {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        (1.0 / (1.0 + z), -z.ln_1p())
+    } else {
+        let z = x.exp();
+        (z / (1.0 + z), x - z.ln_1p())
+    }
+}
+
+/// Fused `(σ(x), log σ(−x))` sharing one exponential.
+///
+/// The SGNS negative-example step needs the gradient coefficient `σ(x)` and
+/// the loss term `log σ(−x)`; both reduce to `z = e^{-|x|}`. Bit-identical
+/// to the unfused pair: at `x = 0` the `−x − ln_1p(z)` form evaluates to
+/// `−0.0 − ln 2 = −ln 2`, matching `−ln_1p(e^{0})` exactly.
+#[inline]
+pub fn sigmoid_and_ln_sigmoid_neg(x: f64) -> (f64, f64) {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        (1.0 / (1.0 + z), -x - z.ln_1p())
+    } else {
+        let z = x.exp();
+        (z / (1.0 + z), -z.ln_1p())
+    }
+}
+
 /// Returns `true` iff every element of `v` is finite.
 pub fn all_finite(v: &[f64]) -> bool {
     v.iter().all(|x| x.is_finite())
@@ -442,6 +512,33 @@ mod tests {
     }
 
     #[test]
+    fn fused_sigmoid_pairs_are_bit_identical_to_unfused() {
+        // Reference stable log-sigmoid, matching the historical unfused form.
+        fn ln_sig(x: f64) -> f64 {
+            if x >= 0.0 {
+                -(-x).exp().ln_1p()
+            } else {
+                x - x.exp().ln_1p()
+            }
+        }
+        let xs = [
+            0.0, -0.0, 1e-12, -1e-12, 0.3, -0.3, 1.0, -1.0, 7.5, -7.5, 40.0, -40.0, 800.0, -800.0,
+        ];
+        for &x in &xs {
+            let (s, l) = sigmoid_and_ln_sigmoid(x);
+            assert_eq!(s.to_bits(), sigmoid(x).to_bits(), "sigmoid at {x}");
+            assert_eq!(l.to_bits(), ln_sig(x).to_bits(), "ln_sigmoid at {x}");
+            let (sn, ln) = sigmoid_and_ln_sigmoid_neg(x);
+            assert_eq!(
+                sn.to_bits(),
+                sigmoid(x).to_bits(),
+                "neg-fused sigmoid at {x}"
+            );
+            assert_eq!(ln.to_bits(), ln_sig(-x).to_bits(), "ln_sigmoid(-x) at {x}");
+        }
+    }
+
+    #[test]
     fn mean_and_finiteness() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
@@ -474,39 +571,43 @@ mod reduction_order_props {
     use super::*;
     use proptest::prelude::*;
 
-    /// Reference dot product: four scalar lanes filled round-robin over the
+    /// Reference dot product: eight scalar lanes filled round-robin over the
     /// unrolled prefix, a sequential tail, combined as
-    /// `((s0 + s1) + (s2 + s3)) + tail`.
+    /// `(((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))) + tail`.
     fn dot_reference(a: &[f64], b: &[f64]) -> f64 {
         let n = a.len();
-        let main = n - n % 4;
-        let mut lanes = [0.0_f64; 4];
+        let main = n - n % 8;
+        let mut lanes = [0.0_f64; 8];
         for i in 0..main {
-            lanes[i % 4] += a[i] * b[i];
+            lanes[i % 8] += a[i] * b[i];
         }
         let mut tail = 0.0_f64;
         for (x, y) in a[main..].iter().zip(&b[main..]) {
             tail += x * y;
         }
-        ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+        (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7])))
+            + tail
     }
 
     fn l2_reference(v: &[f64]) -> f64 {
         let n = v.len();
-        let main = n - n % 4;
-        let mut lanes = [0.0_f64; 4];
+        let main = n - n % 8;
+        let mut lanes = [0.0_f64; 8];
         for (i, &x) in v[..main].iter().enumerate() {
-            lanes[i % 4] += x * x;
+            lanes[i % 8] += x * x;
         }
         let mut tail = 0.0_f64;
         for &x in &v[main..] {
             tail += x * x;
         }
-        ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+        (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7])))
+            + tail
     }
 
     /// Deterministic pseudo-random values spanning magnitudes and signs,
-    /// derived from a seed so every length in 0..64 gets distinct data.
+    /// derived from a seed so every length in 0..128 gets distinct data.
     fn values(seed: u64, len: usize) -> Vec<f64> {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
         (0..len)
@@ -526,7 +627,7 @@ mod reduction_order_props {
 
         #[test]
         fn dot_unchecked_is_bitwise_reference(seed in 0u64..1_000_000) {
-            for len in 0..64usize {
+            for len in 0..128usize {
                 let a = values(seed, len);
                 let b = values(seed ^ 0xDEAD_BEEF, len);
                 let got = dot_unchecked(&a, &b);
@@ -537,7 +638,7 @@ mod reduction_order_props {
 
         #[test]
         fn l2_norm_sq_is_bitwise_reference(seed in 0u64..1_000_000) {
-            for len in 0..64usize {
+            for len in 0..128usize {
                 let v = values(seed, len);
                 prop_assert!(
                     l2_norm_sq(&v).to_bits() == l2_reference(&v).to_bits(),
@@ -548,7 +649,7 @@ mod reduction_order_props {
 
         #[test]
         fn axpy_is_bitwise_elementwise(seed in 0u64..1_000_000, alpha in -4.0f64..4.0) {
-            for len in 0..64usize {
+            for len in 0..128usize {
                 let x = values(seed, len);
                 let mut y = values(seed ^ 0x5A5A, len);
                 let want: Vec<f64> = y.iter().zip(&x).map(|(yi, xi)| yi + alpha * xi).collect();
@@ -561,7 +662,7 @@ mod reduction_order_props {
 
         #[test]
         fn scale_and_sub_are_bitwise_elementwise(seed in 0u64..1_000_000, alpha in -4.0f64..4.0) {
-            for len in 0..64usize {
+            for len in 0..128usize {
                 let a = values(seed, len);
                 let b = values(seed ^ 0xC0FFEE, len);
 

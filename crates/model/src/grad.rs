@@ -28,6 +28,23 @@ pub(crate) fn pooled_zeroed(pool: &mut Vec<Vec<f64>>, len: usize) -> Vec<f64> {
     }
 }
 
+/// One deferred context-row touch of the journal-pooled batch walk: the
+/// candidate row, its position in the original accumulation sequence, the
+/// pre-scaled coefficient, and which pooled `u`-row slot it multiplies.
+#[derive(Debug, Clone, Copy)]
+struct DeferredTouch {
+    /// `(row << 32) | seq`. Sorting on this single key is equivalent to a
+    /// stable sort by row — `seq` increments per push, so ties within a row
+    /// keep their original accumulation order, which is what makes the
+    /// pooled flush bit-identical to immediate accumulation.
+    key: u64,
+    /// Coefficient applied to both the context row (`coef · u`) and the
+    /// bias entry (`+ coef`); already includes the batch scale.
+    coef: f64,
+    /// Index of the pooled target-embedding row in `u_slots`.
+    slot: u32,
+}
+
 /// A row-sparse gradient (or model delta) with the same logical shape as
 /// [`ModelParams`].
 ///
@@ -40,6 +57,20 @@ pub(crate) fn pooled_zeroed(pool: &mut Vec<Vec<f64>>, len: usize) -> Vec<f64> {
 /// cycles, so a gradient reused across batches stops allocating once it has
 /// seen its working set. The pool is invisible to `Clone`/`PartialEq`: it
 /// only affects capacity, never values.
+///
+/// # Pooled batch accumulation
+///
+/// The SGNS inner loop touches `neg + 1` context rows per pair in pair
+/// order, which chases the gradient map (and the embedding table behind
+/// it) all over memory. [`SparseGrad::begin_pooled_batch`] switches the
+/// gradient into a deferred mode: the loss records each touch as a
+/// `(row, seq, coef, u-slot)` tuple plus one copy of the pair's target row,
+/// and [`SparseGrad::flush_pooled_batch`] sorts the records by
+/// `(row, seq)` and walks each row's touches contiguously — one map entry
+/// per distinct row instead of one per touch. Because every pair in a batch
+/// evaluates at the same Φ and the per-row accumulation sequence is
+/// preserved exactly, the flushed gradient is bit-identical to immediate
+/// accumulation (asserted in the tests).
 #[derive(Debug, Default)]
 pub struct SparseGrad {
     /// Touched rows of the embedding matrix `W`.
@@ -50,6 +81,14 @@ pub struct SparseGrad {
     pub bias: BTreeMap<usize, f64>,
     /// Recycled row buffers, fed by `recycle` and drained by `add_*_row`.
     pool: Vec<Vec<f64>>,
+    /// Deferred context/bias touches of the current pooled batch.
+    pending: Vec<DeferredTouch>,
+    /// Pooled copies of target-embedding rows, `u_dim` values per slot.
+    u_slots: Vec<f64>,
+    /// Row width of `u_slots` (the model dimension).
+    u_dim: usize,
+    /// Whether the gradient is currently in pooled (deferring) mode.
+    pooled: bool,
 }
 
 impl Clone for SparseGrad {
@@ -59,6 +98,10 @@ impl Clone for SparseGrad {
             context: self.context.clone(),
             bias: self.bias.clone(),
             pool: Vec::new(),
+            pending: Vec::new(),
+            u_slots: Vec::new(),
+            u_dim: 0,
+            pooled: false,
         }
     }
 }
@@ -129,6 +172,92 @@ impl SparseGrad {
     /// Adds `alpha` into bias entry `row`.
     pub fn add_bias(&mut self, row: usize, alpha: f64) {
         *self.bias.entry(row).or_insert(0.0) += alpha;
+    }
+
+    /// Enters pooled mode for one batch: subsequent touches pushed through
+    /// [`SparseGrad::push_u_slot`] / [`SparseGrad::defer_context_touch`]
+    /// are buffered instead of applied, until
+    /// [`SparseGrad::flush_pooled_batch`] drains them. `dim` is the model
+    /// dimension (the width of each pooled `u` row).
+    pub fn begin_pooled_batch(&mut self, dim: usize) {
+        self.pending.clear();
+        self.u_slots.clear();
+        self.u_dim = dim;
+        self.pooled = true;
+    }
+
+    /// `true` while the gradient defers context/bias touches (between
+    /// [`SparseGrad::begin_pooled_batch`] and
+    /// [`SparseGrad::flush_pooled_batch`]).
+    pub fn pooled_mode(&self) -> bool {
+        self.pooled
+    }
+
+    /// Copies one target-embedding row into the batch pool and returns its
+    /// slot index for later [`SparseGrad::defer_context_touch`] calls.
+    /// Only meaningful in pooled mode.
+    pub fn push_u_slot(&mut self, u: &[f64]) -> u32 {
+        debug_assert!(self.pooled, "push_u_slot outside a pooled batch");
+        debug_assert_eq!(u.len(), self.u_dim, "u row width vs pooled dim");
+        let slot = (self.u_slots.len() / self.u_dim.max(1)) as u32;
+        self.u_slots.extend_from_slice(u);
+        slot
+    }
+
+    /// Defers `context[row] += alpha · u_slots[slot]` and
+    /// `bias[row] += alpha` until the flush. Only meaningful in pooled
+    /// mode.
+    pub fn defer_context_touch(&mut self, row: usize, alpha: f64, slot: u32) {
+        debug_assert!(self.pooled, "defer_context_touch outside a pooled batch");
+        debug_assert!(row < (1usize << 32), "row must fit the packed sort key");
+        debug_assert!(self.pending.len() < u32::MAX as usize, "seq overflow");
+        self.pending.push(DeferredTouch {
+            key: ((row as u64) << 32) | self.pending.len() as u64,
+            coef: alpha,
+            slot,
+        });
+    }
+
+    /// Applies every deferred touch of the current pooled batch and leaves
+    /// pooled mode. Records are sorted by their packed `(row, seq)` key —
+    /// `seq` is unique, so the unstable sort is a stable sort by row — and
+    /// each row's touches are applied contiguously in their original
+    /// accumulation order. One map entry per distinct row (for both the
+    /// context row and the bias entry) replaces one per touch, and the
+    /// grouped walk keeps the gradient row hot in cache while the pooled
+    /// `u` copies stream past it. Bit-identical to immediate accumulation
+    /// because per-row floating-point order is exactly preserved.
+    pub fn flush_pooled_batch(&mut self) {
+        let Self {
+            context,
+            bias,
+            pool,
+            pending,
+            u_slots,
+            u_dim,
+            pooled,
+            ..
+        } = self;
+        *pooled = false;
+        pending.sort_unstable_by_key(|t| t.key);
+        let dim = *u_dim;
+        let mut i = 0;
+        while i < pending.len() {
+            let row = (pending[i].key >> 32) as usize;
+            let e = context
+                .entry(row)
+                .or_insert_with(|| pooled_zeroed(pool, dim));
+            let b = bias.entry(row).or_insert(0.0);
+            while i < pending.len() && (pending[i].key >> 32) as usize == row {
+                let t = pending[i];
+                let u = &u_slots[t.slot as usize * dim..(t.slot as usize + 1) * dim];
+                ops::axpy_unchecked(t.coef, u, e);
+                *b += t.coef;
+                i += 1;
+            }
+        }
+        pending.clear();
+        u_slots.clear();
     }
 
     /// Merges another sparse gradient: `self += other`.
@@ -404,6 +533,57 @@ mod tests {
         g.add_embedding_row(7, 1.0, &[9.0, 8.0]);
         assert_eq!(g.pool_len(), 1, "row buffer came from the pool");
         assert_eq!(g.embedding[&7], vec![9.0, 8.0], "pooled rows are zeroed");
+    }
+
+    #[test]
+    fn pooled_flush_is_bit_identical_to_immediate_accumulation() {
+        // Interleaved touches across rows, duplicate rows within and across
+        // "pairs", and awkward magnitudes: the flushed pooled gradient must
+        // match immediate accumulation bit for bit because each row's
+        // floating-point accumulation order is preserved exactly.
+        let dim = 5;
+        let u_rows: Vec<Vec<f64>> = (0..4)
+            .map(|s| (0..dim).map(|d| 0.1 * (s * dim + d) as f64 - 0.7).collect())
+            .collect();
+        // (u-slot, row, coef) in issue order, rows deliberately out of order
+        // and repeated.
+        let touches = [
+            (0usize, 7usize, 0.25),
+            (0, 2, -1.5e-3),
+            (1, 7, 3.0),
+            (1, 1, 0.125),
+            (2, 2, 7.75e2),
+            (2, 7, -0.015625),
+            (3, 1, 1.0e-7),
+            (3, 7, 0.5),
+        ];
+
+        let mut immediate = SparseGrad::new();
+        for &(s, row, coef) in &touches {
+            immediate.add_context_row(row, coef, &u_rows[s]);
+            immediate.add_bias(row, coef);
+        }
+
+        let mut pooled = SparseGrad::new();
+        pooled.begin_pooled_batch(dim);
+        let slots: Vec<u32> = u_rows.iter().map(|u| pooled.push_u_slot(u)).collect();
+        for &(s, row, coef) in &touches {
+            pooled.defer_context_touch(row, coef, slots[s]);
+        }
+        pooled.flush_pooled_batch();
+        assert!(!pooled.pooled_mode(), "flush leaves pooled mode");
+
+        assert_eq!(immediate.context.len(), pooled.context.len());
+        for (row, want) in &immediate.context {
+            let got = &pooled.context[row];
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "context row {row}");
+            }
+        }
+        assert_eq!(immediate.bias.len(), pooled.bias.len());
+        for (row, want) in &immediate.bias {
+            assert_eq!(pooled.bias[row].to_bits(), want.to_bits(), "bias {row}");
+        }
     }
 
     #[test]

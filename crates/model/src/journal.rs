@@ -12,12 +12,58 @@
 //! the overlay — no dense clone, no dense subtraction, and (with a warm
 //! buffer pool) no allocation in steady state.
 
-use std::collections::BTreeMap;
-
 use plp_linalg::ops;
 
 use crate::grad::{pooled_zeroed, SparseGrad};
 use crate::params::{ModelParams, ParamsView, ParamsViewMut};
+
+/// A slot-indexed overlay of touched rows: `slots[row]` holds
+/// `entry index + 1` (0 = untouched), so every read and write on the SGNS
+/// hot path is one array index instead of an ordered-map walk. `slots`
+/// grows lazily to the highest touched row and is surgically zeroed on
+/// drain — O(touched), never O(vocab) — so a pooled journal reused across
+/// buckets keeps its table warm. Entries live in touch order; drains sort
+/// by row first, which keeps the produced deltas in the same ascending-row
+/// order (and therefore bit-identical) as the historical BTreeMap walk.
+#[derive(Debug, Default)]
+struct RowOverlay<T> {
+    slots: Vec<u32>,
+    entries: Vec<(usize, T)>,
+}
+
+impl<T> RowOverlay<T> {
+    #[inline]
+    fn get(&self, r: usize) -> Option<&T> {
+        match self.slots.get(r) {
+            Some(&s) if s != 0 => Some(&self.entries[(s - 1) as usize].1),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn get_mut_or_insert_with(&mut self, r: usize, make: impl FnOnce() -> T) -> &mut T {
+        if self.slots.len() <= r {
+            self.slots.resize(r + 1, 0);
+        }
+        let s = self.slots[r];
+        if s == 0 {
+            self.entries.push((r, make()));
+            self.slots[r] = u32::try_from(self.entries.len()).expect("< 2^32 touched rows");
+            &mut self.entries.last_mut().expect("just pushed").1
+        } else {
+            &mut self.entries[(s - 1) as usize].1
+        }
+    }
+
+    /// Sorts entries into ascending-row order and clears the touched slots,
+    /// leaving `entries` ready to drain. O(touched · log touched).
+    fn seal_for_drain(&mut self) {
+        self.entries.sort_unstable_by_key(|e| e.0);
+        for &(r, _) in &self.entries {
+            self.slots[r] = 0;
+        }
+    }
+}
 
 /// The overlay of touched rows: embedding/context rows and bias entries
 /// that have been mutably touched through a [`CowParams`] view, holding
@@ -27,9 +73,9 @@ use crate::params::{ModelParams, ParamsView, ParamsViewMut};
 /// allocating once the pool covers its working set.
 #[derive(Debug, Default)]
 pub struct RowJournal {
-    embedding: BTreeMap<usize, Vec<f64>>,
-    context: BTreeMap<usize, Vec<f64>>,
-    bias: BTreeMap<usize, f64>,
+    embedding: RowOverlay<Vec<f64>>,
+    context: RowOverlay<Vec<f64>>,
+    bias: RowOverlay<f64>,
     pool: Vec<Vec<f64>>,
 }
 
@@ -41,7 +87,7 @@ impl RowJournal {
 
     /// Number of journalled rows/entries across all three tensors.
     pub fn touched_rows(&self) -> usize {
-        self.embedding.len() + self.context.len() + self.bias.len()
+        self.embedding.entries.len() + self.context.entries.len() + self.bias.entries.len()
     }
 
     /// `true` iff no row has been touched since the last
@@ -61,13 +107,22 @@ impl RowJournal {
     /// panicked bucket: the next bucket must start from a clean overlay, or
     /// stale Φ rows would leak into its view of θ.
     pub fn reset(&mut self) {
-        while let Some((_, v)) = self.embedding.pop_first() {
-            self.pool.push(v);
+        let RowJournal {
+            embedding,
+            context,
+            bias,
+            pool,
+        } = self;
+        embedding.seal_for_drain();
+        for (_, v) in embedding.entries.drain(..) {
+            pool.push(v);
         }
-        while let Some((_, v)) = self.context.pop_first() {
-            self.pool.push(v);
+        context.seal_for_drain();
+        for (_, v) in context.entries.drain(..) {
+            pool.push(v);
         }
-        self.bias.clear();
+        bias.seal_for_drain();
+        bias.entries.clear();
     }
 
     /// Drains the journal into the sparse bucket delta `Φ − θ`, leaving the
@@ -80,23 +135,32 @@ impl RowJournal {
     /// delta is exactly zero everywhere are dropped rather than stored.
     pub fn take_delta(&mut self, base: &ModelParams) -> SparseGrad {
         let mut g = SparseGrad::new();
-        while let Some((r, mut v)) = self.embedding.pop_first() {
+        let RowJournal {
+            embedding,
+            context,
+            bias,
+            pool,
+        } = self;
+        embedding.seal_for_drain();
+        for (r, mut v) in embedding.entries.drain(..) {
             ops::axpy_unchecked(-1.0, base.embedding.row(r), &mut v);
             if v.iter().any(|&x| x != 0.0) {
                 g.embedding.insert(r, v);
             } else {
-                self.pool.push(v);
+                pool.push(v);
             }
         }
-        while let Some((r, mut v)) = self.context.pop_first() {
+        context.seal_for_drain();
+        for (r, mut v) in context.entries.drain(..) {
             ops::axpy_unchecked(-1.0, base.context.row(r), &mut v);
             if v.iter().any(|&x| x != 0.0) {
                 g.context.insert(r, v);
             } else {
-                self.pool.push(v);
+                pool.push(v);
             }
         }
-        while let Some((r, b)) = self.bias.pop_first() {
+        bias.seal_for_drain();
+        for (r, b) in bias.entries.drain(..) {
             let d = b - base.bias[r];
             if d != 0.0 {
                 g.bias.insert(r, d);
@@ -156,23 +220,23 @@ impl ParamsView for CowParams<'_> {
     fn embedding_row(&self, r: usize) -> &[f64] {
         self.journal
             .embedding
-            .get(&r)
-            .map(Vec::as_slice)
+            .get(r)
+            .map(|v| v.as_slice())
             .unwrap_or_else(|| self.base.embedding.row(r))
     }
 
     fn context_row(&self, r: usize) -> &[f64] {
         self.journal
             .context
-            .get(&r)
-            .map(Vec::as_slice)
+            .get(r)
+            .map(|v| v.as_slice())
             .unwrap_or_else(|| self.base.context.row(r))
     }
 
     fn bias_at(&self, r: usize) -> f64 {
         self.journal
             .bias
-            .get(&r)
+            .get(r)
             .copied()
             .unwrap_or_else(|| self.base.bias[r])
     }
@@ -184,22 +248,18 @@ impl ParamsViewMut for CowParams<'_> {
         let RowJournal {
             embedding, pool, ..
         } = &mut *self.journal;
-        embedding
-            .entry(r)
-            .or_insert_with(|| RowJournal::copied_row(pool, base.embedding.row(r)))
+        embedding.get_mut_or_insert_with(r, || RowJournal::copied_row(pool, base.embedding.row(r)))
     }
 
     fn context_row_mut(&mut self, r: usize) -> &mut [f64] {
         let base = self.base;
         let RowJournal { context, pool, .. } = &mut *self.journal;
-        context
-            .entry(r)
-            .or_insert_with(|| RowJournal::copied_row(pool, base.context.row(r)))
+        context.get_mut_or_insert_with(r, || RowJournal::copied_row(pool, base.context.row(r)))
     }
 
     fn bias_at_mut(&mut self, r: usize) -> &mut f64 {
         let base = self.base;
-        self.journal.bias.entry(r).or_insert_with(|| base.bias[r])
+        self.journal.bias.get_mut_or_insert_with(r, || base.bias[r])
     }
 }
 

@@ -95,23 +95,30 @@ pub fn forward_backward<P: ParamsView + ?Sized>(
     }
 
     let u = params.embedding_row(target);
+    // In pooled mode (the batched training walk), context/bias touches are
+    // deferred: one copy of `u` into the batch pool, one record per
+    // candidate, and the flush replays each row's records contiguously in
+    // the exact per-row order they are issued here — so both modes produce
+    // bit-identical gradients.
+    let pooled = grad.pooled_mode();
+    let slot = if pooled { grad.push_u_slot(u) } else { 0 };
     let k = negatives.len() + 1;
-    scratch.logits.clear();
-    scratch.logits.reserve(k);
-    scratch
-        .logits
-        .push(ops::dot_unchecked(u, params.context_row(context)) + params.bias_at(context));
-    for &n in negatives {
-        scratch
-            .logits
-            .push(ops::dot_unchecked(u, params.context_row(n)) + params.bias_at(n));
-    }
 
     scratch.grad_u.clear();
     scratch.grad_u.resize(params.dim(), 0.0);
 
     let loss_value = match loss {
         Loss::SampledSoftmax => {
+            scratch.logits.clear();
+            scratch.logits.reserve(k);
+            scratch
+                .logits
+                .push(ops::dot_unchecked(u, params.context_row(context)) + params.bias_at(context));
+            for &n in negatives {
+                scratch
+                    .logits
+                    .push(ops::dot_unchecked(u, params.context_row(n)) + params.bias_at(n));
+            }
             scratch.probs.resize(k, 0.0);
             ops::softmax_into(&scratch.logits, &mut scratch.probs)?;
             // -log p0, guarded against p0 underflow.
@@ -120,27 +127,48 @@ pub fn forward_backward<P: ParamsView + ?Sized>(
                 let coef = if j == 0 { p - 1.0 } else { p };
                 let c = if j == 0 { context } else { negatives[j - 1] };
                 // ∂J/∂W′[c] += coef · u ; ∂J/∂B′[c] += coef.
-                grad.add_context_row(c, scale * coef, u);
-                grad.add_bias(c, scale * coef);
+                if pooled {
+                    grad.defer_context_touch(c, scale * coef, slot);
+                } else {
+                    grad.add_context_row(c, scale * coef, u);
+                    grad.add_bias(c, scale * coef);
+                }
                 // grad_u += coef · W′[c].
                 ops::axpy(coef, params.context_row(c), &mut scratch.grad_u)?;
             }
             l
         }
         Loss::Sgns => {
-            let s0 = scratch.logits[0];
-            let mut l = -ln_sigmoid(s0);
-            let coef0 = ops::sigmoid(s0) - 1.0;
-            grad.add_context_row(context, scale * coef0, u);
-            grad.add_bias(context, scale * coef0);
-            ops::axpy(coef0, params.context_row(context), &mut scratch.grad_u)?;
-            for (j, &n) in negatives.iter().enumerate() {
-                let s = scratch.logits[j + 1];
-                l -= ln_sigmoid(-s);
-                let coef = ops::sigmoid(s);
-                grad.add_context_row(n, scale * coef, u);
-                grad.add_bias(n, scale * coef);
-                ops::axpy(coef, params.context_row(n), &mut scratch.grad_u)?;
+            // Single fused pass per candidate: one `context_row` lookup
+            // (reused for logit and `grad_u` update — the row is not
+            // mutated in between) and one shared exponential for σ/log σ
+            // (bit-identical to the unfused pair; pinned in plp-linalg).
+            // Accumulation order into `l`, the deferred-touch journal, and
+            // `grad_u` matches the historical two-pass walk exactly.
+            let w0 = params.context_row(context);
+            let s0 = ops::dot_unchecked(u, w0) + params.bias_at(context);
+            let (sig0, ln_sig0) = ops::sigmoid_and_ln_sigmoid(s0);
+            let mut l = -ln_sig0;
+            let coef0 = sig0 - 1.0;
+            if pooled {
+                grad.defer_context_touch(context, scale * coef0, slot);
+            } else {
+                grad.add_context_row(context, scale * coef0, u);
+                grad.add_bias(context, scale * coef0);
+            }
+            ops::axpy(coef0, w0, &mut scratch.grad_u)?;
+            for &n in negatives {
+                let wn = params.context_row(n);
+                let s = ops::dot_unchecked(u, wn) + params.bias_at(n);
+                let (coef, ln_sig_neg) = ops::sigmoid_and_ln_sigmoid_neg(s);
+                l -= ln_sig_neg;
+                if pooled {
+                    grad.defer_context_touch(n, scale * coef, slot);
+                } else {
+                    grad.add_context_row(n, scale * coef, u);
+                    grad.add_bias(n, scale * coef);
+                }
+                ops::axpy(coef, wn, &mut scratch.grad_u)?;
             }
             l
         }
@@ -172,6 +200,10 @@ pub fn example_loss<P: ParamsView + ?Sized>(
 }
 
 /// Numerically-stable `log σ(x) = −log(1 + e^{−x})`.
+///
+/// Reference form kept for tests; the training path uses the fused
+/// `ops::sigmoid_and_ln_sigmoid{,_neg}` helpers, which are bit-identical.
+#[cfg(test)]
 fn ln_sigmoid(x: f64) -> f64 {
     if x >= 0.0 {
         -(-x).exp().ln_1p()

@@ -9,7 +9,7 @@
 //! location … We rank all locations by their scores and select the top-K
 //! locations as the potential recommendations."
 
-use plp_linalg::ivf::{IvfBuildParams, IvfIndex, IvfScratch};
+use plp_linalg::ivf::{IvfBuildParams, IvfIndex, IvfQuant, IvfScratch, QuantRerankStats};
 use plp_linalg::matrix::matmul_block_into;
 use plp_linalg::topk::TopKScratch;
 use plp_linalg::{ops, topk, Matrix};
@@ -147,7 +147,7 @@ impl Recommender {
     /// [`Recommender::scores`] into a caller-provided buffer of length
     /// [`Recommender::vocab_size`]. Runs the same blocked micro-kernel as
     /// `Matrix::matvec` (both route every inner product through the fixed
-    /// four-lane reduction), so the two paths are bit-identical.
+    /// eight-lane reduction), so the two paths are bit-identical.
     ///
     /// # Errors
     /// `profile` must be `dim` long and `out` `vocab_size` long.
@@ -265,6 +265,55 @@ impl Recommender {
             &mut scratch.ranked,
         )?;
         Ok(scratch.ranked.iter().map(|&(i, _)| i).collect())
+    }
+
+    /// Packs this recommender's embedding rows into the int8 coarse-scoring
+    /// layout for `index`, for use with
+    /// [`Recommender::recommend_indexed_quantized_into`]. Deterministic:
+    /// the packed bytes are a pure function of the embedding and the index.
+    ///
+    /// # Errors
+    /// Propagates shape mismatches (an index built over a different
+    /// embedding is rejected).
+    pub fn build_quantized(&self, index: &IvfIndex) -> Result<IvfQuant, ModelError> {
+        Ok(IvfQuant::build(&self.embedding, index)?)
+    }
+
+    /// [`Recommender::recommend_indexed_into`] through the int8 coarse
+    /// pass: probed members are scored in i32 first and only the
+    /// error-bounded shortlist is re-scored with the exact cosine kernel.
+    /// For any `nprobe` the result is bit-identical to the unquantized
+    /// indexed path, and with `nprobe >= index.cells()` it equals
+    /// [`Recommender::recommend_excluding_into`] exactly.
+    ///
+    /// # Errors
+    /// Propagates profile errors and index/quant shape mismatches.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recommend_indexed_quantized_into(
+        &self,
+        index: &IvfIndex,
+        quant: &IvfQuant,
+        recent: &[usize],
+        k: usize,
+        exclude: &[usize],
+        nprobe: usize,
+        overfetch: usize,
+        scratch: &mut RecommendScratch,
+    ) -> Result<(Vec<usize>, QuantRerankStats), ModelError> {
+        scratch.profile.resize(self.dim(), 0.0);
+        self.profile_into(recent, &mut scratch.profile)?;
+        let stats = index.search_quantized_into(
+            quant,
+            &self.embedding,
+            &scratch.profile,
+            k,
+            nprobe,
+            overfetch,
+            exclude,
+            &mut scratch.ivf,
+            &mut scratch.ranked,
+        )?;
+        Ok((scratch.ranked.iter().map(|&(i, _)| i).collect(), stats))
     }
 }
 
@@ -409,6 +458,57 @@ mod tests {
                 .unwrap();
             assert_eq!(indexed, dense, "full probe must equal exhaustive");
         }
+    }
+
+    #[test]
+    fn quantized_indexed_full_probe_matches_exhaustive_recommendations() {
+        let r = clustered();
+        let index = r
+            .build_index(&IvfBuildParams {
+                cells: 2,
+                ..Default::default()
+            })
+            .unwrap();
+        let quant = r.build_quantized(&index).unwrap();
+        let mut scratch = RecommendScratch::new();
+        for (recent, exclude) in [
+            (vec![0usize, 1], vec![]),
+            (vec![3, 4], vec![3usize, 4]),
+            (vec![0, 5], vec![999]),
+        ] {
+            let dense = r
+                .recommend_excluding_into(&recent, 4, &exclude, &mut scratch)
+                .unwrap();
+            let (quantized, stats) = r
+                .recommend_indexed_quantized_into(
+                    &index,
+                    &quant,
+                    &recent,
+                    4,
+                    &exclude,
+                    index.cells(),
+                    2,
+                    &mut scratch,
+                )
+                .unwrap();
+            assert_eq!(
+                quantized, dense,
+                "quantized full probe must equal exhaustive"
+            );
+            assert!(stats.shortlisted <= stats.candidates);
+        }
+        // A quant pack from a different index shape is rejected.
+        let other = Recommender::from_embedding(Matrix::zeros(4, 2)).unwrap();
+        let foreign_index = other
+            .build_index(&IvfBuildParams {
+                cells: 2,
+                ..Default::default()
+            })
+            .unwrap();
+        let foreign = other.build_quantized(&foreign_index).unwrap();
+        assert!(r
+            .recommend_indexed_quantized_into(&index, &foreign, &[0], 2, &[], 1, 2, &mut scratch)
+            .is_err());
     }
 
     #[test]

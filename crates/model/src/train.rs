@@ -174,6 +174,7 @@ pub fn train_on_tokens_with_scratch<R: Rng + ?Sized, P: ParamsViewMut + ?Sized>(
 ) -> Result<TrainStats, ModelError> {
     config.validate()?;
     let vocab = params.vocab_size();
+    let dim = params.dim();
     let TrainScratch {
         pairs,
         grad,
@@ -192,6 +193,13 @@ pub fn train_on_tokens_with_scratch<R: Rng + ?Sized, P: ParamsViewMut + ?Sized>(
     for batch in pairs.chunks(config.batch_size) {
         let scale = 1.0 / batch.len() as f64;
         grad.recycle();
+        // Journal-pooled accumulation: the loss defers its context/bias
+        // touches and the flush below replays them grouped by row, walking
+        // each gradient row contiguously instead of chasing the map once
+        // per candidate. Bit-identical to immediate accumulation (every
+        // pair evaluates at the same Φ and per-row order is preserved);
+        // see `SparseGrad::flush_pooled_batch`.
+        grad.begin_pooled_batch(dim);
         for &(target, context) in batch {
             sampler.sample_into(rng, vocab, config.negatives, context, negatives)?;
             let l = forward_backward(
@@ -207,6 +215,7 @@ pub fn train_on_tokens_with_scratch<R: Rng + ?Sized, P: ParamsViewMut + ?Sized>(
             total_loss += l;
             trained_pairs += 1;
         }
+        grad.flush_pooled_batch();
         if !grad.all_finite() {
             return Err(ModelError::NonFinite {
                 at: "batch gradient",
@@ -397,6 +406,58 @@ mod tests {
             p
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn pooled_training_is_bit_identical_to_unpooled_reference() {
+        // Re-run the exact batch loop of `train_on_tokens_with_scratch`
+        // with immediate (unpooled) accumulation and the same RNG draw
+        // sequence. The journal-pooled walk reorders only *where* each
+        // row's touches are applied, never their per-row order, so the
+        // trained parameters must agree bit for bit.
+        let tokens = corpus();
+        let sampler = NegativeSampler::Uniform;
+        for loss in [Loss::SampledSoftmax, Loss::Sgns] {
+            let cfg = LocalSgdConfig { loss, ..config() };
+
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut reference = ModelParams::init(&mut rng, 20, 8).unwrap();
+            let mut pairs = plp_data::window::pairs_from_sequence(&tokens, cfg.window);
+            pairs.shuffle(&mut rng);
+            let mut grad = SparseGrad::new();
+            let mut fb = Scratch::new();
+            let mut negatives = Vec::new();
+            for batch in pairs.chunks(cfg.batch_size) {
+                let scale = 1.0 / batch.len() as f64;
+                grad.recycle();
+                for &(target, context) in batch {
+                    sampler
+                        .sample_into(&mut rng, 20, cfg.negatives, context, &mut negatives)
+                        .unwrap();
+                    forward_backward(
+                        &reference, cfg.loss, target, context, &negatives, scale, &mut grad,
+                        &mut fb,
+                    )
+                    .unwrap();
+                }
+                grad.apply_to(&mut reference, -cfg.learning_rate).unwrap();
+            }
+
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut pooled = ModelParams::init(&mut rng, 20, 8).unwrap();
+            train_on_tokens_with_scratch(
+                &mut rng,
+                &mut pooled,
+                &tokens,
+                &cfg,
+                &sampler,
+                &mut TrainScratch::new(),
+                None,
+            )
+            .unwrap();
+
+            assert_eq!(pooled, reference, "{loss:?}: pooled != unpooled");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use plp_core::telemetry::ServeTelemetry;
-use plp_linalg::ivf::{IvfBuildParams, IvfIndex, IvfScratch};
+use plp_linalg::ivf::{IvfBuildParams, IvfIndex, IvfQuant, IvfScratch};
 use plp_linalg::matrix::matmul_block_into;
 use plp_linalg::topk::{top_k_with_scores_into, TopKScratch};
 use plp_model::recommender::mask_excluded;
@@ -53,6 +53,17 @@ pub struct AnnConfig {
     /// Threads used for the one-off index build (bit-identical at any
     /// value; affects construction latency only).
     pub build_threads: usize,
+    /// Score probed members with the int8 coarse pass first and re-rank
+    /// only the error-bounded shortlist with the exact f64 kernel. Results
+    /// are bit-identical to the unquantized engine at every `nprobe` (the
+    /// shortlist provably contains the exact top-k of the probed cells);
+    /// only the per-query cost changes.
+    pub quantized: bool,
+    /// Quantized shortlist floor, as a multiple of each query's `k`
+    /// (`shortlist >= overfetch · k` by approximate score). Must be `>= 1`
+    /// when `quantized` is set; ignored otherwise. Larger values trade
+    /// re-rank work for a safety margin beyond the error-bound keep set.
+    pub overfetch: usize,
 }
 
 impl Default for AnnConfig {
@@ -64,6 +75,8 @@ impl Default for AnnConfig {
             kmeans_sample: 0,
             seed: 0xA55_C0DE,
             build_threads: 4,
+            quantized: false,
+            overfetch: 4,
         }
     }
 }
@@ -130,6 +143,12 @@ impl ServeConfig {
                 return Err(ServeError::BadConfig {
                     name: "ann.build_threads",
                     expected: ">= 1",
+                });
+            }
+            if ann.quantized && ann.overfetch == 0 {
+                return Err(ServeError::BadConfig {
+                    name: "ann.overfetch",
+                    expected: ">= 1 when quantized",
                 });
             }
         }
@@ -216,6 +235,13 @@ pub struct BatchEngine {
     /// The IVF coarse quantiser, built once at construction when
     /// [`ServeConfig::ann`] is set.
     index: Option<IvfIndex>,
+    /// The packed int8 rows of the index's posting lists, built once at
+    /// construction when [`AnnConfig::quantized`] is set.
+    quant: Option<IvfQuant>,
+    /// Lifetime totals of the quantized coarse pass: probed candidates
+    /// seen and rows that survived into the exact re-rank.
+    quant_candidates: AtomicU64,
+    quant_shortlisted: AtomicU64,
     obs: Observer,
     phases: ServePhases,
     /// The observer's tracer, resolved once at construction. `None`
@@ -272,6 +298,12 @@ impl BatchEngine {
             )?),
             None => None,
         };
+        let quant = match (&cfg.ann, &index) {
+            (Some(ann), Some(index)) if ann.quantized => {
+                Some(IvfQuant::build(rec.embedding(), index)?)
+            }
+            _ => None,
+        };
         let obs = if obs.is_enabled() {
             obs
         } else {
@@ -284,6 +316,9 @@ impl BatchEngine {
             rec,
             cfg,
             index,
+            quant,
+            quant_candidates: AtomicU64::new(0),
+            quant_shortlisted: AtomicU64::new(0),
             obs,
             phases,
             tracer,
@@ -313,6 +348,23 @@ impl BatchEngine {
     /// [`ServeConfig::ann`].
     pub fn ann_index(&self) -> Option<&IvfIndex> {
         self.index.as_ref()
+    }
+
+    /// The packed int8 posting-list rows, when [`AnnConfig::quantized`]
+    /// is set.
+    pub fn ann_quant(&self) -> Option<&IvfQuant> {
+        self.quant.as_ref()
+    }
+
+    /// Lifetime `(candidates, shortlisted)` totals of the quantized
+    /// coarse pass: how many probed rows the int8 scan looked at and how
+    /// many survived into the exact re-rank. `(0, 0)` until a quantized
+    /// query is served.
+    pub fn quant_totals(&self) -> (u64, u64) {
+        (
+            self.quant_candidates.load(Ordering::Relaxed),
+            self.quant_shortlisted.load(Ordering::Relaxed),
+        )
     }
 
     /// The observer this engine records into (always enabled).
@@ -630,15 +682,17 @@ impl BatchEngine {
         drop(t_assembly);
         if let Some(index) = &self.index {
             matmul_span.finish();
-            let nprobe = self.cfg.ann.expect("index implies ann config").nprobe;
+            let ann = self.cfg.ann.expect("index implies ann config");
+            let nprobe = ann.nprobe;
             let topk_span = self.phases.topk.start_span();
             let mut ranked = Vec::with_capacity(rows);
+            let (mut batch_candidates, mut batch_shortlisted) = (0u64, 0u64);
             for (slot, &qi) in batch.iter().enumerate() {
                 let q = &queries[qi];
                 let profile = &scratch.profiles[slot * dim..(slot + 1) * dim];
                 // The probe / re-rank split exists so the two IVF stages
                 // are separately attributable; together they are exactly
-                // `search_into`.
+                // `search_into` (or its quantized twin).
                 let t_probe = trace.as_ref().map(|(t, tid, root, base)| {
                     t.span(
                         "ivf_probe",
@@ -660,17 +714,39 @@ impl BatchEngine {
                         *root,
                     )
                     .arg("k", q.k as u64)
+                    .arg("quant", u64::from(self.quant.is_some()))
                 });
-                index.rerank_probed(
-                    self.rec.embedding(),
-                    profile,
-                    q.k,
-                    &q.exclude,
-                    &mut scratch.ivf,
-                    &mut scratch.ranked,
-                );
+                if let Some(quant) = &self.quant {
+                    let stats = index.rerank_probed_quantized(
+                        quant,
+                        self.rec.embedding(),
+                        profile,
+                        q.k,
+                        ann.overfetch,
+                        &q.exclude,
+                        &mut scratch.ivf,
+                        &mut scratch.ranked,
+                    )?;
+                    batch_candidates += stats.candidates as u64;
+                    batch_shortlisted += stats.shortlisted as u64;
+                } else {
+                    index.rerank_probed(
+                        self.rec.embedding(),
+                        profile,
+                        q.k,
+                        &q.exclude,
+                        &mut scratch.ivf,
+                        &mut scratch.ranked,
+                    );
+                }
                 drop(t_rerank);
                 ranked.push((qi, scratch.ranked.iter().map(|&(i, _)| i).collect()));
+            }
+            if batch_candidates > 0 {
+                self.quant_candidates
+                    .fetch_add(batch_candidates, Ordering::Relaxed);
+                self.quant_shortlisted
+                    .fetch_add(batch_shortlisted, Ordering::Relaxed);
             }
             topk_span.finish();
             return Ok(BatchResult {
@@ -1111,6 +1187,99 @@ mod tests {
         }
     }
 
+    fn quant_cfg(cells: usize, nprobe: usize) -> ServeConfig {
+        let mut cfg = ann_cfg(cells, nprobe);
+        let ann = cfg.ann.as_mut().unwrap();
+        ann.quantized = true;
+        ann.overfetch = 2;
+        cfg
+    }
+
+    #[test]
+    fn quantized_full_probe_is_bit_identical_to_dense_engine() {
+        let rec = random_recommender(61, 6, 70);
+        let queries = mixed_queries(61, 40, 71);
+        let dense = BatchEngine::new(
+            rec.clone(),
+            ServeConfig {
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let expected = dense.serve(&queries).unwrap();
+        for workers in [1, 3] {
+            let engine = BatchEngine::new(
+                rec.clone(),
+                ServeConfig {
+                    workers,
+                    ..quant_cfg(8, 8)
+                },
+            )
+            .unwrap();
+            let got = engine.serve(&queries).unwrap();
+            assert_eq!(
+                got, expected,
+                "quantized nprobe = cells must reproduce the dense engine (workers={workers})"
+            );
+            let (candidates, shortlisted) = engine.quant_totals();
+            assert!(candidates > 0, "coarse pass must have run");
+            assert!(shortlisted <= candidates);
+        }
+    }
+
+    #[test]
+    fn quantized_matches_unquantized_at_every_probe_width() {
+        // The int8 coarse pass is a pure shortlist: at any nprobe the
+        // engine must return exactly what the unquantized ANN engine
+        // returns, worker count and batch size notwithstanding.
+        let rec = random_recommender(61, 6, 72);
+        let queries = mixed_queries(61, 40, 73);
+        for nprobe in [1, 3, 8] {
+            let reference = BatchEngine::new(rec.clone(), ann_cfg(8, nprobe))
+                .unwrap()
+                .serve(&queries)
+                .unwrap();
+            for (max_batch, workers) in [(1, 1), (7, 3)] {
+                let engine = BatchEngine::new(
+                    rec.clone(),
+                    ServeConfig {
+                        max_batch,
+                        workers,
+                        ..quant_cfg(8, nprobe)
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    engine.serve(&queries).unwrap(),
+                    reference,
+                    "quantized must equal exact ANN (nprobe={nprobe}, max_batch={max_batch}, workers={workers})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_engine_exposes_pack_and_validates_overfetch() {
+        let rec = random_recommender(20, 4, 74);
+        let engine = BatchEngine::new(rec.clone(), quant_cfg(4, 2)).unwrap();
+        let quant = engine.ann_quant().expect("quantized config packs rows");
+        assert_eq!(quant.dim(), 4);
+        assert!(quant.payload_bytes() >= 20 * 4);
+        assert_eq!(engine.quant_totals(), (0, 0), "no queries served yet");
+        let plain = BatchEngine::new(rec.clone(), ann_cfg(4, 2)).unwrap();
+        assert!(plain.ann_quant().is_none());
+        let mut bad = quant_cfg(4, 2);
+        bad.ann.as_mut().unwrap().overfetch = 0;
+        assert!(matches!(
+            BatchEngine::new(rec, bad),
+            Err(ServeError::BadConfig {
+                name: "ann.overfetch",
+                ..
+            })
+        ));
+    }
+
     #[test]
     fn ann_config_is_validated() {
         let rec = random_recommender(10, 3, 54);
@@ -1181,6 +1350,13 @@ mod tests {
             Some(AnnConfig {
                 cells: 8,
                 nprobe: 3,
+                ..AnnConfig::default()
+            }),
+            Some(AnnConfig {
+                cells: 8,
+                nprobe: 3,
+                quantized: true,
+                overfetch: 2,
                 ..AnnConfig::default()
             }),
         ] {

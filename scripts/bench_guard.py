@@ -12,6 +12,16 @@ Training mode reads a BENCH_train*.json produced by the
     threshold — the dense phases regressing back towards the
     single-stream sampler would show up here first.
 
+Throughput mode (`--train`) reads the same BENCH_train*.json and guards
+the tentpole quantities directly:
+
+  * the `threads == 1` run's `steps_per_sec` must meet the floor — the
+    sequential step rate is the anchor the eight-lane kernels and the
+    pooled SGNS walk bought, and it must not erode back, and
+  * every run's `local_sgd_share` (local_sgd wall / total wall) must
+    stay under the ceiling — local_sgd swallowing the step again is the
+    regression this PR existed to fix.
+
 Serving mode (`--serve`) reads a BENCH_serve*.json produced by the
 `serve_load` binary and fails (exit 1) if:
 
@@ -34,6 +44,7 @@ Observability mode (`--obs`) reads a BENCH_obs*.json produced by the
     path.
 
 Usage: bench_guard.py REPORT.json [MAX_SHARE]
+       bench_guard.py --train REPORT.json [MIN_STEPS_PER_SEC] [MAX_LOCAL_SGD_SHARE]
        bench_guard.py --serve REPORT.json [MIN_RECALL]
        bench_guard.py --obs REPORT.json [MAX_OVERHEAD]
 
@@ -73,6 +84,57 @@ def load_report(path: str):
     if not isinstance(report, dict):
         return None, fail(path, f"report must be a JSON object, got {type(report).__name__}")
     return report, None
+
+
+def train_guard(path: str, min_steps_per_sec: float, max_local_sgd_share: float) -> int:
+    report, err = load_report(path)
+    if err is not None:
+        return err
+
+    ok = True
+    if not report.get("all_checks_passed", False):
+        print(f"FAIL {path}: benchmark reported all_checks_passed=false")
+        ok = False
+
+    runs = report.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return fail(path, "'runs' must be a non-empty list")
+
+    saw_sequential = False
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            return fail(path, f"runs[{i}] must be an object, got {type(run).__name__}")
+        threads = run.get("threads")
+        share = run.get("local_sgd_share")
+        if not isinstance(share, (int, float)) or isinstance(share, bool):
+            print(f"FAIL runs[{i}] (threads={threads}): local_sgd_share must be a number")
+            ok = False
+        else:
+            verdict = "PASS" if share <= max_local_sgd_share else "FAIL"
+            print(
+                f"{verdict} threads={threads}: local_sgd share {share * 100.0:.2f}% "
+                f"(ceiling {max_local_sgd_share * 100.0:.0f}%)"
+            )
+            ok &= share <= max_local_sgd_share
+        if threads == 1:
+            saw_sequential = True
+            sps = run.get("steps_per_sec")
+            if not isinstance(sps, (int, float)) or isinstance(sps, bool):
+                print(f"FAIL runs[{i}] (threads=1): steps_per_sec must be a number")
+                ok = False
+            else:
+                verdict = "PASS" if sps >= min_steps_per_sec else "FAIL"
+                print(
+                    f"{verdict} threads=1: {sps:.2f} steps/sec "
+                    f"(floor {min_steps_per_sec})"
+                )
+                ok &= sps >= min_steps_per_sec
+    if not saw_sequential:
+        print(f"FAIL {path}: no threads=1 run to anchor the steps/sec floor")
+        ok = False
+
+    print("bench_guard:", "ok" if ok else "REGRESSION")
+    return 0 if ok else 1
 
 
 def serve_guard(path: str, min_recall: float) -> int:
@@ -150,9 +212,28 @@ def obs_guard(path: str, max_overhead: float) -> int:
 
 def main() -> int:
     usage = (
-        f"usage: {sys.argv[0]} REPORT.json [MAX_SHARE] | --serve REPORT.json "
+        f"usage: {sys.argv[0]} REPORT.json [MAX_SHARE] | --train REPORT.json "
+        "[MIN_STEPS_PER_SEC] [MAX_LOCAL_SGD_SHARE] | --serve REPORT.json "
         "[MIN_RECALL] | --obs REPORT.json [MAX_OVERHEAD]"
     )
+    if len(sys.argv) >= 2 and sys.argv[1] == "--train":
+        if len(sys.argv) < 3:
+            print(usage, file=sys.stderr)
+            return 2
+        try:
+            min_sps = float(sys.argv[3]) if len(sys.argv) > 3 else 35.9
+            max_sgd_share = float(sys.argv[4]) if len(sys.argv) > 4 else 0.65
+        except ValueError:
+            print("usage: --train thresholds must be numbers", file=sys.stderr)
+            return 2
+        if min_sps <= 0.0 or not 0.0 < max_sgd_share <= 1.0:
+            print(
+                f"usage: need MIN_STEPS_PER_SEC > 0 and MAX_LOCAL_SGD_SHARE in (0, 1], "
+                f"got {min_sps} and {max_sgd_share}",
+                file=sys.stderr,
+            )
+            return 2
+        return train_guard(sys.argv[2], min_sps, max_sgd_share)
     if len(sys.argv) >= 2 and sys.argv[1] == "--obs":
         if len(sys.argv) < 3:
             print(usage, file=sys.stderr)

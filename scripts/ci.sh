@@ -56,6 +56,12 @@ cargo run --release -p plp-bench --bin train_throughput -- --smoke \
 echo "== bench guard (noise+server_update share threshold) =="
 python3 scripts/bench_guard.py target/BENCH_train_smoke.json 0.35
 
+echo "== bench guard (train: steps/sec floor + local_sgd share ceiling) =="
+# The smoke run gets a lenient floor (its steps/sec depend on the host);
+# the committed full-run report is held to the recorded acceptance floor.
+python3 scripts/bench_guard.py --train target/BENCH_train_smoke.json 5 0.65
+python3 scripts/bench_guard.py --train BENCH_train.json 35.9 0.65
+
 echo "== observability smoke (phase spans, budget gauge, JSONL log) =="
 cargo run --release -p plp-bench --bin obs_report -- --smoke \
   --out target/BENCH_obs_smoke.json --log target/BENCH_obs_events.jsonl
