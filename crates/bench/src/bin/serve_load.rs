@@ -9,9 +9,17 @@
 //! over the f64 IVF path, its recall, and its bit-identity to both the
 //! unquantized ANN results and (at full probe) the exhaustive scan.
 //!
+//! With `--swap` a fourth section exercises the PLPS hot-swap stack: mmap
+//! vs owned-decode load timing on the 100k-city bundle (floor: 10x when
+//! mapped), the legacy per-element decode vs the bulk rewrite, and a live
+//! hammer publishing 50 generations (12 in smoke) under concurrent query
+//! threads — zero dropped and zero torn waves are hard floors, and p99 is
+//! split between swap-window and steady-state waves.
+//!
 //! Usage:
 //!   cargo run --release -p plp-bench --bin serve_load            # full run
 //!   cargo run --release -p plp-bench --bin serve_load -- --smoke # CI smoke
+//!   ... -- --swap                     # add the hot-swap/mmap load section
 //!   ... -- --out path.json                                       # output path
 //!   ... -- --ann-cells 512 --ann-nprobe 16                       # ANN knobs
 //!   ... -- --trace trace.json       # dump a Chrome/Perfetto serve trace
@@ -21,9 +29,13 @@
 //! drops below 0.95, the ANN speedup drops below 5×, or the full-probe
 //! ANN pass is not bit-identical to the exhaustive scan.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
+use bytes::{Buf, Bytes};
 use plp_core::checkpoint::KERNEL_SCHEME_VERSION;
 use plp_core::experiment::{ExperimentConfig, PreparedData};
 use plp_data::generator::{GeneratorConfig, SyntheticGenerator};
@@ -31,7 +43,12 @@ use plp_linalg::sample::{stream_seed, GaussianStream};
 use plp_linalg::Matrix;
 use plp_model::metrics::leave_one_out_trials;
 use plp_model::params::ModelParams;
+use plp_model::plps::{self, PlpsSnapshot};
 use plp_model::Recommender;
+use plp_serve::swap::{
+    generation_file_name, publish_generation, GenerationWatcher, HotSwapServer, ModelGeneration,
+    SwapOutcome,
+};
 use plp_serve::{AnnConfig, BatchEngine, Query, ServeConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -51,6 +68,7 @@ const MIN_QUANT_SPEEDUP: f64 = 1.5;
 
 struct Opts {
     smoke: bool,
+    swap: bool,
     out: String,
     trace: Option<String>,
     ann_cells: usize,
@@ -60,6 +78,7 @@ struct Opts {
 fn parse_opts() -> Opts {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let swap = args.iter().any(|a| a == "--swap");
     let named = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -75,6 +94,7 @@ fn parse_opts() -> Opts {
     };
     Opts {
         smoke,
+        swap,
         out,
         trace: named("--trace"),
         ann_cells: flag("--ann-cells", 512),
@@ -215,9 +235,9 @@ fn recall_at_k(exact: &[Vec<usize>], approx: &[Vec<usize>]) -> f64 {
     }
 }
 
-/// The ANN-vs-exhaustive cross-check on the 100k-location generated city.
-/// Returns the JSON report and whether every floor held.
-fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
+/// Builds the 100k-location generated city world and its serving-shaped
+/// recommender once; the ANN and hot-swap sections share it.
+fn build_city() -> (SyntheticGenerator, Recommender) {
     let city = GeneratorConfig::city();
     println!(
         "serve_load: building {}-location city world ({} clusters)",
@@ -227,9 +247,18 @@ fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
     let world = SyntheticGenerator::new(&mut rng, city).expect("city world");
     let embedding = city_embedding(&world, EMBEDDING_DIM, SEED);
     let rec = Recommender::from_embedding(embedding).expect("finite embedding");
+    (world, rec)
+}
 
+/// The ANN-vs-exhaustive cross-check on the 100k-location generated city.
+/// Returns the JSON report and whether every floor held.
+fn run_ann_city_bench(
+    opts: &Opts,
+    world: &SyntheticGenerator,
+    rec: &Recommender,
+) -> (serde_json::Value, bool) {
     let num_queries = if opts.smoke { 1024 } else { 4096 };
-    let queries = city_queries(&world, num_queries, SEED ^ 0x9E8);
+    let queries = city_queries(world, num_queries, SEED ^ 0x9E8);
     // Dense scratch is sized lazily now, but keep the exhaustive batches
     // small so one batch's score rows stay modest at vocab 100k.
     let base = ServeConfig {
@@ -342,7 +371,7 @@ fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
     // Full-probe quantized pass: every cell probed, so the error-bounded
     // shortlist must reproduce the exhaustive scan bit for bit.
     let quant_probe_all = BatchEngine::new(
-        rec,
+        rec.clone(),
         ServeConfig {
             ann: Some(AnnConfig {
                 nprobe: ann.cells,
@@ -442,6 +471,304 @@ fn run_ann_city_bench(opts: &Opts) -> (serde_json::Value, bool) {
             && quant_matches_ivf
             && quant_full_probe_bit_identical,
     )
+}
+
+/// `q`-th percentile of raw latency samples (ms); sorts in place.
+fn percentile_ms(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx]
+}
+
+/// Minimum wall-clock ms of three runs of `f` (load-path timing: the
+/// minimum is the least-noise estimate of the deterministic work).
+fn min_of_3_ms(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1000.0
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Uniform random queries over a `vocab`-location model (the hammer's
+/// fixed wave; every query thread replays the same wave).
+fn swap_wave(vocab: usize, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let len = rng.random_range(1usize..=4);
+            let recent: Vec<usize> = (0..len).map(|_| rng.random_range(0..vocab)).collect();
+            if i % 2 == 0 {
+                Query::new(recent, TOP_K)
+            } else {
+                let exclude = recent.clone();
+                Query::with_exclusions(recent, TOP_K, exclude)
+            }
+        })
+        .collect()
+}
+
+/// The `--swap` section: zero-copy load timing on the 100k-city bundle
+/// (mmap vs owned decode, plus the legacy per-element vs bulk decode the
+/// bulk rewrite replaced), then a live hot-swap run — generations
+/// published and swapped under concurrent query threads, with p99 compared
+/// between swap-window waves and steady-state waves. Returns the JSON
+/// report and whether every floor held.
+fn run_swap_bench(opts: &Opts, city_rec: &Recommender) -> (serde_json::Value, bool) {
+    println!("serve_load: hot-swap section");
+    let dir = std::env::temp_dir().join(format!("plp_serve_swap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create swap scratch");
+
+    // -- 1. Load timing on the 100k-city bundle: mmap vs owned decode. --
+    let bundle = dir.join("city.plps");
+    plps::write_deployable(&bundle, city_rec.embedding(), 1).expect("write city bundle");
+    let bundle_bytes = std::fs::metadata(&bundle).expect("bundle metadata").len();
+
+    let mapped_probe = PlpsSnapshot::open_mapped(&bundle);
+    let mapped_available = mapped_probe.is_ok();
+    let bit_identical = match &mapped_probe {
+        Ok(s) => s
+            .embedding()
+            .expect("mapped embedding")
+            .as_slice()
+            .iter()
+            .zip(city_rec.embedding().as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        // No mapping on this host: the owned path's identity is asserted
+        // by the bit-identity drills; nothing to compare here.
+        Err(_) => true,
+    };
+    drop(mapped_probe);
+
+    let mmap_load_ms = min_of_3_ms(|| {
+        let snap = PlpsSnapshot::open(&bundle).expect("open bundle");
+        let rec = snap.recommender().expect("bundle recommender");
+        std::hint::black_box(rec.embedding().as_slice()[0]);
+    });
+    let owned_load_ms = min_of_3_ms(|| {
+        let snap = PlpsSnapshot::open_owned(&bundle).expect("open bundle owned");
+        let rec = snap.recommender().expect("bundle recommender");
+        std::hint::black_box(rec.embedding().as_slice()[0]);
+    });
+    let mmap_speedup = owned_load_ms / mmap_load_ms.max(1e-9);
+    let mmap_ok = bit_identical && (!mapped_available || mmap_speedup >= 10.0);
+    println!(
+        "{} mmap load {mmap_load_ms:.3}ms vs owned decode {owned_load_ms:.3}ms — {mmap_speedup:.0}x \
+         (floor 10x, mapped={mapped_available}, {bundle_bytes} bytes, bit-identical={bit_identical})",
+        if mmap_ok { "PASS" } else { "FAIL" }
+    );
+
+    // -- 2. Legacy decode: the per-element cursor loop the bulk LE rewrite
+    // replaced, timed against the bulk path on the same body bytes. --
+    let raw = std::fs::read(&bundle).expect("read bundle");
+    let body = &raw[plps::PAGE_ALIGN..];
+    let elems = body.len() / 8;
+    let body_bytes = Bytes::from(body.to_vec());
+    let mut naive_out = Vec::new();
+    let naive_decode_ms = min_of_3_ms(|| {
+        let mut b = body_bytes.clone();
+        let mut v = Vec::with_capacity(elems);
+        for _ in 0..elems {
+            v.push(b.get_f64_le());
+        }
+        naive_out = v;
+    });
+    let mut bulk_out = Vec::new();
+    let bulk_decode_ms = min_of_3_ms(|| {
+        let mut v = Vec::with_capacity(elems);
+        v.extend(
+            body.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        );
+        bulk_out = v;
+    });
+    assert_eq!(naive_out, bulk_out, "decode paths agree");
+    let bulk_speedup = naive_decode_ms / bulk_decode_ms.max(1e-9);
+    println!(
+        "  legacy decode: per-element {naive_decode_ms:.2}ms vs bulk {bulk_decode_ms:.2}ms \
+         ({bulk_speedup:.1}x, {elems} f64s)"
+    );
+
+    // -- 3. Swap under load: publish generations while query threads
+    // hammer, verifying every answer against its generation. --
+    let target_swaps = if opts.smoke { 12 } else { 50 };
+    let vocab = if opts.smoke { 3_000 } else { 10_000 };
+    let dim = 16;
+    let cfg = ServeConfig {
+        max_batch: 32,
+        workers: 2,
+        cache_capacity: 2048,
+        ann: Some(AnnConfig {
+            cells: 32,
+            nprobe: 8,
+            kmeans_iters: 4,
+            kmeans_sample: vocab,
+            seed: SEED ^ 0x33,
+            build_threads: 2,
+            quantized: false,
+            overfetch: 4,
+        }),
+    };
+    let wave = Arc::new(swap_wave(vocab, 64, SEED ^ 0x77));
+    println!(
+        "  hammer: vocab={vocab} dim={dim} swaps={target_swaps} wave={} queries",
+        wave.len()
+    );
+
+    let recs: Vec<Recommender> = (1..=target_swaps as u64 + 1)
+        .map(|g| {
+            let mut rng = StdRng::seed_from_u64(SEED ^ (0x4000 + g));
+            Recommender::new(&ModelParams::init(&mut rng, vocab, dim).expect("init params"))
+        })
+        .collect();
+    // Expected answers per generation come from a fresh engine with the
+    // identical config: IVF builds are deterministic in the embedding
+    // bits, so a hot-swapped (possibly mapped) generation must reproduce
+    // the fresh engine's results exactly.
+    let expected: Arc<HashMap<u64, Vec<Vec<usize>>>> = Arc::new(
+        recs.iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let fresh = BatchEngine::new(r.clone(), cfg).expect("fresh engine");
+                (i as u64 + 1, fresh.serve(&wave).expect("fresh serve"))
+            })
+            .collect(),
+    );
+
+    publish_generation(&dir, recs[0].embedding(), 1).expect("publish gen 1");
+    let server = Arc::new(HotSwapServer::new(
+        ModelGeneration::load(&dir.join(generation_file_name(1)), cfg).expect("load gen 1"),
+    ));
+    let mapped_generations = {
+        let first = server.current();
+        first.is_mapped()
+    };
+    let watcher = GenerationWatcher::new(
+        &dir,
+        cfg,
+        Arc::clone(&server),
+        plp_obs::Observer::new("serve_swap"),
+    );
+
+    let done = Arc::new(AtomicBool::new(false));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let torn = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..2)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let wave = Arc::clone(&wave);
+            let expected = Arc::clone(&expected);
+            let done = Arc::clone(&done);
+            let dropped = Arc::clone(&dropped);
+            let torn = Arc::clone(&torn);
+            std::thread::spawn(move || {
+                // (latency_ms, wave overlapped a swap)
+                let mut samples: Vec<(f64, bool)> = Vec::new();
+                while !done.load(Ordering::Relaxed) {
+                    let gen_before = server.generation();
+                    let start = Instant::now();
+                    match server.serve_pinned(&wave) {
+                        Ok((gen, got)) => {
+                            let lat = start.elapsed().as_secs_f64() * 1000.0;
+                            let in_swap = server.generation() != gen_before;
+                            samples.push((lat, in_swap));
+                            match expected.get(&gen) {
+                                Some(want) if *want == got => {}
+                                _ => {
+                                    torn.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                samples
+            })
+        })
+        .collect();
+
+    let mut swaps = 0usize;
+    let mut build_ms_total = 0.0;
+    for g in 2..=target_swaps as u64 + 1 {
+        publish_generation(&dir, recs[g as usize - 1].embedding(), g).expect("publish");
+        loop {
+            match watcher.poll_once() {
+                SwapOutcome::Swapped { to, build_ms, .. } => {
+                    assert_eq!(to, g, "swapped onto the published generation");
+                    swaps += 1;
+                    build_ms_total += build_ms;
+                    break;
+                }
+                SwapOutcome::Unchanged => std::thread::yield_now(),
+                other => panic!("publish must swap, got {other:?}"),
+            }
+        }
+        // Let a few steady-state waves through between swaps.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    done.store(true, Ordering::Relaxed);
+    let mut steady: Vec<f64> = Vec::new();
+    let mut swap_window: Vec<f64> = Vec::new();
+    for t in threads {
+        for (lat, in_swap) in t.join().expect("query thread") {
+            if in_swap {
+                swap_window.push(lat);
+            } else {
+                steady.push(lat);
+            }
+        }
+    }
+    let dropped = dropped.load(Ordering::Relaxed);
+    let torn = torn.load(Ordering::Relaxed);
+    let waves = steady.len() + swap_window.len();
+    let p99_steady_ms = percentile_ms(&mut steady, 0.99);
+    let p99_swap_ms = percentile_ms(&mut swap_window, 0.99);
+    let mean_build_ms = build_ms_total / swaps.max(1) as f64;
+
+    let hammer_ok = swaps == target_swaps && dropped == 0 && torn == 0;
+    println!(
+        "{} hammer: {swaps}/{target_swaps} swaps, {dropped} dropped, {torn} torn across {waves} waves",
+        if hammer_ok { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "  p99 steady {p99_steady_ms:.3}ms vs swap-window {p99_swap_ms:.3}ms \
+         ({} swap-window waves, mean generation build {mean_build_ms:.1}ms off-path)",
+        swap_window.len()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = serde_json::json!({
+        "swaps": swaps,
+        "target_swaps": target_swaps,
+        "vocab": vocab,
+        "dim": dim,
+        "queries_per_wave": wave.len(),
+        "waves": waves,
+        "swap_window_waves": swap_window.len(),
+        "dropped": dropped,
+        "torn": torn,
+        "p99_steady_ms": p99_steady_ms,
+        "p99_swap_window_ms": p99_swap_ms,
+        "mean_build_ms": mean_build_ms,
+        "mapped": mapped_available && mapped_generations,
+        "mmap_load_ms": mmap_load_ms,
+        "owned_load_ms": owned_load_ms,
+        "mmap_speedup": mmap_speedup,
+        "bundle_bytes": bundle_bytes,
+        "bit_identical": bit_identical,
+        "naive_decode_ms": naive_decode_ms,
+        "bulk_decode_ms": bulk_decode_ms,
+        "bulk_decode_speedup": bulk_speedup,
+    });
+    (report, mmap_ok && hammer_ok)
 }
 
 fn main() -> ExitCode {
@@ -587,9 +914,20 @@ fn main() -> ExitCode {
         println!("serve_load: wrote trace {trace_out}");
     }
 
-    // Section 2: the 100k-location city, ANN vs exhaustive.
-    let (ann_report, ann_ok) = run_ann_city_bench(&opts);
+    // Section 2: the 100k-location city, ANN vs exhaustive. The city is
+    // built once and shared with the hot-swap section.
+    let (world, city_rec) = build_city();
+    let (ann_report, ann_ok) = run_ann_city_bench(&opts, &world, &city_rec);
     ok &= ann_ok;
+
+    // Section 3 (`--swap`): zero-copy load timing and hot-swap under load.
+    let swap_report = if opts.swap {
+        let (report, swap_ok) = run_swap_bench(&opts, &city_rec);
+        ok &= swap_ok;
+        report
+    } else {
+        serde_json::Value::Null
+    };
 
     let payload = serde_json::json!({
         "bench": "serve",
@@ -602,6 +940,7 @@ fn main() -> ExitCode {
         "queries_per_pass": queries.len(),
         "batch_sizes": rows,
         "ann": ann_report,
+        "swap": swap_report,
     });
     let text = serde_json::to_string_pretty(&payload).expect("serialise payload");
     std::fs::write(&opts.out, text).expect("write output");

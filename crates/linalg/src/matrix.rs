@@ -4,18 +4,45 @@
 //! `L × dim` matrices whose *rows* are the per-location vectors; almost all
 //! access is row-wise, which is why the layout is row-major and the API is
 //! row-centric.
+//!
+//! A matrix is backed either by an owned `Vec<f64>` (training, decoding) or
+//! by a read-only [`MappedSlice`] view into an mmapped PLPS snapshot
+//! (zero-copy serving). Read access is uniform through [`Matrix::as_slice`];
+//! any mutation promotes a mapped matrix to owned storage first
+//! (copy-on-write), so the mutable API is unchanged and mapped pages are
+//! never written through.
 
-use serde::{Deserialize, Serialize};
+use plp_mmap::MappedSlice;
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::error::LinalgError;
 use crate::ops;
 
+/// Backing storage for the row-major element buffer.
+#[derive(Clone)]
+enum Data {
+    /// Heap-owned, mutable buffer.
+    Owned(Vec<f64>),
+    /// Read-only window into a shared memory-mapped snapshot.
+    Mapped(MappedSlice),
+}
+
+impl Data {
+    #[inline]
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            Data::Owned(v) => v,
+            Data::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
 /// A dense, row-major `rows × cols` matrix of `f64`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Data,
 }
 
 impl Matrix {
@@ -24,7 +51,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Data::Owned(vec![0.0; rows * cols]),
         }
     }
 
@@ -40,7 +67,39 @@ impl Matrix {
                 len: data.len(),
             });
         }
-        Ok(Matrix { rows, cols, data })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Data::Owned(data),
+        })
+    }
+
+    /// Wraps a read-only mapped view as a matrix **without copying**: the
+    /// elements stay in the mmapped snapshot pages and every kernel works
+    /// off the `&[f64]` view. Mutating methods transparently promote to an
+    /// owned copy first.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::BadBuffer`] if `view.len() != rows * cols`.
+    pub fn from_mapped(rows: usize, cols: usize, view: MappedSlice) -> Result<Self, LinalgError> {
+        if view.len() != rows * cols {
+            return Err(LinalgError::BadBuffer {
+                rows,
+                cols,
+                len: view.len(),
+            });
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Data::Mapped(view),
+        })
+    }
+
+    /// `true` when the matrix is still backed by a mapped snapshot view
+    /// (no mutation has promoted it to owned storage).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.data, Data::Mapped(_))
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at every position.
@@ -51,7 +110,23 @@ impl Matrix {
                 data.push(f(r, c));
             }
         }
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: Data::Owned(data),
+        }
+    }
+
+    /// Mutable access to the owned buffer, promoting a mapped matrix to an
+    /// owned copy first (copy-on-write).
+    fn data_mut(&mut self) -> &mut Vec<f64> {
+        if let Data::Mapped(view) = &self.data {
+            self.data = Data::Owned(view.as_slice().to_vec());
+        }
+        match &mut self.data {
+            Data::Owned(v) => v,
+            Data::Mapped(_) => unreachable!("mapped backing promoted above"),
+        }
     }
 
     /// Number of rows.
@@ -69,13 +144,13 @@ impl Matrix {
     /// Total number of elements (`rows * cols`).
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     /// `true` iff the matrix has no elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// Immutable view of row `r`.
@@ -86,7 +161,7 @@ impl Matrix {
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
         let start = r * self.cols;
-        &self.data[start..start + self.cols]
+        &self.data.as_slice()[start..start + self.cols]
     }
 
     /// Mutable view of row `r`.
@@ -96,7 +171,8 @@ impl Matrix {
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         let start = r * self.cols;
-        &mut self.data[start..start + self.cols]
+        let cols = self.cols;
+        &mut self.data_mut()[start..start + cols]
     }
 
     /// Checked row access.
@@ -113,45 +189,48 @@ impl Matrix {
         Ok(self.row(r))
     }
 
-    /// The underlying row-major buffer.
+    /// The underlying row-major buffer (owned or mapped — the read path is
+    /// uniform).
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Mutable access to the underlying row-major buffer.
+    /// Mutable access to the underlying row-major buffer; promotes a mapped
+    /// matrix to an owned copy.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data_mut()
     }
 
     /// Element access `(r, c)`; panics when out of range.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        self.data[r * self.cols + c]
+        self.data.as_slice()[r * self.cols + c]
     }
 
     /// Element assignment `(r, c)`; panics when out of range.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        self.data[r * self.cols + c] = v;
+        let idx = r * self.cols + c;
+        self.data_mut()[idx] = v;
     }
 
     /// Sets every element to `v`.
     pub fn fill(&mut self, v: f64) {
-        self.data.fill(v);
+        self.data_mut().fill(v);
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x = f(*x);
         }
     }
 
     /// Frobenius norm (the ℓ2 norm of the flattened matrix).
     pub fn frobenius_norm(&self) -> f64 {
-        ops::l2_norm(&self.data)
+        ops::l2_norm(self.as_slice())
     }
 
     /// `self += alpha * other`, element-wise.
@@ -166,7 +245,7 @@ impl Matrix {
                 right: other.len(),
             });
         }
-        ops::axpy(alpha, &other.data, &mut self.data)
+        ops::axpy(alpha, other.as_slice(), self.data_mut())
     }
 
     /// Matrix–vector product `self * x`.
@@ -202,7 +281,13 @@ impl Matrix {
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols != rhs.cols`.
     pub fn matmul_block(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        matmul_block_into(&self.data, self.rows, self.cols, rhs, &mut out.data)?;
+        matmul_block_into(
+            self.as_slice(),
+            self.rows,
+            self.cols,
+            rhs,
+            out.as_mut_slice(),
+        )?;
         Ok(out)
     }
 
@@ -225,7 +310,58 @@ impl Matrix {
 
     /// `true` iff every element is finite.
     pub fn all_finite(&self) -> bool {
-        ops::all_finite(&self.data)
+        ops::all_finite(self.as_slice())
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Matrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("mapped", &self.is_mapped())
+            .field("data", &self.as_slice())
+            .finish()
+    }
+}
+
+impl PartialEq for Matrix {
+    /// Shape plus element equality; a mapped matrix equals an owned one
+    /// with the same contents (backing is a storage detail).
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
+}
+
+impl Serialize for Matrix {
+    /// Serializes as `{rows, cols, data}` regardless of backing, matching
+    /// the representation the derived impl produced for the owned-only
+    /// struct (so existing PLPC checkpoints and JSON stay compatible).
+    fn to_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("rows".to_string(), self.rows.to_value());
+        m.insert("cols".to_string(), self.cols.to_value());
+        m.insert("data".to_string(), self.as_slice().to_value());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for Matrix {
+    /// Deserialized matrices are always owned (a serialized tree has no
+    /// mapping to point back into).
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::new("expected Matrix object"))?;
+        let field = |name: &str| {
+            obj.get(name)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+        };
+        let rows = usize::from_value(field("rows")?)?;
+        let cols = usize::from_value(field("cols")?)?;
+        let data = Vec::<f64>::from_value(field("data")?)?;
+        Matrix::from_vec(rows, cols, data)
+            .map_err(|_| DeError::new("matrix data length does not match rows * cols"))
     }
 }
 
@@ -423,6 +559,87 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: Matrix = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    /// Writes `values` to a temp file and maps them back as a view.
+    fn mapped_view(name: &str, values: &[f64]) -> (std::path::PathBuf, MappedSlice) {
+        use std::io::Write;
+        let path =
+            std::env::temp_dir().join(format!("plp_linalg_test_{}_{name}", std::process::id()));
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&bytes)
+            .unwrap();
+        let map = std::sync::Arc::new(plp_mmap::Mmap::map(&path).unwrap());
+        let view = MappedSlice::new(map, 0, values.len()).unwrap();
+        (path, view)
+    }
+
+    #[test]
+    fn mapped_matrix_reads_bit_identical_to_owned() {
+        let values = [1.0, -2.5, 3.25, 0.5, 1e-12, -9.75];
+        let (path, view) = mapped_view("read", &values);
+        let mapped = Matrix::from_mapped(2, 3, view).unwrap();
+        let owned = Matrix::from_vec(2, 3, values.to_vec()).unwrap();
+        assert!(mapped.is_mapped());
+        assert!(!owned.is_mapped());
+        assert_eq!(mapped, owned);
+        for (a, b) in mapped.as_slice().iter().zip(owned.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Kernels run straight off the view.
+        let x = [1.0, 2.0, 3.0];
+        let ym = mapped.matvec(&x).unwrap();
+        let yo = owned.matvec(&x).unwrap();
+        assert_eq!(ym, yo);
+        let pm = mapped.matmul_block(&owned).unwrap();
+        let po = owned.matmul_block(&owned).unwrap();
+        assert_eq!(pm, po);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mutation_promotes_mapped_to_owned_copy() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let (path, view) = mapped_view("cow", &values);
+        let mut m = Matrix::from_mapped(2, 2, view.clone()).unwrap();
+        assert!(m.is_mapped());
+        m.set(0, 0, 42.0);
+        assert!(!m.is_mapped(), "mutation must promote to owned");
+        assert_eq!(m.get(0, 0), 42.0);
+        // The mapping itself is untouched.
+        assert_eq!(view.as_slice()[0], 1.0);
+        // Other mutators promote too.
+        let mut n = Matrix::from_mapped(2, 2, view.clone()).unwrap();
+        n.normalize_rows();
+        assert!(!n.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_matrix_serde_round_trips_to_owned() {
+        let values = [0.5, -1.5, 2.5, -3.5];
+        let (path, view) = mapped_view("serde", &values);
+        let mapped = Matrix::from_mapped(2, 2, view).unwrap();
+        let json = serde_json::to_string(&mapped).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert!(!back.is_mapped());
+        assert_eq!(back, mapped);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_mapped_validates_length() {
+        let (path, view) = mapped_view("len", &[1.0, 2.0, 3.0]);
+        assert!(matches!(
+            Matrix::from_mapped(2, 2, view),
+            Err(LinalgError::BadBuffer { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //! * [`metrics`] — leave-one-out Hit-Rate@k evaluation and baselines,
 //! * [`markov`] — the (DP-)Markov-chain baselines of the related work (§6),
 //! * [`snapshot`] — versioned binary checkpoints and the embedding-only
-//!   deployment bundle of §3.3.
+//!   deployment bundle of §3.3,
+//! * [`plps`] — the page-aligned, mmap-able PLPS v2 snapshot layout for
+//!   zero-copy serving and hot-swap generation publishing.
 
 pub mod clip;
 pub mod error;
@@ -37,11 +39,12 @@ pub mod metrics;
 pub mod negative;
 pub mod optimizer;
 pub mod params;
+pub mod plps;
 pub mod recommender;
 pub mod snapshot;
 pub mod train;
 
-pub use error::ModelError;
+pub use error::{ModelError, SnapshotError};
 pub use loss::Loss;
 pub use negative::NegativeSampler;
 pub use params::{ModelParams, ParamsView, ParamsViewMut};

@@ -70,6 +70,21 @@ impl Recommender {
         })
     }
 
+    /// Wraps an embedding whose rows are **already** unit-normalised —
+    /// e.g. a PLPS deployment bundle written from a deployed
+    /// [`Recommender::embedding`] and flagged normalised — without copying
+    /// or re-normalising, so a mapped matrix stays zero-copy end to end.
+    ///
+    /// Contract: the caller has established finiteness (the PLPS open path
+    /// does this via `validate`/CRC verification before trusting a
+    /// candidate generation). Rows that are not actually unit-length would
+    /// degrade ranking quality but remain deterministic; non-finite values
+    /// would drop rows from top-k, which is why untrusted bytes must go
+    /// through [`Recommender::from_embedding`] or PLPS validation instead.
+    pub fn from_prenormalized(embedding: Matrix) -> Self {
+        Recommender { embedding }
+    }
+
     /// Vocabulary size.
     pub fn vocab_size(&self) -> usize {
         self.embedding.rows()

@@ -13,7 +13,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use plp_linalg::Matrix;
 
-use crate::error::ModelError;
+use crate::error::{ModelError, SnapshotError};
 use crate::params::ModelParams;
 
 const MAGIC_FULL: &[u8; 4] = b"PLPM";
@@ -28,10 +28,21 @@ fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     }
 }
 
-fn get_matrix(data: &mut Bytes) -> Result<Matrix, ModelError> {
+/// Drains `len` little-endian f64 values from the cursor in one bulk copy
+/// plus 8-byte chunk conversion, instead of `len` cursor round-trips. The
+/// caller has already verified `data.remaining() >= len * 8`.
+fn get_f64s(data: &mut Bytes, len: usize) -> Vec<f64> {
+    let mut raw = vec![0u8; len * 8];
+    data.copy_to_slice(&mut raw);
+    raw.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact yields 8-byte chunks")))
+        .collect()
+}
+
+fn get_matrix(data: &mut Bytes) -> Result<Matrix, SnapshotError> {
     if data.remaining() < 8 {
-        return Err(ModelError::ShapeMismatch {
-            what: "snapshot truncated (matrix header)",
+        return Err(SnapshotError::TruncatedHeader {
+            what: "matrix dims",
         });
     }
     let rows = data.get_u32_le() as usize;
@@ -39,27 +50,19 @@ fn get_matrix(data: &mut Bytes) -> Result<Matrix, ModelError> {
     let len = rows
         .checked_mul(cols)
         .and_then(|n| n.checked_mul(8).map(|_| n))
-        .ok_or(ModelError::ShapeMismatch {
-            what: "snapshot matrix dims overflow",
+        .ok_or(SnapshotError::OverCeiling {
+            what: "matrix dims overflow",
         })?;
     // Shared frame ceiling: a garbled dimension pair claiming a tensor
     // beyond MAX_FRAME_BYTES is rejected before any allocation.
     if plp_data::frame::checked_frame_len((len as u64).saturating_mul(8)).is_none() {
-        return Err(ModelError::ShapeMismatch {
-            what: "snapshot matrix over max frame size",
-        });
+        return Err(SnapshotError::OverCeiling { what: "matrix" });
     }
     if data.remaining() < len * 8 {
-        return Err(ModelError::ShapeMismatch {
-            what: "snapshot truncated (matrix body)",
-        });
+        return Err(SnapshotError::TruncatedBody { what: "matrix" });
     }
-    let mut v = Vec::with_capacity(len);
-    for _ in 0..len {
-        v.push(data.get_f64_le());
-    }
-    Matrix::from_vec(rows, cols, v).map_err(|_| ModelError::ShapeMismatch {
-        what: "snapshot matrix buffer",
+    Matrix::from_vec(rows, cols, get_f64s(data, len)).map_err(|_| SnapshotError::Inconsistent {
+        what: "matrix buffer",
     })
 }
 
@@ -80,55 +83,51 @@ pub fn encode_params(params: &ModelParams) -> Bytes {
 /// Decodes a full-parameter snapshot.
 ///
 /// # Errors
-/// Returns [`ModelError::ShapeMismatch`] on truncation, magic/version
-/// mismatch or inconsistent tensor shapes.
+/// Returns [`ModelError::Snapshot`] with a typed [`SnapshotError`] on
+/// truncation, magic/version mismatch or inconsistent tensor shapes.
 pub fn decode_params(mut data: Bytes) -> Result<ModelParams, ModelError> {
     if data.remaining() < 5 {
-        return Err(ModelError::ShapeMismatch {
-            what: "snapshot truncated (header)",
-        });
+        return Err(SnapshotError::TruncatedHeader {
+            what: "snapshot header",
+        }
+        .into());
     }
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC_FULL {
-        return Err(ModelError::ShapeMismatch {
-            what: "bad snapshot magic",
-        });
+        return Err(SnapshotError::BadMagic.into());
     }
-    if data.get_u8() != VERSION {
-        return Err(ModelError::ShapeMismatch {
-            what: "unsupported snapshot version",
-        });
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion {
+            got: u32::from(version),
+        }
+        .into());
     }
     let embedding = get_matrix(&mut data)?;
     let context = get_matrix(&mut data)?;
     if data.remaining() < 4 {
-        return Err(ModelError::ShapeMismatch {
-            what: "snapshot truncated (bias header)",
-        });
+        return Err(SnapshotError::TruncatedHeader {
+            what: "bias length",
+        }
+        .into());
     }
     let blen = data.get_u32_le() as usize;
     if plp_data::frame::checked_frame_len((blen as u64).saturating_mul(8)).is_none() {
-        return Err(ModelError::ShapeMismatch {
-            what: "snapshot bias over max frame size",
-        });
+        return Err(SnapshotError::OverCeiling { what: "bias" }.into());
     }
     if data.remaining() < blen * 8 {
-        return Err(ModelError::ShapeMismatch {
-            what: "snapshot truncated (bias body)",
-        });
+        return Err(SnapshotError::TruncatedBody { what: "bias" }.into());
     }
-    let mut bias = Vec::with_capacity(blen);
-    for _ in 0..blen {
-        bias.push(data.get_f64_le());
-    }
+    let bias = get_f64s(&mut data, blen);
     if embedding.rows() != context.rows()
         || embedding.cols() != context.cols()
         || bias.len() != embedding.rows()
     {
-        return Err(ModelError::ShapeMismatch {
-            what: "inconsistent snapshot tensors",
-        });
+        return Err(SnapshotError::Inconsistent {
+            what: "snapshot tensor shapes",
+        }
+        .into());
     }
     Ok(ModelParams {
         embedding,
@@ -150,27 +149,28 @@ pub fn encode_deployable(params: &ModelParams) -> Bytes {
 /// Decodes a deployment bundle into the embedding matrix.
 ///
 /// # Errors
-/// Returns [`ModelError::ShapeMismatch`] on a malformed bundle and
+/// Returns [`ModelError::Snapshot`] on a malformed bundle and
 /// [`ModelError::NonFinite`] if the payload carries NaN/∞ values — a NaN
 /// embedding row would silently vanish from every recommendation (top-k
 /// skips NaN scores), so a corrupt bundle must fail at load, not at serve.
 pub fn decode_deployable(mut data: Bytes) -> Result<Matrix, ModelError> {
     if data.remaining() < 5 {
-        return Err(ModelError::ShapeMismatch {
-            what: "bundle truncated (header)",
-        });
+        return Err(SnapshotError::TruncatedHeader {
+            what: "bundle header",
+        }
+        .into());
     }
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC_EMBED {
-        return Err(ModelError::ShapeMismatch {
-            what: "bad bundle magic",
-        });
+        return Err(SnapshotError::BadMagic.into());
     }
-    if data.get_u8() != VERSION {
-        return Err(ModelError::ShapeMismatch {
-            what: "unsupported bundle version",
-        });
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion {
+            got: u32::from(version),
+        }
+        .into());
     }
     let embedding = get_matrix(&mut data)?;
     if !embedding.all_finite() {
@@ -193,7 +193,7 @@ pub fn save_params(params: &ModelParams, path: &Path) -> Result<(), ModelError> 
 ///
 /// # Errors
 /// Returns [`ModelError::Io`] on filesystem failures and
-/// [`ModelError::ShapeMismatch`] on a malformed snapshot.
+/// [`ModelError::Snapshot`] on a malformed snapshot.
 pub fn load_params(path: &Path) -> Result<ModelParams, ModelError> {
     let data = fs::read(path).map_err(|e| ModelError::Io {
         message: e.to_string(),
@@ -285,11 +285,43 @@ mod tests {
         assert!(
             matches!(
                 err,
-                ModelError::ShapeMismatch {
-                    what: "snapshot matrix over max frame size"
-                }
+                ModelError::Snapshot(SnapshotError::OverCeiling { what: "matrix" })
             ),
             "got: {err:?}"
+        );
+    }
+
+    #[test]
+    fn decode_errors_are_typed() {
+        let p = params();
+        let bytes = encode_params(&p);
+        assert_eq!(
+            decode_params(bytes.slice(..3)).unwrap_err(),
+            SnapshotError::TruncatedHeader {
+                what: "snapshot header"
+            }
+            .into()
+        );
+        assert_eq!(
+            decode_params(bytes.slice(..bytes.len() - 8)).unwrap_err(),
+            SnapshotError::TruncatedBody { what: "bias" }.into()
+        );
+        let mut raw = bytes.to_vec();
+        raw[0] = b'X';
+        assert_eq!(
+            decode_params(Bytes::from(raw)).unwrap_err(),
+            SnapshotError::BadMagic.into()
+        );
+        let mut raw = bytes.to_vec();
+        raw[4] = 77;
+        assert_eq!(
+            decode_params(Bytes::from(raw)).unwrap_err(),
+            SnapshotError::BadVersion { got: 77 }.into()
+        );
+        // Truncation inside the embedding body is attributed to the matrix.
+        assert_eq!(
+            decode_params(bytes.slice(..20)).unwrap_err(),
+            SnapshotError::TruncatedBody { what: "matrix" }.into()
         );
     }
 

@@ -256,6 +256,11 @@ pub struct BatchEngine {
     trace_seq: AtomicU64,
     state: Mutex<EngineState>,
     scratch_pool: Mutex<Vec<Scratch>>,
+    /// Model generation stamped into every cache key. Engines outside the
+    /// hot-swap path use 0; [`crate::swap::HotSwapServer`] builds one
+    /// engine per published generation so cached results can never cross
+    /// a swap boundary.
+    generation: u64,
 }
 
 impl BatchEngine {
@@ -283,6 +288,22 @@ impl BatchEngine {
         rec: Recommender,
         cfg: ServeConfig,
         obs: Observer,
+    ) -> Result<Self, ServeError> {
+        Self::with_observer_for_generation(rec, cfg, obs, 0)
+    }
+
+    /// As [`Self::with_observer`], additionally stamping `generation` into
+    /// every cache key (see [`crate::query::Query::key_for_generation`]).
+    /// The hot-swap server uses this so that results cached under one
+    /// model generation are unreachable from the next.
+    ///
+    /// # Errors
+    /// As [`Self::with_observer`].
+    pub fn with_observer_for_generation(
+        rec: Recommender,
+        cfg: ServeConfig,
+        obs: Observer,
+        generation: u64,
     ) -> Result<Self, ServeError> {
         cfg.validate()?;
         let index = match &cfg.ann {
@@ -331,12 +352,18 @@ impl BatchEngine {
                 wall_ms: 0.0,
             }),
             scratch_pool: Mutex::new(Vec::new()),
+            generation,
         })
     }
 
     /// The wrapped recommender.
     pub fn recommender(&self) -> &Recommender {
         &self.rec
+    }
+
+    /// The model generation this engine serves (0 outside hot-swap).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The engine configuration.
@@ -396,7 +423,10 @@ impl BatchEngine {
         let lookup_span = self.phases.cache_lookup.start_span();
         let lookup_start = Instant::now();
         let mut results: Vec<Option<Vec<usize>>> = vec![None; queries.len()];
-        let keys: Vec<QueryKey> = queries.iter().map(Query::key).collect();
+        let keys: Vec<QueryKey> = queries
+            .iter()
+            .map(|q| q.key_for_generation(self.generation))
+            .collect();
         let mut misses: Vec<usize> = Vec::new();
         {
             let mut state = self.state.lock().expect("serve state poisoned");

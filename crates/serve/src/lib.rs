@@ -22,6 +22,13 @@
 //!   score per-query shortlists (the `nprobe` best cells, re-ranked with
 //!   the exact cosine kernel) instead of all `vocab` rows; `nprobe =
 //!   cells` is bit-identical to the exhaustive scan,
+//! * zero-downtime hot-swap — [`swap::HotSwapServer`] pins an
+//!   `Arc<`[`swap::ModelGeneration`]`>` per batch while a
+//!   [`swap::GenerationWatcher`] follows an atomically-renamed `CURRENT`
+//!   pointer over mmap-able PLPS bundles, validating (CRCs + finiteness)
+//!   and index-building each new generation off the query path before
+//!   swapping it under live traffic; cache keys carry the generation id,
+//!   so results never leak across a swap,
 //! * serving telemetry — QPS, p50/p95/p99 latency and cache hit rate —
 //!   reported as [`plp_core::telemetry::ServeTelemetry`], with per-query
 //!   latencies held in a bounded `plp_obs` log-linear histogram
@@ -40,8 +47,13 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod query;
+pub mod swap;
 
 pub use cache::LruCache;
 pub use engine::{AnnConfig, BatchEngine, ServeConfig};
 pub use error::ServeError;
 pub use query::{Query, QueryKey};
+pub use swap::{
+    publish_generation, GenerationWatcher, HotSwapServer, ModelGeneration, SwapOutcome,
+    WatcherHandle,
+};

@@ -34,10 +34,19 @@ impl Query {
     /// differing only in exclusion order (or repetition) have identical
     /// results and must share one cache entry.
     pub fn key(&self) -> QueryKey {
+        self.key_for_generation(0)
+    }
+
+    /// The cache key of this query under a specific model generation.
+    /// Hot-swap serving stamps the serving generation into every key so a
+    /// cache shared across a swap can never return a stale generation's
+    /// result for a fresh query (and vice versa).
+    pub fn key_for_generation(&self, generation: u64) -> QueryKey {
         let mut exclude = self.exclude.clone();
         exclude.sort_unstable();
         exclude.dedup();
         QueryKey {
+            generation,
             recent: self.recent.clone(),
             k: self.k,
             exclude,
@@ -45,14 +54,24 @@ impl Query {
     }
 }
 
-/// The normalised `(recent, k, exclude)` identity of a [`Query`], used as
-/// the LRU cache key. The full key (not just its hash) is stored, so a
-/// hash collision can never serve a wrong result.
+/// The normalised `(generation, recent, k, exclude)` identity of a
+/// [`Query`], used as the LRU cache key. The full key (not just its hash)
+/// is stored, so a hash collision can never serve a wrong result. The
+/// generation id keys cached results to the model that produced them;
+/// engines outside the hot-swap path use generation 0.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryKey {
+    generation: u64,
     recent: Vec<usize>,
     k: usize,
     exclude: Vec<usize>,
+}
+
+impl QueryKey {
+    /// The model generation this key is scoped to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
 }
 
 #[cfg(test)]
@@ -75,5 +94,13 @@ mod tests {
         let a = Query::new(vec![1, 2], 5);
         assert_ne!(a.key(), Query::new(vec![2, 1], 5).key());
         assert_ne!(a.key(), Query::new(vec![1, 2], 6).key());
+    }
+
+    #[test]
+    fn key_distinguishes_generations() {
+        let q = Query::new(vec![1, 2], 5);
+        assert_eq!(q.key(), q.key_for_generation(0));
+        assert_ne!(q.key_for_generation(1), q.key_for_generation(2));
+        assert_eq!(q.key_for_generation(7).generation(), 7);
     }
 }

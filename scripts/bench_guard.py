@@ -32,6 +32,20 @@ Serving mode (`--serve`) reads a BENCH_serve*.json produced by the
   * the `nprobe = cells` full-probe pass was not bit-identical to the
     exhaustive scan, or ANN results were not worker-invariant.
 
+Hot-swap mode (`--swap`) reads a BENCH_serve*.json produced by
+`serve_load --swap` and fails (exit 1) if:
+
+  * the report is malformed or its `swap` section is missing/null (the
+    run was made without `--swap`), or
+  * any query wave was dropped (`swap.dropped != 0`) or diverged from its
+    generation's reference (`swap.torn != 0`) — zero-downtime means zero,
+    not "a few", or
+  * fewer generations swapped than the floor (default 50; smoke runs
+    pass a lower floor), or
+  * the bundle was served via mmap (`swap.mapped`) but the mmap load was
+    not at least MIN_MMAP_SPEEDUP (default 10) times faster than the
+    owned decode, or the mapped bytes were not bit-identical.
+
 Observability mode (`--obs`) reads a BENCH_obs*.json produced by the
 `obs_report` binary and fails (exit 1) if:
 
@@ -46,6 +60,7 @@ Observability mode (`--obs`) reads a BENCH_obs*.json produced by the
 Usage: bench_guard.py REPORT.json [MAX_SHARE]
        bench_guard.py --train REPORT.json [MIN_STEPS_PER_SEC] [MAX_LOCAL_SGD_SHARE]
        bench_guard.py --serve REPORT.json [MIN_RECALL]
+       bench_guard.py --swap REPORT.json [MIN_SWAPS] [MIN_MMAP_SPEEDUP]
        bench_guard.py --obs REPORT.json [MAX_OVERHEAD]
 
 Exit codes: 0 all checks pass, 1 regression or malformed report,
@@ -173,6 +188,56 @@ def serve_guard(path: str, min_recall: float) -> int:
     return 0 if ok else 1
 
 
+def swap_guard(path: str, min_swaps: int, min_mmap_speedup: float) -> int:
+    report, err = load_report(path)
+    if err is not None:
+        return err
+
+    swap = report.get("swap")
+    if not isinstance(swap, dict):
+        return fail(path, "missing 'swap' section (run serve_load with --swap)")
+
+    ok = True
+    swaps = swap.get("swaps")
+    if not isinstance(swaps, int) or isinstance(swaps, bool):
+        return fail(path, f"swap.swaps must be an integer, got {swaps!r}")
+    verdict = "PASS" if swaps >= min_swaps else "FAIL"
+    print(f"{verdict} {swaps} live generation swaps (floor {min_swaps})")
+    ok &= swaps >= min_swaps
+
+    for key in ("dropped", "torn"):
+        value = swap.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            return fail(path, f"swap.{key} must be an integer, got {value!r}")
+        verdict = "PASS" if value == 0 else "FAIL"
+        print(f"{verdict} swap.{key} = {value} (must be 0)")
+        ok &= value == 0
+
+    if swap.get("bit_identical") is not True:
+        print(f"FAIL swap.bit_identical is {swap.get('bit_identical')!r}, expected true")
+        ok = False
+    else:
+        print("PASS swap.bit_identical")
+
+    speedup = swap.get("mmap_speedup")
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        return fail(path, f"swap.mmap_speedup must be a number, got {speedup!r}")
+    if swap.get("mapped") is True:
+        verdict = "PASS" if speedup >= min_mmap_speedup else "FAIL"
+        print(f"{verdict} mmap load {speedup:.1f}x faster than owned decode (floor {min_mmap_speedup})")
+        ok &= speedup >= min_mmap_speedup
+    else:
+        print(f"info host served without mmap; speedup {speedup:.1f}x not gated")
+
+    p99s = swap.get("p99_steady_ms")
+    p99w = swap.get("p99_swap_window_ms")
+    if isinstance(p99s, (int, float)) and isinstance(p99w, (int, float)):
+        print(f"info p99 steady {p99s:.3f} ms vs swap-window {p99w:.3f} ms")
+
+    print("bench_guard:", "ok" if ok else "REGRESSION")
+    return 0 if ok else 1
+
+
 def obs_guard(path: str, max_overhead: float) -> int:
     report, err = load_report(path)
     if err is not None:
@@ -214,7 +279,8 @@ def main() -> int:
     usage = (
         f"usage: {sys.argv[0]} REPORT.json [MAX_SHARE] | --train REPORT.json "
         "[MIN_STEPS_PER_SEC] [MAX_LOCAL_SGD_SHARE] | --serve REPORT.json "
-        "[MIN_RECALL] | --obs REPORT.json [MAX_OVERHEAD]"
+        "[MIN_RECALL] | --swap REPORT.json [MIN_SWAPS] [MIN_MMAP_SPEEDUP] | "
+        "--obs REPORT.json [MAX_OVERHEAD]"
     )
     if len(sys.argv) >= 2 and sys.argv[1] == "--train":
         if len(sys.argv) < 3:
@@ -250,6 +316,24 @@ def main() -> int:
             print(f"usage: MAX_OVERHEAD must be in (0, 1], got {max_overhead}", file=sys.stderr)
             return 2
         return obs_guard(sys.argv[2], max_overhead)
+    if len(sys.argv) >= 2 and sys.argv[1] == "--swap":
+        if len(sys.argv) < 3:
+            print(usage, file=sys.stderr)
+            return 2
+        try:
+            min_swaps = int(sys.argv[3]) if len(sys.argv) > 3 else 50
+            min_mmap_speedup = float(sys.argv[4]) if len(sys.argv) > 4 else 10.0
+        except ValueError:
+            print("usage: --swap thresholds must be numbers", file=sys.stderr)
+            return 2
+        if min_swaps < 1 or min_mmap_speedup <= 0.0:
+            print(
+                f"usage: need MIN_SWAPS >= 1 and MIN_MMAP_SPEEDUP > 0, "
+                f"got {min_swaps} and {min_mmap_speedup}",
+                file=sys.stderr,
+            )
+            return 2
+        return swap_guard(sys.argv[2], min_swaps, min_mmap_speedup)
     if len(sys.argv) >= 2 and sys.argv[1] == "--serve":
         if len(sys.argv) < 3:
             print(usage, file=sys.stderr)

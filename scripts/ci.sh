@@ -23,6 +23,9 @@ cargo test --workspace -q
 echo "== chaos drill (crash-safety smoke) =="
 cargo run --release -p plp-bench --bin chaos
 
+echo "== swap_chaos drill (hot-swap serving: torn writers, corrupt candidates, hammer) =="
+cargo run --release -p plp-bench --bin swap_chaos -- --smoke
+
 echo "== fed_chaos drill (multi-process federated smoke + traced round) =="
 cargo run --release -p plp-bench --bin fed_chaos -- --smoke \
   --trace-out target/BENCH_fed_trace.json
@@ -43,11 +46,17 @@ assert sig(sys.argv[1]) == sig(sys.argv[2]), "python stitcher diverged from rust
 print("stitchers agree")
 PY
 
-echo "== serve load-generator smoke (batched == sequential, ANN cross-check) =="
-cargo run --release -p plp-bench --bin serve_load -- --smoke --out target/BENCH_serve_smoke.json
+echo "== serve load-generator smoke (batched == sequential, ANN cross-check, hot-swap) =="
+cargo run --release -p plp-bench --bin serve_load -- --smoke --swap --out target/BENCH_serve_smoke.json
 
 echo "== bench guard (ANN recall@10 floor) =="
 python3 scripts/bench_guard.py --serve target/BENCH_serve_smoke.json 0.95
+
+echo "== bench guard (hot-swap: zero dropped/torn + mmap load floor) =="
+# The smoke run swaps 12 generations; the committed full-run report is
+# held to the 50-swap / 10x-mmap acceptance floors.
+python3 scripts/bench_guard.py --swap target/BENCH_serve_smoke.json 12 10
+python3 scripts/bench_guard.py --swap BENCH_serve.json 50 10
 
 echo "== training-throughput smoke (thread-count invariance) =="
 cargo run --release -p plp-bench --bin train_throughput -- --smoke \
